@@ -1,0 +1,45 @@
+// Shared setup for the per-table/figure benchmark harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "data/synth_cifar.hpp"
+#include "exp/al_runner.hpp"
+#include "exp/table_printer.hpp"
+#include "models/zoo.hpp"
+#include "nn/model_io.hpp"
+
+namespace rhw::bench {
+
+struct Workbench {
+  data::SynthCifar data;
+  models::TrainedModel trained;
+  data::Dataset eval_set;  // evaluation subset (RHW_EVAL_COUNT-sized)
+};
+
+inline Workbench load_workbench(const std::string& arch,
+                                const std::string& dataset,
+                                int64_t default_eval = 256) {
+  Workbench wb;
+  wb.data = data::make_dataset_by_name(dataset);
+  wb.trained = models::get_trained(arch, dataset, wb.data);
+  wb.eval_set = wb.data.test.head(exp::eval_count(default_eval));
+  return wb;
+}
+
+// Deep copy of a trained model (weights + BN statistics), eval mode.
+inline models::Model clone_model(const models::Model& src) {
+  models::Model copy = models::build_model(src.name, src.num_classes);
+  auto& original = const_cast<models::Model&>(src);
+  nn::load_state_dict(*copy.net, nn::state_dict(*original.net));
+  copy.net->set_training(false);
+  return copy;
+}
+
+inline void banner(const std::string& title, const std::string& subtitle) {
+  std::printf("\n=== %s ===\n%s\n\n", title.c_str(), subtitle.c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace rhw::bench

@@ -1,0 +1,8 @@
+// Fig. 6: AL vs eps for Attack-SW / SH / HH (FGSM and PGD) on VGG8 with
+// synth-c10, crossbar sizes 16x16 and 32x32.
+#include "bench_xbar_common.hpp"
+
+int main() {
+  rhw::bench::run_xbar_figure("vgg8", "synth-c10", "fig6_vgg8_c10");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Fig. 7: AL vs eps for Attack-SW / SH / HH (FGSM and PGD) on VGG16 with
+// synth-c100, crossbar sizes 16x16 and 32x32.
+#include "bench_xbar_common.hpp"
+
+int main() {
+  rhw::bench::run_xbar_figure("vgg16", "synth-c100", "fig7_vgg16_c100");
+  std::printf(
+      "Additional paper shape check (complex dataset): under PGD, HH should "
+      "show\nlower AL than SH (gradient obfuscation through the hardware "
+      "forward path).\n");
+  return 0;
+}

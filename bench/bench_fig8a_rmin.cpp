@@ -1,0 +1,41 @@
+// Fig. 8(a): ALs for SH and HH PGD attacks on a VGG8/synth-c10 model mapped
+// to 32x32 crossbars for RMIN = 10 kOhm vs 20 kOhm at constant ON/OFF = 10.
+#include "bench_xbar_common.hpp"
+
+using namespace rhw;
+
+int main() {
+  bench::banner("Fig. 8(a): effect of RMIN on crossbar robustness",
+                "Smaller RMIN -> lower effective resistance -> parasitics "
+                "dominate more -> more intrinsic noise -> lower AL.");
+  bench::Workbench wb = bench::load_workbench("vgg8", "synth-c10");
+
+  const std::vector<float> eps{2.f / 255.f, 8.f / 255.f, 32.f / 255.f};
+  exp::TablePrinter table({"RMIN", "mode", "eps=2/255", "eps=8/255",
+                           "eps=32/255"});
+
+  for (double r_min : {10e3, 20e3}) {
+    models::Model mapped = bench::map_model(wb.trained.model, 32, r_min);
+    struct ModeSpec {
+      const char* name;
+      nn::Module* grad_net;
+    };
+    const ModeSpec modes[] = {{"SH", wb.trained.model.net.get()},
+                              {"HH", mapped.net.get()}};
+    for (const auto& mode : modes) {
+      const auto curve = exp::al_curve(mode.name, *mode.grad_net, *mapped.net,
+                                       wb.eval_set, attacks::AttackKind::kPgd,
+                                       eps);
+      table.add_row({exp::fmt(r_min / 1e3, 0) + " kOhm", mode.name,
+                     exp::fmt(curve.points[0].al, 2),
+                     exp::fmt(curve.points[1].al, 2),
+                     exp::fmt(curve.points[2].al, 2)});
+    }
+  }
+  table.print();
+  table.write_csv(exp::bench_out_dir() + "/fig8a_rmin.csv");
+  std::printf(
+      "\nPaper shape check: ALs for RMIN = 10 kOhm rows should be lower than "
+      "the\ncorresponding RMIN = 20 kOhm rows.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Fig. 8(b)-(c): comparison of crossbar non-ideality robustness (SH on 32x32)
+// against software defenses — 4-bit input discretization [6] and QUANOS [8] —
+// on VGG16 with synth-c100, for FGSM (b) and PGD (c).
+#include "bench_xbar_common.hpp"
+#include "quant/pixel_discretizer.hpp"
+#include "quant/quanos.hpp"
+
+using namespace rhw;
+
+namespace {
+
+void add_curve(exp::TablePrinter& table, const exp::AlCurve& curve,
+               const std::string& attack) {
+  for (const auto& pt : curve.points) {
+    table.add_row({attack, curve.label, exp::fmt(pt.epsilon, 3),
+                   exp::fmt(pt.clean_acc, 2), exp::fmt(pt.adv_acc, 2),
+                   exp::fmt(pt.al, 2)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Fig. 8(b)-(c): crossbar defense vs 4-bit discretization vs QUANOS "
+      "(VGG16, synth-c100)",
+      "All defenses evaluated white-box on themselves except SH, whose "
+      "adversaries come from the undefended software baseline (the paper's "
+      "SH-on-Cross32 configuration).");
+  bench::Workbench wb = bench::load_workbench("vgg16", "synth-c100");
+  models::Model& software = wb.trained.model;
+
+  // Defense 1: crossbar mapping (SH mode, 32x32).
+  models::Model mapped = bench::map_model(software, 32);
+
+  // Defense 2: 4-bit pixel discretization [6].
+  models::Model disc_base = bench::clone_model(software);
+  quant::PixelDiscretizer disc;
+  disc.bits = 4;
+  quant::DiscretizedModel discretized(*disc_base.net, disc);
+
+  // Defense 3: QUANOS [8] (ANS-driven hybrid quantization).
+  models::Model quanos_model = bench::clone_model(software);
+  quant::QuanosConfig qcfg;
+  qcfg.sample_count = std::min<int64_t>(wb.eval_set.size(), 128);
+  const auto report = quant::apply_quanos(*quanos_model.net, wb.data.test,
+                                          qcfg);
+  std::printf("[bench] QUANOS: median ANS %.4f, %zu layers -> 4-bit\n",
+              report.ans_median,
+              static_cast<size_t>(std::count(report.bits.begin(),
+                                             report.bits.end(), qcfg.low_bits)));
+
+  exp::TablePrinter table({"attack", "defense", "eps", "clean", "adv", "AL"});
+  struct AttackSpec {
+    attacks::AttackKind kind;
+    std::vector<float> eps;
+  };
+  const AttackSpec specs[] = {
+      {attacks::AttackKind::kFgsm, exp::fgsm_epsilons()},
+      {attacks::AttackKind::kPgd, exp::pgd_epsilons()},
+  };
+  for (const auto& spec : specs) {
+    const std::string attack = attacks::attack_name(spec.kind);
+    add_curve(table,
+              exp::al_curve("Attack-SW", *software.net, *software.net,
+                            wb.eval_set, spec.kind, spec.eps),
+              attack);
+    add_curve(table,
+              exp::al_curve("SH-Cross32", *software.net, *mapped.net,
+                            wb.eval_set, spec.kind, spec.eps),
+              attack);
+    add_curve(table,
+              exp::al_curve("4b-discretization", discretized, discretized,
+                            wb.eval_set, spec.kind, spec.eps),
+              attack);
+    add_curve(table,
+              exp::al_curve("QUANOS", *quanos_model.net, *quanos_model.net,
+                            wb.eval_set, spec.kind, spec.eps),
+              attack);
+  }
+  table.print();
+  table.write_csv(exp::bench_out_dir() + "/fig8bc_defense_comparison.csv");
+  std::printf(
+      "\nPaper shape check: FGSM -> SH-Cross32 should have the lowest AL of "
+      "all\ndefenses (paper: ~15%% better than 4b, ~4%% better than QUANOS); "
+      "PGD -> QUANOS\nshould win with SH second.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Microbenchmarks (google-benchmark): the kernels behind the experiment
+// harness, plus the exact-vs-approximate crossbar solver ablation.
+#include <benchmark/benchmark.h>
+
+#include "core/gemm.hpp"
+#include "core/im2col.hpp"
+#include "core/rng.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/init.hpp"
+#include "sram/bit_error_injector.hpp"
+#include "xbar/crossbar_array.hpp"
+#include "xbar/mna_solver.hpp"
+#include "xbar/nonideal.hpp"
+
+namespace {
+
+using namespace rhw;
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  RandomEngine rng(1);
+  std::vector<float> a(static_cast<size_t>(n * n)), b(a), c(a);
+  for (auto& v : a) v = rng.uniform(-1.f, 1.f);
+  for (auto& v : b) v = rng.uniform(-1.f, 1.f);
+  for (auto _ : state) {
+    gemm(false, false, n, n, n, 1.f, a.data(), n, b.data(), n, 0.f, c.data(),
+         n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ConvForward(benchmark::State& state) {
+  const int64_t channels = state.range(0);
+  nn::Conv2d conv(channels, channels, 3);
+  RandomEngine rng(2);
+  nn::kaiming_init(conv, rng);
+  const Tensor x = Tensor::randn({8, channels, 32, 32}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ConvForward)->Arg(16)->Arg(32);
+
+void BM_Im2col(benchmark::State& state) {
+  ConvGeom g{16, 32, 32, 3, 3, 1, 1};
+  RandomEngine rng(3);
+  std::vector<float> in(static_cast<size_t>(g.in_c * g.in_h * g.in_w));
+  for (auto& v : in) v = rng.uniform(0.f, 1.f);
+  std::vector<float> cols(static_cast<size_t>(g.col_rows() * g.col_cols()));
+  for (auto _ : state) {
+    im2col(g, in.data(), cols.data());
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2col);
+
+void BM_BitErrorInjection(benchmark::State& state) {
+  sram::HybridWordConfig word;
+  word.num_8t = 4;
+  sram::BitErrorInjector inj(word, {}, 0.68);
+  RandomEngine rng(4);
+  std::vector<uint8_t> codes(static_cast<size_t>(state.range(0)));
+  for (auto& c : codes) c = static_cast<uint8_t>(rng.next_below(256));
+  for (auto _ : state) {
+    inj.corrupt_codes(codes, rng);
+    benchmark::DoNotOptimize(codes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BitErrorInjection)->Arg(1 << 14)->Arg(1 << 18);
+
+// Ablation: exact MNA grid solve vs the fast series-resistance model.
+void BM_XbarExactMna(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  xbar::CrossbarSpec spec;
+  spec.rows = n;
+  spec.cols = n;
+  RandomEngine rng(5);
+  std::vector<double> g(static_cast<size_t>(n * n));
+  for (auto& v : g) {
+    v = spec.g_min() + (spec.g_max() - spec.g_min()) * rng.next_double();
+  }
+  for (auto _ : state) {
+    xbar::MnaSolver solver(g, spec);
+    auto eff = solver.effective_conductance();
+    benchmark::DoNotOptimize(eff.data());
+  }
+}
+BENCHMARK(BM_XbarExactMna)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_XbarFastApprox(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  xbar::CrossbarSpec spec;
+  spec.rows = n;
+  spec.cols = n;
+  RandomEngine rng(6);
+  std::vector<double> g(static_cast<size_t>(n * n));
+  for (auto& v : g) {
+    v = spec.g_min() + (spec.g_max() - spec.g_min()) * rng.next_double();
+  }
+  for (auto _ : state) {
+    auto eff = xbar::nonideal_conductances(g, spec);
+    benchmark::DoNotOptimize(eff.data());
+  }
+}
+BENCHMARK(BM_XbarFastApprox)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_CrossbarProgramAndRead(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  xbar::CrossbarSpec spec;
+  spec.rows = n;
+  spec.cols = n;
+  RandomEngine rng(7);
+  std::vector<float> w(static_cast<size_t>(n * n));
+  for (auto& v : w) v = rng.uniform(-1.f, 1.f);
+  for (auto _ : state) {
+    RandomEngine var(8);
+    xbar::CrossbarArray arr(w.data(), n, n, n, spec,
+                            xbar::CircuitModel::kFastApprox, &var);
+    benchmark::DoNotOptimize(arr.effective_weights().data());
+  }
+}
+BENCHMARK(BM_CrossbarProgramAndRead)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,12 @@
+// Table I: layer-wise hybrid activation-memory configurations for VGG19 on
+// synth-c10 and synth-c100, selected by the Fig. 4 methodology.
+#include "bench_sram_tables.hpp"
+
+int main() {
+  rhw::bench::print_config_table("vgg19", "table1_vgg19");
+  std::printf(
+      "Paper shape check: noise-injection sites should concentrate in the\n"
+      "initial layers, with a small clean-accuracy deviation (paper: 2.61%% /"
+      " 2.9%%).\n");
+  return 0;
+}

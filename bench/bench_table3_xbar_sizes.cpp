@@ -1,0 +1,39 @@
+// Table III: ALs (%) for the HH PGD attack on crossbar sizes 16x16, 32x32
+// and 64x64 (VGG8, synth-c10), eps in {2,4,8,16,32}/255.
+#include "bench_xbar_common.hpp"
+
+using namespace rhw;
+
+int main() {
+  bench::banner("Table III: HH-PGD AL vs crossbar size (VGG8, synth-c10)",
+                "Larger crossbars carry more parasitics, hence more intrinsic "
+                "noise and lower AL.");
+  bench::Workbench wb = bench::load_workbench("vgg8", "synth-c10");
+
+  const std::vector<float> eps{2.f / 255.f, 4.f / 255.f, 8.f / 255.f,
+                               16.f / 255.f, 32.f / 255.f};
+  exp::TablePrinter table({"eps", "Cross16", "Cross32", "Cross64"});
+
+  std::vector<std::vector<double>> al(eps.size());
+  for (int64_t size : {16, 32, 64}) {
+    models::Model mapped = bench::map_model(wb.trained.model, size);
+    const auto curve = exp::al_curve("HH", *mapped.net, *mapped.net,
+                                     wb.eval_set, attacks::AttackKind::kPgd,
+                                     eps);
+    for (size_t i = 0; i < eps.size(); ++i) {
+      al[i].push_back(curve.points[i].al);
+    }
+  }
+  for (size_t i = 0; i < eps.size(); ++i) {
+    table.add_row({std::to_string(static_cast<int>(eps[i] * 255 + 0.5f)) +
+                       "/255",
+                   exp::fmt(al[i][0], 2), exp::fmt(al[i][1], 2),
+                   exp::fmt(al[i][2], 2)});
+  }
+  table.print();
+  table.write_csv(exp::bench_out_dir() + "/table3_xbar_sizes.csv");
+  std::printf(
+      "\nPaper shape check: for each eps, AL should decrease with crossbar "
+      "size\n(Cross64 most robust; paper rows: ~72 / ~71 / ~68).\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Audit the paper's claimed mechanism: hardware noise defends by *gradient
+// obfuscation*. This example maps a trained model onto crossbars and runs the
+// standard obfuscation diagnostics (gradient agreement, white-box vs
+// transfer gap, random-perturbation floor).
+//
+//   $ ./examples/gradient_obfuscation_audit
+#include <cstdio>
+
+#include "attacks/diagnostics.hpp"
+#include "data/synth_cifar.hpp"
+#include "models/zoo.hpp"
+#include "nn/model_io.hpp"
+#include "sram/layer_selector.hpp"
+#include "xbar/mapper.hpp"
+
+using namespace rhw;
+
+namespace {
+
+void print_report(const char* name,
+                  const attacks::ObfuscationReport& report) {
+  std::printf("%s:\n", name);
+  std::printf("  gradient cosine vs software model : %.4f\n",
+              report.grad_cosine);
+  std::printf("  clean accuracy                     : %.2f%%\n",
+              report.clean_acc);
+  std::printf("  white-box FGSM adv accuracy        : %.2f%%\n",
+              report.white_box_adv_acc);
+  std::printf("  transferred FGSM adv accuracy      : %.2f%%\n",
+              report.transfer_adv_acc);
+  std::printf("  random-perturbation floor          : %.2f%%\n",
+              report.random_adv_acc);
+  std::printf("  obfuscation suspected              : %s\n\n",
+              report.obfuscation_suspected() ? "YES (transfer beats white-box)"
+                                             : "no");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Gradient-obfuscation audit ==\n\n");
+
+  data::SynthCifarConfig dcfg;
+  dcfg.num_classes = 10;
+  dcfg.train_per_class = 100;
+  dcfg.test_per_class = 25;
+  dcfg.image_size = 16;
+  const auto dataset = data::make_synth_cifar(dcfg);
+
+  models::Model software = models::build_model("vgg8", 10, 0.125f, 16);
+  models::TrainConfig tcfg;
+  tcfg.epochs = 4;
+  tcfg.batch_size = 50;
+  models::train_model(software, dataset, tcfg);
+
+  attacks::ObfuscationConfig ocfg;
+  ocfg.epsilon = 0.1f;
+  ocfg.sample_count = 200;
+
+  // Control: the software model audited against itself.
+  print_report("software baseline (control)",
+               attacks::diagnose_gradient_obfuscation(
+                   *software.net, *software.net, dataset.test, ocfg));
+
+  // Crossbar-mapped hardware model.
+  models::Model mapped = models::build_model("vgg8", 10, 0.125f, 16);
+  nn::load_state_dict(*mapped.net, nn::state_dict(*software.net));
+  mapped.net->set_training(false);
+  xbar::XbarMapConfig xcfg;
+  xcfg.spec.rows = 32;
+  xcfg.spec.cols = 32;
+  (void)xbar::map_onto_crossbars(*mapped.net, xcfg);
+  print_report("crossbar-mapped model (32x32)",
+               attacks::diagnose_gradient_obfuscation(
+                   *software.net, *mapped.net, dataset.test, ocfg));
+
+  // SRAM bit-error model: noise on the first two activation memories.
+  models::Model noisy = models::build_model("vgg8", 10, 0.125f, 16);
+  nn::load_state_dict(*noisy.net, nn::state_dict(*software.net));
+  noisy.net->set_training(false);
+  std::vector<sram::SiteChoice> selection;
+  for (size_t s = 0; s < 2; ++s) {
+    sram::SiteChoice c;
+    c.site_index = s;
+    c.site_label = noisy.sites[s].label;
+    c.word.num_8t = 2;
+    selection.push_back(c);
+  }
+  sram::apply_selection(noisy, selection, /*vdd=*/0.64);
+  print_report("hybrid-SRAM noisy model (2/6 @ 0.64 V)",
+               attacks::diagnose_gradient_obfuscation(
+                   *software.net, *noisy.net, dataset.test, ocfg));
+
+  std::printf(
+      "Interpretation: the hardware models' gradients diverge from the "
+      "software\nmodel's (cosine < 1); when transferred adversaries beat "
+      "white-box ones, the\nhardware loss surface is hiding its own "
+      "weaknesses — the paper's Fig. 1 story.\n");
+  return 0;
+}

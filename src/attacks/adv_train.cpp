@@ -1,0 +1,73 @@
+#include "attacks/adv_train.hpp"
+
+#include <algorithm>
+
+#include "attacks/fgsm.hpp"
+#include "data/synth_cifar.hpp"
+#include "nn/loss.hpp"
+
+namespace rhw::attacks {
+
+AdvTrainResult adversarial_train(nn::Module& net, const data::SynthCifar& data,
+                                 const AdvTrainConfig& cfg) {
+  rhw::RandomEngine rng(cfg.seed);
+  nn::SGD opt(net.parameters(), cfg.sgd);
+  nn::SoftmaxCrossEntropy loss;
+  const int decay_epoch = std::max(1, cfg.epochs * 2 / 3);
+
+  AdvTrainResult result;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    if (epoch == decay_epoch) opt.set_lr(opt.lr() * cfg.lr_decay);
+    const auto order = data::shuffled_indices(data.train.size(), rng);
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    for (int64_t begin = 0; begin < data.train.size();
+         begin += cfg.batch_size) {
+      const int64_t end =
+          std::min<int64_t>(begin + cfg.batch_size, data.train.size());
+      std::vector<int64_t> idx(order.begin() + begin, order.begin() + end);
+      auto batch = data.train.gather(idx);
+
+      // Replace the leading adv_fraction of the batch with FGSM adversaries
+      // crafted against the *current* parameters.
+      const auto n_adv = static_cast<int64_t>(
+          cfg.adv_fraction * static_cast<float>(batch.images.dim(0)));
+      if (n_adv > 0 && cfg.epsilon > 0.f) {
+        auto head = batch.slice(0, n_adv);
+        FgsmConfig fc;
+        fc.epsilon = cfg.epsilon;
+        const Tensor adv = fgsm(net, head.images, head.labels, fc);
+        const int64_t stride = adv.numel() / n_adv;
+        std::copy(adv.data(), adv.data() + adv.numel(), batch.images.data());
+        (void)stride;
+      }
+
+      net.set_training(true);
+      opt.zero_grad();
+      const Tensor logits = net.forward(batch.images);
+      epoch_loss += loss.forward(logits, batch.labels);
+      ++batches;
+      net.backward(loss.backward());
+      opt.step();
+    }
+    result.final_train_loss = epoch_loss / std::max<int64_t>(1, batches);
+  }
+
+  // Clean test accuracy.
+  net.set_training(false);
+  int64_t correct = 0;
+  for (int64_t begin = 0; begin < data.test.size(); begin += cfg.batch_size) {
+    const auto batch = data.test.slice(begin, begin + cfg.batch_size);
+    const auto preds = net.forward(batch.images).argmax_rows();
+    for (size_t i = 0; i < preds.size(); ++i) {
+      if (preds[i] == batch.labels[i]) ++correct;
+    }
+  }
+  result.clean_test_acc =
+      data.test.size() > 0
+          ? static_cast<double>(correct) / static_cast<double>(data.test.size())
+          : 0.0;
+  return result;
+}
+
+}  // namespace rhw::attacks

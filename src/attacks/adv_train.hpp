@@ -1,0 +1,38 @@
+// FGSM adversarial training (Goodfellow et al. / Madry et al.), the
+// algorithmic defense the paper's introduction singles out as the strongest
+// software baseline. Included as an extension so hardware-noise defenses can
+// be compared against a trained defense, not only inference-time ones.
+#pragma once
+
+#include <vector>
+
+#include "data/synth_cifar.hpp"
+#include "nn/module.hpp"
+#include "nn/optimizer.hpp"
+
+namespace rhw::attacks {
+
+struct AdvTrainConfig {
+  int epochs = 5;
+  int64_t batch_size = 100;
+  nn::SgdConfig sgd{};
+  float lr_decay = 0.1f;        // once at 2/3 of training
+  float epsilon = 0.1f;         // FGSM strength for the adversarial half
+  float adv_fraction = 0.5f;    // fraction of each batch replaced by
+                                // adversarial examples
+  uint64_t seed = 11;
+};
+
+struct AdvTrainResult {
+  double clean_test_acc = 0.0;  // 0..1
+  double final_train_loss = 0.0;
+};
+
+// Trains net in place on a mix of clean and FGSM-adversarial batches
+// (adversaries regenerated from the current parameters each step, as in
+// standard adversarial training). Assumes the net is already initialized.
+AdvTrainResult adversarial_train(nn::Module& net,
+                                 const data::SynthCifar& data,
+                                 const AdvTrainConfig& cfg);
+
+}  // namespace rhw::attacks

@@ -1,0 +1,91 @@
+#include "attacks/diagnostics.hpp"
+
+#include <cmath>
+
+#include "attacks/fgsm.hpp"
+
+namespace rhw::attacks {
+
+namespace {
+
+double cosine(const Tensor& a, const Tensor& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 0 ? dot / denom : 0.0;
+}
+
+int64_t count_correct(nn::Module& net, const Tensor& x,
+                      const std::vector<int64_t>& labels) {
+  const auto preds = net.forward(x).argmax_rows();
+  int64_t correct = 0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace
+
+ObfuscationReport diagnose_gradient_obfuscation(nn::Module& software,
+                                                nn::Module& hardware,
+                                                const data::Dataset& ds,
+                                                const ObfuscationConfig& cfg) {
+  const auto subset = ds.head(cfg.sample_count);
+  const bool sw_training = software.training();
+  const bool hw_training = hardware.training();
+  software.set_training(false);
+  hardware.set_training(false);
+
+  ObfuscationReport report;
+  rhw::RandomEngine rng(cfg.seed);
+  int64_t clean = 0, white = 0, transfer = 0, random = 0;
+  double cos_acc = 0.0;
+  int64_t cos_batches = 0;
+
+  FgsmConfig fc;
+  fc.epsilon = cfg.epsilon;
+  for (int64_t begin = 0; begin < subset.size(); begin += cfg.batch_size) {
+    const auto batch = subset.slice(begin, begin + cfg.batch_size);
+    clean += count_correct(hardware, batch.images, batch.labels);
+
+    // Per-batch gradient agreement.
+    const Tensor g_hw = input_gradient(hardware, batch.images, batch.labels);
+    const Tensor g_sw = input_gradient(software, batch.images, batch.labels);
+    cos_acc += cosine(g_hw, g_sw);
+    ++cos_batches;
+
+    const Tensor adv_white = fgsm(hardware, batch.images, batch.labels, fc);
+    white += count_correct(hardware, adv_white, batch.labels);
+    const Tensor adv_transfer = fgsm(software, batch.images, batch.labels, fc);
+    transfer += count_correct(hardware, adv_transfer, batch.labels);
+
+    // Random-sign floor: x + eps * sign(z), z ~ N(0, 1).
+    Tensor adv_random = batch.images;
+    for (float& v : adv_random.span()) {
+      v += cfg.epsilon * (rng.gaussian() >= 0.f ? 1.f : -1.f);
+    }
+    adv_random.clamp_(0.f, 1.f);
+    random += count_correct(hardware, adv_random, batch.labels);
+  }
+
+  software.set_training(sw_training);
+  hardware.set_training(hw_training);
+
+  const auto n = static_cast<double>(subset.size());
+  if (n > 0) {
+    report.clean_acc = 100.0 * static_cast<double>(clean) / n;
+    report.white_box_adv_acc = 100.0 * static_cast<double>(white) / n;
+    report.transfer_adv_acc = 100.0 * static_cast<double>(transfer) / n;
+    report.random_adv_acc = 100.0 * static_cast<double>(random) / n;
+  }
+  report.grad_cosine =
+      cos_batches > 0 ? cos_acc / static_cast<double>(cos_batches) : 0.0;
+  return report;
+}
+
+}  // namespace rhw::attacks

@@ -1,0 +1,49 @@
+// Gradient-obfuscation diagnostics.
+//
+// The paper attributes hardware robustness to "defense via gradient
+// obfuscation" (Sec. II-A / Fig. 1): the hardware model's loss surface yields
+// less useful attack gradients. This module quantifies that claim with the
+// standard checks from the obfuscated-gradients literature (Athalye et al.):
+//
+//  - gradient agreement: cosine similarity between the hardware model's input
+//    gradient and the software baseline's — low agreement means the hardware
+//    gradients point somewhere else;
+//  - white-box vs transfer gap: if adversaries transferred from the clean
+//    software model (SH) beat adversaries crafted on the hardware model
+//    itself (HH), the white-box gradients are obfuscated;
+//  - random-direction floor: accuracy under random sign perturbations of the
+//    same magnitude — any attack doing no better than random has fully
+//    masked gradients.
+#pragma once
+
+#include "attacks/evaluate.hpp"
+
+namespace rhw::attacks {
+
+struct ObfuscationConfig {
+  float epsilon = 0.1f;
+  int64_t batch_size = 100;
+  int64_t sample_count = 256;
+  uint64_t seed = 0xD1A6;
+};
+
+struct ObfuscationReport {
+  double grad_cosine = 0.0;        // mean cosine(hw grad, sw grad), [-1, 1]
+  double clean_acc = 0.0;          // hardware model, percent
+  double white_box_adv_acc = 0.0;  // HH-style FGSM on the hardware model
+  double transfer_adv_acc = 0.0;   // SH-style FGSM from the software model
+  double random_adv_acc = 0.0;     // random-sign perturbation floor
+
+  // Transfer beating white-box is the textbook symptom of masked gradients.
+  bool obfuscation_suspected() const {
+    return transfer_adv_acc < white_box_adv_acc;
+  }
+};
+
+// Diagnoses `hardware` against the `software` reference on (a subset of) ds.
+ObfuscationReport diagnose_gradient_obfuscation(nn::Module& software,
+                                                nn::Module& hardware,
+                                                const data::Dataset& ds,
+                                                const ObfuscationConfig& cfg);
+
+}  // namespace rhw::attacks

@@ -1,0 +1,109 @@
+#include "attacks/evaluate.hpp"
+
+namespace rhw::attacks {
+
+namespace {
+
+Tensor craft(nn::Module& grad_net, const Tensor& x,
+             const std::vector<int64_t>& labels, const AdvEvalConfig& cfg,
+             uint64_t batch_seed) {
+  if (cfg.kind == AttackKind::kFgsm) {
+    FgsmConfig fc;
+    fc.epsilon = cfg.epsilon;
+    return fgsm(grad_net, x, labels, fc);
+  }
+  PgdConfig pc;
+  pc.epsilon = cfg.epsilon;
+  pc.steps = cfg.pgd_steps;
+  pc.alpha = cfg.pgd_alpha;
+  pc.random_start = cfg.pgd_random_start;
+  pc.grad_samples = cfg.pgd_grad_samples;
+  pc.seed = batch_seed;
+  return pgd(grad_net, x, labels, pc);
+}
+
+int64_t count_correct(nn::Module& net, const Tensor& x,
+                      const std::vector<int64_t>& labels) {
+  const Tensor logits = net.forward(x);
+  const auto preds = logits.argmax_rows();
+  int64_t correct = 0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace
+
+AdvEvalResult evaluate_attack(nn::Module& grad_net, nn::Module& eval_net,
+                              const data::Dataset& ds,
+                              const AdvEvalConfig& cfg) {
+  const bool grad_was_training = grad_net.training();
+  const bool eval_was_training = eval_net.training();
+  grad_net.set_training(false);
+  eval_net.set_training(false);
+
+  int64_t clean_correct = 0, adv_correct = 0;
+  uint64_t batch_counter = 0;
+  for (int64_t begin = 0; begin < ds.size(); begin += cfg.batch_size) {
+    const auto batch = ds.slice(begin, begin + cfg.batch_size);
+    clean_correct += count_correct(eval_net, batch.images, batch.labels);
+    const Tensor adv = craft(grad_net, batch.images, batch.labels, cfg,
+                             cfg.seed + 0x9E37 * (++batch_counter));
+    adv_correct += count_correct(eval_net, adv, batch.labels);
+  }
+
+  grad_net.set_training(grad_was_training);
+  eval_net.set_training(eval_was_training);
+
+  AdvEvalResult out;
+  const auto n = static_cast<double>(ds.size());
+  if (n > 0) {
+    out.clean_acc = 100.0 * static_cast<double>(clean_correct) / n;
+    out.adv_acc = 100.0 * static_cast<double>(adv_correct) / n;
+  }
+  return out;
+}
+
+double adversarial_accuracy(nn::Module& grad_net, nn::Module& eval_net,
+                            const data::Dataset& ds,
+                            const AdvEvalConfig& cfg) {
+  const bool grad_was_training = grad_net.training();
+  const bool eval_was_training = eval_net.training();
+  grad_net.set_training(false);
+  eval_net.set_training(false);
+  int64_t adv_correct = 0;
+  uint64_t batch_counter = 0;
+  for (int64_t begin = 0; begin < ds.size(); begin += cfg.batch_size) {
+    const auto batch = ds.slice(begin, begin + cfg.batch_size);
+    const Tensor adv = craft(grad_net, batch.images, batch.labels, cfg,
+                             cfg.seed + 0x9E37 * (++batch_counter));
+    adv_correct += count_correct(eval_net, adv, batch.labels);
+  }
+  grad_net.set_training(grad_was_training);
+  eval_net.set_training(eval_was_training);
+  return ds.size() == 0 ? 0.0
+                        : 100.0 * static_cast<double>(adv_correct) /
+                              static_cast<double>(ds.size());
+}
+
+double clean_accuracy(nn::Module& eval_net, const data::Dataset& ds,
+                      int64_t batch_size) {
+  const bool was_training = eval_net.training();
+  eval_net.set_training(false);
+  int64_t correct = 0;
+  for (int64_t begin = 0; begin < ds.size(); begin += batch_size) {
+    const auto batch = ds.slice(begin, begin + batch_size);
+    correct += count_correct(eval_net, batch.images, batch.labels);
+  }
+  eval_net.set_training(was_training);
+  return ds.size() == 0 ? 0.0
+                        : 100.0 * static_cast<double>(correct) /
+                              static_cast<double>(ds.size());
+}
+
+std::string attack_name(AttackKind kind) {
+  return kind == AttackKind::kFgsm ? "FGSM" : "PGD";
+}
+
+}  // namespace rhw::attacks

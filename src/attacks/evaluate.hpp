@@ -1,0 +1,57 @@
+// Attack evaluation harness: clean accuracy, adversarial accuracy and
+// Adversarial Loss (AL = clean - adversarial, in percent; paper Sec. II-A).
+//
+// Two-model interface implements the paper's attack modes:
+//   Attack-SW: grad_net == eval_net == software baseline
+//   SH:        grad_net = software baseline, eval_net = hardware model
+//   HH:        grad_net == eval_net == hardware model
+// For SRAM experiments the "hardware model" is the baseline with noise hooks
+// attached; hooks are globally disabled during gradient computation, so HH
+// and SH coincide there exactly as in the paper.
+#pragma once
+
+#include <string>
+
+#include "attacks/pgd.hpp"
+#include "data/dataset.hpp"
+
+namespace rhw::attacks {
+
+enum class AttackKind { kFgsm, kPgd };
+
+struct AdvEvalConfig {
+  AttackKind kind = AttackKind::kFgsm;
+  float epsilon = 0.1f;
+  int pgd_steps = 7;
+  float pgd_alpha = 0.f;        // 0 = auto
+  bool pgd_random_start = true;
+  int pgd_grad_samples = 1;     // >1 = EOT (adaptive attack on noisy hardware)
+  int64_t batch_size = 100;
+  uint64_t seed = 0xADE5;
+};
+
+struct AdvEvalResult {
+  double clean_acc = 0.0;  // percent
+  double adv_acc = 0.0;    // percent
+  double adversarial_loss() const { return clean_acc - adv_acc; }
+};
+
+// Evaluates eval_net on ds cleanly and under adversaries crafted from
+// grad_net. Both nets are run in eval mode; eval_net's noise hooks (if any)
+// are active during evaluation but never during gradient computation.
+AdvEvalResult evaluate_attack(nn::Module& grad_net, nn::Module& eval_net,
+                              const data::Dataset& ds,
+                              const AdvEvalConfig& cfg);
+
+// Adversarial accuracy only (percent); used by sweeps that already know the
+// clean accuracy.
+double adversarial_accuracy(nn::Module& grad_net, nn::Module& eval_net,
+                            const data::Dataset& ds, const AdvEvalConfig& cfg);
+
+// Clean accuracy (percent) with eval_net's hooks active.
+double clean_accuracy(nn::Module& eval_net, const data::Dataset& ds,
+                      int64_t batch_size = 100);
+
+std::string attack_name(AttackKind kind);
+
+}  // namespace rhw::attacks

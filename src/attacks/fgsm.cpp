@@ -1,0 +1,32 @@
+#include "attacks/fgsm.hpp"
+
+namespace rhw::attacks {
+
+Tensor input_gradient(nn::Module& net, const Tensor& x,
+                      const std::vector<int64_t>& labels) {
+  const bool was_training = net.training();
+  net.set_training(false);
+  Tensor grad;
+  {
+    nn::Module::HooksDisabledScope no_noise;
+    const Tensor logits = net.forward(x);
+    nn::SoftmaxCrossEntropy loss;
+    loss.forward(logits, labels);
+    grad = net.backward(loss.backward());
+  }
+  net.set_training(was_training);
+  return grad;
+}
+
+Tensor fgsm(nn::Module& grad_net, const Tensor& x,
+            const std::vector<int64_t>& labels, const FgsmConfig& cfg) {
+  if (cfg.epsilon == 0.f) return x;
+  Tensor grad = input_gradient(grad_net, x, labels);
+  grad.sign_();
+  Tensor adv = x;
+  adv.add_scaled_(grad, cfg.epsilon);
+  adv.clamp_(cfg.clip_lo, cfg.clip_hi);
+  return adv;
+}
+
+}  // namespace rhw::attacks

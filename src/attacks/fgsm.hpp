@@ -1,0 +1,33 @@
+// Fast Gradient Sign Method (Goodfellow et al., 2014), Eq. (1) of the paper:
+//   X_adv = X + eps * sign(grad_X L(theta, X, y_true))
+//
+// Gradients are always computed with activation-memory noise hooks disabled
+// (paper Sec. III-A) and in inference mode (BatchNorm running statistics).
+#pragma once
+
+#include <vector>
+
+#include "nn/loss.hpp"
+#include "nn/module.hpp"
+
+namespace rhw::attacks {
+
+using nn::Tensor;
+
+// d(mean CE loss)/d(input). Side effect: accumulates into the net's parameter
+// gradients — callers that later train must zero_grad first (SGD::zero_grad
+// does). Restores the net's training flag.
+Tensor input_gradient(nn::Module& net, const Tensor& x,
+                      const std::vector<int64_t>& labels);
+
+struct FgsmConfig {
+  float epsilon = 0.1f;
+  float clip_lo = 0.f;  // valid pixel range
+  float clip_hi = 1.f;
+};
+
+// Crafts adversarial inputs using grad_net's loss landscape.
+Tensor fgsm(nn::Module& grad_net, const Tensor& x,
+            const std::vector<int64_t>& labels, const FgsmConfig& cfg);
+
+}  // namespace rhw::attacks

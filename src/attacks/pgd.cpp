@@ -1,0 +1,43 @@
+#include "attacks/pgd.hpp"
+
+#include <algorithm>
+
+namespace rhw::attacks {
+
+Tensor pgd(nn::Module& grad_net, const Tensor& x,
+           const std::vector<int64_t>& labels, const PgdConfig& cfg) {
+  if (cfg.epsilon == 0.f) return x;
+  const float alpha =
+      cfg.alpha > 0.f ? cfg.alpha
+                      : 2.5f * cfg.epsilon / static_cast<float>(cfg.steps);
+
+  Tensor adv = x;
+  if (cfg.random_start) {
+    rhw::RandomEngine rng(cfg.seed);
+    float* a = adv.data();
+    for (int64_t i = 0; i < adv.numel(); ++i) {
+      a[i] += rng.uniform(-cfg.epsilon, cfg.epsilon);
+    }
+    adv.clamp_(cfg.clip_lo, cfg.clip_hi);
+  }
+
+  const int grad_samples = std::max(1, cfg.grad_samples);
+  for (int step = 0; step < cfg.steps; ++step) {
+    Tensor grad = input_gradient(grad_net, adv, labels);
+    for (int s = 1; s < grad_samples; ++s) {
+      grad.add_(input_gradient(grad_net, adv, labels));
+    }
+    grad.sign_();
+    adv.add_scaled_(grad, alpha);
+    // Project into the eps-ball around x, then the valid pixel range.
+    const float* xc = x.data();
+    float* a = adv.data();
+    for (int64_t i = 0; i < adv.numel(); ++i) {
+      a[i] = std::clamp(a[i], xc[i] - cfg.epsilon, xc[i] + cfg.epsilon);
+      a[i] = std::clamp(a[i], cfg.clip_lo, cfg.clip_hi);
+    }
+  }
+  return adv;
+}
+
+}  // namespace rhw::attacks

@@ -1,0 +1,29 @@
+// Projected Gradient Descent attack (Madry et al., 2017): iterated FGSM steps
+// projected back into the L-inf epsilon-ball around the clean input, with
+// optional random start.
+#pragma once
+
+#include "attacks/fgsm.hpp"
+#include "core/rng.hpp"
+
+namespace rhw::attacks {
+
+struct PgdConfig {
+  float epsilon = 8.f / 255.f;
+  int steps = 7;
+  float alpha = 0.f;  // step size; 0 means 2.5 * epsilon / steps
+  bool random_start = true;
+  // Expectation-over-transformation (EOT): average the input gradient over
+  // this many forward/backward passes per step. Against stochastic hardware
+  // (fresh read-noise per pass) EOT is the canonical *adaptive* attack —
+  // noise averages out and the systematic gradient re-emerges. 1 = plain PGD.
+  int grad_samples = 1;
+  float clip_lo = 0.f;
+  float clip_hi = 1.f;
+  uint64_t seed = 0xADE5;  // for the random start
+};
+
+Tensor pgd(nn::Module& grad_net, const Tensor& x,
+           const std::vector<int64_t>& labels, const PgdConfig& cfg);
+
+}  // namespace rhw::attacks

@@ -1,0 +1,114 @@
+// Deterministic random number generation.
+//
+// xoshiro256** seeded through SplitMix64, plus the uniform/normal helpers the
+// library needs. All randomness in the repo flows through RandomEngine
+// instances owned by callers, so every experiment is bit-reproducible from its
+// seed (DESIGN.md §5).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace rhw {
+
+// SplitMix64: used only to expand a 64-bit seed into xoshiro state.
+inline uint64_t splitmix64_next(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class RandomEngine {
+ public:
+  using result_type = uint64_t;
+
+  explicit RandomEngine(uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+    has_cached_gauss_ = false;
+  }
+
+  // UniformRandomBitGenerator interface.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+  uint64_t next_u64() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // U[0,1) with 53-bit resolution.
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  float uniform(float lo, float hi) {
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+  }
+
+  // Bernoulli(p)
+  bool bernoulli(double p) { return next_double() < p; }
+
+  // Uniform integer in [0, n)
+  uint64_t next_below(uint64_t n) {
+    // Modulo bias is negligible for the small n used here, but use Lemire's
+    // multiply-shift reduction anyway for uniformity.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next_u64()) * n;
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  int64_t uniform_int(int64_t lo, int64_t hi_inclusive) {
+    return lo + static_cast<int64_t>(
+                    next_below(static_cast<uint64_t>(hi_inclusive - lo + 1)));
+  }
+
+  // N(0,1) via Box-Muller (cached pair for speed).
+  float gaussian() {
+    if (has_cached_gauss_) {
+      has_cached_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = next_double();
+    } while (u1 <= 1e-300);
+    const double u2 = next_double();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * std::numbers::pi * u2;
+    cached_gauss_ = static_cast<float>(radius * std::sin(angle));
+    has_cached_gauss_ = true;
+    return static_cast<float>(radius * std::cos(angle));
+  }
+
+  float gaussian(float mean, float stddev) {
+    return mean + stddev * gaussian();
+  }
+
+  // Deterministic sub-stream derivation, e.g. per-layer or per-tile engines.
+  RandomEngine fork(uint64_t stream_id) {
+    uint64_t mix = next_u64() ^ (0xD1B54A32D192ED03ULL * (stream_id + 1));
+    return RandomEngine(mix);
+  }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4] = {};
+  bool has_cached_gauss_ = false;
+  float cached_gauss_ = 0.f;
+};
+
+}  // namespace rhw

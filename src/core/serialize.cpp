@@ -1,0 +1,90 @@
+#include "core/serialize.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace rhw {
+
+namespace {
+constexpr uint32_t kTensorMagic = 0x54574852;  // "RHWT"
+constexpr uint32_t kCkptMagic = 0x43574852;    // "RHWC"
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("serialize: truncated stream");
+  return v;
+}
+}  // namespace
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  write_pod(os, kTensorMagic);
+  write_pod(os, static_cast<uint32_t>(t.rank()));
+  for (int i = 0; i < t.rank(); ++i) write_pod(os, t.dim(i));
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+Tensor read_tensor(std::istream& is) {
+  if (read_pod<uint32_t>(is) != kTensorMagic) {
+    throw std::runtime_error("serialize: bad tensor magic");
+  }
+  const auto rank = read_pod<uint32_t>(is);
+  if (rank > 8) throw std::runtime_error("serialize: implausible rank");
+  Shape shape(rank);
+  for (auto& d : shape) d = read_pod<int64_t>(is);
+  Tensor t(shape);
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!is) throw std::runtime_error("serialize: truncated tensor data");
+  return t;
+}
+
+void write_checkpoint(const std::string& path, const TensorMap& tensors) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  write_pod(os, kCkptMagic);
+  write_pod(os, static_cast<uint64_t>(tensors.size()));
+  for (const auto& [name, tensor] : tensors) {
+    write_pod(os, static_cast<uint32_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_tensor(os, tensor);
+  }
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+TensorMap read_checkpoint(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  if (read_pod<uint32_t>(is) != kCkptMagic) {
+    throw std::runtime_error("serialize: bad checkpoint magic in " + path);
+  }
+  const auto count = read_pod<uint64_t>(is);
+  TensorMap out;
+  for (uint64_t i = 0; i < count; ++i) {
+    const auto len = read_pod<uint32_t>(is);
+    std::string name(len, '\0');
+    is.read(name.data(), len);
+    if (!is) throw std::runtime_error("serialize: truncated name");
+    out.emplace(std::move(name), read_tensor(is));
+  }
+  return out;
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+}  // namespace rhw

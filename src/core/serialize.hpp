@@ -1,0 +1,28 @@
+// Minimal binary serialization for tensors and model checkpoints.
+//
+// Format: little-endian, magic "RHWT" per tensor record:
+//   u32 magic | u32 rank | i64 dims[rank] | f32 data[numel]
+// Checkpoints are a sequence of (name, tensor) records with magic "RHWC".
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "core/tensor.hpp"
+
+namespace rhw {
+
+void write_tensor(std::ostream& os, const Tensor& t);
+Tensor read_tensor(std::istream& is);
+
+using TensorMap = std::map<std::string, Tensor>;
+
+void write_checkpoint(const std::string& path, const TensorMap& tensors);
+// Throws std::runtime_error on missing/corrupt file.
+TensorMap read_checkpoint(const std::string& path);
+
+bool file_exists(const std::string& path);
+
+}  // namespace rhw

@@ -1,0 +1,31 @@
+// Small statistics helpers shared by the SRAM noise characterization and the
+// experiment harness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rhw {
+
+struct RunningStats {
+  int64_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+
+  void push(double x) {
+    ++count;
+    const double delta = x - mean;
+    mean += delta / static_cast<double>(count);
+    m2 += delta * (x - mean);
+  }
+  double variance() const { return count > 1 ? m2 / (count - 1) : 0.0; }
+  double stddev() const;
+};
+
+double mean_of(std::span<const double> xs);
+double stddev_of(std::span<const double> xs);
+double median_of(std::vector<double> xs);  // by value: sorts a copy
+double percentile_of(std::vector<double> xs, double p);  // p in [0, 100]
+
+}  // namespace rhw

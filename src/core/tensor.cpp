@@ -1,0 +1,247 @@
+#include "core/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/rng.hpp"
+
+namespace rhw {
+
+int64_t shape_numel(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    if (d < 0) throw std::invalid_argument("negative dimension in shape");
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      numel_(shape_numel(shape_)),
+      data_(static_cast<size_t>(numel_), 0.f) {}
+
+Tensor::Tensor(Shape shape, float fill_value)
+    : shape_(std::move(shape)),
+      numel_(shape_numel(shape_)),
+      data_(static_cast<size_t>(numel_), fill_value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), numel_(shape_numel(shape_)),
+      data_(std::move(values)) {
+  if (static_cast<int64_t>(data_.size()) != numel_) {
+    throw std::invalid_argument("Tensor: values size does not match shape");
+  }
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+Tensor Tensor::ones(Shape shape) { return Tensor(std::move(shape), 1.f); }
+Tensor Tensor::full(Shape shape, float value) {
+  return Tensor(std::move(shape), value);
+}
+
+Tensor Tensor::randn(Shape shape, RandomEngine& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = rng.gaussian(mean, stddev);
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, RandomEngine& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = rng.uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::from_span(Shape shape, std::span<const float> values) {
+  Tensor t(std::move(shape));
+  if (static_cast<int64_t>(values.size()) != t.numel_) {
+    throw std::invalid_argument("from_span: size mismatch");
+  }
+  std::copy(values.begin(), values.end(), t.data_.begin());
+  return t;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (shape_numel(new_shape) != numel_) {
+    throw std::invalid_argument("reshaped: numel mismatch");
+  }
+  Tensor t = *this;
+  t.shape_ = std::move(new_shape);
+  return t;
+}
+
+void Tensor::reshape_inplace(Shape new_shape) {
+  if (shape_numel(new_shape) != numel_) {
+    throw std::invalid_argument("reshape_inplace: numel mismatch");
+  }
+  shape_ = std::move(new_shape);
+}
+
+int64_t Tensor::index2(int64_t i, int64_t j) const {
+  assert(rank() == 2);
+  assert(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1]);
+  return i * shape_[1] + j;
+}
+
+int64_t Tensor::index4(int64_t n, int64_t c, int64_t h, int64_t w) const {
+  assert(rank() == 4);
+  assert(n >= 0 && n < shape_[0] && c >= 0 && c < shape_[1]);
+  assert(h >= 0 && h < shape_[2] && w >= 0 && w < shape_[3]);
+  return ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+}
+
+float& Tensor::at(int64_t i, int64_t j) {
+  return data_[static_cast<size_t>(index2(i, j))];
+}
+float Tensor::at(int64_t i, int64_t j) const {
+  return data_[static_cast<size_t>(index2(i, j))];
+}
+float& Tensor::at(int64_t n, int64_t c, int64_t h, int64_t w) {
+  return data_[static_cast<size_t>(index4(n, c, h, w))];
+}
+float Tensor::at(int64_t n, int64_t c, int64_t h, int64_t w) const {
+  return data_[static_cast<size_t>(index4(n, c, h, w))];
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                a.shape_str() + " vs " + b.shape_str());
+  }
+}
+}  // namespace
+
+Tensor& Tensor::add_(const Tensor& other) {
+  check_same_shape(*this, other, "add_");
+  const float* o = other.data();
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += o[i];
+  return *this;
+}
+
+Tensor& Tensor::add_scaled_(const Tensor& other, float alpha) {
+  check_same_shape(*this, other, "add_scaled_");
+  const float* o = other.data();
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * o[i];
+  return *this;
+}
+
+Tensor& Tensor::sub_(const Tensor& other) {
+  check_same_shape(*this, other, "sub_");
+  const float* o = other.data();
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= o[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(const Tensor& other) {
+  check_same_shape(*this, other, "mul_");
+  const float* o = other.data();
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= o[i];
+  return *this;
+}
+
+Tensor& Tensor::scale_(float alpha) {
+  for (float& v : data_) v *= alpha;
+  return *this;
+}
+
+Tensor& Tensor::add_scalar_(float v) {
+  for (float& x : data_) x += v;
+  return *this;
+}
+
+Tensor& Tensor::clamp_(float lo, float hi) {
+  for (float& v : data_) v = std::clamp(v, lo, hi);
+  return *this;
+}
+
+Tensor& Tensor::relu_() {
+  for (float& v : data_) v = v > 0.f ? v : 0.f;
+  return *this;
+}
+
+Tensor& Tensor::sign_() {
+  for (float& v : data_) v = (v > 0.f) ? 1.f : (v < 0.f ? -1.f : 0.f);
+  return *this;
+}
+
+Tensor Tensor::add(const Tensor& other) const {
+  Tensor out = *this;
+  out.add_(other);
+  return out;
+}
+Tensor Tensor::sub(const Tensor& other) const {
+  Tensor out = *this;
+  out.sub_(other);
+  return out;
+}
+Tensor Tensor::mul(const Tensor& other) const {
+  Tensor out = *this;
+  out.mul_(other);
+  return out;
+}
+Tensor Tensor::scaled(float alpha) const {
+  Tensor out = *this;
+  out.scale_(alpha);
+  return out;
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  return numel_ == 0 ? 0.f : sum() / static_cast<float>(numel_);
+}
+
+float Tensor::min() const {
+  return data_.empty() ? 0.f : *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  return data_.empty() ? 0.f : *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::abs_max() const {
+  float m = 0.f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float Tensor::l2_norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+std::vector<int64_t> Tensor::argmax_rows() const {
+  if (rank() != 2) throw std::invalid_argument("argmax_rows: rank-2 required");
+  const int64_t rows = shape_[0], cols = shape_[1];
+  std::vector<int64_t> out(static_cast<size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* row = data_.data() + i * cols;
+    out[static_cast<size_t>(i)] =
+        std::max_element(row, row + cols) - row;
+  }
+  return out;
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace rhw

@@ -1,0 +1,110 @@
+// Dense row-major float tensor used throughout the library.
+//
+// Design notes (see DESIGN.md §5): value semantics, contiguous storage only,
+// shapes are small vectors of int64. All layer code works on 4-d activation
+// tensors [N, C, H, W] or 2-d matrices [N, F]; Tensor itself is rank-agnostic.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rhw {
+
+using Shape = std::vector<int64_t>;
+
+class RandomEngine;  // core/rng.hpp
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, float fill_value);
+  Tensor(Shape shape, std::vector<float> values);
+
+  // -- factories ------------------------------------------------------------
+  static Tensor zeros(Shape shape);
+  static Tensor ones(Shape shape);
+  static Tensor full(Shape shape, float value);
+  // i.i.d. N(mean, stddev^2)
+  static Tensor randn(Shape shape, RandomEngine& rng, float mean = 0.f,
+                      float stddev = 1.f);
+  // i.i.d. U[lo, hi)
+  static Tensor rand_uniform(Shape shape, RandomEngine& rng, float lo = 0.f,
+                             float hi = 1.f);
+  static Tensor from_span(Shape shape, std::span<const float> values);
+
+  // -- shape ----------------------------------------------------------------
+  const Shape& shape() const { return shape_; }
+  int64_t dim(int i) const { return shape_.at(static_cast<size_t>(i)); }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  int64_t numel() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  // Returns a tensor sharing no storage (copy) with a new shape of equal
+  // numel. Cheap in practice because callers reshape before heavy math.
+  Tensor reshaped(Shape new_shape) const;
+  // In-place metadata-only reshape (numel must match).
+  void reshape_inplace(Shape new_shape);
+
+  // -- element access ---------------------------------------------------------
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  float& at(int64_t i, int64_t j);
+  float at(int64_t i, int64_t j) const;
+  float& at(int64_t n, int64_t c, int64_t h, int64_t w);
+  float at(int64_t n, int64_t c, int64_t h, int64_t w) const;
+
+  // -- elementwise in-place ops ----------------------------------------------
+  void fill(float v);
+  Tensor& add_(const Tensor& other);           // this += other
+  Tensor& add_scaled_(const Tensor& other, float alpha);  // this += alpha*other
+  Tensor& sub_(const Tensor& other);
+  Tensor& mul_(const Tensor& other);           // Hadamard
+  Tensor& scale_(float alpha);
+  Tensor& add_scalar_(float v);
+  Tensor& clamp_(float lo, float hi);
+  Tensor& relu_();
+  Tensor& sign_();                             // elementwise sign, 0 -> 0
+
+  // -- elementwise returning new tensor ---------------------------------------
+  Tensor add(const Tensor& other) const;
+  Tensor sub(const Tensor& other) const;
+  Tensor mul(const Tensor& other) const;
+  Tensor scaled(float alpha) const;
+
+  // -- reductions --------------------------------------------------------------
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+  float abs_max() const;
+  float l2_norm() const;
+  // Index of max element along last dim for a 2-d [N, F] tensor.
+  std::vector<int64_t> argmax_rows() const;
+
+  std::string shape_str() const;
+
+ private:
+  Shape shape_;
+  int64_t numel_ = 0;
+  std::vector<float> data_;
+
+  int64_t index2(int64_t i, int64_t j) const;
+  int64_t index4(int64_t n, int64_t c, int64_t h, int64_t w) const;
+};
+
+// numel of a shape
+int64_t shape_numel(const Shape& shape);
+
+}  // namespace rhw

@@ -1,0 +1,89 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace rhw {
+
+namespace {
+thread_local bool t_inside_pool_worker = false;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  t_inside_pool_worker = true;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    task.fn(task.begin, task.end);
+    {
+      std::lock_guard lock(mutex_);
+      if (--outstanding_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(int64_t n,
+                              const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  const int64_t workers = static_cast<int64_t>(size());
+  if (workers == 0 || t_inside_pool_worker || n == 1) {
+    fn(0, n);
+    return;
+  }
+  const int64_t chunks = std::min<int64_t>(workers + 1, n);
+  const int64_t step = (n + chunks - 1) / chunks;
+
+  // The calling thread takes the first chunk itself; the rest go to the pool.
+  {
+    std::lock_guard lock(mutex_);
+    for (int64_t c = 1; c < chunks; ++c) {
+      const int64_t b = c * step;
+      const int64_t e = std::min<int64_t>(n, b + step);
+      if (b >= e) continue;
+      queue_.push_back(Task{fn, b, e});
+      ++outstanding_;
+    }
+  }
+  cv_task_.notify_all();
+  fn(0, std::min<int64_t>(step, n));
+  {
+    std::unique_lock lock(mutex_);
+    cv_done_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool([] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? hw - 1 : 1u;
+  }());
+  return pool;
+}
+
+void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
+  global_pool().parallel_for(n, fn);
+}
+
+}  // namespace rhw

@@ -1,0 +1,49 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rhw::data {
+
+Dataset Dataset::slice(int64_t begin, int64_t end) const {
+  const int64_t n = size();
+  begin = std::clamp<int64_t>(begin, 0, n);
+  end = std::clamp<int64_t>(end, begin, n);
+  std::vector<int64_t> idx(static_cast<size_t>(end - begin));
+  for (int64_t i = begin; i < end; ++i) idx[static_cast<size_t>(i - begin)] = i;
+  return gather(idx);
+}
+
+Dataset Dataset::gather(const std::vector<int64_t>& indices) const {
+  if (images.rank() != 4) throw std::invalid_argument("Dataset: rank-4 images");
+  const int64_t c = images.dim(1), h = images.dim(2), w = images.dim(3);
+  const int64_t stride = c * h * w;
+  Dataset out;
+  out.num_classes = num_classes;
+  out.images = Tensor({static_cast<int64_t>(indices.size()), c, h, w});
+  out.labels.resize(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t src = indices[i];
+    if (src < 0 || src >= size()) {
+      throw std::out_of_range("Dataset::gather: index out of range");
+    }
+    std::copy(images.data() + src * stride, images.data() + (src + 1) * stride,
+              out.images.data() + static_cast<int64_t>(i) * stride);
+    out.labels[i] = labels[static_cast<size_t>(src)];
+  }
+  return out;
+}
+
+Dataset Dataset::head(int64_t n) const { return slice(0, n); }
+
+std::vector<int64_t> shuffled_indices(int64_t n, rhw::RandomEngine& rng) {
+  std::vector<int64_t> idx(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) idx[static_cast<size_t>(i)] = i;
+  for (int64_t i = n - 1; i > 0; --i) {
+    const int64_t j = rng.uniform_int(0, i);
+    std::swap(idx[static_cast<size_t>(i)], idx[static_cast<size_t>(j)]);
+  }
+  return idx;
+}
+
+}  // namespace rhw::data

@@ -1,0 +1,32 @@
+// In-memory labelled image dataset plus batching helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/tensor.hpp"
+
+namespace rhw::data {
+
+using rhw::Tensor;
+
+struct Dataset {
+  Tensor images;                 // [N, C, H, W], values in [0, 1]
+  std::vector<int64_t> labels;   // size N
+  int64_t num_classes = 0;
+
+  int64_t size() const { return images.empty() ? 0 : images.dim(0); }
+
+  // Copies samples [begin, end) into a new batch.
+  Dataset slice(int64_t begin, int64_t end) const;
+  // Copies the given sample indices into a new batch.
+  Dataset gather(const std::vector<int64_t>& indices) const;
+  // First n samples (clamped), handy for evaluation subsets.
+  Dataset head(int64_t n) const;
+};
+
+// Shuffled index order for one training epoch.
+std::vector<int64_t> shuffled_indices(int64_t n, rhw::RandomEngine& rng);
+
+}  // namespace rhw::data

@@ -1,0 +1,168 @@
+#include "data/synth_cifar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rhw::data {
+
+namespace {
+
+// Bilinearly upsamples a coarse [g x g] grid to [s x s].
+void upsample(const std::vector<float>& coarse, int64_t g, float* out,
+              int64_t s) {
+  for (int64_t y = 0; y < s; ++y) {
+    // Map pixel center into coarse-grid coordinates.
+    const float fy = (static_cast<float>(y) + 0.5f) / static_cast<float>(s) *
+                         static_cast<float>(g) - 0.5f;
+    const int64_t y0 = std::clamp<int64_t>(static_cast<int64_t>(std::floor(fy)),
+                                           0, g - 1);
+    const int64_t y1 = std::min<int64_t>(y0 + 1, g - 1);
+    const float wy = std::clamp(fy - static_cast<float>(y0), 0.f, 1.f);
+    for (int64_t x = 0; x < s; ++x) {
+      const float fx = (static_cast<float>(x) + 0.5f) / static_cast<float>(s) *
+                           static_cast<float>(g) - 0.5f;
+      const int64_t x0 = std::clamp<int64_t>(
+          static_cast<int64_t>(std::floor(fx)), 0, g - 1);
+      const int64_t x1 = std::min<int64_t>(x0 + 1, g - 1);
+      const float wx = std::clamp(fx - static_cast<float>(x0), 0.f, 1.f);
+      const float v00 = coarse[static_cast<size_t>(y0 * g + x0)];
+      const float v01 = coarse[static_cast<size_t>(y0 * g + x1)];
+      const float v10 = coarse[static_cast<size_t>(y1 * g + x0)];
+      const float v11 = coarse[static_cast<size_t>(y1 * g + x1)];
+      out[y * s + x] = (1.f - wy) * ((1.f - wx) * v00 + wx * v01) +
+                       wy * ((1.f - wx) * v10 + wx * v11);
+    }
+  }
+}
+
+// Builds the per-class template [C, S, S], values centered at 0.5.
+std::vector<float> make_template(const SynthCifarConfig& cfg,
+                                 rhw::RandomEngine& rng) {
+  const int64_t s = cfg.image_size, c = cfg.channels, g = cfg.coarse_grid;
+  std::vector<float> tmpl(static_cast<size_t>(c * s * s));
+  std::vector<float> coarse(static_cast<size_t>(g * g));
+  for (int64_t ci = 0; ci < c; ++ci) {
+    for (auto& v : coarse) v = rng.gaussian();
+    upsample(coarse, g, tmpl.data() + ci * s * s, s);
+  }
+  // Normalize template contrast so every class has comparable energy.
+  float norm = 0.f;
+  for (float v : tmpl) norm += v * v;
+  norm = std::sqrt(norm / static_cast<float>(tmpl.size()));
+  const float scale = cfg.template_amp / std::max(norm, 1e-6f);
+  for (float& v : tmpl) v = 0.5f + scale * v;
+  return tmpl;
+}
+
+// One jittered, noisy sample from a template (clamp-to-edge shift), overlaid
+// with a per-sample structured nuisance pattern.
+void render_sample(const std::vector<float>& tmpl, const SynthCifarConfig& cfg,
+                   rhw::RandomEngine& rng, float* out) {
+  const int64_t s = cfg.image_size, c = cfg.channels, g = cfg.coarse_grid;
+  const int64_t dx = cfg.jitter > 0 ? rng.uniform_int(-cfg.jitter, cfg.jitter) : 0;
+  const int64_t dy = cfg.jitter > 0 ? rng.uniform_int(-cfg.jitter, cfg.jitter) : 0;
+  std::vector<float> nuisance;
+  std::vector<float> coarse;
+  if (cfg.nuisance_amp > 0.f) {
+    nuisance.resize(static_cast<size_t>(s * s));
+    coarse.resize(static_cast<size_t>(g * g));
+  }
+  for (int64_t ci = 0; ci < c; ++ci) {
+    if (cfg.nuisance_amp > 0.f) {
+      for (auto& v : coarse) v = cfg.nuisance_amp * rng.gaussian();
+      upsample(coarse, g, nuisance.data(), s);
+    }
+    const float* src = tmpl.data() + ci * s * s;
+    float* dst = out + ci * s * s;
+    for (int64_t y = 0; y < s; ++y) {
+      const int64_t sy = std::clamp<int64_t>(y + dy, 0, s - 1);
+      for (int64_t x = 0; x < s; ++x) {
+        const int64_t sx = std::clamp<int64_t>(x + dx, 0, s - 1);
+        float v = src[sy * s + sx] + cfg.noise_std * rng.gaussian();
+        if (cfg.nuisance_amp > 0.f) v += nuisance[static_cast<size_t>(y * s + x)];
+        dst[y * s + x] = std::clamp(v, 0.f, 1.f);
+      }
+    }
+  }
+}
+
+Dataset make_split(const SynthCifarConfig& cfg,
+                   const std::vector<std::vector<float>>& templates,
+                   int64_t per_class, rhw::RandomEngine& rng) {
+  const int64_t n = cfg.num_classes * per_class;
+  const int64_t s = cfg.image_size, c = cfg.channels;
+  Dataset ds;
+  ds.num_classes = cfg.num_classes;
+  ds.images = Tensor({n, c, s, s});
+  ds.labels.resize(static_cast<size_t>(n));
+  const int64_t stride = c * s * s;
+  // Interleave classes so any prefix (Dataset::head) is class-balanced.
+  int64_t i = 0;
+  for (int64_t k = 0; k < per_class; ++k) {
+    for (int64_t cls = 0; cls < cfg.num_classes; ++cls, ++i) {
+      render_sample(templates[static_cast<size_t>(cls)], cfg, rng,
+                    ds.images.data() + i * stride);
+      ds.labels[static_cast<size_t>(i)] = cls;
+    }
+  }
+  return ds;
+}
+
+}  // namespace
+
+SynthCifar make_synth_cifar(const SynthCifarConfig& cfg) {
+  if (cfg.num_classes <= 1 || cfg.image_size < 4) {
+    throw std::invalid_argument("make_synth_cifar: bad config");
+  }
+  rhw::RandomEngine master(cfg.seed);
+  rhw::RandomEngine template_rng = master.fork(1);
+  rhw::RandomEngine train_rng = master.fork(2);
+  rhw::RandomEngine test_rng = master.fork(3);
+
+  std::vector<std::vector<float>> templates;
+  templates.reserve(static_cast<size_t>(cfg.num_classes));
+  for (int64_t cls = 0; cls < cfg.num_classes; ++cls) {
+    templates.push_back(make_template(cfg, template_rng));
+  }
+
+  SynthCifar out;
+  out.train = make_split(cfg, templates, cfg.train_per_class, train_rng);
+  out.test = make_split(cfg, templates, cfg.test_per_class, test_rng);
+  return out;
+}
+
+SynthCifarConfig synth_c10_config() {
+  SynthCifarConfig cfg;
+  cfg.num_classes = 10;
+  cfg.train_per_class = 300;
+  cfg.test_per_class = 50;
+  // Calibrated so a width-0.25 VGG8 lands at ~88% clean accuracy, matching
+  // the paper's CIFAR-10 operating point (Table I: 88.78 + 2.61).
+  cfg.nuisance_amp = 0.75f;
+  cfg.seed = 0xC1FA5EEDULL;
+  return cfg;
+}
+
+SynthCifarConfig synth_c100_config() {
+  SynthCifarConfig cfg;
+  cfg.num_classes = 100;
+  cfg.train_per_class = 60;
+  cfg.test_per_class = 10;
+  // Calibrated so a width-0.25 VGG16 lands at ~70% clean accuracy, matching
+  // the paper's CIFAR-100 operating point (Table I: 67.3 + 2.9).
+  cfg.nuisance_amp = 0.55f;
+  cfg.noise_std = 0.22f;
+  cfg.seed = 0xC1FA100DULL;
+  return cfg;
+}
+
+SynthCifar make_dataset_by_name(const std::string& name) {
+  if (name == "synth-c10") return make_synth_cifar(synth_c10_config());
+  if (name == "synth-c100") return make_synth_cifar(synth_c100_config());
+  throw std::invalid_argument("unknown dataset: " + name);
+}
+
+}  // namespace rhw::data

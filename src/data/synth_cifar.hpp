@@ -1,0 +1,50 @@
+// SynthCIFAR: deterministic synthetic stand-in for CIFAR-10 / CIFAR-100.
+//
+// The paper's experiments need (a) a trained classifier with a real decision
+// boundary and (b) meaningful input gradients for FGSM/PGD. Natural-image
+// statistics are not required for the robustness *shape* results, so each
+// class is a smooth random template (low-frequency pattern upsampled from a
+// coarse grid) and samples are jittered, noisy draws around the template
+// (DESIGN.md §1). Pixels are in [0, 1], matching the paper's epsilon scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace rhw::data {
+
+struct SynthCifarConfig {
+  int64_t num_classes = 10;
+  int64_t train_per_class = 300;
+  int64_t test_per_class = 50;
+  int64_t image_size = 32;
+  int64_t channels = 3;
+  int64_t coarse_grid = 4;   // template detail: coarse_grid x coarse_grid
+  float template_amp = 0.32f;  // template contrast around mid-grey
+  float noise_std = 0.15f;     // per-pixel Gaussian sample noise
+  // Per-sample structured nuisance: a random low-frequency pattern drawn from
+  // the same family as the templates. Unlike white noise it does not average
+  // out under convolution, so it is the lever that sets task difficulty
+  // (clean-accuracy ceiling), mimicking natural intra-class variation.
+  float nuisance_amp = 0.30f;
+  int64_t jitter = 3;          // max |shift| in pixels
+  uint64_t seed = 0xC1FA5EEDULL;
+};
+
+struct SynthCifar {
+  Dataset train;
+  Dataset test;
+};
+
+SynthCifar make_synth_cifar(const SynthCifarConfig& cfg);
+
+// Presets mirroring the paper's two benchmarks.
+SynthCifarConfig synth_c10_config();
+SynthCifarConfig synth_c100_config();
+
+// Convenience: preset by name ("synth-c10" | "synth-c100").
+SynthCifar make_dataset_by_name(const std::string& name);
+
+}  // namespace rhw::data

@@ -1,0 +1,41 @@
+#include "exp/al_runner.hpp"
+
+namespace rhw::exp {
+
+AlCurve al_curve(const std::string& label, nn::Module& grad_net,
+                 nn::Module& eval_net, const data::Dataset& ds,
+                 attacks::AttackKind kind, std::span<const float> epsilons,
+                 const attacks::AdvEvalConfig& base_cfg) {
+  AlCurve curve;
+  curve.label = label;
+  // Clean accuracy does not depend on epsilon; compute once.
+  const double clean = attacks::clean_accuracy(eval_net, ds,
+                                               base_cfg.batch_size);
+  for (float eps : epsilons) {
+    AlPoint pt;
+    pt.epsilon = eps;
+    pt.clean_acc = clean;
+    if (eps == 0.f) {
+      pt.adv_acc = clean;
+    } else {
+      attacks::AdvEvalConfig cfg = base_cfg;
+      cfg.kind = kind;
+      cfg.epsilon = eps;
+      pt.adv_acc = attacks::adversarial_accuracy(grad_net, eval_net, ds, cfg);
+    }
+    pt.al = pt.clean_acc - pt.adv_acc;
+    curve.points.push_back(pt);
+  }
+  return curve;
+}
+
+std::vector<float> fgsm_epsilons() {
+  return {0.f, 0.05f, 0.1f, 0.15f, 0.2f, 0.25f, 0.3f};
+}
+
+std::vector<float> pgd_epsilons() {
+  return {0.f, 2.f / 255.f, 4.f / 255.f, 8.f / 255.f, 16.f / 255.f,
+          32.f / 255.f};
+}
+
+}  // namespace rhw::exp

@@ -1,0 +1,36 @@
+// Adversarial-Loss curve runner shared by the figure benches: evaluates one
+// (grad_net, eval_net) pairing over a sweep of perturbation strengths and
+// reports the paper's AL(epsilon) series.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "attacks/evaluate.hpp"
+#include "data/dataset.hpp"
+
+namespace rhw::exp {
+
+struct AlPoint {
+  float epsilon = 0.f;
+  double clean_acc = 0.0;  // percent
+  double adv_acc = 0.0;    // percent
+  double al = 0.0;         // clean - adv, percent
+};
+
+struct AlCurve {
+  std::string label;            // e.g. "Attack-SW", "SH", "HH"
+  std::vector<AlPoint> points;  // one per epsilon
+};
+
+AlCurve al_curve(const std::string& label, nn::Module& grad_net,
+                 nn::Module& eval_net, const data::Dataset& ds,
+                 attacks::AttackKind kind, std::span<const float> epsilons,
+                 const attacks::AdvEvalConfig& base_cfg = {});
+
+// The paper's epsilon grids.
+std::vector<float> fgsm_epsilons();  // 0, 0.05 .. 0.3  (Figs. 5-8b)
+std::vector<float> pgd_epsilons();   // 0, {2,4,8,16,32}/255 (Figs. 6-8c)
+
+}  // namespace rhw::exp

@@ -1,0 +1,100 @@
+#include "exp/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace rhw::exp {
+
+namespace {
+constexpr char kMarkers[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+}
+
+std::string render_ascii_plot(const std::vector<Series>& series,
+                              const PlotOptions& options) {
+  const int w = std::max(8, options.width);
+  const int h = std::max(4, options.height);
+
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -std::numeric_limits<double>::infinity();
+  double y_min = options.y_min, y_max = options.y_max;
+  const bool auto_y = y_min == y_max;
+  if (auto_y) {
+    y_min = std::numeric_limits<double>::infinity();
+    y_max = -std::numeric_limits<double>::infinity();
+  }
+  for (const auto& s : series) {
+    for (double v : s.x) {
+      x_min = std::min(x_min, v);
+      x_max = std::max(x_max, v);
+    }
+    if (auto_y) {
+      for (double v : s.y) {
+        y_min = std::min(y_min, v);
+        y_max = std::max(y_max, v);
+      }
+    }
+  }
+  if (!std::isfinite(x_min) || x_max <= x_min) {
+    x_min = 0;
+    x_max = 1;
+  }
+  if (!std::isfinite(y_min) || y_max <= y_min) {
+    y_min = 0;
+    y_max = 1;
+  }
+
+  std::vector<std::string> grid(static_cast<size_t>(h),
+                                std::string(static_cast<size_t>(w), ' '));
+  for (size_t si = 0; si < series.size(); ++si) {
+    const char mark = kMarkers[si % sizeof(kMarkers)];
+    const auto& s = series[si];
+    const size_t n = std::min(s.x.size(), s.y.size());
+    for (size_t i = 0; i < n; ++i) {
+      const double fx = (s.x[i] - x_min) / (x_max - x_min);
+      const double fy = (s.y[i] - y_min) / (y_max - y_min);
+      if (fx < 0 || fx > 1 || fy < 0 || fy > 1) continue;
+      const int col = static_cast<int>(std::lround(fx * (w - 1)));
+      const int row = h - 1 - static_cast<int>(std::lround(fy * (h - 1)));
+      grid[static_cast<size_t>(row)][static_cast<size_t>(col)] = mark;
+    }
+  }
+
+  std::string out;
+  if (!options.title.empty()) out += options.title + "\n";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%8.2f ", y_max);
+  for (int row = 0; row < h; ++row) {
+    if (row == 0) {
+      out += buf;
+    } else if (row == h - 1) {
+      std::snprintf(buf, sizeof buf, "%8.2f ", y_min);
+      out += buf;
+    } else {
+      out += std::string(9, ' ');
+    }
+    out += "|" + grid[static_cast<size_t>(row)] + "\n";
+  }
+  out += std::string(9, ' ') + "+" + std::string(static_cast<size_t>(w), '-') +
+         "\n";
+  std::snprintf(buf, sizeof buf, "%-10.3f", x_min);
+  std::string axis = std::string(9, ' ') + buf;
+  std::snprintf(buf, sizeof buf, "%s -> %.3f", options.x_label.c_str(), x_max);
+  // Right-align the max label.
+  const int pad = w - static_cast<int>(axis.size()) -
+                  static_cast<int>(std::string(buf).size()) + 9;
+  axis += std::string(static_cast<size_t>(std::max(1, pad)), ' ') + buf;
+  out += axis + "\n";
+
+  out += "legend: ";
+  for (size_t si = 0; si < series.size(); ++si) {
+    if (si) out += "   ";
+    out += kMarkers[si % sizeof(kMarkers)];
+    out += " = " + series[si].label;
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace rhw::exp

@@ -1,0 +1,34 @@
+// Terminal plotting for the figure benches: renders AL(epsilon) curves the
+// way the paper's figures show them, so a bench run can be eyeballed without
+// exporting the CSVs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rhw::exp {
+
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct PlotOptions {
+  int width = 64;    // interior columns
+  int height = 18;   // interior rows
+  std::string title;
+  std::string x_label = "eps";
+  std::string y_label = "AL";
+  // Fixed y-range; NaN-free sentinel: when min == max the range is derived
+  // from the data.
+  double y_min = 0.0;
+  double y_max = 0.0;
+};
+
+// Returns a multi-line string. Each series gets a distinct marker, listed in
+// the legend. Points are plotted at nearest cells; later series overdraw.
+std::string render_ascii_plot(const std::vector<Series>& series,
+                              const PlotOptions& options = {});
+
+}  // namespace rhw::exp

@@ -1,0 +1,69 @@
+#include "models/resnet.hpp"
+
+#include <algorithm>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/residual.hpp"
+
+namespace rhw::models {
+
+namespace {
+int64_t scaled(int64_t channels, float mult) {
+  return std::max<int64_t>(4, static_cast<int64_t>(
+                                  static_cast<float>(channels) * mult));
+}
+}  // namespace
+
+Model make_resnet18(const ResNetConfig& cfg) {
+  Model model;
+  model.net = std::make_unique<nn::Sequential>();
+  model.name = "resnet18";
+  model.num_classes = cfg.num_classes;
+  nn::Sequential& net = *model.net;
+
+  const int64_t c64 = scaled(64, cfg.width_mult);
+  const int64_t c128 = scaled(128, cfg.width_mult);
+  const int64_t c256 = scaled(256, cfg.width_mult);
+  const int64_t c512 = scaled(512, cfg.width_mult);
+
+  // Stem (CIFAR-style: 3x3, stride 1, no max-pool).
+  net.emplace<nn::Conv2d>(cfg.in_channels, c64, 3, 1, 1, /*bias=*/false);
+  net.emplace<nn::BatchNorm2d>(c64);
+  auto& stem_relu = net.emplace<nn::ReLU>();
+  int site = 0;
+  model.sites.push_back({&stem_relu, std::to_string(site++)});
+
+  struct StagePlan {
+    int64_t channels;
+    int64_t stride;
+  };
+  const StagePlan stages[] = {{c64, 1}, {c128, 2}, {c256, 2}, {c512, 2}};
+
+  int64_t in_c = c64;
+  for (const auto& stage : stages) {
+    for (int block = 0; block < 2; ++block) {
+      const int64_t stride = block == 0 ? stage.stride : 1;
+      auto& rb = net.emplace<nn::ResidualBlock>(in_c, stage.channels, stride);
+      in_c = stage.channels;
+      // Activation memories inside the block: conv1 post-ReLU, the block
+      // output (post final ReLU), and the shortcut projection when present
+      // (the 'S' entries of Table II).
+      model.sites.push_back({&rb.relu1(), std::to_string(site++)});
+      model.sites.push_back({&rb, std::to_string(site++)});
+      if (nn::Module* sc = rb.shortcut_tail()) {
+        model.sites.push_back({sc, std::to_string(site++) + "(S)"});
+      }
+    }
+  }
+
+  net.emplace<nn::AvgPool2d>(0);  // global average pool
+  net.emplace<nn::Flatten>();
+  net.emplace<nn::Linear>(c512, cfg.num_classes);
+  return model;
+}
+
+}  // namespace rhw::models

@@ -1,0 +1,19 @@
+// ResNet18 (CIFAR-style: 3x3 stem, stages [2,2,2,2], global average pool),
+// width-scalable, with activation-memory sites labelled per Table II
+// ('S' marks shortcut memories).
+#pragma once
+
+#include "models/vgg.hpp"  // Model / ActivationSite
+
+namespace rhw::models {
+
+struct ResNetConfig {
+  int64_t num_classes = 10;
+  int64_t in_size = 32;
+  int64_t in_channels = 3;
+  float width_mult = 0.25f;
+};
+
+Model make_resnet18(const ResNetConfig& cfg);
+
+}  // namespace rhw::models

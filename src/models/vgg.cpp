@@ -1,0 +1,79 @@
+#include "models/vgg.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+
+namespace rhw::models {
+
+namespace {
+
+constexpr int64_t kPool = -1;  // sentinel in channel plans
+
+// Channel plans at width_mult = 1 (standard CIFAR VGG variants).
+std::vector<int64_t> plan_for_depth(int depth) {
+  switch (depth) {
+    case 8:  // 6 conv + classifier
+      return {64, 64, kPool, 128, 128, kPool, 256, 256, kPool};
+    case 16:  // 13 conv
+      return {64, 64, kPool, 128, 128, kPool, 256, 256, 256, kPool,
+              512, 512, 512, kPool, 512, 512, 512, kPool};
+    case 19:  // 16 conv — matches Table I numbering (P at 2, 5, 10, 15, 20)
+      return {64, 64, kPool, 128, 128, kPool, 256, 256, 256, 256, kPool,
+              512, 512, 512, 512, kPool, 512, 512, 512, 512, kPool};
+    default:
+      throw std::invalid_argument("make_vgg: depth must be 8, 16 or 19");
+  }
+}
+
+int64_t scaled(int64_t channels, float mult) {
+  return std::max<int64_t>(4, static_cast<int64_t>(
+                                  static_cast<float>(channels) * mult));
+}
+
+}  // namespace
+
+Model make_vgg(const VggConfig& cfg) {
+  const auto plan = plan_for_depth(cfg.depth);
+  Model model;
+  model.net = std::make_unique<nn::Sequential>();
+  model.name = "vgg" + std::to_string(cfg.depth);
+  model.num_classes = cfg.num_classes;
+  nn::Sequential& net = *model.net;
+
+  int64_t channels = cfg.in_channels;
+  int64_t spatial = cfg.in_size;
+  int layer_index = 0;  // paper-style layer numbering over conv+pool entries
+  for (int64_t entry : plan) {
+    if (entry == kPool) {
+      auto& pool = net.emplace<nn::MaxPool2d>(2);
+      spatial /= 2;
+      model.sites.push_back(
+          {&pool, std::to_string(layer_index) + "(P)"});
+    } else {
+      const int64_t out_c = scaled(entry, cfg.width_mult);
+      net.emplace<nn::Conv2d>(channels, out_c, 3, 1, 1, /*bias=*/!cfg.batchnorm);
+      if (cfg.batchnorm) net.emplace<nn::BatchNorm2d>(out_c);
+      auto& relu = net.emplace<nn::ReLU>();
+      channels = out_c;
+      model.sites.push_back({&relu, std::to_string(layer_index)});
+    }
+    ++layer_index;
+  }
+  if (spatial < 1) throw std::invalid_argument("make_vgg: input too small");
+
+  net.emplace<nn::Flatten>();
+  const int64_t feat = channels * spatial * spatial;
+  const int64_t hidden = scaled(512, cfg.width_mult);
+  net.emplace<nn::Linear>(feat, hidden);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Linear>(hidden, cfg.num_classes);
+  return model;
+}
+
+}  // namespace rhw::models

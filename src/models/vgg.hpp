@@ -1,0 +1,41 @@
+// VGG-style network builders (VGG8 / VGG16 / VGG19), width-scalable.
+//
+// A Model bundles the network with its *activation-memory sites*: one site per
+// layer whose output is written to an on-chip activation memory (conv blocks
+// post-ReLU and pooling outputs). Site labels follow the paper's layer
+// numbering in Tables I/II, e.g. "2(P)" for a pooling layer.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "nn/sequential.hpp"
+
+namespace rhw::models {
+
+struct ActivationSite {
+  nn::Module* module = nullptr;  // non-owning; output of this module is stored
+  std::string label;             // paper-style layer label: "0", "2(P)", "5(S)"
+};
+
+struct Model {
+  std::unique_ptr<nn::Sequential> net;
+  std::vector<ActivationSite> sites;
+  std::string name;
+  int64_t num_classes = 0;
+};
+
+struct VggConfig {
+  int depth = 8;              // 8, 16 or 19
+  int64_t num_classes = 10;
+  int64_t in_size = 32;       // input spatial size (square)
+  int64_t in_channels = 3;
+  float width_mult = 0.25f;   // channel scaling (paper nets at 1.0)
+  bool batchnorm = true;
+};
+
+Model make_vgg(const VggConfig& cfg);
+
+}  // namespace rhw::models

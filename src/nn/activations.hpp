@@ -1,0 +1,33 @@
+// Elementwise activation layers.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace rhw::nn {
+
+class ReLU final : public Module {
+ public:
+  std::string type_name() const override { return "ReLU"; }
+
+ protected:
+  Tensor do_forward(const Tensor& x) override;
+  Tensor do_backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor mask_;  // 1 where x > 0
+};
+
+// Reshapes [N, C, H, W] -> [N, C*H*W]; the inverse on backward.
+class Flatten final : public Module {
+ public:
+  std::string type_name() const override { return "Flatten"; }
+
+ protected:
+  Tensor do_forward(const Tensor& x) override;
+  Tensor do_backward(const Tensor& grad_out) override;
+
+ private:
+  Shape input_shape_;
+};
+
+}  // namespace rhw::nn

@@ -1,0 +1,125 @@
+#include "nn/conv2d.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "core/gemm.hpp"
+#include "core/thread_pool.hpp"
+
+namespace rhw::nn {
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+               int64_t stride, int64_t pad, bool bias)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias),
+      weight_("weight",
+              Tensor({out_channels, in_channels * kernel * kernel})),
+      bias_("bias", Tensor({bias ? out_channels : 0})) {}
+
+std::vector<Param*> Conv2d::parameters() {
+  std::vector<Param*> out{&weight_};
+  if (has_bias_) out.push_back(&bias_);
+  return out;
+}
+
+Tensor Conv2d::do_forward(const Tensor& x) {
+  if (x.rank() != 4 || x.dim(1) != in_c_) {
+    throw std::invalid_argument("Conv2d: bad input shape " + x.shape_str());
+  }
+  input_ = x;
+  geom_ = ConvGeom{in_c_, x.dim(2), x.dim(3), kernel_, kernel_, stride_, pad_};
+  const int64_t n = x.dim(0);
+  const int64_t oh = geom_.out_h(), ow = geom_.out_w();
+  const int64_t col_rows = geom_.col_rows(), col_cols = geom_.col_cols();
+
+  Tensor out({n, out_c_, oh, ow});
+  const int64_t in_stride = in_c_ * geom_.in_h * geom_.in_w;
+  const int64_t out_stride = out_c_ * oh * ow;
+
+  // Parallel over samples; the GEMM runs serially inside workers (the pool's
+  // reentrancy guard sees to that), which is the right granularity for the
+  // small per-sample matrices used here.
+  parallel_for(n, [&](int64_t begin, int64_t end) {
+    std::vector<float> cols(static_cast<size_t>(col_rows * col_cols));
+    for (int64_t i = begin; i < end; ++i) {
+      im2col(geom_, x.data() + i * in_stride, cols.data());
+      // [out_c, col_rows] x [col_rows, col_cols]
+      gemm(false, false, out_c_, col_cols, col_rows, 1.f,
+           weight_.value.data(), col_rows, cols.data(), col_cols, 0.f,
+           out.data() + i * out_stride, col_cols);
+      if (has_bias_) {
+        float* sample = out.data() + i * out_stride;
+        for (int64_t oc = 0; oc < out_c_; ++oc) {
+          const float b = bias_.value[oc];
+          float* plane = sample + oc * oh * ow;
+          for (int64_t p = 0; p < oh * ow; ++p) plane[p] += b;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor Conv2d::do_backward(const Tensor& grad_out) {
+  const int64_t n = input_.dim(0);
+  const int64_t oh = geom_.out_h(), ow = geom_.out_w();
+  const int64_t col_rows = geom_.col_rows(), col_cols = geom_.col_cols();
+  const int64_t in_stride = in_c_ * geom_.in_h * geom_.in_w;
+  const int64_t out_stride = out_c_ * oh * ow;
+
+  Tensor grad_in(input_.shape());
+
+  // Per-chunk partial accumulators for dW / db, reduced at the end.
+  const unsigned max_chunks = global_pool().size() + 2;
+  std::vector<Tensor> w_partials;
+  std::vector<Tensor> b_partials;
+  w_partials.reserve(max_chunks);
+  b_partials.reserve(max_chunks);
+  for (unsigned i = 0; i < max_chunks; ++i) {
+    w_partials.emplace_back(weight_.value.shape());
+    b_partials.emplace_back(Shape{out_c_});
+  }
+  std::atomic<unsigned> slot_counter{0};
+
+  parallel_for(n, [&](int64_t begin, int64_t end) {
+    const unsigned slot = slot_counter.fetch_add(1);
+    Tensor& wp = w_partials.at(slot);
+    Tensor& bp = b_partials.at(slot);
+    std::vector<float> cols(static_cast<size_t>(col_rows * col_cols));
+    std::vector<float> dcols(static_cast<size_t>(col_rows * col_cols));
+    for (int64_t i = begin; i < end; ++i) {
+      const float* gout = grad_out.data() + i * out_stride;
+      // dW += gout [out_c, col_cols] * cols^T [col_cols, col_rows]
+      im2col(geom_, input_.data() + i * in_stride, cols.data());
+      gemm(false, true, out_c_, col_rows, col_cols, 1.f, gout, col_cols,
+           cols.data(), col_cols, 1.f, wp.data(), col_rows);
+      // dcols = W^T [col_rows, out_c] * gout [out_c, col_cols]
+      gemm(true, false, col_rows, col_cols, out_c_, 1.f,
+           weight_.value.data(), col_rows, gout, col_cols, 0.f, dcols.data(),
+           col_cols);
+      col2im(geom_, dcols.data(), grad_in.data() + i * in_stride);
+      if (has_bias_) {
+        for (int64_t oc = 0; oc < out_c_; ++oc) {
+          const float* plane = gout + oc * oh * ow;
+          double acc = 0.0;
+          for (int64_t p = 0; p < oh * ow; ++p) acc += plane[p];
+          bp[oc] += static_cast<float>(acc);
+        }
+      }
+    }
+  });
+
+  const unsigned used = slot_counter.load();
+  for (unsigned s = 0; s < used; ++s) {
+    weight_.grad.add_(w_partials[s]);
+    if (has_bias_) bias_.grad.add_(b_partials[s]);
+  }
+  return grad_in;
+}
+
+}  // namespace rhw::nn

@@ -1,0 +1,32 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+
+namespace rhw::nn {
+
+namespace {
+void init_module(Module& m, rhw::RandomEngine& rng) {
+  if (auto* conv = dynamic_cast<Conv2d*>(&m)) {
+    const auto fan_in =
+        static_cast<float>(conv->in_channels() * conv->kernel() * conv->kernel());
+    const float std = std::sqrt(2.f / fan_in);
+    for (float& v : conv->weight().value.span()) v = rng.gaussian(0.f, std);
+    if (conv->has_bias()) conv->bias().value.fill(0.f);
+  } else if (auto* lin = dynamic_cast<Linear*>(&m)) {
+    const auto fan_in = static_cast<float>(lin->in_features());
+    const float std = std::sqrt(2.f / fan_in);
+    for (float& v : lin->weight().value.span()) v = rng.gaussian(0.f, std);
+    if (lin->has_bias()) lin->bias().value.fill(0.f);
+  }
+  for (Module* child : m.children()) init_module(*child, rng);
+}
+}  // namespace
+
+void kaiming_init(Module& root, rhw::RandomEngine& rng) {
+  init_module(root, rng);
+}
+
+}  // namespace rhw::nn

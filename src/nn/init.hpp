@@ -1,0 +1,13 @@
+// Weight initialization (Kaiming/He for ReLU networks).
+#pragma once
+
+#include "core/rng.hpp"
+#include "nn/module.hpp"
+
+namespace rhw::nn {
+
+// Kaiming-normal init for every Conv2d / Linear weight reachable from root
+// (fan-in mode, gain sqrt(2)); biases and BatchNorm left at their defaults.
+void kaiming_init(Module& root, rhw::RandomEngine& rng);
+
+}  // namespace rhw::nn

@@ -1,0 +1,59 @@
+#include "nn/linear.hpp"
+
+#include <stdexcept>
+
+#include "core/gemm.hpp"
+
+namespace rhw::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, bool bias)
+    : in_f_(in_features),
+      out_f_(out_features),
+      has_bias_(bias),
+      weight_("weight", Tensor({out_features, in_features})),
+      bias_("bias", Tensor({bias ? out_features : 0})) {}
+
+std::vector<Param*> Linear::parameters() {
+  std::vector<Param*> out{&weight_};
+  if (has_bias_) out.push_back(&bias_);
+  return out;
+}
+
+Tensor Linear::do_forward(const Tensor& x) {
+  if (x.rank() != 2 || x.dim(1) != in_f_) {
+    throw std::invalid_argument("Linear: bad input shape " + x.shape_str());
+  }
+  input_ = x;
+  const int64_t n = x.dim(0);
+  Tensor out({n, out_f_});
+  // out = x [n, in] * W^T [in, out]
+  gemm(false, true, n, out_f_, in_f_, 1.f, x.data(), in_f_,
+       weight_.value.data(), in_f_, 0.f, out.data(), out_f_);
+  if (has_bias_) {
+    for (int64_t i = 0; i < n; ++i) {
+      float* row = out.data() + i * out_f_;
+      for (int64_t j = 0; j < out_f_; ++j) row[j] += bias_.value[j];
+    }
+  }
+  return out;
+}
+
+Tensor Linear::do_backward(const Tensor& grad_out) {
+  const int64_t n = input_.dim(0);
+  // dW += gout^T [out, n] * x [n, in]
+  gemm(true, false, out_f_, in_f_, n, 1.f, grad_out.data(), out_f_,
+       input_.data(), in_f_, 1.f, weight_.grad.data(), in_f_);
+  if (has_bias_) {
+    for (int64_t i = 0; i < n; ++i) {
+      const float* row = grad_out.data() + i * out_f_;
+      for (int64_t j = 0; j < out_f_; ++j) bias_.grad[j] += row[j];
+    }
+  }
+  // dx = gout [n, out] * W [out, in]
+  Tensor grad_in({n, in_f_});
+  gemm(false, false, n, in_f_, out_f_, 1.f, grad_out.data(), out_f_,
+       weight_.value.data(), in_f_, 0.f, grad_in.data(), in_f_);
+  return grad_in;
+}
+
+}  // namespace rhw::nn

@@ -1,0 +1,71 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rhw::nn {
+
+Tensor softmax_rows(const Tensor& logits) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax_rows: rank-2 required");
+  }
+  const int64_t n = logits.dim(0), k = logits.dim(1);
+  Tensor out(logits.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * k;
+    float* orow = out.data() + i * k;
+    float mx = row[0];
+    for (int64_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < k; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      denom += orow[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < k; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                   const std::vector<int64_t>& labels) {
+  const int64_t n = logits.dim(0), k = logits.dim(1);
+  if (static_cast<int64_t>(labels.size()) != n) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: labels size mismatch");
+  }
+  probs_ = softmax_rows(logits);
+  labels_ = labels;
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t y = labels[static_cast<size_t>(i)];
+    if (y < 0 || y >= k) {
+      throw std::invalid_argument("SoftmaxCrossEntropy: label out of range");
+    }
+    loss += -std::log(std::max(probs_.at(i, y), 1e-12f));
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  const int64_t n = probs_.dim(0), k = probs_.dim(1);
+  Tensor grad = probs_;
+  const float inv_n = 1.f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    grad.at(i, labels_[static_cast<size_t>(i)]) -= 1.f;
+    float* row = grad.data() + i * k;
+    for (int64_t j = 0; j < k; ++j) row[j] *= inv_n;
+  }
+  return grad;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int64_t>& labels) {
+  const auto preds = logits.argmax_rows();
+  if (preds.size() != labels.size() || preds.empty()) return 0.0;
+  int64_t correct = 0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(preds.size());
+}
+
+}  // namespace rhw::nn

@@ -1,0 +1,32 @@
+// Softmax cross-entropy loss with mean reduction.
+#pragma once
+
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace rhw::nn {
+
+using rhw::Tensor;
+
+class SoftmaxCrossEntropy {
+ public:
+  // logits: [N, K]; labels: size-N class indices. Returns mean loss.
+  float forward(const Tensor& logits, const std::vector<int64_t>& labels);
+  // d(loss)/d(logits), shape [N, K].
+  Tensor backward() const;
+
+  // Softmax probabilities from the last forward, [N, K].
+  const Tensor& probs() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<int64_t> labels_;
+};
+
+// Stateless helpers.
+Tensor softmax_rows(const Tensor& logits);
+// Fraction (0..1) of rows whose argmax equals the label.
+double accuracy(const Tensor& logits, const std::vector<int64_t>& labels);
+
+}  // namespace rhw::nn

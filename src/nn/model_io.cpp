@@ -1,0 +1,59 @@
+#include "nn/model_io.hpp"
+
+#include <stdexcept>
+
+namespace rhw::nn {
+
+namespace {
+
+void collect(Module& m, const std::string& prefix, rhw::TensorMap& out) {
+  for (auto& [name, tensor] : m.named_state()) {
+    out[prefix + name] = *tensor;
+  }
+  auto kids = m.children();
+  for (size_t i = 0; i < kids.size(); ++i) {
+    collect(*kids[i], prefix + std::to_string(i) + ".", out);
+  }
+}
+
+void restore(Module& m, const std::string& prefix, const rhw::TensorMap& in) {
+  for (auto& [name, tensor] : m.named_state()) {
+    const std::string key = prefix + name;
+    auto it = in.find(key);
+    if (it == in.end()) {
+      throw std::runtime_error("load_state_dict: missing key " + key);
+    }
+    if (!it->second.same_shape(*tensor)) {
+      throw std::runtime_error("load_state_dict: shape mismatch for " + key +
+                               ": " + it->second.shape_str() + " vs " +
+                               tensor->shape_str());
+    }
+    *tensor = it->second;
+  }
+  auto kids = m.children();
+  for (size_t i = 0; i < kids.size(); ++i) {
+    restore(*kids[i], prefix + std::to_string(i) + ".", in);
+  }
+}
+
+}  // namespace
+
+rhw::TensorMap state_dict(Module& root) {
+  rhw::TensorMap out;
+  collect(root, "", out);
+  return out;
+}
+
+void load_state_dict(Module& root, const rhw::TensorMap& state) {
+  restore(root, "", state);
+}
+
+void save_model(Module& root, const std::string& path) {
+  rhw::write_checkpoint(path, state_dict(root));
+}
+
+void load_model(Module& root, const std::string& path) {
+  load_state_dict(root, rhw::read_checkpoint(path));
+}
+
+}  // namespace rhw::nn

@@ -1,0 +1,23 @@
+// Generic model state persistence.
+//
+// Walks the module tree (children() order is deterministic) and flattens each
+// module's named_state() into "<path>.<name>" keys, where path is the chain of
+// child indices, e.g. "0.3.weight". Loading requires exact key and shape
+// match, so a checkpoint only loads into an identically constructed model.
+#pragma once
+
+#include <string>
+
+#include "core/serialize.hpp"
+#include "nn/module.hpp"
+
+namespace rhw::nn {
+
+rhw::TensorMap state_dict(Module& root);
+// Throws std::runtime_error on missing keys or shape mismatches.
+void load_state_dict(Module& root, const rhw::TensorMap& state);
+
+void save_model(Module& root, const std::string& path);
+void load_model(Module& root, const std::string& path);
+
+}  // namespace rhw::nn

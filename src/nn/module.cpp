@@ -1,0 +1,64 @@
+#include "nn/module.hpp"
+
+namespace rhw::nn {
+
+namespace {
+// Global (not thread-local): attack helpers toggle it around whole passes and
+// evaluation code is structured single-threaded at this level; worker threads
+// inside layers never toggle hooks.
+bool g_hooks_enabled = true;
+}  // namespace
+
+Tensor Module::forward(const Tensor& x) {
+  Tensor y = do_forward(x);
+  if (post_hook_ && (!post_hook_gated_ || hooks_enabled())) post_hook_(y);
+  return y;
+}
+
+Tensor Module::backward(const Tensor& grad_out) {
+  if (backward_hook_ && (!backward_hook_gated_ || hooks_enabled())) {
+    Tensor grad = grad_out;
+    backward_hook_(grad);
+    return do_backward(grad);
+  }
+  return do_backward(grad_out);
+}
+
+std::vector<std::pair<std::string, Tensor*>> Module::named_state() {
+  std::vector<std::pair<std::string, Tensor*>> out;
+  for (Param* p : parameters()) out.emplace_back(p->name, &p->value);
+  return out;
+}
+
+bool Module::hooks_enabled() { return g_hooks_enabled; }
+
+Module::HooksDisabledScope::HooksDisabledScope() : previous_(g_hooks_enabled) {
+  g_hooks_enabled = false;
+}
+
+Module::HooksDisabledScope::~HooksDisabledScope() {
+  g_hooks_enabled = previous_;
+}
+
+namespace {
+void collect_weight_layers_impl(Module& m, std::vector<Module*>& out) {
+  if (m.is_weight_layer()) out.push_back(&m);
+  for (Module* child : m.children()) collect_weight_layers_impl(*child, out);
+}
+}  // namespace
+
+std::vector<Module*> collect_weight_layers(Module& root) {
+  std::vector<Module*> out;
+  collect_weight_layers_impl(root, out);
+  return out;
+}
+
+int64_t Module::num_parameters() {
+  // Containers aggregate child parameters in parameters(), so no recursion
+  // over children() here (it would double count).
+  int64_t n = 0;
+  for (Param* p : parameters()) n += p->value.numel();
+  return n;
+}
+
+}  // namespace rhw::nn

@@ -1,0 +1,123 @@
+// Layer abstraction for the from-scratch NN library.
+//
+// Modules cache whatever forward state their backward pass needs, so the usage
+// contract is: forward(batch) immediately followed by backward(grad) on the
+// same batch. backward() returns the gradient w.r.t. the module input and
+// accumulates parameter gradients into Param::grad.
+//
+// Post-forward hooks model hardware noise on stored activations (hybrid 8T-6T
+// SRAM activation memories, DESIGN.md). Hooks mutate the forward output in
+// place. A process-global enable flag with an RAII disable scope implements
+// the paper's rule that bit-error noise is *not* present during the gradient
+// computation of an attack (Sec. III-A: "we do not consider bit-error noise
+// during the gradient calculation step").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace rhw::nn {
+
+using rhw::Shape;
+using rhw::Tensor;
+
+// A trainable parameter: value plus accumulated gradient.
+struct Param {
+  std::string name;  // local name within the owning module, e.g. "weight"
+  Tensor value;
+  Tensor grad;
+
+  Param() = default;
+  Param(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  void zero_grad() { grad.fill(0.f); }
+};
+
+using ActivationHook = std::function<void(Tensor&)>;
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  // Non-virtual interface: runs do_forward then applies the post hook (when
+  // hooks are globally enabled); backward applies the backward hook to the
+  // incoming gradient first (used to model noisy analog gradient reads in
+  // HH-mode attacks — crossbar mapper installs these ungated).
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out);
+
+  virtual std::vector<Param*> parameters() { return {}; }
+  // Name/tensor pairs to persist: parameters plus non-trainable buffers
+  // (e.g. BatchNorm running statistics).
+  virtual std::vector<std::pair<std::string, Tensor*>> named_state();
+  virtual std::vector<Module*> children() { return {}; }
+  virtual std::string type_name() const = 0;
+  // True for layers whose weights live in crossbars / weight memories
+  // (Conv2d, Linear) — targets for the xbar mapper and weight-noise study.
+  virtual bool is_weight_layer() const { return false; }
+
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  // gated=true (default): the hook is suppressed inside HooksDisabledScope —
+  // used for SRAM bit-error noise, which the paper excludes from attack
+  // gradients. gated=false: the hook is part of the hardware forward path
+  // (crossbar DAC/ADC quantization, read noise) and always applies.
+  void set_post_hook(ActivationHook hook, bool gated = true) {
+    post_hook_ = std::move(hook);
+    post_hook_gated_ = gated;
+  }
+  void clear_post_hook() { post_hook_ = nullptr; }
+  bool has_post_hook() const { return static_cast<bool>(post_hook_); }
+
+  // Backward hook: mutates the gradient flowing into this module's backward
+  // pass. Same gating semantics as post hooks.
+  void set_backward_hook(ActivationHook hook, bool gated = true) {
+    backward_hook_ = std::move(hook);
+    backward_hook_gated_ = gated;
+  }
+  void clear_backward_hook() { backward_hook_ = nullptr; }
+  bool has_backward_hook() const { return static_cast<bool>(backward_hook_); }
+
+  // -- global hook gating -----------------------------------------------------
+  static bool hooks_enabled();
+  // RAII: disables all post hooks in scope (used while computing attack
+  // gradients).
+  class HooksDisabledScope {
+   public:
+    HooksDisabledScope();
+    ~HooksDisabledScope();
+    HooksDisabledScope(const HooksDisabledScope&) = delete;
+    HooksDisabledScope& operator=(const HooksDisabledScope&) = delete;
+
+   private:
+    bool previous_;
+  };
+
+  int64_t num_parameters();
+
+ protected:
+  virtual Tensor do_forward(const Tensor& x) = 0;
+  virtual Tensor do_backward(const Tensor& grad_out) = 0;
+
+  bool training_ = true;
+  ActivationHook post_hook_;
+  bool post_hook_gated_ = true;
+  ActivationHook backward_hook_;
+  bool backward_hook_gated_ = true;
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+// Depth-first list of all weight-bearing layers (Conv2d, Linear) reachable
+// from root, in execution order. Used by the crossbar mapper, QUANOS and the
+// weight-noise ablation.
+std::vector<Module*> collect_weight_layers(Module& root);
+
+}  // namespace rhw::nn

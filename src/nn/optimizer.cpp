@@ -1,0 +1,30 @@
+#include "nn/optimizer.hpp"
+
+namespace rhw::nn {
+
+SGD::SGD(std::vector<Param*> params, SgdConfig cfg)
+    : params_(std::move(params)), cfg_(cfg) {
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void SGD::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+void SGD::step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Tensor& v = velocity_[i];
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* vel = v.data();
+    for (int64_t j = 0; j < p.value.numel(); ++j) {
+      const float grad = g[j] + cfg_.weight_decay * w[j];
+      vel[j] = cfg_.momentum * vel[j] + grad;
+      w[j] -= cfg_.lr * vel[j];
+    }
+  }
+}
+
+}  // namespace rhw::nn

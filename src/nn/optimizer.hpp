@@ -1,0 +1,33 @@
+// SGD with momentum and decoupled-style weight decay (classic L2 added to the
+// gradient), the optimizer used by all model-zoo training.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace rhw::nn {
+
+struct SgdConfig {
+  float lr = 0.05f;
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+};
+
+class SGD {
+ public:
+  SGD(std::vector<Param*> params, SgdConfig cfg);
+
+  void zero_grad();
+  void step();
+
+  void set_lr(float lr) { cfg_.lr = lr; }
+  float lr() const { return cfg_.lr; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> velocity_;
+  SgdConfig cfg_;
+};
+
+}  // namespace rhw::nn

@@ -1,0 +1,56 @@
+// ResNet basic block: relu(bn2(conv2(relu(bn1(conv1(x))))) + shortcut(x)).
+//
+// The shortcut is identity when shapes match, otherwise a 1x1 strided
+// conv + BN projection. Internal modules are owned and exposed so the SRAM
+// methodology can hook activation memories inside blocks (conv outputs and
+// the shortcut output — the 'S' entries of Table II).
+#pragma once
+
+#include <memory>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/module.hpp"
+
+namespace rhw::nn {
+
+class ResidualBlock final : public Module {
+ public:
+  ResidualBlock(int64_t in_channels, int64_t out_channels, int64_t stride);
+
+  std::vector<Param*> parameters() override;
+  std::vector<Module*> children() override;
+  std::vector<std::pair<std::string, Tensor*>> named_state() override {
+    return {};
+  }
+  std::string type_name() const override { return "ResidualBlock"; }
+  void set_training(bool training) override;
+
+  bool has_projection() const { return static_cast<bool>(proj_conv_); }
+  Conv2d& conv1() { return *conv1_; }
+  Conv2d& conv2() { return *conv2_; }
+  // The module whose output is the block's shortcut activation memory:
+  // the projection BN when projecting, else null (identity shortcut — the
+  // memory is the block input, hooked via the previous layer).
+  Module* shortcut_tail();
+  // Post-activation outputs inside the block, for noise-site enumeration.
+  Module& relu1() { return *relu1_; }
+
+ protected:
+  Tensor do_forward(const Tensor& x) override;
+  Tensor do_backward(const Tensor& grad_out) override;
+
+ private:
+  std::unique_ptr<Conv2d> conv1_;
+  std::unique_ptr<BatchNorm2d> bn1_;
+  std::unique_ptr<ReLU> relu1_;
+  std::unique_ptr<Conv2d> conv2_;
+  std::unique_ptr<BatchNorm2d> bn2_;
+  std::unique_ptr<Conv2d> proj_conv_;     // null for identity shortcut
+  std::unique_ptr<BatchNorm2d> proj_bn_;  // null for identity shortcut
+
+  Tensor final_mask_;  // ReLU mask of the output
+};
+
+}  // namespace rhw::nn

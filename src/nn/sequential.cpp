@@ -1,0 +1,46 @@
+#include "nn/sequential.hpp"
+
+namespace rhw::nn {
+
+Module& Sequential::append(ModulePtr m) {
+  modules_.push_back(std::move(m));
+  modules_.back()->set_training(training_);
+  return *modules_.back();
+}
+
+std::vector<Param*> Sequential::parameters() {
+  std::vector<Param*> out;
+  for (auto& m : modules_) {
+    auto ps = m->parameters();
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  return out;
+}
+
+std::vector<Module*> Sequential::children() {
+  std::vector<Module*> out;
+  out.reserve(modules_.size());
+  for (auto& m : modules_) out.push_back(m.get());
+  return out;
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& m : modules_) m->set_training(training);
+}
+
+Tensor Sequential::do_forward(const Tensor& x) {
+  Tensor cur = x;
+  for (auto& m : modules_) cur = m->forward(cur);
+  return cur;
+}
+
+Tensor Sequential::do_backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {
+    cur = (*it)->backward(cur);
+  }
+  return cur;
+}
+
+}  // namespace rhw::nn

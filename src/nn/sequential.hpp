@@ -1,0 +1,47 @@
+// Sequential container. Owns its children; exposes them for hook attachment
+// and generic state traversal (see nn/model_io.hpp).
+#pragma once
+
+#include <memory>
+
+#include "nn/module.hpp"
+
+namespace rhw::nn {
+
+class Sequential final : public Module {
+ public:
+  Sequential() = default;
+
+  // Builder-style append. Returns a reference to the added module.
+  Module& append(ModulePtr m);
+
+  template <typename M, typename... Args>
+  M& emplace(Args&&... args) {
+    auto m = std::make_unique<M>(std::forward<Args>(args)...);
+    M& ref = *m;
+    append(std::move(m));
+    return ref;
+  }
+
+  size_t size() const { return modules_.size(); }
+  Module& operator[](size_t i) { return *modules_.at(i); }
+  const Module& operator[](size_t i) const { return *modules_.at(i); }
+
+  std::vector<Param*> parameters() override;
+  std::vector<Module*> children() override;
+  // Containers hold no state of their own; children carry it.
+  std::vector<std::pair<std::string, Tensor*>> named_state() override {
+    return {};
+  }
+  std::string type_name() const override { return "Sequential"; }
+  void set_training(bool training) override;
+
+ protected:
+  Tensor do_forward(const Tensor& x) override;
+  Tensor do_backward(const Tensor& grad_out) override;
+
+ private:
+  std::vector<ModulePtr> modules_;
+};
+
+}  // namespace rhw::nn

@@ -1,0 +1,17 @@
+#include "quant/pixel_discretizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rhw::quant {
+
+Tensor PixelDiscretizer::apply(const Tensor& images) const {
+  const auto max_level = static_cast<float>(levels() - 1);
+  Tensor out = images;
+  for (float& v : out.span()) {
+    v = std::clamp(std::nearbyint(v * max_level), 0.f, max_level) / max_level;
+  }
+  return out;
+}
+
+}  // namespace rhw::quant

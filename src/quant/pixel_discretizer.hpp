@@ -1,0 +1,55 @@
+// Input-space discretization defense (Panda et al., "Discretization based
+// solutions for secure machine learning against adversarial attacks", 2019;
+// ref. [6] of the paper): restrict input pixels from 8-bit (256 levels) to
+// fewer levels, e.g. 4-bit (16 levels), which masks small perturbations.
+#pragma once
+
+#include "core/tensor.hpp"
+#include "nn/module.hpp"
+
+namespace rhw::quant {
+
+using rhw::Tensor;
+
+struct PixelDiscretizer {
+  int bits = 4;
+
+  // Rounds each pixel (assumed in [0,1]) to the nearest of 2^bits levels.
+  Tensor apply(const Tensor& images) const;
+  int levels() const { return 1 << bits; }
+};
+
+// Wraps an existing network: forward discretizes the input, then delegates.
+// Gradients flow straight through the discretizer (straight-through
+// estimator), which is how attacks on discretized models are evaluated in
+// [6].
+class DiscretizedModel final : public nn::Module {
+ public:
+  DiscretizedModel(nn::Module& inner, PixelDiscretizer disc)
+      : inner_(&inner), disc_(disc) {}
+
+  std::vector<nn::Param*> parameters() override { return inner_->parameters(); }
+  std::vector<nn::Module*> children() override { return {inner_}; }
+  std::vector<std::pair<std::string, Tensor*>> named_state() override {
+    return {};
+  }
+  std::string type_name() const override { return "DiscretizedModel"; }
+  void set_training(bool training) override {
+    nn::Module::set_training(training);
+    inner_->set_training(training);
+  }
+
+ protected:
+  Tensor do_forward(const Tensor& x) override {
+    return inner_->forward(disc_.apply(x));
+  }
+  Tensor do_backward(const Tensor& grad_out) override {
+    return inner_->backward(grad_out);  // straight-through
+  }
+
+ private:
+  nn::Module* inner_;  // non-owning
+  PixelDiscretizer disc_;
+};
+
+}  // namespace rhw::quant

@@ -1,0 +1,41 @@
+// QUANOS (P. Panda, 2020; ref. [8]): Adversarial Noise Sensitivity (ANS)
+// driven hybrid quantization.
+//
+// ANS of a layer measures how strongly an adversarial input perturbs that
+// layer's activations relative to their clean magnitude:
+//   ANS_l = E_x [ ||a_l(x_adv) - a_l(x)||_2 / ||a_l(x)||_2 ]
+// Layers with above-median ANS are quantized aggressively (low_bits) — the
+// coarse grid absorbs the adversarial perturbation — while the rest keep
+// high_bits. Weights are fake-quantized once; activations are fake-quantized
+// through post-forward hooks at inference.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/module.hpp"
+
+namespace rhw::quant {
+
+struct QuanosConfig {
+  int high_bits = 8;
+  int low_bits = 4;
+  float ans_epsilon = 0.05f;   // FGSM strength used to probe sensitivity
+  int64_t sample_count = 128;  // images used for the ANS estimate
+  int64_t batch_size = 64;
+};
+
+struct QuanosReport {
+  std::vector<double> ans;       // per weight layer, execution order
+  std::vector<int> bits;         // assigned activation/weight bitwidths
+  double ans_median = 0.0;
+};
+
+// Computes ANS on `model` (treated as the trained float baseline), then
+// mutates it in place: weights fake-quantized per assignment, activation
+// fake-quantization hooks installed on each weight layer's output. The caller
+// should pass a clone if the original is still needed.
+QuanosReport apply_quanos(nn::Module& model, const data::Dataset& sample,
+                          const QuanosConfig& cfg);
+
+}  // namespace rhw::quant

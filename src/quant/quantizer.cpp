@@ -1,0 +1,103 @@
+#include "quant/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rhw::quant {
+
+SymmetricParams compute_symmetric(const Tensor& t, int bits) {
+  if (bits < 2 || bits > 16) {
+    throw std::invalid_argument("compute_symmetric: bits in [2,16]");
+  }
+  SymmetricParams p;
+  p.bits = bits;
+  const float amax = t.abs_max();
+  p.scale = amax > 0.f ? amax / static_cast<float>(p.qmax()) : 1.f;
+  return p;
+}
+
+UnsignedParams compute_unsigned(const Tensor& t, int bits) {
+  if (bits < 1 || bits > 16) {
+    throw std::invalid_argument("compute_unsigned: bits in [1,16]");
+  }
+  UnsignedParams p;
+  p.bits = bits;
+  const float mx = t.max();
+  p.scale = mx > 0.f ? mx / static_cast<float>(p.qmax()) : 1.f;
+  return p;
+}
+
+void fake_quantize_symmetric_(Tensor& t, int bits) {
+  const auto p = compute_symmetric(t, bits);
+  const float qmaxf = static_cast<float>(p.qmax());
+  const float qminf = static_cast<float>(p.qmin());
+  for (float& v : t.span()) {
+    const float q = std::clamp(std::nearbyint(v / p.scale), qminf, qmaxf);
+    v = q * p.scale;
+  }
+}
+
+void fake_quantize_unsigned_(Tensor& t, int bits) {
+  const auto p = compute_unsigned(t, bits);
+  const float qmaxf = static_cast<float>(p.qmax());
+  for (float& v : t.span()) {
+    const float q = std::clamp(std::nearbyint(v / p.scale), 0.f, qmaxf);
+    v = q * p.scale;
+  }
+}
+
+std::vector<uint8_t> to_codes_unsigned(const Tensor& t,
+                                       const UnsignedParams& params) {
+  if (params.bits > 8) {
+    throw std::invalid_argument("to_codes_unsigned: at most 8 bits per word");
+  }
+  std::vector<uint8_t> codes(static_cast<size_t>(t.numel()));
+  const float qmaxf = static_cast<float>(params.qmax());
+  const float* v = t.data();
+  for (size_t i = 0; i < codes.size(); ++i) {
+    codes[i] = static_cast<uint8_t>(
+        std::clamp(std::nearbyint(v[i] / params.scale), 0.f, qmaxf));
+  }
+  return codes;
+}
+
+void from_codes_unsigned(const std::vector<uint8_t>& codes,
+                         const UnsignedParams& params, Tensor& out) {
+  if (static_cast<int64_t>(codes.size()) != out.numel()) {
+    throw std::invalid_argument("from_codes_unsigned: size mismatch");
+  }
+  float* v = out.data();
+  for (size_t i = 0; i < codes.size(); ++i) {
+    v[i] = static_cast<float>(codes[i]) * params.scale;
+  }
+}
+
+std::vector<int8_t> to_codes_signed(const Tensor& t,
+                                    const SymmetricParams& params) {
+  if (params.bits > 8) {
+    throw std::invalid_argument("to_codes_signed: at most 8 bits per word");
+  }
+  std::vector<int8_t> codes(static_cast<size_t>(t.numel()));
+  const float qmaxf = static_cast<float>(params.qmax());
+  const float qminf = static_cast<float>(params.qmin());
+  const float* v = t.data();
+  for (size_t i = 0; i < codes.size(); ++i) {
+    codes[i] = static_cast<int8_t>(
+        std::clamp(std::nearbyint(v[i] / params.scale), qminf, qmaxf));
+  }
+  return codes;
+}
+
+void from_codes_signed(const std::vector<int8_t>& codes,
+                       const SymmetricParams& params, Tensor& out) {
+  if (static_cast<int64_t>(codes.size()) != out.numel()) {
+    throw std::invalid_argument("from_codes_signed: size mismatch");
+  }
+  float* v = out.data();
+  for (size_t i = 0; i < codes.size(); ++i) {
+    v[i] = static_cast<float>(codes[i]) * params.scale;
+  }
+}
+
+}  // namespace rhw::quant

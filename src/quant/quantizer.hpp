@@ -1,0 +1,55 @@
+// Uniform quantization utilities.
+//
+// Two flavours are used in the repo:
+//  - fake quantization (quantize-dequantize in float), for the QUANOS and
+//    pixel-discretization defenses;
+//  - code-level quantization to integer words, for the SRAM bit-error model
+//    (see sram/hybrid_word.hpp) which needs actual bit patterns to corrupt.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace rhw::quant {
+
+using rhw::Tensor;
+
+// Symmetric signed quantization: scale = max|x| / (2^{bits-1} - 1).
+struct SymmetricParams {
+  float scale = 1.f;
+  int bits = 8;
+  int32_t qmax() const { return (1 << (bits - 1)) - 1; }
+  int32_t qmin() const { return -qmax() - 1; }
+};
+
+SymmetricParams compute_symmetric(const Tensor& t, int bits);
+
+// Unsigned quantization for non-negative data (post-ReLU activation
+// memories): scale = max(x) / (2^bits - 1).
+struct UnsignedParams {
+  float scale = 1.f;
+  int bits = 8;
+  uint32_t qmax() const { return (1u << bits) - 1u; }
+};
+
+UnsignedParams compute_unsigned(const Tensor& t, int bits);
+
+// In-place fake quantization (round to grid, stay in float).
+void fake_quantize_symmetric_(Tensor& t, int bits);
+void fake_quantize_unsigned_(Tensor& t, int bits);
+
+// Code-level conversion used by the SRAM injector. Values are clamped to the
+// representable range.
+std::vector<uint8_t> to_codes_unsigned(const Tensor& t,
+                                       const UnsignedParams& params);
+void from_codes_unsigned(const std::vector<uint8_t>& codes,
+                         const UnsignedParams& params, Tensor& out);
+
+std::vector<int8_t> to_codes_signed(const Tensor& t,
+                                    const SymmetricParams& params);
+void from_codes_signed(const std::vector<int8_t>& codes,
+                       const SymmetricParams& params, Tensor& out);
+
+}  // namespace rhw::quant

@@ -1,0 +1,76 @@
+#include "sram/bit_error_injector.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "quant/quantizer.hpp"
+
+namespace rhw::sram {
+
+BitErrorInjector::BitErrorInjector(HybridWordConfig word, BitErrorModel model,
+                                   double vdd)
+    : word_(word),
+      model_(model),
+      vdd_(vdd),
+      ber6_(model_.ber_6t(vdd)),
+      ber8_(model_.ber_8t(vdd)) {}
+
+void BitErrorInjector::corrupt_codes(std::span<uint8_t> codes,
+                                     rhw::RandomEngine& rng) const {
+  const uint32_t mask6 = word_.six_t_mask();
+  const uint32_t mask8 = word_.eight_t_mask();
+  // 8T errors are negligible above ~0.4 V; skip the per-bit draws when the
+  // expected flip count over this whole span rounds to zero.
+  const bool sample_8t =
+      ber8_ * static_cast<double>(codes.size() * word_.total_bits) > 1e-3;
+
+  for (uint8_t& code : codes) {
+    uint32_t flips = 0;
+    for (int bit = 0; bit < word_.total_bits; ++bit) {
+      const uint32_t b = 1u << bit;
+      if (mask6 & b) {
+        if (rng.bernoulli(ber6_)) flips |= b;
+      } else if (sample_8t && (mask8 & b)) {
+        if (rng.bernoulli(ber8_)) flips |= b;
+      }
+    }
+    code = static_cast<uint8_t>(code ^ flips);
+  }
+}
+
+void BitErrorInjector::apply_to_activations(Tensor& t,
+                                            rhw::RandomEngine& rng) const {
+  const auto params = quant::compute_unsigned(t, word_.total_bits);
+  auto codes = quant::to_codes_unsigned(t, params);
+  corrupt_codes(codes, rng);
+  quant::from_codes_unsigned(codes, params, t);
+}
+
+void BitErrorInjector::apply_to_weights(Tensor& t,
+                                        rhw::RandomEngine& rng) const {
+  const auto params = quant::compute_symmetric(t, word_.total_bits);
+  auto codes = quant::to_codes_signed(t, params);
+  // Reinterpret the two's-complement bytes as raw bit patterns.
+  auto* raw = reinterpret_cast<uint8_t*>(codes.data());
+  corrupt_codes(std::span<uint8_t>(raw, codes.size()), rng);
+  quant::from_codes_signed(codes, params, t);
+}
+
+double BitErrorInjector::measure_mu(int64_t num_words,
+                                    rhw::RandomEngine& rng) const {
+  const double full_scale = static_cast<double>((1u << word_.total_bits) - 1u);
+  std::vector<uint8_t> codes(static_cast<size_t>(num_words));
+  for (auto& c : codes) {
+    c = static_cast<uint8_t>(rng.next_below(1u << word_.total_bits));
+  }
+  std::vector<uint8_t> corrupted = codes;
+  corrupt_codes(corrupted, rng);
+  double acc = 0.0;
+  for (size_t i = 0; i < codes.size(); ++i) {
+    acc += std::abs(static_cast<int>(corrupted[i]) - static_cast<int>(codes[i]));
+  }
+  return acc / (static_cast<double>(num_words) * full_scale);
+}
+
+}  // namespace rhw::sram

@@ -1,0 +1,53 @@
+// Monte-Carlo bit-error injection into quantized words held in hybrid 8T-6T
+// memories. Works on real bit patterns: tensors are quantized to 8-bit codes,
+// each 6T-cell bit flips independently with the voltage-dependent BER, and the
+// corrupted codes are dequantized back.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/rng.hpp"
+#include "core/tensor.hpp"
+#include "sram/bit_error_model.hpp"
+#include "sram/hybrid_word.hpp"
+
+namespace rhw::sram {
+
+using rhw::Tensor;
+
+class BitErrorInjector {
+ public:
+  BitErrorInjector(HybridWordConfig word, BitErrorModel model, double vdd);
+
+  // Flips bits of raw codes in place. Each bit position flips with its cell
+  // type's BER.
+  void corrupt_codes(std::span<uint8_t> codes, rhw::RandomEngine& rng) const;
+
+  // Full activation-memory path: unsigned quantization to total_bits codes,
+  // bit corruption, dequantization. Models a post-ReLU activation tensor
+  // being written to and read back from the hybrid memory.
+  void apply_to_activations(Tensor& t, rhw::RandomEngine& rng) const;
+
+  // Weight-memory path: symmetric signed quantization (two's-complement
+  // codes), bit corruption, dequantization.
+  void apply_to_weights(Tensor& t, rhw::RandomEngine& rng) const;
+
+  double ber6() const { return ber6_; }
+  double ber8() const { return ber8_; }
+  const HybridWordConfig& word() const { return word_; }
+  double vdd() const { return vdd_; }
+
+  // Empirical mean |perturbation| / full-scale over n Monte-Carlo words;
+  // cross-checks the analytic surgical_noise_mu in tests and Fig. 2.
+  double measure_mu(int64_t num_words, rhw::RandomEngine& rng) const;
+
+ private:
+  HybridWordConfig word_;
+  BitErrorModel model_;
+  double vdd_;
+  double ber6_;
+  double ber8_;
+};
+
+}  // namespace rhw::sram

@@ -1,0 +1,25 @@
+#include "sram/bit_error_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rhw::sram {
+
+namespace {
+// Gaussian tail Q(z) = 0.5 * erfc(z / sqrt(2)), clamped away from exact 0/1
+// so downstream log-scale plots stay finite.
+double q_function(double z) {
+  const double q = 0.5 * std::erfc(z / std::sqrt(2.0));
+  return std::clamp(q, 1e-15, 0.5);
+}
+}  // namespace
+
+double BitErrorModel::ber_6t(double vdd) const {
+  return q_function(params_.six_t_slope * (vdd - params_.six_t_vcrit));
+}
+
+double BitErrorModel::ber_8t(double vdd) const {
+  return q_function(params_.eight_t_slope * (vdd - params_.eight_t_vcrit));
+}
+
+}  // namespace rhw::sram

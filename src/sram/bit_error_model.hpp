@@ -1,0 +1,42 @@
+// Bit-error-rate model for 6T / 8T SRAM cells under supply-voltage scaling.
+//
+// Physics: an SRAM cell fails a read/write when its (voltage-dependent) noise
+// margin, which varies across cells due to process variation, drops below
+// zero (Mukhopadhyay et al. [29]). Modelling the margin as Gaussian with a
+// mean that shrinks linearly as Vdd scales gives a failure probability
+//   BER(Vdd) = Q(slope * (Vdd - Vcrit)),   Q(z) = 0.5 * erfc(z / sqrt(2)).
+//
+// The paper characterizes a 22 nm predictive-technology 6T cell with static
+// read/write noise margins of 195 mV / 250 mV. We calibrate (slope, Vcrit) so
+// the curve reproduces the hybrid-8T-6T literature ([11], [12]): BER ~1e-9 at
+// nominal 1.0 V rising to ~1e-2 at the paper's operating point 0.68 V, with
+// ~5% at deep scaling (0.62 V). 8T cells hold their margins much lower
+// (functional to ~0.3 V), so their BER is negligible in the studied range.
+#pragma once
+
+namespace rhw::sram {
+
+struct BitErrorParams {
+  // 6T: Q(11.47 * (v - 0.477)) -> 1e-9 @ 1.0 V, 1e-2 @ 0.68 V, 5e-2 @ 0.62 V
+  double six_t_slope = 11.47;
+  double six_t_vcrit = 0.477;
+  // 8T: read-decoupled cell, functional far below the 6T limit.
+  double eight_t_slope = 11.47;
+  double eight_t_vcrit = 0.30;
+};
+
+class BitErrorModel {
+ public:
+  BitErrorModel(BitErrorParams params = {}) : params_(params) {}  // NOLINT
+
+  // Probability that one 6T (resp. 8T) cell read/write flips at supply vdd.
+  double ber_6t(double vdd) const;
+  double ber_8t(double vdd) const;
+
+  const BitErrorParams& params() const { return params_; }
+
+ private:
+  BitErrorParams params_;
+};
+
+}  // namespace rhw::sram

@@ -1,0 +1,95 @@
+// Energy and area model for hybrid 8T-6T SRAM activation memories.
+//
+// The whole point of the hybrid organization (refs. [9]-[11] of the paper) is
+// efficiency: 6T cells are ~25-30% smaller than 8T cells, and aggressive
+// supply-voltage scaling cuts dynamic access energy quadratically
+// (E ~ C * Vdd^2) — at the cost of the 6T bit errors this library turns into
+// a defense. This model quantifies that trade so the benches can report the
+// energy-robustness frontier alongside the accuracy numbers.
+//
+// Numbers are calibrated to 22 nm-class SRAM literature at nominal 1.0 V:
+// ~1 fJ/bit dynamic read energy for a 6T cell, 8T ~30% higher (longer
+// bitlines, extra read port), 8T cell area ~1.3x the 6T cell.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "models/vgg.hpp"
+#include "sram/hybrid_word.hpp"
+
+namespace rhw::sram {
+
+struct SramEnergyParams {
+  double nominal_vdd = 1.0;
+  double e_read_6t_fj = 1.0;   // per bit access at nominal Vdd
+  double e_read_8t_fj = 1.30;
+  double area_6t_um2 = 0.050;  // 22 nm-class cell footprints
+  double area_8t_um2 = 0.065;
+  double leak_6t_nw = 1.0;     // per cell static leakage at nominal Vdd
+  double leak_8t_nw = 1.25;
+};
+
+class SramEnergyModel {
+ public:
+  explicit SramEnergyModel(SramEnergyParams params = {}) : params_(params) {}
+
+  // Dynamic access energy per bit (fJ); scales with (Vdd / nominal)^2.
+  double bit_read_energy_fj(bool is_8t, double vdd) const;
+  // Leakage per cell (nW); scales roughly linearly with Vdd (DIBL-dominated
+  // regime approximated linearly over the scaling range of interest).
+  double cell_leakage_nw(bool is_8t, double vdd) const;
+
+  // One word access / word of storage under a hybrid configuration.
+  double word_read_energy_fj(const HybridWordConfig& word, double vdd) const;
+  double word_area_um2(const HybridWordConfig& word) const;
+  double word_leakage_nw(const HybridWordConfig& word, double vdd) const;
+
+  const SramEnergyParams& params() const { return params_; }
+
+ private:
+  SramEnergyParams params_;
+};
+
+// Per-site memory configuration for a whole-model report: every activation
+// memory uses `word` at `vdd` (sites without noise injection are homogeneous
+// 8T at the same Vdd, captured by HybridWordConfig{.num_8t = 8}).
+struct SiteMemorySpec {
+  std::string label;
+  int64_t words = 0;  // activations stored at this site (one word each)
+  HybridWordConfig word;
+};
+
+struct MemoryEnergyReport {
+  std::vector<SiteMemorySpec> sites;
+  double total_read_energy_fj = 0.0;  // one full inference (each site written
+                                      // and read once)
+  double total_area_um2 = 0.0;
+  double total_leakage_nw = 0.0;
+  // The same memory implemented entirely in 8T at nominal Vdd (the
+  // conservative baseline the hybrid design is sold against).
+  double baseline_energy_fj = 0.0;
+  double baseline_area_um2 = 0.0;
+  double energy_saving_pct() const {
+    return baseline_energy_fj > 0
+               ? 100.0 * (1.0 - total_read_energy_fj / baseline_energy_fj)
+               : 0.0;
+  }
+  double area_saving_pct() const {
+    return baseline_area_um2 > 0
+               ? 100.0 * (1.0 - total_area_um2 / baseline_area_um2)
+               : 0.0;
+  }
+};
+
+// Measures each activation-memory site's word count by running one forward
+// pass of `model` on `sample_input` with capture hooks, then prices the
+// memory under `vdd` with `noisy_sites` (site label -> hybrid word) applied
+// and homogeneous 8T elsewhere.
+MemoryEnergyReport activation_memory_report(
+    models::Model& model, const rhw::Tensor& sample_input, double vdd,
+    const std::vector<std::pair<std::string, HybridWordConfig>>& noisy_sites,
+    const SramEnergyModel& energy_model = SramEnergyModel());
+
+}  // namespace rhw::sram

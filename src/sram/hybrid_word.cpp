@@ -1,0 +1,54 @@
+#include "sram/hybrid_word.hpp"
+
+#include <stdexcept>
+
+namespace rhw::sram {
+
+std::string HybridWordConfig::ratio_label() const {
+  // "H" marks the error-free homogeneous-8T memory (the paper's label for
+  // layers without noise injection). All-6T is a real noise configuration
+  // and keeps its numeric ratio "0/8".
+  if (num_8t == total_bits) return "H";
+  return std::to_string(num_8t) + "/" + std::to_string(num_6t());
+}
+
+uint32_t HybridWordConfig::six_t_mask() const {
+  if (total_bits < 1 || total_bits > 16 || num_8t < 0 || num_8t > total_bits) {
+    throw std::invalid_argument("HybridWordConfig: bad bit split");
+  }
+  const uint32_t all = (1u << total_bits) - 1u;
+  const int n6 = num_6t();
+  if (n6 == 0) return 0;
+  if (msb_protected) {
+    // 6T cells hold the low-significance bits.
+    return (1u << n6) - 1u;
+  }
+  // Ablation: 6T cells hold the MSBs.
+  return all & ~((1u << num_8t) - 1u);
+}
+
+uint32_t HybridWordConfig::eight_t_mask() const {
+  const uint32_t all = (1u << total_bits) - 1u;
+  return all & ~six_t_mask();
+}
+
+double expected_flip_magnitude(const HybridWordConfig& word, double ber6,
+                               double ber8) {
+  const uint32_t mask6 = word.six_t_mask();
+  double acc = 0.0;
+  for (int bit = 0; bit < word.total_bits; ++bit) {
+    const double p = (mask6 >> bit & 1u) ? ber6 : ber8;
+    acc += p * static_cast<double>(1u << bit);
+  }
+  return acc;
+}
+
+double surgical_noise_mu(const HybridWordConfig& word,
+                         const BitErrorModel& model, double vdd) {
+  const double full_scale =
+      static_cast<double>((1u << word.total_bits) - 1u);
+  return expected_flip_magnitude(word, model.ber_6t(vdd), model.ber_8t(vdd)) /
+         full_scale;
+}
+
+}  // namespace rhw::sram

@@ -1,0 +1,44 @@
+// Hybrid 8T-6T memory word layout and surgical-noise statistics.
+//
+// An 8-bit word is split between robust 8T cells and error-prone (but
+// smaller/cheaper) 6T cells. Significance-driven storage (Srinivasan et al.
+// [11]) protects the MSBs in 8T cells; the msb_protected flag allows the
+// ablation where the LSBs are protected instead. The paper's ratio notation
+// r = #8T/#6T ("3/5" = 3 8T MSBs, 5 6T LSBs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sram/bit_error_model.hpp"
+
+namespace rhw::sram {
+
+struct HybridWordConfig {
+  int total_bits = 8;
+  int num_8t = 4;            // number of protected (8T) bits
+  bool msb_protected = true; // significance-driven layout (ablation: false)
+
+  int num_6t() const { return total_bits - num_8t; }
+  bool homogeneous_8t() const { return num_8t == total_bits; }
+  // Paper-style ratio label "#8T/#6T", or "H" for a homogeneous memory.
+  std::string ratio_label() const;
+
+  // Bit mask (within the word) of positions implemented with 6T cells.
+  uint32_t six_t_mask() const;
+  uint32_t eight_t_mask() const;
+};
+
+// First-order expected perturbation magnitude of a stored word, in code
+// units: sum over bit positions of (flip probability * 2^position). Exact for
+// the rare-flip regime the hybrid memories operate in.
+double expected_flip_magnitude(const HybridWordConfig& word, double ber6,
+                               double ber8);
+
+// Surgical noise mu (Fig. 2): expected perturbation as a fraction of the
+// word's full scale (2^total_bits - 1), as a function of the hybrid
+// configuration and supply voltage.
+double surgical_noise_mu(const HybridWordConfig& word,
+                         const BitErrorModel& model, double vdd);
+
+}  // namespace rhw::sram

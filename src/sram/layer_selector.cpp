@@ -1,0 +1,197 @@
+#include "sram/layer_selector.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "attacks/fgsm.hpp"
+
+namespace rhw::sram {
+
+namespace {
+
+// Because attack gradients never include the bit-error noise, the adversarial
+// images are identical for every hybrid-memory configuration. Crafting them
+// once and re-evaluating per configuration turns each sweep point into a
+// single forward pass.
+data::Dataset craft_adversarial_set(nn::Module& net, const data::Dataset& ds,
+                                    const SelectorConfig& cfg) {
+  data::Dataset adv;
+  adv.num_classes = ds.num_classes;
+  adv.images = ds.images;
+  adv.labels = ds.labels;
+  attacks::FgsmConfig fc;
+  fc.epsilon = cfg.epsilon;
+  const int64_t stride = ds.images.numel() / std::max<int64_t>(1, ds.size());
+  for (int64_t begin = 0; begin < ds.size(); begin += cfg.batch_size) {
+    const auto batch = ds.slice(begin, begin + cfg.batch_size);
+    const auto advb = attacks::fgsm(net, batch.images, batch.labels, fc);
+    std::copy(advb.data(), advb.data() + advb.numel(),
+              adv.images.data() + begin * stride);
+  }
+  return adv;
+}
+
+}  // namespace
+
+void clear_all_site_hooks(models::Model& model) {
+  for (auto& site : model.sites) site.module->clear_post_hook();
+}
+
+void apply_selection(models::Model& model,
+                     const std::vector<SiteChoice>& selection, double vdd,
+                     uint64_t seed, const BitErrorModel& model_ber) {
+  clear_all_site_hooks(model);
+  for (const auto& choice : selection) {
+    SramNoiseConfig nc;
+    nc.word = choice.word;
+    nc.vdd = vdd;
+    nc.seed = seed ^ (0x9E3779B97F4A7C15ULL * (choice.site_index + 1));
+    attach_noise(*model.sites.at(choice.site_index).module, nc, model_ber);
+  }
+}
+
+SelectionResult select_layers(models::Model& model,
+                              const data::Dataset& test_set,
+                              const SelectorConfig& cfg,
+                              const BitErrorModel& model_ber) {
+  nn::Module& net = *model.net;
+  net.set_training(false);
+  clear_all_site_hooks(model);
+
+  SelectionResult result;
+  const auto subset = test_set.head(cfg.eval_count);
+  result.baseline_clean_acc = attacks::clean_accuracy(net, subset,
+                                                      cfg.batch_size);
+  const auto adv_set = craft_adversarial_set(net, subset, cfg);
+  result.baseline_adv_acc = attacks::clean_accuracy(net, adv_set,
+                                                    cfg.batch_size);
+
+  // Stage 1: per-site sweep over #6T = 1 .. total_bits.
+  for (size_t s = 0; s < model.sites.size(); ++s) {
+    SiteChoice best;
+    best.site_index = s;
+    best.site_label = model.sites[s].label;
+    best.adv_acc = -1.0;
+    for (int n6t = 1; n6t <= 8; ++n6t) {
+      HybridWordConfig word;
+      word.total_bits = 8;
+      word.num_8t = 8 - n6t;
+      SramNoiseConfig nc;
+      nc.word = word;
+      nc.vdd = cfg.vdd;
+      nc.seed = cfg.seed ^ (0xABCD * (s + 1)) ^ static_cast<uint64_t>(n6t);
+      attach_noise(*model.sites[s].module, nc, model_ber);
+      const double acc = attacks::clean_accuracy(net, adv_set, cfg.batch_size);
+      model.sites[s].module->clear_post_hook();
+      if (acc > best.adv_acc) {
+        best.adv_acc = acc;
+        best.word = word;
+      }
+    }
+    result.per_site_best.push_back(best);
+  }
+
+  // Stage 2: shortlist sites that beat baseline by > threshold.
+  for (const auto& choice : result.per_site_best) {
+    if (choice.adv_acc > result.baseline_adv_acc + cfg.improvement_threshold) {
+      result.shortlisted.push_back(choice);
+    }
+  }
+  std::sort(result.shortlisted.begin(), result.shortlisted.end(),
+            [](const SiteChoice& a, const SiteChoice& b) {
+              return a.adv_acc > b.adv_acc;
+            });
+  if (static_cast<int>(result.shortlisted.size()) > cfg.max_shortlist) {
+    result.shortlisted.resize(static_cast<size_t>(cfg.max_shortlist));
+  }
+
+  // Stage 3: evaluate every non-empty subset of the shortlist.
+  double best_acc = result.baseline_adv_acc;
+  std::vector<SiteChoice> best_subset;
+  const size_t k = result.shortlisted.size();
+  for (uint32_t mask = 1; mask < (1u << k); ++mask) {
+    std::vector<SiteChoice> subset_choices;
+    for (size_t i = 0; i < k; ++i) {
+      if (mask >> i & 1u) subset_choices.push_back(result.shortlisted[i]);
+    }
+    apply_selection(model, subset_choices, cfg.vdd, cfg.seed, model_ber);
+    const double acc = attacks::clean_accuracy(net, adv_set, cfg.batch_size);
+    clear_all_site_hooks(model);
+    if (acc > best_acc) {
+      best_acc = acc;
+      best_subset = subset_choices;
+    }
+  }
+  result.selected = best_subset;
+  result.final_adv_acc = best_acc;
+
+  if (!result.selected.empty()) {
+    apply_selection(model, result.selected, cfg.vdd, cfg.seed, model_ber);
+    result.final_clean_acc =
+        attacks::clean_accuracy(net, subset, cfg.batch_size);
+    clear_all_site_hooks(model);
+  } else {
+    result.final_clean_acc = result.baseline_clean_acc;
+  }
+  return result;
+}
+
+namespace {
+
+void write_choices(std::ostream& os, const char* tag,
+                   const std::vector<SiteChoice>& choices) {
+  for (const auto& c : choices) {
+    os << tag << ' ' << c.site_index << ' ' << c.word.num_8t << ' '
+       << c.adv_acc << ' ' << c.site_label << '\n';
+  }
+}
+
+}  // namespace
+
+void save_selection(const std::string& path, const SelectionResult& result) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream os(path);
+  os << "baseline " << result.baseline_clean_acc << ' '
+     << result.baseline_adv_acc << ' ' << result.final_adv_acc << ' '
+     << result.final_clean_acc << '\n';
+  write_choices(os, "best", result.per_site_best);
+  write_choices(os, "short", result.shortlisted);
+  write_choices(os, "sel", result.selected);
+}
+
+bool load_selection(const std::string& path, SelectionResult* result) {
+  std::ifstream is(path);
+  if (!is) return false;
+  SelectionResult out;
+  std::string line;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "baseline") {
+      ls >> out.baseline_clean_acc >> out.baseline_adv_acc >>
+          out.final_adv_acc >> out.final_clean_acc;
+      if (!ls) return false;
+      continue;
+    }
+    SiteChoice c;
+    ls >> c.site_index >> c.word.num_8t >> c.adv_acc >> c.site_label;
+    if (!ls) return false;
+    if (tag == "best") {
+      out.per_site_best.push_back(c);
+    } else if (tag == "short") {
+      out.shortlisted.push_back(c);
+    } else if (tag == "sel") {
+      out.selected.push_back(c);
+    } else {
+      return false;
+    }
+  }
+  *result = std::move(out);
+  return true;
+}
+
+}  // namespace rhw::sram

@@ -1,0 +1,30 @@
+#include "sram/noise_hook.hpp"
+
+#include <memory>
+
+namespace rhw::sram {
+
+nn::ActivationHook make_sram_noise_hook(const SramNoiseConfig& cfg,
+                                        const BitErrorModel& model) {
+  auto injector = std::make_shared<BitErrorInjector>(cfg.word, model, cfg.vdd);
+  auto rng = std::make_shared<rhw::RandomEngine>(cfg.seed);
+  return [injector, rng](nn::Tensor& t) {
+    injector->apply_to_activations(t, *rng);
+  };
+}
+
+void attach_noise(nn::Module& site, const SramNoiseConfig& cfg,
+                  const BitErrorModel& model) {
+  site.set_post_hook(make_sram_noise_hook(cfg, model));
+}
+
+void corrupt_layer_weights(nn::Module& layer, const SramNoiseConfig& cfg,
+                           const BitErrorModel& model) {
+  BitErrorInjector injector(cfg.word, model, cfg.vdd);
+  rhw::RandomEngine rng(cfg.seed);
+  for (nn::Param* p : layer.parameters()) {
+    if (p->name == "weight") injector.apply_to_weights(p->value, rng);
+  }
+}
+
+}  // namespace rhw::sram

@@ -1,0 +1,38 @@
+// Attaching hybrid-memory bit-error noise to a network.
+//
+// Activation variant (the paper's main configuration): a post-forward hook on
+// the module whose output occupies the hybrid activation memory. Weight
+// variant (the ablation the paper mentions loses to activations): corrupt a
+// weight layer's parameters once, as if the weight memory were read through
+// erroneous 6T cells.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/module.hpp"
+#include "sram/bit_error_injector.hpp"
+
+namespace rhw::sram {
+
+struct SramNoiseConfig {
+  HybridWordConfig word;
+  double vdd = 0.68;
+  uint64_t seed = 0x5AA0;
+};
+
+// Builds an ActivationHook that corrupts the tensor through the hybrid
+// memory. The hook owns its RNG stream (seeded from cfg.seed), so repeated
+// evaluations draw fresh-but-reproducible error patterns.
+nn::ActivationHook make_sram_noise_hook(const SramNoiseConfig& cfg,
+                                        const BitErrorModel& model = {});
+
+// Installs the hook on a module (replacing any existing hook).
+void attach_noise(nn::Module& site, const SramNoiseConfig& cfg,
+                  const BitErrorModel& model = {});
+
+// Weight-memory variant: corrupts all "weight" parameters of the layer in
+// place (callers clone the model first).
+void corrupt_layer_weights(nn::Module& layer, const SramNoiseConfig& cfg,
+                           const BitErrorModel& model = {});
+
+}  // namespace rhw::sram

@@ -1,0 +1,52 @@
+#include "sram/retrain.hpp"
+
+#include <algorithm>
+
+#include "attacks/evaluate.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace rhw::sram {
+
+RetrainResult retrain_with_noise(models::Model& model,
+                                 const data::SynthCifar& data,
+                                 const std::vector<SiteChoice>& selection,
+                                 double vdd, const RetrainConfig& cfg) {
+  apply_selection(model, selection, vdd, cfg.seed);
+  RetrainResult result;
+  result.clean_acc_before =
+      attacks::clean_accuracy(*model.net, data.test, cfg.batch_size);
+
+  nn::SgdConfig sgd_cfg;
+  sgd_cfg.lr = cfg.lr;
+  sgd_cfg.momentum = cfg.momentum;
+  sgd_cfg.weight_decay = cfg.weight_decay;
+  nn::SGD opt(model.net->parameters(), sgd_cfg);
+  nn::SoftmaxCrossEntropy loss;
+  rhw::RandomEngine rng(cfg.seed);
+
+  model.net->set_training(true);
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    const auto order = data::shuffled_indices(data.train.size(), rng);
+    for (int64_t begin = 0; begin < data.train.size();
+         begin += cfg.batch_size) {
+      const int64_t end =
+          std::min<int64_t>(begin + cfg.batch_size, data.train.size());
+      std::vector<int64_t> idx(order.begin() + begin, order.begin() + end);
+      const auto batch = data.train.gather(idx);
+      opt.zero_grad();
+      // Hooks are active here: the forward pass sees the bit-error noise and
+      // the weights learn to absorb it.
+      const Tensor logits = model.net->forward(batch.images);
+      (void)loss.forward(logits, batch.labels);
+      model.net->backward(loss.backward());
+      opt.step();
+    }
+  }
+  model.net->set_training(false);
+  result.clean_acc_after =
+      attacks::clean_accuracy(*model.net, data.test, cfg.batch_size);
+  return result;
+}
+
+}  // namespace rhw::sram

@@ -1,0 +1,40 @@
+// Noise-aware retraining.
+//
+// The paper (Sec. III-A) attributes the small clean-accuracy deviation of
+// noise-injected DNNs to the regularization effect of the bit errors, and
+// notes: "Re-training the bit-error noise injected DNN with clean images can
+// improve the CA of the network." This module implements that step: fine-tune
+// the model with its noise hooks ACTIVE during the forward pass (the errors
+// act as a straight-through stochastic regularizer), so the weights adapt to
+// the hybrid memory it will run on.
+#pragma once
+
+#include "data/synth_cifar.hpp"
+#include "models/zoo.hpp"
+#include "sram/layer_selector.hpp"
+
+namespace rhw::sram {
+
+struct RetrainConfig {
+  int epochs = 2;
+  int64_t batch_size = 100;
+  float lr = 0.005f;  // fine-tuning rate, well below the training rate
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+  uint64_t seed = 23;
+};
+
+struct RetrainResult {
+  double clean_acc_before = 0.0;  // percent, with noise hooks active
+  double clean_acc_after = 0.0;   // percent, with noise hooks active
+};
+
+// Fine-tunes `model` in place with the given noise selection installed
+// (hooks remain installed on return). Gradients flow through the noisy
+// forward activations — exactly how on-device noise-aware training behaves.
+RetrainResult retrain_with_noise(models::Model& model,
+                                 const data::SynthCifar& data,
+                                 const std::vector<SiteChoice>& selection,
+                                 double vdd, const RetrainConfig& cfg = {});
+
+}  // namespace rhw::sram

@@ -1,0 +1,77 @@
+#include "xbar/conductance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rhw::xbar {
+
+ProgrammedTile program_tile(const float* w, int64_t out_m, int64_t in_n,
+                            int64_t ldw, const CrossbarSpec& spec,
+                            rhw::RandomEngine* variation_rng) {
+  if (out_m > spec.cols || in_n > spec.rows) {
+    throw std::invalid_argument("program_tile: tile exceeds crossbar size");
+  }
+  ProgrammedTile tile;
+  tile.in_n = in_n;
+  tile.out_m = out_m;
+  const size_t total = static_cast<size_t>(spec.rows * spec.cols);
+  tile.g_pos.assign(total, spec.g_min());
+  tile.g_neg.assign(total, spec.g_min());
+
+  float wmax = 0.f;
+  for (int64_t o = 0; o < out_m; ++o) {
+    for (int64_t i = 0; i < in_n; ++i) {
+      wmax = std::max(wmax, std::fabs(w[o * ldw + i]));
+    }
+  }
+  const double g_range = spec.g_max() - spec.g_min();
+  tile.weight_per_siemens =
+      wmax > 0.f ? static_cast<double>(wmax) / g_range : 1.0 / g_range;
+
+  for (int64_t o = 0; o < out_m; ++o) {
+    for (int64_t i = 0; i < in_n; ++i) {
+      const double v = w[o * ldw + i];
+      // crossbar index: row = input i, col = output o
+      const size_t idx = static_cast<size_t>(i * spec.cols + o);
+      const double mag =
+          wmax > 0.f ? std::fabs(v) / wmax * g_range : 0.0;
+      if (v >= 0) {
+        tile.g_pos[idx] = spec.g_min() + mag;
+      } else {
+        tile.g_neg[idx] = spec.g_min() + mag;
+      }
+    }
+  }
+
+  if (variation_rng != nullptr && spec.sigma_over_mu > 0) {
+    // Gaussian process variation on every device, clamped to stay physical.
+    auto vary = [&](std::vector<double>& g) {
+      for (double& gij : g) {
+        const double factor =
+            1.0 + spec.sigma_over_mu * variation_rng->gaussian();
+        gij = std::clamp(gij * factor, 0.1 * spec.g_min(), 2.0 * spec.g_max());
+      }
+    };
+    vary(tile.g_pos);
+    vary(tile.g_neg);
+  }
+  return tile;
+}
+
+std::vector<float> tile_weights(const ProgrammedTile& tile,
+                                const std::vector<double>& g_pos,
+                                const std::vector<double>& g_neg,
+                                const CrossbarSpec& spec) {
+  std::vector<float> w(static_cast<size_t>(tile.out_m * tile.in_n));
+  for (int64_t o = 0; o < tile.out_m; ++o) {
+    for (int64_t i = 0; i < tile.in_n; ++i) {
+      const size_t idx = static_cast<size_t>(i * spec.cols + o);
+      w[static_cast<size_t>(o * tile.in_n + i)] = static_cast<float>(
+          (g_pos[idx] - g_neg[idx]) * tile.weight_per_siemens);
+    }
+  }
+  return w;
+}
+
+}  // namespace rhw::xbar

@@ -1,0 +1,64 @@
+// Memristive crossbar specification and weight-to-conductance programming.
+//
+// Orientation convention (Fig. 3 of the paper): input voltages V_i drive the
+// rows, synaptic conductances G_ij sit at the cross-points, and column j's
+// output current is I_j = sum_i G_ij * V_i. A weight matrix W [out x in] maps
+// with crossbar rows = input features and columns = output features.
+//
+// Signed weights use the standard differential pair: W = (G+ - G-) / g_scale,
+// with the positive part programmed on G+ and the magnitude of the negative
+// part on G-, both linearly mapped into [G_MIN, G_MAX].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace rhw::xbar {
+
+struct CrossbarSpec {
+  int64_t rows = 32;  // inputs per tile
+  int64_t cols = 32;  // outputs per tile
+  // Paper Sec. III-B: ON/OFF ratio 10 with R_MIN = 20 kOhm, R_MAX = 200 kOhm.
+  double r_min = 20e3;
+  double r_max = 200e3;
+  // Resistive non-idealities (paper values).
+  double r_driver = 1e3;
+  double r_wire_row = 5.0;
+  double r_wire_col = 10.0;
+  double r_sense = 1e3;
+  // Device-level process variation: Gaussian on conductance, sigma/mu = 10%.
+  double sigma_over_mu = 0.10;
+
+  double g_min() const { return 1.0 / r_max; }
+  double g_max() const { return 1.0 / r_min; }
+  double on_off_ratio() const { return r_max / r_min; }
+};
+
+// One programmed tile: conductance pair matrices, stored row-major as
+// [rows x cols] (i.e. [in x out]). Unused cross-points padded with G_MIN on
+// both matrices (differential contribution zero).
+struct ProgrammedTile {
+  std::vector<double> g_pos;
+  std::vector<double> g_neg;
+  int64_t in_n = 0;   // active rows
+  int64_t out_m = 0;  // active columns
+  // weight = (g_pos - g_neg) * weight_per_siemens
+  double weight_per_siemens = 0.0;
+};
+
+// Programs a weight tile w [out_m x in_n] (row-major, leading dimension ldw)
+// onto a crossbar. variation_rng == nullptr disables process variation.
+ProgrammedTile program_tile(const float* w, int64_t out_m, int64_t in_n,
+                            int64_t ldw, const CrossbarSpec& spec,
+                            rhw::RandomEngine* variation_rng);
+
+// Reads back the weights a tile represents, [out_m x in_n] row-major, from
+// arbitrary conductance matrices (e.g. after applying non-idealities).
+std::vector<float> tile_weights(const ProgrammedTile& tile,
+                                const std::vector<double>& g_pos,
+                                const std::vector<double>& g_neg,
+                                const CrossbarSpec& spec);
+
+}  // namespace rhw::xbar

@@ -1,0 +1,46 @@
+#include "xbar/energy_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rhw::xbar {
+
+double XbarEnergyModel::device_read_energy_fj(const CrossbarSpec& spec) const {
+  // E = G * V^2 * T  (worst case G = G_MAX). Units: S * V^2 * ns = nJ*1e-9...
+  // G_MAX [S] * Vread^2 [V^2] * t [ns -> s: 1e-9] gives Joules; convert to fJ.
+  const double joules = spec.g_max() * params_.v_read * params_.v_read *
+                        (params_.t_read_ns * 1e-9);
+  return joules * 1e15;
+}
+
+double XbarEnergyModel::tile_mvm_energy_fj(const CrossbarSpec& spec,
+                                           int adc_bits) const {
+  const double devices = static_cast<double>(spec.rows * spec.cols) *
+                         device_read_energy_fj(spec) *
+                         2.0;  // differential pair: two arrays per tile
+  const double dacs = static_cast<double>(spec.rows) * params_.dac_energy_fj;
+  // ADC energy grows ~4x per bit; adc_base_fj is defined at 6-bit precision.
+  const double adcs =
+      static_cast<double>(spec.cols) * params_.adc_base_fj *
+      std::pow(4.0, static_cast<double>(adc_bits) - 6.0);
+  return devices + dacs + adcs;
+}
+
+double XbarEnergyModel::tile_area_um2(const CrossbarSpec& spec,
+                                      int column_sharing) const {
+  const double cells = static_cast<double>(spec.rows * spec.cols) * 2.0 *
+                       params_.cell_area_um2;  // differential pair
+  const double adcs = static_cast<double>(spec.cols) /
+                      static_cast<double>(std::max(1, column_sharing)) *
+                      params_.adc_area_um2;
+  return cells + adcs;
+}
+
+double XbarEnergyModel::model_mvm_energy_nj(int64_t num_tiles,
+                                            const CrossbarSpec& spec,
+                                            int adc_bits) const {
+  return static_cast<double>(num_tiles) * tile_mvm_energy_fj(spec, adc_bits) *
+         1e-6;  // fJ -> nJ
+}
+
+}  // namespace rhw::xbar

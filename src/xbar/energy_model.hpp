@@ -1,0 +1,52 @@
+// Energy and area model for memristive crossbar MVM engines.
+//
+// Per analog MVM on one tile: every row gets a DAC conversion, every device
+// dissipates I*V during the read pulse (bounded by G_MAX * Vread^2 * Tread),
+// and every column gets one ADC conversion whose energy grows ~4x per
+// additional bit (flash/SAR-class scaling). These follow the published
+// PUMA/ISAAC-class analyses the paper builds on ([19], [20]); absolute
+// numbers are representative, relative scaling across tile sizes and ADC
+// precisions is what the ablation bench reports.
+#pragma once
+
+#include <cstdint>
+
+#include "xbar/conductance.hpp"
+
+namespace rhw::xbar {
+
+struct XbarEnergyParams {
+  double v_read = 0.2;          // read voltage (V)
+  double t_read_ns = 10.0;      // integration window
+  double dac_energy_fj = 20.0;   // per row conversion (8-bit class)
+  // Per column conversion at 6-bit precision; scales 4x per extra bit. SAR
+  // ADCs in ISAAC/PUMA-class designs dominate array power, hence the pJ-class
+  // default.
+  double adc_base_fj = 1000.0;
+  double cell_area_um2 = 0.01;  // 1T1R cell footprint, 22 nm class
+  double adc_area_um2 = 300.0;  // shared per column group
+};
+
+class XbarEnergyModel {
+ public:
+  explicit XbarEnergyModel(XbarEnergyParams params = {}) : params_(params) {}
+
+  // Worst-case device read energy (device programmed at G_MAX, full swing).
+  double device_read_energy_fj(const CrossbarSpec& spec) const;
+  // One analog MVM on a full [rows x cols] tile with adc_bits converters.
+  double tile_mvm_energy_fj(const CrossbarSpec& spec, int adc_bits) const;
+  // Tile silicon area (cells + per-column ADC amortized over `sharing`
+  // columns per converter).
+  double tile_area_um2(const CrossbarSpec& spec, int column_sharing = 8) const;
+
+  // Whole-model figures given the mapper's tile count.
+  double model_mvm_energy_nj(int64_t num_tiles, const CrossbarSpec& spec,
+                             int adc_bits) const;
+
+  const XbarEnergyParams& params() const { return params_; }
+
+ private:
+  XbarEnergyParams params_;
+};
+
+}  // namespace rhw::xbar

@@ -1,0 +1,149 @@
+#include "xbar/mna_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rhw::xbar {
+
+namespace {
+// Resistances are clamped so ideal (zero-parasitic) configurations stay
+// numerically well posed.
+double conductance_of(double resistance) {
+  return 1.0 / std::max(resistance, 1e-9);
+}
+}  // namespace
+
+MnaSolver::MnaSolver(const std::vector<double>& g, const CrossbarSpec& spec)
+    : spec_(spec) {
+  const int64_t rows = spec.rows, cols = spec.cols;
+  if (static_cast<int64_t>(g.size()) != rows * cols) {
+    throw std::invalid_argument("MnaSolver: conductance size mismatch");
+  }
+  n_ = 2 * rows * cols;
+  lu_.assign(static_cast<size_t>(n_ * n_), 0.0);
+  pivot_.resize(static_cast<size_t>(n_));
+  g_driver_ = conductance_of(spec.r_driver);
+  const double g_row = conductance_of(spec.r_wire_row);
+  const double g_col = conductance_of(spec.r_wire_col);
+  const double g_sense = conductance_of(spec.r_sense);
+
+  auto row_node = [cols](int64_t i, int64_t j) { return i * cols + j; };
+  auto col_node = [rows, cols](int64_t i, int64_t j) {
+    return rows * cols + i * cols + j;
+  };
+  auto add = [this](int64_t a, int64_t b, double cond) {
+    lu_[static_cast<size_t>(a * n_ + a)] += cond;
+    lu_[static_cast<size_t>(b * n_ + b)] += cond;
+    lu_[static_cast<size_t>(a * n_ + b)] -= cond;
+    lu_[static_cast<size_t>(b * n_ + a)] -= cond;
+  };
+  auto add_to_rail = [this](int64_t a, double cond) {
+    lu_[static_cast<size_t>(a * n_ + a)] += cond;
+  };
+
+  for (int64_t i = 0; i < rows; ++i) {
+    add_to_rail(row_node(i, 0), g_driver_);  // driver (RHS handled in solve)
+    for (int64_t j = 0; j + 1 < cols; ++j) {
+      add(row_node(i, j), row_node(i, j + 1), g_row);
+    }
+    for (int64_t j = 0; j < cols; ++j) {
+      add(row_node(i, j), col_node(i, j),
+          g[static_cast<size_t>(i * cols + j)]);
+    }
+  }
+  for (int64_t j = 0; j < cols; ++j) {
+    for (int64_t i = 0; i + 1 < rows; ++i) {
+      add(col_node(i, j), col_node(i + 1, j), g_col);
+    }
+    add_to_rail(col_node(rows - 1, j), g_sense);  // sense to virtual ground
+  }
+
+  // In-place LU with partial pivoting.
+  for (int64_t k = 0; k < n_; ++k) {
+    int64_t piv = k;
+    double best = std::fabs(lu_[static_cast<size_t>(k * n_ + k)]);
+    for (int64_t r = k + 1; r < n_; ++r) {
+      const double v = std::fabs(lu_[static_cast<size_t>(r * n_ + k)]);
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best == 0.0) throw std::runtime_error("MnaSolver: singular matrix");
+    pivot_[static_cast<size_t>(k)] = static_cast<int>(piv);
+    if (piv != k) {
+      for (int64_t c = 0; c < n_; ++c) {
+        std::swap(lu_[static_cast<size_t>(k * n_ + c)],
+                  lu_[static_cast<size_t>(piv * n_ + c)]);
+      }
+    }
+    const double inv = 1.0 / lu_[static_cast<size_t>(k * n_ + k)];
+    for (int64_t r = k + 1; r < n_; ++r) {
+      const double factor = lu_[static_cast<size_t>(r * n_ + k)] * inv;
+      lu_[static_cast<size_t>(r * n_ + k)] = factor;
+      if (factor == 0.0) continue;
+      const double* src = lu_.data() + k * n_;
+      double* dst = lu_.data() + r * n_;
+      for (int64_t c = k + 1; c < n_; ++c) dst[c] -= factor * src[c];
+    }
+  }
+}
+
+std::vector<double> MnaSolver::solve_nodes(
+    const std::vector<double>& rhs) const {
+  std::vector<double> x = rhs;
+  for (int64_t k = 0; k < n_; ++k) {
+    const int64_t piv = pivot_[static_cast<size_t>(k)];
+    if (piv != k) std::swap(x[static_cast<size_t>(k)], x[static_cast<size_t>(piv)]);
+    const double xk = x[static_cast<size_t>(k)];
+    if (xk == 0.0) continue;
+    for (int64_t r = k + 1; r < n_; ++r) {
+      x[static_cast<size_t>(r)] -= lu_[static_cast<size_t>(r * n_ + k)] * xk;
+    }
+  }
+  for (int64_t k = n_ - 1; k >= 0; --k) {
+    double acc = x[static_cast<size_t>(k)];
+    const double* row = lu_.data() + k * n_;
+    for (int64_t c = k + 1; c < n_; ++c) acc -= row[c] * x[static_cast<size_t>(c)];
+    x[static_cast<size_t>(k)] = acc / row[k];
+  }
+  return x;
+}
+
+std::vector<double> MnaSolver::solve(const std::vector<double>& v_in) const {
+  const int64_t rows = spec_.rows, cols = spec_.cols;
+  if (static_cast<int64_t>(v_in.size()) != rows) {
+    throw std::invalid_argument("MnaSolver::solve: bad input size");
+  }
+  std::vector<double> rhs(static_cast<size_t>(n_), 0.0);
+  for (int64_t i = 0; i < rows; ++i) {
+    rhs[static_cast<size_t>(i * cols)] = g_driver_ * v_in[static_cast<size_t>(i)];
+  }
+  const auto nodes = solve_nodes(rhs);
+  const double g_sense = 1.0 / std::max(spec_.r_sense, 1e-9);
+  std::vector<double> currents(static_cast<size_t>(cols));
+  const int64_t col_base = rows * cols + (rows - 1) * cols;
+  for (int64_t j = 0; j < cols; ++j) {
+    currents[static_cast<size_t>(j)] =
+        nodes[static_cast<size_t>(col_base + j)] * g_sense;
+  }
+  return currents;
+}
+
+std::vector<double> MnaSolver::effective_conductance() const {
+  const int64_t rows = spec_.rows, cols = spec_.cols;
+  std::vector<double> eff(static_cast<size_t>(rows * cols));
+  std::vector<double> v(static_cast<size_t>(rows), 0.0);
+  for (int64_t i = 0; i < rows; ++i) {
+    v[static_cast<size_t>(i)] = 1.0;
+    const auto currents = solve(v);
+    for (int64_t j = 0; j < cols; ++j) {
+      eff[static_cast<size_t>(i * cols + j)] = currents[static_cast<size_t>(j)];
+    }
+    v[static_cast<size_t>(i)] = 0.0;
+  }
+  return eff;
+}
+
+}  // namespace rhw::xbar

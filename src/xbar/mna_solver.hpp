@@ -1,0 +1,46 @@
+// Exact modified-nodal-analysis solver for the resistive crossbar grid.
+//
+// Models every node of the crossbar: per-cross-point row-wire and column-wire
+// nodes, row drivers (V_i through R_driver), inter-segment wire resistances,
+// the synaptic device between the wire layers at each cross-point, and column
+// sense resistances to virtual ground. The network is linear, so one LU
+// factorization serves any number of input vectors, and the crossbar's exact
+// behaviour is the effective conductance matrix A with I_j = sum_i A_ij V_i.
+//
+// Complexity is O((2*rows*cols)^3) for the factorization — used for
+// validation, small-array studies and the micro benchmarks; the DNN mapping
+// pipeline uses the fast model in nonideal.hpp, whose error against this
+// solver is bounded in tests.
+#pragma once
+
+#include <vector>
+
+#include "xbar/conductance.hpp"
+
+namespace rhw::xbar {
+
+class MnaSolver {
+ public:
+  // g: device conductances, row-major [rows x cols].
+  MnaSolver(const std::vector<double>& g, const CrossbarSpec& spec);
+
+  // Column output currents (size cols) for the given row voltages (size rows).
+  std::vector<double> solve(const std::vector<double>& v_in) const;
+
+  // Effective conductance matrix [rows x cols]: I_j = sum_i A_ij V_i.
+  std::vector<double> effective_conductance() const;
+
+  int64_t rows() const { return spec_.rows; }
+  int64_t cols() const { return spec_.cols; }
+
+ private:
+  CrossbarSpec spec_;
+  int64_t n_ = 0;                  // number of unknown nodes (2 * rows * cols)
+  std::vector<double> lu_;         // packed LU factors, n x n
+  std::vector<int> pivot_;         // row permutation
+  double g_driver_ = 0.0;
+
+  std::vector<double> solve_nodes(const std::vector<double>& rhs) const;
+};
+
+}  // namespace rhw::xbar

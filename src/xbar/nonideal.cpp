@@ -1,0 +1,42 @@
+#include "xbar/nonideal.hpp"
+
+#include <stdexcept>
+
+namespace rhw::xbar {
+
+double series_path_resistance(int64_t i, int64_t j, const CrossbarSpec& spec) {
+  return static_cast<double>(j + 1) * spec.r_wire_row +
+         static_cast<double>(spec.rows - i) * spec.r_wire_col;
+}
+
+std::vector<double> nonideal_conductances(const std::vector<double>& g,
+                                          const CrossbarSpec& spec) {
+  if (static_cast<int64_t>(g.size()) != spec.rows * spec.cols) {
+    throw std::invalid_argument("nonideal_conductances: size mismatch");
+  }
+  // Row/column total conductances drive the crowding factors.
+  std::vector<double> row_sum(static_cast<size_t>(spec.rows), 0.0);
+  std::vector<double> col_sum(static_cast<size_t>(spec.cols), 0.0);
+  for (int64_t i = 0; i < spec.rows; ++i) {
+    for (int64_t j = 0; j < spec.cols; ++j) {
+      const double gij = g[static_cast<size_t>(i * spec.cols + j)];
+      row_sum[static_cast<size_t>(i)] += gij;
+      col_sum[static_cast<size_t>(j)] += gij;
+    }
+  }
+  std::vector<double> out(g.size());
+  for (int64_t i = 0; i < spec.rows; ++i) {
+    const double a_row =
+        1.0 / (1.0 + spec.r_driver * row_sum[static_cast<size_t>(i)]);
+    for (int64_t j = 0; j < spec.cols; ++j) {
+      const size_t idx = static_cast<size_t>(i * spec.cols + j);
+      const double a_col =
+          1.0 / (1.0 + spec.r_sense * col_sum[static_cast<size_t>(j)]);
+      out[idx] = a_row * a_col /
+                 (1.0 / g[idx] + series_path_resistance(i, j, spec));
+    }
+  }
+  return out;
+}
+
+}  // namespace rhw::xbar

@@ -1,0 +1,37 @@
+// Fast (input-independent) non-ideal conductance model.
+//
+// Two first-order effects compose:
+//
+// 1. Series path resistance per cross-point: current through (i, j) traverses
+//    j+1 row-wire segments and (rows - i) column-wire segments:
+//      R_path(i,j) = (j+1) R_wire_row + (rows - i) R_wire_col
+//
+// 2. Current crowding through the shared driver and sense resistances: ALL
+//    devices on row i pull current through the same R_driver, so the row's
+//    input node sags by a factor that depends on the row's total conductance
+//    (and likewise for each column's R_sense):
+//      a_row(i) = 1 / (1 + R_driver * sum_j G_ij)
+//      a_col(j) = 1 / (1 + R_sense  * sum_i G_ij)
+//
+// Combining:  G'_ij = a_row(i) * a_col(j) / (1/G_ij + R_path(i,j))
+//
+// This captures the paper's three levers — degradation grows with crossbar
+// size (longer wires AND more devices sharing the driver), with conductance
+// (smaller R_MIN), and is position-dependent — and tracks the exact MNA grid
+// solver (mna_solver.hpp) to within a tolerance bounded in tests.
+#pragma once
+
+#include <vector>
+
+#include "xbar/conductance.hpp"
+
+namespace rhw::xbar {
+
+// Wire-only series path resistance seen by cross-point (row i, col j).
+double series_path_resistance(int64_t i, int64_t j, const CrossbarSpec& spec);
+
+// Applies the model to a full [rows x cols] conductance matrix.
+std::vector<double> nonideal_conductances(const std::vector<double>& g,
+                                          const CrossbarSpec& spec);
+
+}  // namespace rhw::xbar

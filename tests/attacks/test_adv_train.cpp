@@ -1,0 +1,84 @@
+#include "attacks/adv_train.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attacks/evaluate.hpp"
+#include "models/zoo.hpp"
+#include "nn/init.hpp"
+
+namespace rhw::attacks {
+namespace {
+
+data::SynthCifar small_data() {
+  data::SynthCifarConfig cfg;
+  cfg.num_classes = 4;
+  cfg.train_per_class = 60;
+  cfg.test_per_class = 25;
+  cfg.image_size = 16;
+  cfg.noise_std = 0.12f;
+  cfg.nuisance_amp = 0.15f;
+  return data::make_synth_cifar(cfg);
+}
+
+models::Model fresh_model(uint64_t seed) {
+  models::Model m = models::build_model("vgg8", 4, 0.125f, 16);
+  rhw::RandomEngine rng(seed);
+  nn::kaiming_init(*m.net, rng);
+  return m;
+}
+
+TEST(AdvTrain, LearnsTheTask) {
+  auto data = small_data();
+  auto model = fresh_model(1);
+  AdvTrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.batch_size = 48;
+  cfg.epsilon = 0.08f;
+  const auto result = adversarial_train(*model.net, data, cfg);
+  EXPECT_GT(result.clean_test_acc, 0.6);
+  EXPECT_LT(result.final_train_loss, 1.0);
+}
+
+TEST(AdvTrain, MoreRobustThanCleanTraining) {
+  auto data = small_data();
+
+  auto clean_model = fresh_model(2);
+  AdvTrainConfig clean_cfg;
+  clean_cfg.epochs = 4;
+  clean_cfg.batch_size = 48;
+  clean_cfg.epsilon = 0.f;  // degenerate: plain training
+  (void)adversarial_train(*clean_model.net, data, clean_cfg);
+
+  auto robust_model = fresh_model(2);
+  AdvTrainConfig adv_cfg = clean_cfg;
+  adv_cfg.epsilon = 0.1f;
+  (void)adversarial_train(*robust_model.net, data, adv_cfg);
+
+  AdvEvalConfig eval_cfg;
+  eval_cfg.epsilon = 0.1f;
+  const auto clean_res = evaluate_attack(*clean_model.net, *clean_model.net,
+                                         data.test, eval_cfg);
+  const auto robust_res = evaluate_attack(*robust_model.net, *robust_model.net,
+                                          data.test, eval_cfg);
+  EXPECT_LT(robust_res.adversarial_loss(),
+            clean_res.adversarial_loss() + 1.0)
+      << "adversarial training should not be less robust than clean training";
+}
+
+TEST(AdvTrain, ZeroAdvFractionMatchesPlainTraining) {
+  auto data = small_data();
+  auto a = fresh_model(3);
+  auto b = fresh_model(3);
+  AdvTrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 48;
+  cfg.adv_fraction = 0.f;
+  const auto ra = adversarial_train(*a.net, data, cfg);
+  cfg.epsilon = 0.f;  // other degenerate path
+  cfg.adv_fraction = 0.5f;
+  const auto rb = adversarial_train(*b.net, data, cfg);
+  EXPECT_NEAR(ra.clean_test_acc, rb.clean_test_acc, 1e-9);
+}
+
+}  // namespace
+}  // namespace rhw::attacks

@@ -1,0 +1,83 @@
+#include "attacks/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synth_cifar.hpp"
+#include "models/zoo.hpp"
+#include "nn/model_io.hpp"
+#include "xbar/mapper.hpp"
+
+namespace rhw::attacks {
+namespace {
+
+class DiagnosticsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SynthCifarConfig dcfg;
+    dcfg.num_classes = 4;
+    dcfg.train_per_class = 60;
+    dcfg.test_per_class = 30;
+    dcfg.image_size = 16;
+    dcfg.noise_std = 0.12f;
+    dcfg.nuisance_amp = 0.15f;
+    data_ = new data::SynthCifar(data::make_synth_cifar(dcfg));
+    model_ = new models::Model(models::build_model("vgg8", 4, 0.125f, 16));
+    models::TrainConfig tcfg;
+    tcfg.epochs = 3;
+    tcfg.batch_size = 48;
+    models::train_model(*model_, *data_, tcfg);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete data_;
+    model_ = nullptr;
+    data_ = nullptr;
+  }
+  static data::SynthCifar* data_;
+  static models::Model* model_;
+};
+
+data::SynthCifar* DiagnosticsTest::data_ = nullptr;
+models::Model* DiagnosticsTest::model_ = nullptr;
+
+TEST_F(DiagnosticsTest, SelfDiagnosisShowsNoObfuscation) {
+  ObfuscationConfig cfg;
+  cfg.sample_count = 60;
+  const auto report = diagnose_gradient_obfuscation(*model_->net, *model_->net,
+                                                    data_->test, cfg);
+  // Same model: gradients agree perfectly and white-box == transfer.
+  EXPECT_NEAR(report.grad_cosine, 1.0, 1e-5);
+  EXPECT_NEAR(report.white_box_adv_acc, report.transfer_adv_acc, 1e-9);
+  EXPECT_FALSE(report.obfuscation_suspected());
+}
+
+TEST_F(DiagnosticsTest, RandomFloorIsWeakerThanGradientAttacks) {
+  ObfuscationConfig cfg;
+  cfg.sample_count = 60;
+  cfg.epsilon = 0.1f;
+  const auto report = diagnose_gradient_obfuscation(*model_->net, *model_->net,
+                                                    data_->test, cfg);
+  // Gradient-guided attacks must beat random perturbations on a clean model.
+  EXPECT_LT(report.white_box_adv_acc, report.random_adv_acc + 1.0);
+  EXPECT_LE(report.white_box_adv_acc, report.clean_acc);
+}
+
+TEST_F(DiagnosticsTest, HardwareModelShowsReducedGradientAgreement) {
+  models::Model mapped = models::build_model("vgg8", 4, 0.125f, 16);
+  nn::load_state_dict(*mapped.net, nn::state_dict(*model_->net));
+  mapped.net->set_training(false);
+  xbar::XbarMapConfig xcfg;
+  xcfg.spec.rows = 32;
+  xcfg.spec.cols = 32;
+  (void)xbar::map_onto_crossbars(*mapped.net, xcfg);
+
+  ObfuscationConfig cfg;
+  cfg.sample_count = 60;
+  const auto report = diagnose_gradient_obfuscation(*model_->net, *mapped.net,
+                                                    data_->test, cfg);
+  EXPECT_LT(report.grad_cosine, 0.999);
+  EXPECT_GT(report.grad_cosine, 0.0);  // still correlated, not destroyed
+}
+
+}  // namespace
+}  // namespace rhw::attacks

@@ -1,0 +1,133 @@
+#include "attacks/evaluate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synth_cifar.hpp"
+#include "models/zoo.hpp"
+
+namespace rhw::attacks {
+namespace {
+
+// Shared fixture: one small trained model (trained once for the whole suite).
+class EvaluateTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SynthCifarConfig dcfg;
+    dcfg.num_classes = 4;
+    dcfg.train_per_class = 60;
+    dcfg.test_per_class = 25;
+    dcfg.image_size = 16;
+    dcfg.noise_std = 0.12f;
+    dcfg.nuisance_amp = 0.15f;
+    data_ = new data::SynthCifar(data::make_synth_cifar(dcfg));
+
+    models::VggConfig mcfg;
+    mcfg.depth = 8;
+    mcfg.num_classes = 4;
+    mcfg.in_size = 16;
+    mcfg.width_mult = 0.125f;
+    model_ = new models::Model(models::make_vgg(mcfg));
+    models::TrainConfig tcfg;
+    tcfg.epochs = 3;
+    tcfg.batch_size = 48;
+    models::train_model(*model_, *data_, tcfg);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete data_;
+    model_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static data::SynthCifar* data_;
+  static models::Model* model_;
+};
+
+data::SynthCifar* EvaluateTest::data_ = nullptr;
+models::Model* EvaluateTest::model_ = nullptr;
+
+TEST_F(EvaluateTest, CleanAccuracyIsHighOnTrainedModel) {
+  const double acc = clean_accuracy(*model_->net, data_->test);
+  EXPECT_GT(acc, 70.0);
+}
+
+TEST_F(EvaluateTest, AttackReducesAccuracy) {
+  AdvEvalConfig cfg;
+  cfg.kind = AttackKind::kFgsm;
+  cfg.epsilon = 0.15f;
+  const auto res = evaluate_attack(*model_->net, *model_->net, data_->test,
+                                   cfg);
+  EXPECT_LT(res.adv_acc, res.clean_acc);
+  EXPECT_GT(res.adversarial_loss(), 0.0);
+}
+
+TEST_F(EvaluateTest, StrongerEpsilonNoWeakerAttack) {
+  AdvEvalConfig weak;
+  weak.epsilon = 0.05f;
+  AdvEvalConfig strong;
+  strong.epsilon = 0.25f;
+  const auto rw = evaluate_attack(*model_->net, *model_->net, data_->test,
+                                  weak);
+  const auto rs = evaluate_attack(*model_->net, *model_->net, data_->test,
+                                  strong);
+  EXPECT_LE(rs.adv_acc, rw.adv_acc + 2.0);  // small tolerance
+}
+
+TEST_F(EvaluateTest, PgdNoWeakerThanFgsm) {
+  AdvEvalConfig fgsm_cfg;
+  fgsm_cfg.kind = AttackKind::kFgsm;
+  fgsm_cfg.epsilon = 0.1f;
+  AdvEvalConfig pgd_cfg;
+  pgd_cfg.kind = AttackKind::kPgd;
+  pgd_cfg.epsilon = 0.1f;
+  pgd_cfg.pgd_steps = 7;
+  const auto rf = evaluate_attack(*model_->net, *model_->net, data_->test,
+                                  fgsm_cfg);
+  const auto rp = evaluate_attack(*model_->net, *model_->net, data_->test,
+                                  pgd_cfg);
+  EXPECT_LE(rp.adv_acc, rf.adv_acc + 3.0);
+}
+
+TEST_F(EvaluateTest, AdversarialAccuracyAgreesWithFullEval) {
+  AdvEvalConfig cfg;
+  cfg.epsilon = 0.1f;
+  const auto full = evaluate_attack(*model_->net, *model_->net, data_->test,
+                                    cfg);
+  const double only = adversarial_accuracy(*model_->net, *model_->net,
+                                           data_->test, cfg);
+  EXPECT_NEAR(full.adv_acc, only, 1e-9);
+}
+
+TEST_F(EvaluateTest, BatchSizeInvariance) {
+  AdvEvalConfig small_batches;
+  small_batches.epsilon = 0.1f;
+  small_batches.batch_size = 7;
+  small_batches.kind = AttackKind::kFgsm;
+  AdvEvalConfig big_batches = small_batches;
+  big_batches.batch_size = 100;
+  // FGSM is deterministic, so accuracy must not depend on batching.
+  const double a = adversarial_accuracy(*model_->net, *model_->net,
+                                        data_->test, small_batches);
+  const double b = adversarial_accuracy(*model_->net, *model_->net,
+                                        data_->test, big_batches);
+  EXPECT_NEAR(a, b, 1e-9);
+}
+
+TEST(Evaluate, AttackNames) {
+  EXPECT_EQ(attack_name(AttackKind::kFgsm), "FGSM");
+  EXPECT_EQ(attack_name(AttackKind::kPgd), "PGD");
+}
+
+TEST(Evaluate, EmptyDatasetGivesZero) {
+  models::Model m = models::build_model("vgg8", 4, 0.125f, 16);
+  data::Dataset empty;
+  empty.images = Tensor({0, 3, 16, 16});
+  empty.num_classes = 4;
+  AdvEvalConfig cfg;
+  const auto res = evaluate_attack(*m.net, *m.net, empty, cfg);
+  EXPECT_EQ(res.clean_acc, 0.0);
+  EXPECT_EQ(res.adv_acc, 0.0);
+}
+
+}  // namespace
+}  // namespace rhw::attacks

@@ -1,0 +1,118 @@
+#include "attacks/fgsm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+
+namespace rhw::attacks {
+namespace {
+
+nn::Sequential small_net(uint64_t seed) {
+  nn::Sequential net;
+  net.emplace<nn::Linear>(8, 16);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Linear>(16, 3);
+  rhw::RandomEngine rng(seed);
+  nn::kaiming_init(net, rng);
+  net.set_training(false);
+  return net;
+}
+
+TEST(Fgsm, ZeroEpsilonIsIdentity) {
+  auto net = small_net(1);
+  rhw::RandomEngine rng(2);
+  const Tensor x = Tensor::rand_uniform({4, 8}, rng);
+  FgsmConfig cfg;
+  cfg.epsilon = 0.f;
+  const Tensor adv = fgsm(net, x, {0, 1, 2, 0}, cfg);
+  for (int64_t i = 0; i < x.numel(); ++i) EXPECT_EQ(adv[i], x[i]);
+}
+
+TEST(Fgsm, PerturbationBoundedByEpsilon) {
+  auto net = small_net(3);
+  rhw::RandomEngine rng(4);
+  const Tensor x = Tensor::rand_uniform({4, 8}, rng, 0.2f, 0.8f);
+  FgsmConfig cfg;
+  cfg.epsilon = 0.07f;
+  const Tensor adv = fgsm(net, x, {0, 1, 2, 0}, cfg);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_LE(std::fabs(adv[i] - x[i]), cfg.epsilon + 1e-6f);
+  }
+}
+
+TEST(Fgsm, StaysInValidPixelRange) {
+  auto net = small_net(5);
+  rhw::RandomEngine rng(6);
+  const Tensor x = Tensor::rand_uniform({4, 8}, rng);  // includes near 0/1
+  FgsmConfig cfg;
+  cfg.epsilon = 0.3f;
+  const Tensor adv = fgsm(net, x, {1, 1, 1, 1}, cfg);
+  EXPECT_GE(adv.min(), 0.f);
+  EXPECT_LE(adv.max(), 1.f);
+}
+
+TEST(Fgsm, IncreasesLoss) {
+  auto net = small_net(7);
+  rhw::RandomEngine rng(8);
+  const Tensor x = Tensor::rand_uniform({16, 8}, rng, 0.3f, 0.7f);
+  std::vector<int64_t> labels;
+  for (int i = 0; i < 16; ++i) labels.push_back(i % 3);
+  FgsmConfig cfg;
+  cfg.epsilon = 0.1f;
+  const Tensor adv = fgsm(net, x, labels, cfg);
+
+  nn::SoftmaxCrossEntropy loss;
+  const float clean_loss = loss.forward(net.forward(x), labels);
+  nn::SoftmaxCrossEntropy loss2;
+  const float adv_loss = loss2.forward(net.forward(adv), labels);
+  EXPECT_GT(adv_loss, clean_loss);
+}
+
+TEST(Fgsm, InputGradientMatchesFiniteDifference) {
+  auto net = small_net(9);
+  rhw::RandomEngine rng(10);
+  Tensor x = Tensor::rand_uniform({2, 8}, rng, 0.3f, 0.7f);
+  const std::vector<int64_t> labels{0, 2};
+  const Tensor grad = input_gradient(net, x, labels);
+
+  const float h = 1e-3f;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float orig = x[i];
+    nn::SoftmaxCrossEntropy l1, l2;
+    x[i] = orig + h;
+    const float up = l1.forward(net.forward(x), labels);
+    x[i] = orig - h;
+    const float down = l2.forward(net.forward(x), labels);
+    x[i] = orig;
+    EXPECT_NEAR(grad[i], (up - down) / (2 * h), 5e-3f) << "index " << i;
+  }
+}
+
+TEST(Fgsm, GradientPassDisablesGatedHooks) {
+  auto net = small_net(11);
+  bool hook_ran_during_grad = false;
+  net[1].set_post_hook([&](Tensor&) { hook_ran_during_grad = true; });
+  rhw::RandomEngine rng(12);
+  const Tensor x = Tensor::rand_uniform({2, 8}, rng);
+  (void)input_gradient(net, x, {0, 1});
+  EXPECT_FALSE(hook_ran_during_grad);
+  // Outside the gradient pass the hook fires again.
+  (void)net.forward(x);
+  EXPECT_TRUE(hook_ran_during_grad);
+}
+
+TEST(Fgsm, RestoresTrainingFlag) {
+  auto net = small_net(13);
+  net.set_training(true);
+  rhw::RandomEngine rng(14);
+  const Tensor x = Tensor::rand_uniform({2, 8}, rng);
+  (void)input_gradient(net, x, {0, 1});
+  EXPECT_TRUE(net.training());
+}
+
+}  // namespace
+}  // namespace rhw::attacks

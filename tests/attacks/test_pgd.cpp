@@ -1,0 +1,194 @@
+#include "attacks/pgd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/sequential.hpp"
+
+namespace rhw::attacks {
+namespace {
+
+nn::Sequential small_net(uint64_t seed) {
+  nn::Sequential net;
+  net.emplace<nn::Linear>(8, 16);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Linear>(16, 3);
+  rhw::RandomEngine rng(seed);
+  nn::kaiming_init(net, rng);
+  net.set_training(false);
+  return net;
+}
+
+std::vector<int64_t> labels16() {
+  std::vector<int64_t> out;
+  for (int i = 0; i < 16; ++i) out.push_back(i % 3);
+  return out;
+}
+
+TEST(Pgd, ZeroEpsilonIsIdentity) {
+  auto net = small_net(1);
+  rhw::RandomEngine rng(2);
+  const Tensor x = Tensor::rand_uniform({4, 8}, rng);
+  PgdConfig cfg;
+  cfg.epsilon = 0.f;
+  const Tensor adv = pgd(net, x, {0, 1, 2, 0}, cfg);
+  for (int64_t i = 0; i < x.numel(); ++i) EXPECT_EQ(adv[i], x[i]);
+}
+
+TEST(Pgd, StaysInsideEpsilonBall) {
+  auto net = small_net(3);
+  rhw::RandomEngine rng(4);
+  const Tensor x = Tensor::rand_uniform({8, 8}, rng, 0.2f, 0.8f);
+  PgdConfig cfg;
+  cfg.epsilon = 0.05f;
+  cfg.steps = 10;
+  std::vector<int64_t> labels(8, 1);
+  const Tensor adv = pgd(net, x, labels, cfg);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_LE(std::fabs(adv[i] - x[i]), cfg.epsilon + 1e-6f);
+  }
+}
+
+TEST(Pgd, StaysInPixelRange) {
+  auto net = small_net(5);
+  rhw::RandomEngine rng(6);
+  const Tensor x = Tensor::rand_uniform({8, 8}, rng);
+  PgdConfig cfg;
+  cfg.epsilon = 0.4f;
+  const Tensor adv = pgd(net, x, std::vector<int64_t>(8, 0), cfg);
+  EXPECT_GE(adv.min(), 0.f);
+  EXPECT_LE(adv.max(), 1.f);
+}
+
+TEST(Pgd, AtLeastAsStrongAsFgsm) {
+  auto net = small_net(7);
+  rhw::RandomEngine rng(8);
+  const Tensor x = Tensor::rand_uniform({16, 8}, rng, 0.3f, 0.7f);
+  const auto labels = labels16();
+
+  FgsmConfig fc;
+  fc.epsilon = 0.1f;
+  const Tensor adv_fgsm = fgsm(net, x, labels, fc);
+  PgdConfig pc;
+  pc.epsilon = 0.1f;
+  pc.steps = 10;
+  pc.random_start = false;
+  const Tensor adv_pgd = pgd(net, x, labels, pc);
+
+  nn::SoftmaxCrossEntropy l1, l2;
+  const float loss_fgsm = l1.forward(net.forward(adv_fgsm), labels);
+  const float loss_pgd = l2.forward(net.forward(adv_pgd), labels);
+  EXPECT_GE(loss_pgd, loss_fgsm * 0.95f);  // allow tiny numerical slack
+}
+
+TEST(Pgd, MoreStepsDoNotWeakenAttack) {
+  auto net = small_net(9);
+  rhw::RandomEngine rng(10);
+  const Tensor x = Tensor::rand_uniform({16, 8}, rng, 0.3f, 0.7f);
+  const auto labels = labels16();
+  PgdConfig one;
+  one.epsilon = 0.08f;
+  one.steps = 1;
+  one.random_start = false;
+  PgdConfig many = one;
+  many.steps = 20;
+  nn::SoftmaxCrossEntropy l1, l2;
+  const float loss1 = l1.forward(net.forward(pgd(net, x, labels, one)), labels);
+  const float lossN =
+      l2.forward(net.forward(pgd(net, x, labels, many)), labels);
+  EXPECT_GE(lossN, loss1 * 0.95f);
+}
+
+TEST(Pgd, RandomStartDeterministicPerSeed) {
+  auto net = small_net(11);
+  rhw::RandomEngine rng(12);
+  const Tensor x = Tensor::rand_uniform({4, 8}, rng, 0.3f, 0.7f);
+  PgdConfig cfg;
+  cfg.epsilon = 0.1f;
+  // Small explicit step so the random-start difference survives the
+  // projection (full-size signed steps drive every seed to the same corner).
+  cfg.alpha = 0.002f;
+  cfg.steps = 2;
+  cfg.seed = 777;
+  const Tensor a = pgd(net, x, {0, 1, 2, 0}, cfg);
+  const Tensor b = pgd(net, x, {0, 1, 2, 0}, cfg);
+  for (int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a[i], b[i]);
+  cfg.seed = 778;
+  const Tensor c = pgd(net, x, {0, 1, 2, 0}, cfg);
+  double diff = 0;
+  for (int64_t i = 0; i < a.numel(); ++i) diff += std::fabs(a[i] - c[i]);
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(Pgd, EotOnDeterministicModelMatchesPlainPgd) {
+  auto net = small_net(15);
+  rhw::RandomEngine rng(16);
+  const Tensor x = Tensor::rand_uniform({4, 8}, rng, 0.3f, 0.7f);
+  PgdConfig plain;
+  plain.epsilon = 0.08f;
+  plain.random_start = false;
+  PgdConfig eot = plain;
+  eot.grad_samples = 5;
+  // Deterministic network: averaged gradients equal the single gradient, so
+  // the signed steps (and hence the adversaries) coincide.
+  const Tensor a = pgd(net, x, {0, 1, 2, 0}, plain);
+  const Tensor b = pgd(net, x, {0, 1, 2, 0}, eot);
+  for (int64_t i = 0; i < a.numel(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(Pgd, EotNoWeakerThanPlainOnNoisyModel) {
+  // A network whose gradients are corrupted by fresh additive noise per
+  // backward pass (as the crossbar mapper installs): EOT averages the noise
+  // out, so its attack must be at least as strong.
+  auto net = small_net(17);
+  auto rng_ptr = std::make_shared<rhw::RandomEngine>(18);
+  net[0].set_backward_hook(
+      [rng_ptr](Tensor& g) {
+        const float rms =
+            g.l2_norm() / std::sqrt(static_cast<float>(g.numel()));
+        for (float& v : g.span()) v += 2.f * rms * rng_ptr->gaussian();
+      },
+      /*gated=*/false);
+
+  rhw::RandomEngine rng(19);
+  const Tensor x = Tensor::rand_uniform({32, 8}, rng, 0.3f, 0.7f);
+  std::vector<int64_t> labels;
+  for (int i = 0; i < 32; ++i) labels.push_back(i % 3);
+  PgdConfig plain;
+  plain.epsilon = 0.1f;
+  plain.random_start = false;
+  PgdConfig eot = plain;
+  eot.grad_samples = 16;
+  nn::SoftmaxCrossEntropy l1, l2;
+  const float loss_plain =
+      l1.forward(net.forward(pgd(net, x, labels, plain)), labels);
+  const float loss_eot =
+      l2.forward(net.forward(pgd(net, x, labels, eot)), labels);
+  EXPECT_GE(loss_eot, loss_plain * 0.9f);
+}
+
+TEST(Pgd, AutoAlphaIsUsedWhenZero) {
+  // Indirect check: with alpha=0 and steps=1, the step size is 2.5*eps which
+  // after projection equals an eps-size step — so some coordinate must move
+  // by exactly eps (away from clip boundaries).
+  auto net = small_net(13);
+  rhw::RandomEngine rng(14);
+  const Tensor x = Tensor::rand_uniform({4, 8}, rng, 0.4f, 0.6f);
+  PgdConfig cfg;
+  cfg.epsilon = 0.05f;
+  cfg.steps = 1;
+  cfg.random_start = false;
+  const Tensor adv = pgd(net, x, {0, 1, 2, 0}, cfg);
+  float max_move = 0.f;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    max_move = std::max(max_move, std::fabs(adv[i] - x[i]));
+  }
+  EXPECT_NEAR(max_move, cfg.epsilon, 1e-6f);
+}
+
+}  // namespace
+}  // namespace rhw::attacks

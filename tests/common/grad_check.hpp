@@ -1,0 +1,77 @@
+// Finite-difference gradient checking for Module implementations.
+//
+// Defines the scalar objective L = sum(forward(x) .* R) for a fixed random
+// projection R, whose analytic input gradient is backward(R) and whose
+// parameter gradients land in Param::grad. Central differences give the
+// numeric reference.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "nn/module.hpp"
+
+namespace rhw::testing {
+
+inline double objective(nn::Module& m, const Tensor& x, const Tensor& proj) {
+  const Tensor y = m.forward(x);
+  double acc = 0;
+  for (int64_t i = 0; i < y.numel(); ++i) acc += y[i] * proj[i];
+  return acc;
+}
+
+// Checks d(objective)/d(input) against backward(proj).
+inline void check_input_gradient(nn::Module& m, Tensor x, uint64_t seed,
+                                 float h = 1e-3f, float tol = 2e-2f) {
+  RandomEngine rng(seed);
+  const Tensor y0 = m.forward(x);
+  const Tensor proj = Tensor::randn(y0.shape(), rng);
+  (void)m.forward(x);  // refresh caches
+  const Tensor analytic = m.backward(proj);
+
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float orig = x[i];
+    x[i] = orig + h;
+    const double up = objective(m, x, proj);
+    x[i] = orig - h;
+    const double down = objective(m, x, proj);
+    x[i] = orig;
+    const double numeric = (up - down) / (2.0 * h);
+    const double scale = std::max({1.0, std::fabs(numeric),
+                                   std::fabs(static_cast<double>(analytic[i]))});
+    ASSERT_NEAR(analytic[i], numeric, tol * scale) << "input index " << i;
+  }
+}
+
+// Checks parameter gradients of every Param against finite differences.
+inline void check_param_gradients(nn::Module& m, const Tensor& x,
+                                  uint64_t seed, float h = 1e-3f,
+                                  float tol = 2e-2f) {
+  RandomEngine rng(seed);
+  const Tensor y0 = m.forward(x);
+  const Tensor proj = Tensor::randn(y0.shape(), rng);
+  for (nn::Param* p : m.parameters()) p->zero_grad();
+  (void)m.forward(x);
+  (void)m.backward(proj);
+
+  for (nn::Param* p : m.parameters()) {
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      const float orig = p->value[i];
+      p->value[i] = orig + h;
+      const double up = objective(m, x, proj);
+      p->value[i] = orig - h;
+      const double down = objective(m, x, proj);
+      p->value[i] = orig;
+      const double numeric = (up - down) / (2.0 * h);
+      const double scale =
+          std::max({1.0, std::fabs(numeric),
+                    std::fabs(static_cast<double>(p->grad[i]))});
+      ASSERT_NEAR(p->grad[i], numeric, tol * scale)
+          << p->name << " index " << i;
+    }
+  }
+}
+
+}  // namespace rhw::testing

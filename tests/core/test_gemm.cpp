@@ -1,0 +1,146 @@
+#include "core/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace rhw {
+namespace {
+
+std::vector<float> random_matrix(int64_t rows, int64_t cols,
+                                 RandomEngine& rng) {
+  std::vector<float> m(static_cast<size_t>(rows * cols));
+  for (auto& v : m) v = rng.uniform(-1.f, 1.f);
+  return m;
+}
+
+void expect_near_all(const std::vector<float>& a, const std::vector<float>& b,
+                     float tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i], b[i], tol) << "at index " << i;
+  }
+}
+
+TEST(Gemm, TinyKnownValues) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  const std::vector<float> a{1, 2, 3, 4};
+  const std::vector<float> b{5, 6, 7, 8};
+  std::vector<float> c(4, 0.f);
+  gemm(false, false, 2, 2, 2, 1.f, a.data(), 2, b.data(), 2, 0.f, c.data(), 2);
+  EXPECT_FLOAT_EQ(c[0], 19.f);
+  EXPECT_FLOAT_EQ(c[1], 22.f);
+  EXPECT_FLOAT_EQ(c[2], 43.f);
+  EXPECT_FLOAT_EQ(c[3], 50.f);
+}
+
+TEST(Gemm, BetaAccumulates) {
+  const std::vector<float> a{1, 0, 0, 1};  // identity
+  const std::vector<float> b{1, 2, 3, 4};
+  std::vector<float> c{10, 10, 10, 10};
+  gemm(false, false, 2, 2, 2, 1.f, a.data(), 2, b.data(), 2, 1.f, c.data(), 2);
+  EXPECT_FLOAT_EQ(c[0], 11.f);
+  EXPECT_FLOAT_EQ(c[3], 14.f);
+}
+
+TEST(Gemm, AlphaScales) {
+  const std::vector<float> a{2};
+  const std::vector<float> b{3};
+  std::vector<float> c{1};
+  gemm(false, false, 1, 1, 1, 0.5f, a.data(), 1, b.data(), 1, 0.f, c.data(), 1);
+  EXPECT_FLOAT_EQ(c[0], 3.f);
+}
+
+// Property sweep: blocked kernel must agree with the naive reference for all
+// four transpose combinations and a spread of (awkward) sizes.
+class GemmParity
+    : public ::testing::TestWithParam<std::tuple<bool, bool, int, int, int>> {};
+
+TEST_P(GemmParity, MatchesNaive) {
+  const auto [ta, tb, m, n, k] = GetParam();
+  RandomEngine rng(static_cast<uint64_t>(m * 73856093 ^ n * 19349663 ^ k) +
+                   (ta ? 2 : 0) + (tb ? 1 : 0));
+  const auto a = random_matrix(ta ? k : m, ta ? m : k, rng);
+  const auto b = random_matrix(tb ? n : k, tb ? k : n, rng);
+  const int64_t lda = ta ? m : k;
+  const int64_t ldb = tb ? k : n;
+  std::vector<float> c_fast(static_cast<size_t>(m * n), 0.5f);
+  std::vector<float> c_ref = c_fast;
+  gemm(ta, tb, m, n, k, 1.3f, a.data(), lda, b.data(), ldb, 0.7f, c_fast.data(),
+       n);
+  gemm_naive(ta, tb, m, n, k, 1.3f, a.data(), lda, b.data(), ldb, 0.7f,
+             c_ref.data(), n);
+  expect_near_all(c_fast, c_ref, 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmParity,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(1, 7, 32, 65),
+                       ::testing::Values(1, 9, 33),
+                       ::testing::Values(1, 17, 64)));
+
+TEST(Gemm, LargeParallelPathMatchesNaive) {
+  RandomEngine rng(99);
+  const int64_t m = 128, n = 96, k = 300;  // crosses the parallel threshold
+  const auto a = random_matrix(m, k, rng);
+  const auto b = random_matrix(k, n, rng);
+  std::vector<float> c_fast(static_cast<size_t>(m * n), 0.f);
+  std::vector<float> c_ref = c_fast;
+  gemm(false, false, m, n, k, 1.f, a.data(), k, b.data(), n, 0.f, c_fast.data(),
+       n);
+  gemm_naive(false, false, m, n, k, 1.f, a.data(), k, b.data(), n, 0.f,
+             c_ref.data(), n);
+  expect_near_all(c_fast, c_ref, 2e-3f);
+}
+
+TEST(Gemm, StridedLeadingDimensions) {
+  // Views into larger buffers (ld > logical cols).
+  RandomEngine rng(5);
+  const auto a = random_matrix(4, 10, rng);  // use 4x3 view, lda=10
+  const auto b = random_matrix(3, 8, rng);   // use 3x5 view, ldb=8
+  std::vector<float> c_fast(4 * 5, 0.f), c_ref(4 * 5, 0.f);
+  gemm(false, false, 4, 5, 3, 1.f, a.data(), 10, b.data(), 8, 0.f,
+       c_fast.data(), 5);
+  gemm_naive(false, false, 4, 5, 3, 1.f, a.data(), 10, b.data(), 8, 0.f,
+             c_ref.data(), 5);
+  expect_near_all(c_fast, c_ref, 1e-4f);
+}
+
+TEST(Gemv, MatchesGemmColumn) {
+  RandomEngine rng(6);
+  const int64_t m = 13, n = 7;
+  const auto a = random_matrix(m, n, rng);
+  const auto x = random_matrix(n, 1, rng);
+  std::vector<float> y(static_cast<size_t>(m), 0.f);
+  gemv(false, m, n, 1.f, a.data(), n, x.data(), 0.f, y.data());
+  std::vector<float> y_ref(static_cast<size_t>(m), 0.f);
+  gemm_naive(false, false, m, 1, n, 1.f, a.data(), n, x.data(), 1, 0.f,
+             y_ref.data(), 1);
+  expect_near_all(y, y_ref, 1e-4f);
+}
+
+TEST(Gemv, TransposedMatchesGemm) {
+  RandomEngine rng(8);
+  const int64_t m = 9, n = 11;
+  const auto a = random_matrix(m, n, rng);
+  const auto x = random_matrix(m, 1, rng);
+  std::vector<float> y(static_cast<size_t>(n), 0.f);
+  gemv(true, m, n, 1.f, a.data(), n, x.data(), 0.f, y.data());
+  std::vector<float> y_ref(static_cast<size_t>(n), 0.f);
+  gemm_naive(true, false, n, 1, m, 1.f, a.data(), n, x.data(), 1, 0.f,
+             y_ref.data(), 1);
+  expect_near_all(y, y_ref, 1e-4f);
+}
+
+TEST(Gemm, ZeroSizedNoCrash) {
+  std::vector<float> c(1, 3.f);
+  gemm(false, false, 0, 0, 0, 1.f, nullptr, 1, nullptr, 1, 0.f, c.data(), 1);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rhw

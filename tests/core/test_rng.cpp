@@ -1,0 +1,113 @@
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace rhw {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  RandomEngine a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  RandomEngine a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  RandomEngine a(55);
+  const uint64_t first = a.next_u64();
+  a.next_u64();
+  a.reseed(55);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  RandomEngine rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  RandomEngine rng(10);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, NextBelowBounds) {
+  RandomEngine rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  RandomEngine rng(12);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments) {
+  RandomEngine rng(13);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, GaussianAffine) {
+  RandomEngine rng(14);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(5.f, 0.5f);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  RandomEngine parent(21);
+  RandomEngine childA = parent.fork(0);
+  RandomEngine childB = parent.fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (childA.next_u64() == childB.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<RandomEngine>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rhw

@@ -1,0 +1,93 @@
+#include "core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "core/rng.hpp"
+
+namespace rhw {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Serialize, TensorRoundTripStream) {
+  RandomEngine rng(3);
+  Tensor t = Tensor::randn({3, 4, 5}, rng);
+  std::stringstream ss;
+  write_tensor(ss, t);
+  Tensor back = read_tensor(ss);
+  ASSERT_TRUE(back.same_shape(t));
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(back[i], t[i]);
+}
+
+TEST(Serialize, EmptyTensorRoundTrip) {
+  Tensor t({0});
+  std::stringstream ss;
+  write_tensor(ss, t);
+  Tensor back = read_tensor(ss);
+  EXPECT_EQ(back.numel(), 0);
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::stringstream ss;
+  ss << "garbage data here";
+  EXPECT_THROW(read_tensor(ss), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedStreamThrows) {
+  RandomEngine rng(4);
+  Tensor t = Tensor::randn({100}, rng);
+  std::stringstream ss;
+  write_tensor(ss, t);
+  std::string data = ss.str();
+  data.resize(data.size() / 2);
+  std::stringstream half(data);
+  EXPECT_THROW(read_tensor(half), std::runtime_error);
+}
+
+TEST(Serialize, CheckpointRoundTripFile) {
+  const std::string path = temp_path("rhw_test_ckpt.bin");
+  RandomEngine rng(5);
+  TensorMap m;
+  m["a.weight"] = Tensor::randn({4, 4}, rng);
+  m["a.bias"] = Tensor::randn({4}, rng);
+  m["bn.running_mean"] = Tensor({4}, 0.25f);
+  write_checkpoint(path, m);
+  const TensorMap back = read_checkpoint(path);
+  ASSERT_EQ(back.size(), 3u);
+  for (const auto& [name, t] : m) {
+    auto it = back.find(name);
+    ASSERT_NE(it, back.end()) << name;
+    ASSERT_TRUE(it->second.same_shape(t));
+    for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(it->second[i], t[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, CheckpointCreatesParentDirs) {
+  const std::string dir = temp_path("rhw_nested_dir_test");
+  const std::string path = dir + "/sub/ckpt.bin";
+  std::filesystem::remove_all(dir);
+  TensorMap m;
+  m["x"] = Tensor({1}, 1.f);
+  write_checkpoint(path, m);
+  EXPECT_TRUE(file_exists(path));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(read_checkpoint(temp_path("rhw_does_not_exist.bin")),
+               std::runtime_error);
+}
+
+TEST(Serialize, FileExists) {
+  EXPECT_FALSE(file_exists(temp_path("rhw_definitely_missing")));
+}
+
+}  // namespace
+}  // namespace rhw

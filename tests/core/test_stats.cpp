@@ -1,0 +1,58 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rhw {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.push(x);
+  EXPECT_EQ(s.count, 8);
+  EXPECT_NEAR(s.mean, 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, SingleValueHasZeroVariance) {
+  RunningStats s;
+  s.push(3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, MeanOf) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean_of(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, StddevOf) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(stddev_of(xs), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stddev_of(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median_of({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median_of({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(median_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(median_of({7}), 7.0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs;
+  for (int i = 0; i <= 100; ++i) xs.push_back(i);
+  EXPECT_NEAR(percentile_of(xs, 0), 0.0, 1e-12);
+  EXPECT_NEAR(percentile_of(xs, 50), 50.0, 1e-12);
+  EXPECT_NEAR(percentile_of(xs, 100), 100.0, 1e-12);
+  EXPECT_NEAR(percentile_of(xs, 25), 25.0, 1e-12);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  EXPECT_NEAR(percentile_of({0.0, 1.0}, 50), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace rhw

@@ -1,0 +1,157 @@
+#include "core/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace rhw {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.rank(), 0);
+}
+
+TEST(Tensor, ShapeConstructionZeroFills) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.rank(), 2);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.f);
+}
+
+TEST(Tensor, FillValueConstruction) {
+  Tensor t({4}, 2.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, FromValuesChecksSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(Tensor, At2dIndexing) {
+  Tensor t({2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at(0, 0), 0.f);
+  EXPECT_EQ(t.at(0, 2), 2.f);
+  EXPECT_EQ(t.at(1, 0), 3.f);
+  EXPECT_EQ(t.at(1, 2), 5.f);
+  t.at(1, 1) = 42.f;
+  EXPECT_EQ(t[4], 42.f);
+}
+
+TEST(Tensor, At4dIndexing) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 7.f;
+  EXPECT_EQ(t[t.numel() - 1], 7.f);
+  t.at(0, 0, 0, 0) = 3.f;
+  EXPECT_EQ(t[0], 3.f);
+}
+
+TEST(Tensor, ReshapePreservesDataAndChecksNumel) {
+  Tensor t({2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at(2, 1), 5.f);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+  t.reshape_inplace({6});
+  EXPECT_EQ(t.rank(), 1);
+}
+
+TEST(Tensor, ElementwiseInPlaceOps) {
+  Tensor a({3}, std::vector<float>{1, 2, 3});
+  Tensor b({3}, std::vector<float>{4, 5, 6});
+  a.add_(b);
+  EXPECT_EQ(a[0], 5.f);
+  a.sub_(b);
+  EXPECT_EQ(a[2], 3.f);
+  a.mul_(b);
+  EXPECT_EQ(a[1], 10.f);
+  a.scale_(0.5f);
+  EXPECT_EQ(a[0], 2.f);
+  a.add_scalar_(1.f);
+  EXPECT_EQ(a[0], 3.f);
+  a.add_scaled_(b, 2.f);
+  EXPECT_EQ(a[0], 11.f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a({2});
+  Tensor b({3});
+  EXPECT_THROW(a.add_(b), std::invalid_argument);
+  EXPECT_THROW(a.mul_(b), std::invalid_argument);
+}
+
+TEST(Tensor, ClampReluSign) {
+  Tensor t({5}, std::vector<float>{-2, -0.5f, 0, 0.5f, 2});
+  Tensor c = t;
+  c.clamp_(-1, 1);
+  EXPECT_EQ(c[0], -1.f);
+  EXPECT_EQ(c[4], 1.f);
+  EXPECT_EQ(c[2], 0.f);
+  Tensor r = t;
+  r.relu_();
+  EXPECT_EQ(r[0], 0.f);
+  EXPECT_EQ(r[3], 0.5f);
+  Tensor s = t;
+  s.sign_();
+  EXPECT_EQ(s[0], -1.f);
+  EXPECT_EQ(s[2], 0.f);
+  EXPECT_EQ(s[4], 1.f);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, std::vector<float>{-3, 1, 2, 4});
+  EXPECT_FLOAT_EQ(t.sum(), 4.f);
+  EXPECT_FLOAT_EQ(t.mean(), 1.f);
+  EXPECT_FLOAT_EQ(t.min(), -3.f);
+  EXPECT_FLOAT_EQ(t.max(), 4.f);
+  EXPECT_FLOAT_EQ(t.abs_max(), 4.f);
+  EXPECT_NEAR(t.l2_norm(), std::sqrt(9.f + 1 + 4 + 16), 1e-5);
+}
+
+TEST(Tensor, ArgmaxRows) {
+  Tensor t({2, 3}, std::vector<float>{0, 5, 1, 9, 2, 3});
+  const auto am = t.argmax_rows();
+  ASSERT_EQ(am.size(), 2u);
+  EXPECT_EQ(am[0], 1);
+  EXPECT_EQ(am[1], 0);
+}
+
+TEST(Tensor, RandnStatistics) {
+  RandomEngine rng(42);
+  Tensor t = Tensor::randn({10000}, rng, 1.f, 2.f);
+  EXPECT_NEAR(t.mean(), 1.f, 0.1f);
+  double var = 0;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    var += (t[i] - t.mean()) * (t[i] - t.mean());
+  }
+  var /= static_cast<double>(t.numel());
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Tensor, UniformRange) {
+  RandomEngine rng(7);
+  Tensor t = Tensor::rand_uniform({1000}, rng, -0.5f, 0.5f);
+  EXPECT_GE(t.min(), -0.5f);
+  EXPECT_LT(t.max(), 0.5f);
+}
+
+TEST(Tensor, ValueSemanticsDeepCopy) {
+  Tensor a({2}, 1.f);
+  Tensor b = a;
+  b[0] = 99.f;
+  EXPECT_EQ(a[0], 1.f);
+}
+
+TEST(Tensor, ShapeStr) {
+  EXPECT_EQ(Tensor({2, 3}).shape_str(), "[2, 3]");
+}
+
+TEST(Tensor, NegativeShapeThrows) {
+  EXPECT_THROW(Tensor({-1, 3}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rhw

@@ -1,0 +1,64 @@
+#include "core/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace rhw {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) hits[static_cast<size_t>(i)]++;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroAndNegativeAreNoOps) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](int64_t, int64_t) { ++calls; });
+  pool.parallel_for(-5, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, SingleElement) {
+  ThreadPool pool(8);
+  std::atomic<int64_t> sum{0};
+  pool.parallel_for(1, [&](int64_t b, int64_t e) { sum += e - b; });
+  EXPECT_EQ(sum.load(), 1);
+}
+
+TEST(ThreadPool, NestedCallsFallBackToSerial) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  pool.parallel_for(8, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      // Reentrant use of the global pool must not deadlock.
+      parallel_for(10, [&](int64_t ib, int64_t ie) { total += ie - ib; });
+    }
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPool, GlobalPoolWorks) {
+  std::atomic<int64_t> sum{0};
+  parallel_for(12345, [&](int64_t b, int64_t e) { sum += e - b; });
+  EXPECT_EQ(sum.load(), 12345);
+}
+
+TEST(ThreadPool, ManySequentialDispatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.parallel_for(37, [&](int64_t b, int64_t e) { sum += e - b; });
+    ASSERT_EQ(sum.load(), 37);
+  }
+}
+
+}  // namespace
+}  // namespace rhw

@@ -1,0 +1,148 @@
+#include "data/synth_cifar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace rhw::data {
+namespace {
+
+SynthCifarConfig tiny_config() {
+  SynthCifarConfig cfg;
+  cfg.num_classes = 4;
+  cfg.train_per_class = 20;
+  cfg.test_per_class = 5;
+  cfg.image_size = 16;
+  return cfg;
+}
+
+TEST(SynthCifar, ShapesAndSizes) {
+  const auto data = make_synth_cifar(tiny_config());
+  EXPECT_EQ(data.train.size(), 80);
+  EXPECT_EQ(data.test.size(), 20);
+  EXPECT_EQ(data.train.images.shape(), (Shape{80, 3, 16, 16}));
+  EXPECT_EQ(data.train.num_classes, 4);
+  EXPECT_EQ(data.train.labels.size(), 80u);
+}
+
+TEST(SynthCifar, PixelsInUnitRange) {
+  const auto data = make_synth_cifar(tiny_config());
+  EXPECT_GE(data.train.images.min(), 0.f);
+  EXPECT_LE(data.train.images.max(), 1.f);
+}
+
+TEST(SynthCifar, DeterministicForSameSeed) {
+  const auto a = make_synth_cifar(tiny_config());
+  const auto b = make_synth_cifar(tiny_config());
+  for (int64_t i = 0; i < a.train.images.numel(); ++i) {
+    ASSERT_EQ(a.train.images[i], b.train.images[i]);
+  }
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(SynthCifar, DifferentSeedsDiffer) {
+  auto cfg = tiny_config();
+  const auto a = make_synth_cifar(cfg);
+  cfg.seed += 1;
+  const auto b = make_synth_cifar(cfg);
+  double diff = 0;
+  for (int64_t i = 0; i < a.train.images.numel(); ++i) {
+    diff += std::fabs(a.train.images[i] - b.train.images[i]);
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(SynthCifar, AllClassesPresentAndBalanced) {
+  const auto data = make_synth_cifar(tiny_config());
+  std::vector<int> counts(4, 0);
+  for (int64_t label : data.train.labels) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 4);
+    counts[static_cast<size_t>(label)]++;
+  }
+  for (int c : counts) EXPECT_EQ(c, 20);
+}
+
+TEST(SynthCifar, PrefixIsClassBalanced) {
+  // head(n) is used for evaluation subsets; the generator interleaves
+  // classes so prefixes stay balanced.
+  const auto data = make_synth_cifar(tiny_config());
+  const auto head = data.train.head(8);
+  std::set<int64_t> classes(head.labels.begin(), head.labels.end());
+  EXPECT_EQ(classes.size(), 4u);
+}
+
+TEST(SynthCifar, SameClassCloserThanCrossClass) {
+  // The class-template structure must make same-class samples more similar
+  // than cross-class samples on average (otherwise nothing is learnable).
+  auto cfg = tiny_config();
+  cfg.noise_std = 0.1f;
+  const auto data = make_synth_cifar(cfg);
+  const int64_t stride = 3 * 16 * 16;
+  auto dist = [&](int64_t i, int64_t j) {
+    double d = 0;
+    for (int64_t k = 0; k < stride; ++k) {
+      const double delta = data.train.images[i * stride + k] -
+                           data.train.images[j * stride + k];
+      d += delta * delta;
+    }
+    return d;
+  };
+  double same = 0, cross = 0;
+  int64_t same_n = 0, cross_n = 0;
+  for (int64_t i = 0; i < 40; ++i) {
+    for (int64_t j = i + 1; j < 40; ++j) {
+      if (data.train.labels[static_cast<size_t>(i)] ==
+          data.train.labels[static_cast<size_t>(j)]) {
+        same += dist(i, j);
+        ++same_n;
+      } else {
+        cross += dist(i, j);
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_LT(same / same_n, cross / cross_n);
+}
+
+TEST(SynthCifar, PresetsMatchPaperScales) {
+  const auto c10 = synth_c10_config();
+  EXPECT_EQ(c10.num_classes, 10);
+  EXPECT_EQ(c10.image_size, 32);
+  const auto c100 = synth_c100_config();
+  EXPECT_EQ(c100.num_classes, 100);
+}
+
+TEST(SynthCifar, ByNameFactory) {
+  EXPECT_THROW(make_dataset_by_name("cifar-nope"), std::invalid_argument);
+}
+
+TEST(Dataset, SliceAndGather) {
+  const auto data = make_synth_cifar(tiny_config());
+  const auto s = data.train.slice(10, 15);
+  EXPECT_EQ(s.size(), 5);
+  EXPECT_EQ(s.labels[0], data.train.labels[10]);
+  const auto g = data.train.gather({0, 79});
+  EXPECT_EQ(g.size(), 2);
+  EXPECT_EQ(g.labels[1], data.train.labels[79]);
+  EXPECT_THROW(data.train.gather({100}), std::out_of_range);
+}
+
+TEST(Dataset, SliceClampsBounds) {
+  const auto data = make_synth_cifar(tiny_config());
+  EXPECT_EQ(data.train.slice(70, 200).size(), 10);
+  EXPECT_EQ(data.train.head(1000).size(), 80);
+}
+
+TEST(Dataset, ShuffledIndicesIsPermutation) {
+  rhw::RandomEngine rng(1);
+  const auto idx = shuffled_indices(100, rng);
+  std::set<int64_t> seen(idx.begin(), idx.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 99);
+}
+
+}  // namespace
+}  // namespace rhw::data

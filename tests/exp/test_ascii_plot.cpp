@@ -1,0 +1,73 @@
+#include "exp/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rhw::exp {
+namespace {
+
+TEST(AsciiPlot, ContainsMarkersAndLegend) {
+  Series a{"first", {0, 1, 2}, {0, 50, 100}};
+  Series b{"second", {0, 1, 2}, {100, 50, 0}};
+  const std::string plot = render_ascii_plot({a, b});
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find('o'), std::string::npos);
+  EXPECT_NE(plot.find("legend:"), std::string::npos);
+  EXPECT_NE(plot.find("first"), std::string::npos);
+  EXPECT_NE(plot.find("second"), std::string::npos);
+}
+
+TEST(AsciiPlot, TitleShown) {
+  PlotOptions opt;
+  opt.title = "My Plot Title";
+  const std::string plot = render_ascii_plot({Series{"s", {0, 1}, {0, 1}}},
+                                             opt);
+  EXPECT_EQ(plot.find("My Plot Title"), 0u);
+}
+
+TEST(AsciiPlot, RespectsFixedYRange) {
+  PlotOptions opt;
+  opt.y_min = 0;
+  opt.y_max = 100;
+  const std::string plot = render_ascii_plot(
+      {Series{"s", {0, 1}, {0, 100}}}, opt);
+  EXPECT_NE(plot.find("100.00"), std::string::npos);
+  EXPECT_NE(plot.find("0.00"), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptySeriesDoesNotCrash) {
+  const std::string plot = render_ascii_plot({});
+  EXPECT_FALSE(plot.empty());
+  const std::string plot2 = render_ascii_plot({Series{"empty", {}, {}}});
+  EXPECT_FALSE(plot2.empty());
+}
+
+TEST(AsciiPlot, ExtremePointsLandOnEdges) {
+  PlotOptions opt;
+  opt.width = 20;
+  opt.height = 10;
+  const std::string plot =
+      render_ascii_plot({Series{"s", {0, 1}, {0, 1}}}, opt);
+  // First interior row (top) must contain the max marker; bottom row the min.
+  const auto lines = [&] {
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos < plot.size()) {
+      const size_t next = plot.find('\n', pos);
+      out.push_back(plot.substr(pos, next - pos));
+      if (next == std::string::npos) break;
+      pos = next + 1;
+    }
+    return out;
+  }();
+  EXPECT_NE(lines[0].find('*'), std::string::npos);   // top row has y=1
+  EXPECT_NE(lines[9].find('*'), std::string::npos);   // bottom row has y=0
+}
+
+TEST(AsciiPlot, ConstantSeriesHandled) {
+  const std::string plot =
+      render_ascii_plot({Series{"flat", {0, 1, 2}, {5, 5, 5}}});
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rhw::exp

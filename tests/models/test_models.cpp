@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/rng.hpp"
+#include "models/resnet.hpp"
+#include "models/vgg.hpp"
+#include "models/zoo.hpp"
+#include "nn/init.hpp"
+
+namespace rhw::models {
+namespace {
+
+TEST(Vgg, Vgg8ForwardShape) {
+  VggConfig cfg;
+  cfg.depth = 8;
+  cfg.num_classes = 10;
+  cfg.width_mult = 0.25f;
+  Model m = make_vgg(cfg);
+  rhw::RandomEngine rng(1);
+  nn::kaiming_init(*m.net, rng);
+  m.net->set_training(false);
+  const auto y = m.net->forward(Tensor({2, 3, 32, 32}, 0.5f));
+  EXPECT_EQ(y.shape(), (Shape{2, 10}));
+}
+
+TEST(Vgg, Vgg19SiteLabelsMatchTableI) {
+  VggConfig cfg;
+  cfg.depth = 19;
+  Model m = make_vgg(cfg);
+  // Table I: layers 0..20 with pools at 2, 5, 10, 15, 20.
+  ASSERT_EQ(m.sites.size(), 21u);
+  EXPECT_EQ(m.sites[0].label, "0");
+  EXPECT_EQ(m.sites[2].label, "2(P)");
+  EXPECT_EQ(m.sites[5].label, "5(P)");
+  EXPECT_EQ(m.sites[10].label, "10(P)");
+  EXPECT_EQ(m.sites[15].label, "15(P)");
+  EXPECT_EQ(m.sites[20].label, "20(P)");
+  EXPECT_EQ(m.sites[1].label, "1");
+}
+
+TEST(Vgg, Vgg16Has13ConvSites) {
+  VggConfig cfg;
+  cfg.depth = 16;
+  Model m = make_vgg(cfg);
+  int convs = 0, pools = 0;
+  for (const auto& s : m.sites) {
+    if (s.label.find("(P)") != std::string::npos) {
+      ++pools;
+    } else {
+      ++convs;
+    }
+  }
+  EXPECT_EQ(convs, 13);
+  EXPECT_EQ(pools, 5);
+}
+
+TEST(Vgg, RejectsUnknownDepth) {
+  VggConfig cfg;
+  cfg.depth = 11;
+  EXPECT_THROW(make_vgg(cfg), std::invalid_argument);
+}
+
+TEST(Vgg, WidthMultScalesParameters) {
+  VggConfig narrow;
+  narrow.depth = 8;
+  narrow.width_mult = 0.125f;
+  VggConfig wide = narrow;
+  wide.width_mult = 0.5f;
+  EXPECT_LT(make_vgg(narrow).net->num_parameters(),
+            make_vgg(wide).net->num_parameters());
+}
+
+TEST(ResNet, ForwardShape) {
+  ResNetConfig cfg;
+  cfg.num_classes = 10;
+  cfg.width_mult = 0.25f;
+  Model m = make_resnet18(cfg);
+  rhw::RandomEngine rng(2);
+  nn::kaiming_init(*m.net, rng);
+  m.net->set_training(false);
+  const auto y = m.net->forward(Tensor({2, 3, 32, 32}, 0.5f));
+  EXPECT_EQ(y.shape(), (Shape{2, 10}));
+}
+
+TEST(ResNet, HasShortcutSites) {
+  Model m = make_resnet18({});
+  int shortcut_sites = 0;
+  for (const auto& s : m.sites) {
+    if (s.label.find("(S)") != std::string::npos) ++shortcut_sites;
+  }
+  // Three stage transitions have projection shortcuts.
+  EXPECT_EQ(shortcut_sites, 3);
+  // Stem + 8 blocks x 2 + 3 shortcuts.
+  EXPECT_EQ(m.sites.size(), 20u);
+}
+
+TEST(ResNet, SitesPointIntoNetwork) {
+  Model m = make_resnet18({});
+  for (const auto& s : m.sites) ASSERT_NE(s.module, nullptr);
+}
+
+TEST(Zoo, BuildModelByName) {
+  EXPECT_EQ(build_model("vgg8", 10).name, "vgg8");
+  EXPECT_EQ(build_model("vgg16", 100).name, "vgg16");
+  EXPECT_EQ(build_model("vgg19", 10).name, "vgg19");
+  EXPECT_EQ(build_model("resnet18", 10).name, "resnet18");
+  EXPECT_THROW(build_model("alexnet", 10), std::invalid_argument);
+}
+
+TEST(Zoo, BuiltModelsHaveDistinctSiteLabels) {
+  for (const char* arch : {"vgg8", "vgg16", "vgg19", "resnet18"}) {
+    Model m = build_model(arch, 10);
+    std::set<std::string> labels;
+    for (const auto& s : m.sites) labels.insert(s.label);
+    EXPECT_EQ(labels.size(), m.sites.size()) << arch;
+  }
+}
+
+}  // namespace
+}  // namespace rhw::models

@@ -1,0 +1,140 @@
+// Finite-difference gradient checks for every layer: the backbone guarantee
+// behind FGSM/PGD input gradients and training.
+#include <gtest/gtest.h>
+
+#include "common/grad_check.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/residual.hpp"
+#include "nn/sequential.hpp"
+
+namespace rhw::nn {
+namespace {
+
+using rhw::testing::check_input_gradient;
+using rhw::testing::check_param_gradients;
+
+Tensor smooth_input(Shape shape, uint64_t seed) {
+  RandomEngine rng(seed);
+  return Tensor::randn(std::move(shape), rng, 0.f, 1.f);
+}
+
+TEST(Grad, Linear) {
+  Linear lin(5, 3);
+  RandomEngine rng(1);
+  kaiming_init(lin, rng);
+  check_input_gradient(lin, smooth_input({4, 5}, 11), 21);
+  check_param_gradients(lin, smooth_input({4, 5}, 12), 22);
+}
+
+TEST(Grad, Conv2dPadded) {
+  Conv2d conv(2, 3, 3, 1, 1);
+  RandomEngine rng(2);
+  kaiming_init(conv, rng);
+  check_input_gradient(conv, smooth_input({2, 2, 5, 5}, 13), 23);
+  check_param_gradients(conv, smooth_input({2, 2, 5, 5}, 14), 24);
+}
+
+TEST(Grad, Conv2dStrided) {
+  Conv2d conv(2, 2, 3, 2, 1);
+  RandomEngine rng(3);
+  kaiming_init(conv, rng);
+  check_input_gradient(conv, smooth_input({2, 2, 6, 6}, 15), 25);
+  check_param_gradients(conv, smooth_input({2, 2, 6, 6}, 16), 26);
+}
+
+TEST(Grad, Conv2d1x1NoPad) {
+  Conv2d conv(3, 2, 1, 1, 0);
+  RandomEngine rng(4);
+  kaiming_init(conv, rng);
+  check_input_gradient(conv, smooth_input({2, 3, 4, 4}, 17), 27);
+  check_param_gradients(conv, smooth_input({2, 3, 4, 4}, 18), 28);
+}
+
+TEST(Grad, ReLU) {
+  ReLU relu;
+  // Keep activations away from the kink for stable finite differences.
+  Tensor x = smooth_input({3, 7}, 19);
+  for (auto& v : x.span()) {
+    if (std::fabs(v) < 0.05f) v = 0.2f;
+  }
+  check_input_gradient(relu, x, 29);
+}
+
+TEST(Grad, Flatten) {
+  Flatten flat;
+  check_input_gradient(flat, smooth_input({2, 3, 2, 2}, 31), 41);
+}
+
+TEST(Grad, MaxPool) {
+  MaxPool2d pool(2);
+  // Distinct values so the argmax is stable under the probe step.
+  Tensor x({1, 2, 4, 4});
+  RandomEngine rng(6);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(i) * 0.35f + 0.1f * rng.uniform(0.f, 1.f);
+  }
+  check_input_gradient(pool, x, 32);
+}
+
+TEST(Grad, AvgPoolGlobal) {
+  AvgPool2d pool(0);
+  check_input_gradient(pool, smooth_input({2, 3, 4, 4}, 33), 43);
+}
+
+TEST(Grad, AvgPoolWindowed) {
+  AvgPool2d pool(2, 2);
+  check_input_gradient(pool, smooth_input({1, 2, 6, 6}, 34), 44);
+}
+
+TEST(Grad, BatchNormTraining) {
+  BatchNorm2d bn(3);
+  bn.set_training(true);
+  bn.gamma().value = Tensor({3}, std::vector<float>{1.2f, 0.8f, 1.5f});
+  check_input_gradient(bn, smooth_input({4, 3, 3, 3}, 35), 45, 1e-3f, 5e-2f);
+  check_param_gradients(bn, smooth_input({4, 3, 3, 3}, 36), 46, 1e-3f, 5e-2f);
+}
+
+TEST(Grad, BatchNormEval) {
+  BatchNorm2d bn(2);
+  bn.set_training(true);
+  RandomEngine rng(7);
+  for (int i = 0; i < 5; ++i) (void)bn.forward(Tensor::randn({8, 2, 3, 3}, rng));
+  bn.set_training(false);
+  check_input_gradient(bn, smooth_input({2, 2, 3, 3}, 37), 47);
+}
+
+TEST(Grad, ResidualBlockIdentity) {
+  ResidualBlock block(4, 4, 1);
+  RandomEngine rng(8);
+  kaiming_init(block, rng);
+  block.set_training(true);
+  check_input_gradient(block, smooth_input({2, 4, 4, 4}, 38), 48, 1e-3f, 6e-2f);
+}
+
+TEST(Grad, ResidualBlockProjection) {
+  ResidualBlock block(3, 6, 2);
+  RandomEngine rng(9);
+  kaiming_init(block, rng);
+  block.set_training(true);
+  check_input_gradient(block, smooth_input({2, 3, 6, 6}, 39), 49, 1e-3f, 6e-2f);
+}
+
+TEST(Grad, SmallSequentialStack) {
+  Sequential net;
+  net.emplace<Conv2d>(1, 4, 3, 1, 1);
+  net.emplace<ReLU>();
+  net.emplace<MaxPool2d>(2);
+  net.emplace<Flatten>();
+  net.emplace<Linear>(4 * 2 * 2, 3);
+  RandomEngine rng(10);
+  kaiming_init(net, rng);
+  check_input_gradient(net, smooth_input({2, 1, 4, 4}, 40), 50, 1e-3f, 5e-2f);
+}
+
+}  // namespace
+}  // namespace rhw::nn

@@ -1,0 +1,125 @@
+// Post-forward hook semantics: gating, ordering, and the attack-scope rule.
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+
+namespace rhw::nn {
+namespace {
+
+TEST(Hooks, HookMutatesForwardOutput) {
+  ReLU relu;
+  relu.set_post_hook([](Tensor& t) { t.add_scalar_(1.f); });
+  const Tensor y = relu.forward(Tensor({2}, std::vector<float>{1.f, -1.f}));
+  EXPECT_FLOAT_EQ(y[0], 2.f);
+  EXPECT_FLOAT_EQ(y[1], 1.f);  // relu(-1)=0, +1
+}
+
+TEST(Hooks, ClearRemovesHook) {
+  ReLU relu;
+  relu.set_post_hook([](Tensor& t) { t.add_scalar_(1.f); });
+  EXPECT_TRUE(relu.has_post_hook());
+  relu.clear_post_hook();
+  EXPECT_FALSE(relu.has_post_hook());
+  const Tensor y = relu.forward(Tensor({1}, 3.f));
+  EXPECT_FLOAT_EQ(y[0], 3.f);
+}
+
+TEST(Hooks, GatedHookSuppressedInDisabledScope) {
+  ReLU relu;
+  relu.set_post_hook([](Tensor& t) { t.add_scalar_(10.f); }, /*gated=*/true);
+  {
+    Module::HooksDisabledScope scope;
+    EXPECT_FALSE(Module::hooks_enabled());
+    const Tensor y = relu.forward(Tensor({1}, 1.f));
+    EXPECT_FLOAT_EQ(y[0], 1.f);
+  }
+  EXPECT_TRUE(Module::hooks_enabled());
+  const Tensor y = relu.forward(Tensor({1}, 1.f));
+  EXPECT_FLOAT_EQ(y[0], 11.f);
+}
+
+TEST(Hooks, UngatedHookSurvivesDisabledScope) {
+  // Hardware-path hooks (crossbar ADC/read-noise) must stay active while
+  // attack gradients are computed.
+  ReLU relu;
+  relu.set_post_hook([](Tensor& t) { t.scale_(2.f); }, /*gated=*/false);
+  Module::HooksDisabledScope scope;
+  const Tensor y = relu.forward(Tensor({1}, 3.f));
+  EXPECT_FLOAT_EQ(y[0], 6.f);
+}
+
+TEST(Hooks, DisabledScopeNests) {
+  {
+    Module::HooksDisabledScope outer;
+    {
+      Module::HooksDisabledScope inner;
+      EXPECT_FALSE(Module::hooks_enabled());
+    }
+    EXPECT_FALSE(Module::hooks_enabled());  // restored to outer state
+  }
+  EXPECT_TRUE(Module::hooks_enabled());
+}
+
+TEST(Hooks, HooksApplyPerLayerInsideSequential) {
+  Sequential net;
+  auto& l1 = net.emplace<Linear>(1, 1, false);
+  auto& l2 = net.emplace<Linear>(1, 1, false);
+  l1.weight().value.fill(1.f);
+  l2.weight().value.fill(1.f);
+  l1.set_post_hook([](Tensor& t) { t.add_scalar_(5.f); });
+  // x=1 -> l1: 1, hook: 6 -> l2: 6
+  const Tensor y = net.forward(Tensor({1, 1}, 1.f));
+  EXPECT_FLOAT_EQ(y[0], 6.f);
+  l2.set_post_hook([](Tensor& t) { t.scale_(10.f); });
+  EXPECT_FLOAT_EQ(net.forward(Tensor({1, 1}, 1.f))[0], 60.f);
+}
+
+TEST(Hooks, BackwardHookTransformsGradient) {
+  Linear lin(1, 1, /*bias=*/false);
+  lin.weight().value.fill(2.f);
+  lin.set_backward_hook([](Tensor& g) { g.scale_(10.f); });
+  (void)lin.forward(Tensor({1, 1}, 1.f));
+  const Tensor gin = lin.backward(Tensor({1, 1}, 1.f));
+  // dy/dx = W = 2, hook multiplies incoming grad by 10 first.
+  EXPECT_FLOAT_EQ(gin[0], 20.f);
+}
+
+TEST(Hooks, GatedBackwardHookSuppressedInScope) {
+  Linear lin(1, 1, /*bias=*/false);
+  lin.weight().value.fill(2.f);
+  lin.set_backward_hook([](Tensor& g) { g.scale_(10.f); }, /*gated=*/true);
+  (void)lin.forward(Tensor({1, 1}, 1.f));
+  Module::HooksDisabledScope scope;
+  const Tensor gin = lin.backward(Tensor({1, 1}, 1.f));
+  EXPECT_FLOAT_EQ(gin[0], 2.f);
+}
+
+TEST(Hooks, UngatedBackwardHookSurvivesScope) {
+  Linear lin(1, 1, /*bias=*/false);
+  lin.weight().value.fill(2.f);
+  lin.set_backward_hook([](Tensor& g) { g.scale_(10.f); }, /*gated=*/false);
+  (void)lin.forward(Tensor({1, 1}, 1.f));
+  Module::HooksDisabledScope scope;
+  const Tensor gin = lin.backward(Tensor({1, 1}, 1.f));
+  EXPECT_FLOAT_EQ(gin[0], 20.f);
+}
+
+TEST(Hooks, ClearBackwardHook) {
+  Linear lin(1, 1, /*bias=*/false);
+  lin.set_backward_hook([](Tensor& g) { g.scale_(10.f); });
+  EXPECT_TRUE(lin.has_backward_hook());
+  lin.clear_backward_hook();
+  EXPECT_FALSE(lin.has_backward_hook());
+}
+
+TEST(Hooks, ReplacingHookOverwrites) {
+  ReLU relu;
+  relu.set_post_hook([](Tensor& t) { t.add_scalar_(1.f); });
+  relu.set_post_hook([](Tensor& t) { t.add_scalar_(2.f); });
+  EXPECT_FLOAT_EQ(relu.forward(Tensor({1}, 0.f))[0], 2.f);
+}
+
+}  // namespace
+}  // namespace rhw::nn

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+
+namespace rhw::nn {
+namespace {
+
+TEST(Linear, KnownValues) {
+  Linear lin(2, 2);
+  lin.weight().value = Tensor({2, 2}, std::vector<float>{1, 2, 3, 4});
+  lin.bias().value = Tensor({2}, std::vector<float>{0.5f, -0.5f});
+  const Tensor x({1, 2}, std::vector<float>{1, 1});
+  const Tensor y = lin.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 3.5f);   // 1+2+0.5
+  EXPECT_FLOAT_EQ(y.at(0, 1), 6.5f);   // 3+4-0.5
+}
+
+TEST(Linear, NoBias) {
+  Linear lin(3, 1, /*bias=*/false);
+  EXPECT_EQ(lin.parameters().size(), 1u);
+  lin.weight().value.fill(1.f);
+  const Tensor x({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor y = lin.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 6.f);
+  EXPECT_FLOAT_EQ(y.at(1, 0), 15.f);
+}
+
+TEST(Linear, RejectsBadInput) {
+  Linear lin(3, 2);
+  EXPECT_THROW(lin.forward(Tensor({1, 4})), std::invalid_argument);
+  EXPECT_THROW(lin.forward(Tensor({1, 2, 3, 4})), std::invalid_argument);
+}
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  Conv2d conv(1, 1, 3, 1, 1, /*bias=*/false);
+  conv.weight().value.fill(0.f);
+  conv.weight().value[4] = 1.f;  // center tap of the 3x3 kernel
+  RandomEngine rng(2);
+  const Tensor x = Tensor::randn({2, 1, 5, 5}, rng);
+  const Tensor y = conv.forward(x);
+  ASSERT_TRUE(y.same_shape(x));
+  for (int64_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2d, SumKernelCountsNeighborhood) {
+  Conv2d conv(1, 1, 3, 1, 1, /*bias=*/false);
+  conv.weight().value.fill(1.f);
+  const Tensor x({1, 1, 3, 3}, 1.f);
+  const Tensor y = conv.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 9.f);  // center sees all 9
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 4.f);  // corner sees 4
+}
+
+TEST(Conv2d, BiasBroadcast) {
+  Conv2d conv(1, 2, 3, 1, 1, /*bias=*/true);
+  conv.weight().value.fill(0.f);
+  conv.bias().value = Tensor({2}, std::vector<float>{1.f, -2.f});
+  const Tensor y = conv.forward(Tensor({1, 1, 4, 4}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 2, 2), 1.f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 2, 2), -2.f);
+}
+
+TEST(Conv2d, StrideHalvesResolution) {
+  Conv2d conv(3, 8, 3, 2, 1);
+  const Tensor y = conv.forward(Tensor({1, 3, 8, 8}));
+  EXPECT_EQ(y.dim(2), 4);
+  EXPECT_EQ(y.dim(3), 4);
+  EXPECT_EQ(y.dim(1), 8);
+}
+
+TEST(Conv2d, WeightShapeIsFlattened) {
+  Conv2d conv(4, 6, 3);
+  EXPECT_EQ(conv.weight().value.shape(), (Shape{6, 36}));
+  EXPECT_TRUE(conv.is_weight_layer());
+}
+
+TEST(ReLU, ClampsNegatives) {
+  ReLU relu;
+  const Tensor x({4}, std::vector<float>{-1, 0, 2, -3});
+  const Tensor y = relu.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 0.f);
+  EXPECT_FLOAT_EQ(y[1], 0.f);
+  EXPECT_FLOAT_EQ(y[2], 2.f);
+  EXPECT_FLOAT_EQ(y[3], 0.f);
+}
+
+TEST(Flatten, RoundTripShapes) {
+  Flatten flat;
+  const Tensor x({2, 3, 4, 4});
+  const Tensor y = flat.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 48}));
+  const Tensor back = flat.backward(Tensor({2, 48}));
+  EXPECT_EQ(back.shape(), x.shape());
+}
+
+TEST(MaxPool2d, PicksMaxima) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 4, 4});
+  for (int64_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  const Tensor y = pool.forward(x);
+  ASSERT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 5.f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 1), 7.f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 0), 13.f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 15.f);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 9, 3, 4});
+  (void)pool.forward(x);
+  const Tensor g = pool.backward(Tensor({1, 1, 1, 1}, 5.f));
+  EXPECT_FLOAT_EQ(g[0], 0.f);
+  EXPECT_FLOAT_EQ(g[1], 5.f);
+  EXPECT_FLOAT_EQ(g[2], 0.f);
+}
+
+TEST(AvgPool2d, GlobalAverage) {
+  AvgPool2d pool(0);
+  Tensor x({1, 2, 2, 2});
+  for (int64_t i = 0; i < 4; ++i) x[i] = static_cast<float>(i);  // chan 0
+  for (int64_t i = 4; i < 8; ++i) x[i] = 10.f;                   // chan 1
+  const Tensor y = pool.forward(x);
+  ASSERT_EQ(y.shape(), (Shape{1, 2, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 1.5f);
+  EXPECT_FLOAT_EQ(y[1], 10.f);
+}
+
+TEST(AvgPool2d, WindowedAverage) {
+  AvgPool2d pool(2, 2);
+  Tensor x({1, 1, 4, 4}, 2.f);
+  const Tensor y = pool.forward(x);
+  ASSERT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y[0], 2.f);
+}
+
+TEST(BatchNorm2d, NormalizesBatchInTraining) {
+  BatchNorm2d bn(1);
+  bn.set_training(true);
+  RandomEngine rng(5);
+  const Tensor x = Tensor::randn({8, 1, 4, 4}, rng, 3.f, 2.f);
+  const Tensor y = bn.forward(x);
+  EXPECT_NEAR(y.mean(), 0.f, 1e-4f);
+  double var = 0;
+  for (int64_t i = 0; i < y.numel(); ++i) var += y[i] * y[i];
+  var /= static_cast<double>(y.numel());
+  EXPECT_NEAR(var, 1.0, 1e-2);
+}
+
+TEST(BatchNorm2d, RunningStatsConvergeAndDriveEval) {
+  BatchNorm2d bn(1, 1e-5f, 0.5f);
+  bn.set_training(true);
+  RandomEngine rng(6);
+  for (int i = 0; i < 30; ++i) {
+    (void)bn.forward(Tensor::randn({16, 1, 4, 4}, rng, 2.f, 1.f));
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 2.f, 0.2f);
+  EXPECT_NEAR(bn.running_var()[0], 1.f, 0.3f);
+  bn.set_training(false);
+  // In eval, an input equal to the running mean maps near zero.
+  Tensor probe({1, 1, 1, 1}, bn.running_mean()[0]);
+  EXPECT_NEAR(bn.forward(probe)[0], 0.f, 1e-3f);
+}
+
+TEST(BatchNorm2d, GammaBetaAffine) {
+  BatchNorm2d bn(1);
+  bn.set_training(false);
+  bn.gamma().value.fill(3.f);
+  bn.beta().value.fill(1.f);
+  // running stats at default (mean 0, var 1): y = 3x + 1
+  Tensor x({1, 1, 1, 2}, std::vector<float>{0.f, 1.f});
+  const Tensor y = bn.forward(x);
+  EXPECT_NEAR(y[0], 1.f, 1e-4f);
+  EXPECT_NEAR(y[1], 4.f, 1e-4f);
+}
+
+TEST(BatchNorm2d, StatePersistsRunningBuffers) {
+  BatchNorm2d bn(2);
+  const auto state = bn.named_state();
+  ASSERT_EQ(state.size(), 4u);  // gamma, beta, running_mean, running_var
+}
+
+}  // namespace
+}  // namespace rhw::nn

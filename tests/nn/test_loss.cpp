@@ -1,0 +1,105 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace rhw::nn {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  RandomEngine rng(1);
+  const Tensor logits = Tensor::randn({5, 7}, rng, 0.f, 3.f);
+  const Tensor p = softmax_rows(logits);
+  for (int64_t i = 0; i < 5; ++i) {
+    double s = 0;
+    for (int64_t j = 0; j < 7; ++j) {
+      s += p.at(i, j);
+      EXPECT_GT(p.at(i, j), 0.f);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, LargeLogitsStayFinite) {
+  const Tensor logits({1, 3}, std::vector<float>{1000.f, 999.f, -1000.f});
+  const Tensor p = softmax_rows(logits);
+  EXPECT_TRUE(std::isfinite(p[0]));
+  EXPECT_GT(p[0], p[1]);
+  EXPECT_NEAR(p[2], 0.f, 1e-6f);
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogK) {
+  SoftmaxCrossEntropy loss;
+  const Tensor logits({2, 4});  // zeros -> uniform
+  const float l = loss.forward(logits, {0, 3});
+  EXPECT_NEAR(l, std::log(4.f), 1e-5f);
+}
+
+TEST(CrossEntropy, ConfidentCorrectIsNearZero) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3});
+  logits.at(0, 1) = 50.f;
+  EXPECT_NEAR(loss.forward(logits, {1}), 0.f, 1e-5f);
+}
+
+TEST(CrossEntropy, ConfidentWrongIsLarge) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3});
+  logits.at(0, 0) = 20.f;
+  EXPECT_GT(loss.forward(logits, {2}), 10.f);
+}
+
+TEST(CrossEntropy, GradientIsProbsMinusOneHotOverN) {
+  SoftmaxCrossEntropy loss;
+  RandomEngine rng(2);
+  const Tensor logits = Tensor::randn({3, 4}, rng);
+  (void)loss.forward(logits, {1, 0, 2});
+  const Tensor grad = loss.backward();
+  const Tensor& p = loss.probs();
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      const float onehot = (j == std::vector<int64_t>{1, 0, 2}[i]) ? 1.f : 0.f;
+      EXPECT_NEAR(grad.at(i, j), (p.at(i, j) - onehot) / 3.f, 1e-6f);
+    }
+  }
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+  SoftmaxCrossEntropy loss;
+  RandomEngine rng(3);
+  Tensor logits = Tensor::randn({2, 5}, rng);
+  const std::vector<int64_t> labels{4, 2};
+  (void)loss.forward(logits, labels);
+  const Tensor grad = loss.backward();
+  const float h = 1e-3f;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    const float orig = logits[i];
+    logits[i] = orig + h;
+    SoftmaxCrossEntropy up;
+    const float lu = up.forward(logits, labels);
+    logits[i] = orig - h;
+    SoftmaxCrossEntropy down;
+    const float ld = down.forward(logits, labels);
+    logits[i] = orig;
+    EXPECT_NEAR(grad[i], (lu - ld) / (2 * h), 1e-3f);
+  }
+}
+
+TEST(CrossEntropy, RejectsBadLabels) {
+  SoftmaxCrossEntropy loss;
+  EXPECT_THROW(loss.forward(Tensor({1, 3}), {5}), std::invalid_argument);
+  EXPECT_THROW(loss.forward(Tensor({2, 3}), {0}), std::invalid_argument);
+}
+
+TEST(Accuracy, CountsArgmaxMatches) {
+  Tensor logits({3, 2}, std::vector<float>{1, 0, 0, 1, 1, 0});
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1, 0}), 1.0);
+  EXPECT_NEAR(accuracy(logits, {0, 0, 0}), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(accuracy(logits, {1, 0, 1}), 0.0);
+}
+
+}  // namespace
+}  // namespace rhw::nn

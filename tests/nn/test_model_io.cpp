@@ -1,0 +1,108 @@
+#include "nn/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/residual.hpp"
+#include "nn/sequential.hpp"
+
+namespace rhw::nn {
+namespace {
+
+Sequential make_net(uint64_t seed) {
+  Sequential net;
+  net.emplace<Conv2d>(1, 2, 3);
+  net.emplace<BatchNorm2d>(2);
+  net.emplace<ReLU>();
+  net.emplace<Flatten>();
+  net.emplace<Linear>(2 * 4 * 4, 3);
+  RandomEngine rng(seed);
+  kaiming_init(net, rng);
+  return net;
+}
+
+TEST(ModelIo, StateDictHasPrefixedKeys) {
+  Sequential net = make_net(1);
+  const auto state = state_dict(net);
+  EXPECT_TRUE(state.contains("0.weight"));
+  EXPECT_TRUE(state.contains("0.bias"));
+  EXPECT_TRUE(state.contains("1.gamma"));
+  EXPECT_TRUE(state.contains("1.running_mean"));
+  EXPECT_TRUE(state.contains("4.weight"));
+  // ReLU/Flatten contribute nothing.
+  EXPECT_EQ(state.size(), 8u);
+}
+
+TEST(ModelIo, RoundTripReproducesOutputs) {
+  Sequential a = make_net(2);
+  Sequential b = make_net(3);  // different init
+  a.set_training(false);
+  b.set_training(false);
+  RandomEngine rng(4);
+  const Tensor x = Tensor::randn({2, 1, 4, 4}, rng);
+  const Tensor ya = a.forward(x);
+  load_state_dict(b, state_dict(a));
+  const Tensor yb = b.forward(x);
+  for (int64_t i = 0; i < ya.numel(); ++i) EXPECT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rhw_model_io_test.ckpt")
+          .string();
+  Sequential a = make_net(5);
+  save_model(a, path);
+  Sequential b = make_net(6);
+  load_model(b, path);
+  RandomEngine rng(7);
+  a.set_training(false);
+  b.set_training(false);
+  const Tensor x = Tensor::randn({1, 1, 4, 4}, rng);
+  const Tensor ya = a.forward(x);
+  const Tensor yb = b.forward(x);
+  for (int64_t i = 0; i < ya.numel(); ++i) EXPECT_FLOAT_EQ(ya[i], yb[i]);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, MissingKeyThrows) {
+  Sequential a = make_net(8);
+  auto state = state_dict(a);
+  state.erase("4.weight");
+  Sequential b = make_net(9);
+  EXPECT_THROW(load_state_dict(b, state), std::runtime_error);
+}
+
+TEST(ModelIo, ShapeMismatchThrows) {
+  Sequential a = make_net(10);
+  auto state = state_dict(a);
+  state["4.weight"] = Tensor({1, 1});
+  Sequential b = make_net(11);
+  EXPECT_THROW(load_state_dict(b, state), std::runtime_error);
+}
+
+TEST(ModelIo, ResidualBlockStateRoundTrips) {
+  Sequential a;
+  a.emplace<ResidualBlock>(2, 4, 2);
+  Sequential b;
+  b.emplace<ResidualBlock>(2, 4, 2);
+  RandomEngine rng(12);
+  kaiming_init(a, rng);
+  load_state_dict(b, state_dict(a));
+  a.set_training(false);
+  b.set_training(false);
+  const Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+  const Tensor ya = a.forward(x);
+  const Tensor yb = b.forward(x);
+  for (int64_t i = 0; i < ya.numel(); ++i) EXPECT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+}  // namespace
+}  // namespace rhw::nn

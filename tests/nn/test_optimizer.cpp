@@ -1,0 +1,106 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+
+namespace rhw::nn {
+namespace {
+
+TEST(Sgd, VanillaStepMovesAgainstGradient) {
+  Param p("w", Tensor({1}, 1.f));
+  p.grad.fill(2.f);
+  SgdConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.momentum = 0.f;
+  cfg.weight_decay = 0.f;
+  SGD opt({&p}, cfg);
+  opt.step();
+  EXPECT_NEAR(p.value[0], 1.f - 0.1f * 2.f, 1e-6f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p("w", Tensor({1}, 0.f));
+  SgdConfig cfg;
+  cfg.lr = 1.f;
+  cfg.momentum = 0.5f;
+  cfg.weight_decay = 0.f;
+  SGD opt({&p}, cfg);
+  p.grad.fill(1.f);
+  opt.step();  // v=1, w=-1
+  EXPECT_NEAR(p.value[0], -1.f, 1e-6f);
+  p.grad.fill(1.f);
+  opt.step();  // v=1.5, w=-2.5
+  EXPECT_NEAR(p.value[0], -2.5f, 1e-6f);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Param p("w", Tensor({1}, 10.f));
+  p.grad.fill(0.f);
+  SgdConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.momentum = 0.f;
+  cfg.weight_decay = 0.5f;
+  SGD opt({&p}, cfg);
+  opt.step();
+  EXPECT_LT(p.value[0], 10.f);
+  EXPECT_NEAR(p.value[0], 10.f - 0.1f * 0.5f * 10.f, 1e-5f);
+}
+
+TEST(Sgd, ZeroGradClears) {
+  Param p("w", Tensor({3}, 1.f));
+  p.grad.fill(5.f);
+  SGD opt({&p}, {});
+  opt.zero_grad();
+  for (int64_t i = 0; i < 3; ++i) EXPECT_EQ(p.grad[i], 0.f);
+}
+
+TEST(Sgd, LearningRateSetter) {
+  SGD opt({}, {});
+  opt.set_lr(0.123f);
+  EXPECT_FLOAT_EQ(opt.lr(), 0.123f);
+}
+
+// End-to-end sanity: a linear model learns a separable 2-class problem.
+TEST(Sgd, TrainsLinearClassifier) {
+  RandomEngine rng(7);
+  Linear model(2, 2);
+  for (auto& v : model.weight().value.span()) v = rng.gaussian(0.f, 0.1f);
+
+  SgdConfig cfg;
+  cfg.lr = 0.5f;
+  cfg.momentum = 0.9f;
+  cfg.weight_decay = 0.f;
+  SGD opt(model.parameters(), cfg);
+  SoftmaxCrossEntropy loss;
+
+  // Class 0 around (-1,-1), class 1 around (+1,+1).
+  const int64_t n = 64;
+  Tensor x({n, 2});
+  std::vector<int64_t> y(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t cls = i % 2;
+    y[static_cast<size_t>(i)] = cls;
+    const float center = cls == 0 ? -1.f : 1.f;
+    x.at(i, 0) = center + 0.3f * rng.gaussian();
+    x.at(i, 1) = center + 0.3f * rng.gaussian();
+  }
+
+  float first_loss = 0.f, last_loss = 0.f;
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    opt.zero_grad();
+    const Tensor logits = model.forward(x);
+    const float l = loss.forward(logits, y);
+    if (epoch == 0) first_loss = l;
+    last_loss = l;
+    model.backward(loss.backward());
+    opt.step();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.2f);
+  EXPECT_GT(accuracy(model.forward(x), y), 0.95);
+}
+
+}  // namespace
+}  // namespace rhw::nn

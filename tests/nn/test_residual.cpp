@@ -1,0 +1,77 @@
+#include "nn/residual.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "nn/init.hpp"
+
+namespace rhw::nn {
+namespace {
+
+TEST(ResidualBlock, IdentityShortcutWhenShapesMatch) {
+  ResidualBlock block(4, 4, 1);
+  EXPECT_FALSE(block.has_projection());
+  EXPECT_EQ(block.shortcut_tail(), nullptr);
+  EXPECT_EQ(block.children().size(), 5u);
+}
+
+TEST(ResidualBlock, ProjectionOnStride) {
+  ResidualBlock block(4, 4, 2);
+  EXPECT_TRUE(block.has_projection());
+  EXPECT_NE(block.shortcut_tail(), nullptr);
+  EXPECT_EQ(block.children().size(), 7u);
+}
+
+TEST(ResidualBlock, ProjectionOnChannelChange) {
+  ResidualBlock block(4, 8, 1);
+  EXPECT_TRUE(block.has_projection());
+}
+
+TEST(ResidualBlock, OutputShape) {
+  ResidualBlock block(3, 6, 2);
+  RandomEngine rng(1);
+  kaiming_init(block, rng);
+  block.set_training(true);
+  const Tensor y = block.forward(Tensor({2, 3, 8, 8}, 0.5f));
+  EXPECT_EQ(y.shape(), (Shape{2, 6, 4, 4}));
+}
+
+TEST(ResidualBlock, OutputIsNonNegative) {
+  ResidualBlock block(2, 2, 1);
+  RandomEngine rng(2);
+  kaiming_init(block, rng);
+  block.set_training(true);
+  const Tensor y = block.forward(Tensor::randn({2, 2, 4, 4}, rng));
+  EXPECT_GE(y.min(), 0.f);  // final ReLU
+}
+
+TEST(ResidualBlock, ZeroWeightsPassShortcutThrough) {
+  // With all conv weights zero and BN at defaults the main path emits the
+  // (normalized) zero signal, so the output equals relu(shortcut) = relu(x).
+  ResidualBlock block(2, 2, 1);
+  for (Param* p : block.parameters()) {
+    if (p->name == "weight") p->value.fill(0.f);
+  }
+  block.set_training(false);
+  RandomEngine rng(3);
+  const Tensor x = Tensor::randn({1, 2, 3, 3}, rng);
+  const Tensor y = block.forward(x);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_FLOAT_EQ(y[i], std::max(0.f, x[i]));
+  }
+}
+
+TEST(ResidualBlock, ParametersIncludeProjection) {
+  ResidualBlock identity(4, 4, 1);
+  ResidualBlock projected(4, 4, 2);
+  EXPECT_GT(projected.parameters().size(), identity.parameters().size());
+}
+
+TEST(ResidualBlock, TrainingFlagReachesSubmodules) {
+  ResidualBlock block(2, 4, 2);
+  block.set_training(false);
+  for (Module* child : block.children()) EXPECT_FALSE(child->training());
+}
+
+}  // namespace
+}  // namespace rhw::nn

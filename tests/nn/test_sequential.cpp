@@ -1,0 +1,79 @@
+#include "nn/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+
+namespace rhw::nn {
+namespace {
+
+TEST(Sequential, ForwardComposes) {
+  Sequential net;
+  auto& a = net.emplace<Linear>(2, 2, /*bias=*/false);
+  auto& b = net.emplace<Linear>(2, 1, /*bias=*/false);
+  a.weight().value = Tensor({2, 2}, std::vector<float>{1, 0, 0, 1});
+  b.weight().value = Tensor({1, 2}, std::vector<float>{1, 1});
+  const Tensor y = net.forward(Tensor({1, 2}, std::vector<float>{3, 4}));
+  EXPECT_FLOAT_EQ(y[0], 7.f);
+}
+
+TEST(Sequential, ParametersAggregateChildren) {
+  Sequential net;
+  net.emplace<Linear>(4, 4);
+  net.emplace<ReLU>();
+  net.emplace<Linear>(4, 2, /*bias=*/false);
+  EXPECT_EQ(net.parameters().size(), 3u);  // w+b, w
+  EXPECT_EQ(net.children().size(), 3u);
+  EXPECT_EQ(net.num_parameters(), 4 * 4 + 4 + 4 * 2);
+}
+
+TEST(Sequential, TrainingFlagPropagates) {
+  Sequential net;
+  auto& bn = net.emplace<BatchNorm2d>(2);
+  net.set_training(false);
+  EXPECT_FALSE(bn.training());
+  net.set_training(true);
+  EXPECT_TRUE(bn.training());
+}
+
+TEST(Sequential, AppendedModuleInheritsTrainingFlag) {
+  Sequential net;
+  net.set_training(false);
+  auto& bn = net.emplace<BatchNorm2d>(2);
+  EXPECT_FALSE(bn.training());
+}
+
+TEST(Sequential, BackwardReversesOrder) {
+  Sequential net;
+  auto& a = net.emplace<Linear>(1, 1, /*bias=*/false);
+  auto& b = net.emplace<Linear>(1, 1, /*bias=*/false);
+  a.weight().value.fill(2.f);
+  b.weight().value.fill(3.f);
+  (void)net.forward(Tensor({1, 1}, 1.f));
+  const Tensor g = net.backward(Tensor({1, 1}, 1.f));
+  // dy/dx = 2*3
+  EXPECT_FLOAT_EQ(g[0], 6.f);
+}
+
+TEST(Sequential, EmptyNetIsIdentity) {
+  Sequential net;
+  const Tensor x({2, 2}, 5.f);
+  const Tensor y = net.forward(x);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(y[i], 5.f);
+}
+
+TEST(Sequential, IndexAccess) {
+  Sequential net;
+  net.emplace<ReLU>();
+  net.emplace<Linear>(2, 2);
+  EXPECT_EQ(net.size(), 2u);
+  EXPECT_EQ(net[0].type_name(), "ReLU");
+  EXPECT_EQ(net[1].type_name(), "Linear");
+}
+
+}  // namespace
+}  // namespace rhw::nn

@@ -1,0 +1,88 @@
+#include "quant/pixel_discretizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/rng.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+
+namespace rhw::quant {
+namespace {
+
+TEST(PixelDiscretizer, ProducesAtMostLevels) {
+  PixelDiscretizer disc;
+  disc.bits = 4;
+  rhw::RandomEngine rng(1);
+  const Tensor x = Tensor::rand_uniform({10000}, rng);
+  const Tensor q = disc.apply(x);
+  std::set<float> values(q.data(), q.data() + q.numel());
+  EXPECT_LE(values.size(), 16u);
+  EXPECT_GE(values.size(), 14u);  // dense sampling should hit most levels
+}
+
+TEST(PixelDiscretizer, EndpointsPreserved) {
+  PixelDiscretizer disc;
+  disc.bits = 4;
+  const Tensor x({2}, std::vector<float>{0.f, 1.f});
+  const Tensor q = disc.apply(x);
+  EXPECT_FLOAT_EQ(q[0], 0.f);
+  EXPECT_FLOAT_EQ(q[1], 1.f);
+}
+
+TEST(PixelDiscretizer, ErrorBoundedByHalfStep) {
+  PixelDiscretizer disc;
+  disc.bits = 2;  // 4 levels, step 1/3
+  rhw::RandomEngine rng(2);
+  const Tensor x = Tensor::rand_uniform({1000}, rng);
+  const Tensor q = disc.apply(x);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_LE(std::fabs(q[i] - x[i]), 0.5f / 3.f + 1e-6f);
+  }
+}
+
+TEST(PixelDiscretizer, MasksSmallPerturbations) {
+  // Perturbations below half a quantization step vanish entirely — the
+  // mechanism behind discretization as a defense [6].
+  PixelDiscretizer disc;
+  disc.bits = 4;
+  const float step = 1.f / 15.f;
+  Tensor x({1}, std::vector<float>{7.f * step});  // exactly on the grid
+  Tensor perturbed({1}, std::vector<float>{7.f * step + 0.4f * step});
+  EXPECT_FLOAT_EQ(disc.apply(x)[0], disc.apply(perturbed)[0]);
+}
+
+TEST(DiscretizedModel, ForwardQuantizesInput) {
+  nn::Sequential inner;
+  auto& lin = inner.emplace<nn::Linear>(1, 1, /*bias=*/false);
+  lin.weight().value.fill(1.f);
+  PixelDiscretizer disc;
+  disc.bits = 1;  // levels {0, 1}
+  DiscretizedModel model(inner, disc);
+  EXPECT_FLOAT_EQ(model.forward(Tensor({1, 1}, 0.4f))[0], 0.f);
+  EXPECT_FLOAT_EQ(model.forward(Tensor({1, 1}, 0.6f))[0], 1.f);
+}
+
+TEST(DiscretizedModel, BackwardIsStraightThrough) {
+  nn::Sequential inner;
+  auto& lin = inner.emplace<nn::Linear>(1, 1, /*bias=*/false);
+  lin.weight().value.fill(3.f);
+  PixelDiscretizer disc;
+  DiscretizedModel model(inner, disc);
+  (void)model.forward(Tensor({1, 1}, 0.5f));
+  const Tensor g = model.backward(Tensor({1, 1}, 1.f));
+  EXPECT_FLOAT_EQ(g[0], 3.f);  // d(3x)/dx, discretizer transparent
+}
+
+TEST(DiscretizedModel, SharesParametersWithInner) {
+  nn::Sequential inner;
+  inner.emplace<nn::Linear>(2, 2);
+  PixelDiscretizer disc;
+  DiscretizedModel model(inner, disc);
+  EXPECT_EQ(model.parameters().size(), inner.parameters().size());
+}
+
+}  // namespace
+}  // namespace rhw::quant

@@ -1,0 +1,136 @@
+#include "quant/quantizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace rhw::quant {
+namespace {
+
+TEST(Quantizer, SymmetricParamsScale) {
+  Tensor t({3}, std::vector<float>{-2.f, 1.f, 0.5f});
+  const auto p = compute_symmetric(t, 8);
+  EXPECT_EQ(p.qmax(), 127);
+  EXPECT_EQ(p.qmin(), -128);
+  EXPECT_NEAR(p.scale, 2.f / 127.f, 1e-7f);
+}
+
+TEST(Quantizer, UnsignedParamsScale) {
+  Tensor t({3}, std::vector<float>{0.f, 1.f, 3.f});
+  const auto p = compute_unsigned(t, 8);
+  EXPECT_EQ(p.qmax(), 255u);
+  EXPECT_NEAR(p.scale, 3.f / 255.f, 1e-7f);
+}
+
+TEST(Quantizer, ZeroTensorHasUnitScale) {
+  Tensor t({4});
+  EXPECT_EQ(compute_symmetric(t, 8).scale, 1.f);
+  EXPECT_EQ(compute_unsigned(t, 8).scale, 1.f);
+}
+
+TEST(Quantizer, BadBitsThrow) {
+  Tensor t({1}, 1.f);
+  EXPECT_THROW(compute_symmetric(t, 1), std::invalid_argument);
+  EXPECT_THROW(compute_symmetric(t, 17), std::invalid_argument);
+  EXPECT_THROW(compute_unsigned(t, 0), std::invalid_argument);
+}
+
+class FakeQuantErrorBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(FakeQuantErrorBound, SymmetricWithinHalfStep) {
+  const int bits = GetParam();
+  rhw::RandomEngine rng(static_cast<uint64_t>(bits));
+  Tensor t = Tensor::randn({1000}, rng);
+  const auto p = compute_symmetric(t, bits);
+  Tensor q = t;
+  fake_quantize_symmetric_(q, bits);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_LE(std::fabs(q[i] - t[i]), 0.5f * p.scale + 1e-6f);
+  }
+}
+
+TEST_P(FakeQuantErrorBound, UnsignedWithinHalfStep) {
+  const int bits = GetParam();
+  rhw::RandomEngine rng(static_cast<uint64_t>(bits) + 100);
+  Tensor t = Tensor::rand_uniform({1000}, rng, 0.f, 5.f);
+  const auto p = compute_unsigned(t, bits);
+  Tensor q = t;
+  fake_quantize_unsigned_(q, bits);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_LE(std::fabs(q[i] - t[i]), 0.5f * p.scale + 1e-6f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, FakeQuantErrorBound,
+                         ::testing::Values(2, 4, 6, 8, 12));
+
+TEST(Quantizer, FakeQuantIdempotent) {
+  rhw::RandomEngine rng(5);
+  Tensor t = Tensor::randn({256}, rng);
+  fake_quantize_symmetric_(t, 4);
+  Tensor again = t;
+  fake_quantize_symmetric_(again, 4);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_NEAR(again[i], t[i], 1e-6f);
+}
+
+TEST(Quantizer, FewerBitsMoreError) {
+  rhw::RandomEngine rng(6);
+  const Tensor t = Tensor::randn({4096}, rng);
+  auto err = [&](int bits) {
+    Tensor q = t;
+    fake_quantize_symmetric_(q, bits);
+    q.sub_(t);
+    double acc = 0;
+    for (int64_t i = 0; i < q.numel(); ++i) acc += std::fabs(q[i]);
+    return acc;
+  };
+  EXPECT_GT(err(2), err(4));
+  EXPECT_GT(err(4), err(8));
+}
+
+TEST(Quantizer, UnsignedCodesRoundTrip) {
+  rhw::RandomEngine rng(7);
+  Tensor t = Tensor::rand_uniform({128}, rng, 0.f, 2.f);
+  const auto p = compute_unsigned(t, 8);
+  const auto codes = to_codes_unsigned(t, p);
+  Tensor back(t.shape());
+  from_codes_unsigned(codes, p, back);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_NEAR(back[i], t[i], 0.5f * p.scale + 1e-6f);
+  }
+}
+
+TEST(Quantizer, SignedCodesRoundTrip) {
+  rhw::RandomEngine rng(8);
+  Tensor t = Tensor::randn({128}, rng);
+  const auto p = compute_symmetric(t, 8);
+  const auto codes = to_codes_signed(t, p);
+  Tensor back(t.shape());
+  from_codes_signed(codes, p, back);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_NEAR(back[i], t[i], 0.5f * p.scale + 1e-6f);
+  }
+}
+
+TEST(Quantizer, CodesSizeMismatchThrows) {
+  Tensor t({4});
+  UnsignedParams p;
+  std::vector<uint8_t> codes(3);
+  EXPECT_THROW(from_codes_unsigned(codes, p, t), std::invalid_argument);
+}
+
+TEST(Quantizer, CodesClampOutOfRange) {
+  // Values beyond the scale's range must clamp, not wrap.
+  Tensor t({2}, std::vector<float>{10.f, -10.f});
+  SymmetricParams p;
+  p.scale = 0.05f;
+  p.bits = 8;
+  const auto codes = to_codes_signed(t, p);
+  EXPECT_EQ(codes[0], 127);
+  EXPECT_EQ(codes[1], -128);
+}
+
+}  // namespace
+}  // namespace rhw::quant

@@ -1,0 +1,64 @@
+#include "sram/bit_error_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rhw::sram {
+namespace {
+
+TEST(BitErrorModel, MonotoneDecreasingInVdd) {
+  BitErrorModel m;
+  double prev = 1.0;
+  for (double v = 0.55; v <= 1.05; v += 0.01) {
+    const double ber = m.ber_6t(v);
+    EXPECT_LT(ber, prev) << "BER must strictly decrease as Vdd rises";
+    prev = ber;
+  }
+}
+
+TEST(BitErrorModel, CalibrationPointsMatchLiterature) {
+  BitErrorModel m;
+  // ~1e-9 at nominal 1.0 V
+  EXPECT_LT(m.ber_6t(1.0), 1e-8);
+  EXPECT_GT(m.ber_6t(1.0), 1e-11);
+  // ~1e-2 at the paper's 0.68 V operating point
+  EXPECT_GT(m.ber_6t(0.68), 3e-3);
+  EXPECT_LT(m.ber_6t(0.68), 3e-2);
+  // ~5% at deep scaling
+  EXPECT_GT(m.ber_6t(0.62), 0.02);
+  EXPECT_LT(m.ber_6t(0.62), 0.12);
+}
+
+TEST(BitErrorModel, EightTFarMoreRobustThanSixT) {
+  BitErrorModel m;
+  for (double v : {0.62, 0.68, 0.74, 0.80}) {
+    EXPECT_LT(m.ber_8t(v), m.ber_6t(v) * 1e-2)
+        << "8T must be orders of magnitude more reliable at " << v << " V";
+  }
+}
+
+TEST(BitErrorModel, EightTNegligibleAtOperatingPoint) {
+  BitErrorModel m;
+  EXPECT_LT(m.ber_8t(0.68), 1e-4);
+}
+
+TEST(BitErrorModel, ClampedToHalf) {
+  BitErrorModel m;
+  EXPECT_LE(m.ber_6t(0.0), 0.5);
+  EXPECT_GE(m.ber_6t(0.0), 0.3);  // deep failure: approaches coin flip
+}
+
+TEST(BitErrorModel, NeverExactlyZero) {
+  BitErrorModel m;
+  EXPECT_GT(m.ber_6t(2.0), 0.0);  // clamped floor keeps log plots finite
+}
+
+TEST(BitErrorModel, CustomParamsShiftCurve) {
+  BitErrorParams weak;
+  weak.six_t_vcrit = 0.55;  // worse cell
+  BitErrorModel weak_model(weak);
+  BitErrorModel nominal;
+  EXPECT_GT(weak_model.ber_6t(0.7), nominal.ber_6t(0.7));
+}
+
+}  // namespace
+}  // namespace rhw::sram

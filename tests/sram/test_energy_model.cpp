@@ -1,0 +1,131 @@
+#include "sram/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "models/zoo.hpp"
+#include "nn/init.hpp"
+
+namespace rhw::sram {
+namespace {
+
+TEST(SramEnergy, DynamicEnergyScalesQuadratically) {
+  SramEnergyModel m;
+  const double full = m.bit_read_energy_fj(false, 1.0);
+  const double half = m.bit_read_energy_fj(false, 0.5);
+  EXPECT_NEAR(half, full * 0.25, 1e-12);
+}
+
+TEST(SramEnergy, EightTCostsMoreThanSixT) {
+  SramEnergyModel m;
+  for (double vdd : {0.68, 0.8, 1.0}) {
+    EXPECT_GT(m.bit_read_energy_fj(true, vdd),
+              m.bit_read_energy_fj(false, vdd));
+    EXPECT_GT(m.cell_leakage_nw(true, vdd), m.cell_leakage_nw(false, vdd));
+  }
+}
+
+TEST(SramEnergy, WordEnergyInterpolatesWithRatio) {
+  SramEnergyModel m;
+  HybridWordConfig all8;
+  all8.num_8t = 8;
+  HybridWordConfig all6;
+  all6.num_8t = 0;
+  HybridWordConfig half;
+  half.num_8t = 4;
+  const double e8 = m.word_read_energy_fj(all8, 0.8);
+  const double e6 = m.word_read_energy_fj(all6, 0.8);
+  const double eh = m.word_read_energy_fj(half, 0.8);
+  EXPECT_GT(e8, e6);
+  EXPECT_NEAR(eh, 0.5 * (e8 + e6), 1e-9);
+}
+
+TEST(SramEnergy, MoreSixTCellsLessAreaAndEnergy) {
+  SramEnergyModel m;
+  double prev_area = 1e18, prev_energy = 1e18;
+  for (int n6 = 0; n6 <= 8; ++n6) {
+    HybridWordConfig w;
+    w.num_8t = 8 - n6;
+    const double area = m.word_area_um2(w);
+    const double energy = m.word_read_energy_fj(w, 0.68);
+    EXPECT_LT(area, prev_area);
+    EXPECT_LT(energy, prev_energy);
+    prev_area = area;
+    prev_energy = energy;
+  }
+}
+
+TEST(SramEnergy, VoltageScalingSavesEnergy) {
+  SramEnergyModel m;
+  HybridWordConfig w;
+  w.num_8t = 4;
+  EXPECT_LT(m.word_read_energy_fj(w, 0.68), m.word_read_energy_fj(w, 1.0));
+  EXPECT_LT(m.word_leakage_nw(w, 0.68), m.word_leakage_nw(w, 1.0));
+}
+
+class ActivationReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model_ = models::build_model("vgg8", 4, 0.125f, 16);
+    rhw::RandomEngine rng(1);
+    nn::kaiming_init(*model_.net, rng);
+    model_.net->set_training(false);
+    input_ = Tensor({2, 3, 16, 16}, 0.5f);
+  }
+  models::Model model_;
+  Tensor input_;
+};
+
+TEST_F(ActivationReportTest, CountsWordsPerImage) {
+  const auto report = activation_memory_report(model_, input_, 0.68, {});
+  ASSERT_EQ(report.sites.size(), model_.sites.size());
+  // First conv site of vgg8 @0.125 width: 8 channels x 16 x 16.
+  EXPECT_EQ(report.sites[0].words, 8 * 16 * 16);
+  // Pool site halves the spatial extent.
+  bool found_pool = false;
+  for (const auto& s : report.sites) {
+    if (s.label == "2(P)") {
+      EXPECT_EQ(s.words, 8 * 8 * 8);
+      found_pool = true;
+    }
+  }
+  EXPECT_TRUE(found_pool);
+}
+
+TEST_F(ActivationReportTest, HomogeneousNominalHasNoSavings) {
+  const auto report = activation_memory_report(model_, input_, 1.0, {});
+  EXPECT_NEAR(report.energy_saving_pct(), 0.0, 1e-9);
+  EXPECT_NEAR(report.area_saving_pct(), 0.0, 1e-9);
+}
+
+TEST_F(ActivationReportTest, ScaledVoltageSaves) {
+  const auto report = activation_memory_report(model_, input_, 0.68, {});
+  // E ~ Vdd^2: 0.68^2 = 0.4624 -> ~53.8% dynamic saving.
+  EXPECT_NEAR(report.energy_saving_pct(), 100.0 * (1 - 0.68 * 0.68), 0.5);
+}
+
+TEST_F(ActivationReportTest, HybridSitesSaveAreaAndEnergy) {
+  HybridWordConfig word;
+  word.num_8t = 2;
+  const auto hybrid =
+      activation_memory_report(model_, input_, 0.68, {{"0", word}, {"1", word}});
+  const auto plain = activation_memory_report(model_, input_, 0.68, {});
+  EXPECT_LT(hybrid.total_read_energy_fj, plain.total_read_energy_fj);
+  EXPECT_LT(hybrid.total_area_um2, plain.total_area_um2);
+  EXPECT_GT(hybrid.area_saving_pct(), 0.0);
+}
+
+TEST_F(ActivationReportTest, HooksRemovedAfterReport) {
+  (void)activation_memory_report(model_, input_, 0.68, {});
+  for (const auto& site : model_.sites) {
+    EXPECT_FALSE(site.module->has_post_hook());
+  }
+}
+
+TEST_F(ActivationReportTest, RejectsBadInput) {
+  EXPECT_THROW(activation_memory_report(model_, Tensor({3, 16, 16}), 0.68, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rhw::sram

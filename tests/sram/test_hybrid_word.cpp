@@ -1,0 +1,114 @@
+#include "sram/hybrid_word.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rhw::sram {
+namespace {
+
+TEST(HybridWord, RatioLabels) {
+  HybridWordConfig w;
+  w.num_8t = 3;
+  EXPECT_EQ(w.ratio_label(), "3/5");
+  w.num_8t = 8;
+  EXPECT_EQ(w.ratio_label(), "H");
+  w.num_8t = 0;
+  EXPECT_EQ(w.ratio_label(), "0/8");  // all-6T is a real noise config
+}
+
+TEST(HybridWord, MsbProtectedMaskCoversLsbs) {
+  HybridWordConfig w;
+  w.num_8t = 5;  // 3 6T cells on the LSBs
+  EXPECT_EQ(w.six_t_mask(), 0b00000111u);
+  EXPECT_EQ(w.eight_t_mask(), 0b11111000u);
+}
+
+TEST(HybridWord, AblationMaskCoversMsbs) {
+  HybridWordConfig w;
+  w.num_8t = 5;
+  w.msb_protected = false;  // 6T cells hold the MSBs instead
+  EXPECT_EQ(w.six_t_mask(), 0b11100000u);
+  EXPECT_EQ(w.eight_t_mask(), 0b00011111u);
+}
+
+TEST(HybridWord, MasksPartitionTheWord) {
+  for (int n8 = 0; n8 <= 8; ++n8) {
+    HybridWordConfig w;
+    w.num_8t = n8;
+    EXPECT_EQ(w.six_t_mask() & w.eight_t_mask(), 0u);
+    EXPECT_EQ(w.six_t_mask() | w.eight_t_mask(), 0xFFu);
+    EXPECT_EQ(w.num_6t(), 8 - n8);
+  }
+}
+
+TEST(HybridWord, HomogeneousCases) {
+  HybridWordConfig all8;
+  all8.num_8t = 8;
+  EXPECT_EQ(all8.six_t_mask(), 0u);
+  EXPECT_TRUE(all8.homogeneous_8t());
+  HybridWordConfig all6;
+  all6.num_8t = 0;
+  EXPECT_EQ(all6.six_t_mask(), 0xFFu);
+}
+
+TEST(HybridWord, BadSplitThrows) {
+  HybridWordConfig w;
+  w.num_8t = 9;
+  EXPECT_THROW(w.six_t_mask(), std::invalid_argument);
+}
+
+TEST(HybridWord, ExpectedFlipMagnitudeFirstOrder) {
+  HybridWordConfig w;
+  w.num_8t = 6;  // 6T on bits 0,1
+  const double mag = expected_flip_magnitude(w, 0.01, 0.0);
+  EXPECT_NEAR(mag, 0.01 * (1 + 2), 1e-12);
+}
+
+// Fig. 2 property: mu grows as 6T cells replace 8T cells (left to right on
+// the paper's x-axis) and as the supply voltage scales down.
+TEST(HybridWord, MuMonotoneInSixTCount) {
+  BitErrorModel model;
+  for (double vdd : {0.62, 0.66, 0.70, 0.74}) {
+    double prev = -1.0;
+    for (int n6 = 0; n6 <= 8; ++n6) {
+      HybridWordConfig w;
+      w.num_8t = 8 - n6;
+      const double mu = surgical_noise_mu(w, model, vdd);
+      EXPECT_GT(mu, prev) << "n6=" << n6 << " vdd=" << vdd;
+      prev = mu;
+    }
+  }
+}
+
+TEST(HybridWord, MuMonotoneInVoltageScaling) {
+  BitErrorModel model;
+  HybridWordConfig w;
+  w.num_8t = 4;
+  double prev = 1e9;
+  for (double vdd : {0.62, 0.66, 0.70, 0.74, 0.78, 0.90}) {
+    const double mu = surgical_noise_mu(w, model, vdd);
+    EXPECT_LT(mu, prev);
+    prev = mu;
+  }
+}
+
+TEST(HybridWord, MsbProtectionReducesMu) {
+  // Significance-driven storage ablation: exposing MSBs to 6T errors must
+  // blow up the expected perturbation.
+  BitErrorModel model;
+  HybridWordConfig protected_word;
+  protected_word.num_8t = 4;
+  HybridWordConfig exposed = protected_word;
+  exposed.msb_protected = false;
+  EXPECT_LT(surgical_noise_mu(protected_word, model, 0.68),
+            surgical_noise_mu(exposed, model, 0.68));
+}
+
+TEST(HybridWord, MuBoundedByHalf) {
+  BitErrorModel model;
+  HybridWordConfig w;
+  w.num_8t = 0;
+  EXPECT_LE(surgical_noise_mu(w, model, 0.3), 0.5 + 1e-9);
+}
+
+}  // namespace
+}  // namespace rhw::sram

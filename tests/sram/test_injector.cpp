@@ -1,0 +1,139 @@
+#include "sram/bit_error_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rhw::sram {
+namespace {
+
+BitErrorModel zero_ber_model() {
+  BitErrorParams p;
+  p.six_t_vcrit = -10.0;  // BER floor everywhere
+  p.eight_t_vcrit = -10.0;
+  return BitErrorModel(p);
+}
+
+TEST(Injector, NegligibleBerIsIdentityInPractice) {
+  HybridWordConfig w;
+  w.num_8t = 4;
+  BitErrorInjector inj(w, zero_ber_model(), 1.0);
+  rhw::RandomEngine rng(1);
+  std::vector<uint8_t> codes(4096);
+  for (auto& c : codes) c = static_cast<uint8_t>(rng.next_below(256));
+  auto corrupted = codes;
+  inj.corrupt_codes(corrupted, rng);
+  EXPECT_EQ(codes, corrupted);  // floor BER 1e-15: no flips in 4k words
+}
+
+TEST(Injector, FlipsOnlySixTBits) {
+  HybridWordConfig w;
+  w.num_8t = 4;  // 6T mask = 0x0F
+  // Idealized 8T cells (at 0.55 V even real 8T cells fail occasionally, which
+  // is physical but not what this test isolates).
+  BitErrorParams params;
+  params.eight_t_vcrit = -10.0;
+  BitErrorModel model(params);
+  BitErrorInjector inj(w, model, 0.55);
+  rhw::RandomEngine rng(2);
+  std::vector<uint8_t> codes(4096, 0b10100000);
+  auto corrupted = codes;
+  inj.corrupt_codes(corrupted, rng);
+  int changed = 0;
+  for (size_t i = 0; i < codes.size(); ++i) {
+    EXPECT_EQ(corrupted[i] & 0xF0, codes[i] & 0xF0)
+        << "8T (MSB) bits must never flip at word " << i;
+    if (corrupted[i] != codes[i]) ++changed;
+  }
+  EXPECT_GT(changed, 100) << "deep voltage scaling should flip many words";
+}
+
+TEST(Injector, FlipRateMatchesBer) {
+  HybridWordConfig w;
+  w.num_8t = 7;  // single 6T bit (bit 0)
+  BitErrorModel model;
+  const double vdd = 0.62;
+  BitErrorInjector inj(w, model, vdd);
+  rhw::RandomEngine rng(3);
+  const int n = 200000;
+  std::vector<uint8_t> codes(n, 0);
+  inj.corrupt_codes(codes, rng);
+  int flips = 0;
+  for (uint8_t c : codes) flips += c & 1;
+  const double rate = static_cast<double>(flips) / n;
+  EXPECT_NEAR(rate, model.ber_6t(vdd), 0.15 * model.ber_6t(vdd) + 1e-3);
+}
+
+TEST(Injector, DeterministicGivenRngSeed) {
+  HybridWordConfig w;
+  w.num_8t = 3;
+  BitErrorInjector inj(w, {}, 0.65);
+  std::vector<uint8_t> a(1024, 0x5A), b(1024, 0x5A);
+  rhw::RandomEngine rng1(42), rng2(42);
+  inj.corrupt_codes(a, rng1);
+  inj.corrupt_codes(b, rng2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Injector, ActivationPathPreservesShapeAndRange) {
+  HybridWordConfig w;
+  w.num_8t = 4;
+  BitErrorInjector inj(w, {}, 0.64);
+  rhw::RandomEngine rng(4);
+  Tensor t = Tensor::rand_uniform({2, 3, 8, 8}, rng, 0.f, 4.f);
+  const float tmax = t.max();
+  Tensor noisy = t;
+  inj.apply_to_activations(noisy, rng);
+  EXPECT_TRUE(noisy.same_shape(t));
+  EXPECT_GE(noisy.min(), 0.f);
+  EXPECT_LE(noisy.max(), tmax + 1e-4f);  // unsigned codes can't exceed scale
+  double delta = 0;
+  for (int64_t i = 0; i < t.numel(); ++i) delta += std::fabs(noisy[i] - t[i]);
+  EXPECT_GT(delta, 0.0) << "0.64 V should corrupt something";
+}
+
+TEST(Injector, WeightPathPerturbsSymmetrically) {
+  HybridWordConfig w;
+  w.num_8t = 2;
+  BitErrorInjector inj(w, {}, 0.6);
+  rhw::RandomEngine rng(5);
+  Tensor t = Tensor::randn({1024}, rng);
+  Tensor noisy = t;
+  inj.apply_to_weights(noisy, rng);
+  EXPECT_TRUE(noisy.same_shape(t));
+  double delta = 0;
+  for (int64_t i = 0; i < t.numel(); ++i) delta += std::fabs(noisy[i] - t[i]);
+  EXPECT_GT(delta, 0.0);
+}
+
+TEST(Injector, MeasuredMuTracksAnalyticMu) {
+  BitErrorModel model;
+  for (int n8 : {2, 4, 6}) {
+    HybridWordConfig w;
+    w.num_8t = n8;
+    const double vdd = 0.64;
+    BitErrorInjector inj(w, model, vdd);
+    rhw::RandomEngine rng(100 + static_cast<uint64_t>(n8));
+    const double measured = inj.measure_mu(200000, rng);
+    const double analytic = surgical_noise_mu(w, model, vdd);
+    EXPECT_NEAR(measured, analytic, 0.15 * analytic + 1e-4)
+        << "n8t=" << n8;
+  }
+}
+
+TEST(Injector, MoreSixTCellsMoreMeasuredNoise) {
+  BitErrorModel model;
+  rhw::RandomEngine rng(6);
+  double prev = -1.0;
+  for (int n6 : {1, 3, 5, 8}) {
+    HybridWordConfig w;
+    w.num_8t = 8 - n6;
+    BitErrorInjector inj(w, model, 0.64);
+    const double mu = inj.measure_mu(100000, rng);
+    EXPECT_GT(mu, prev);
+    prev = mu;
+  }
+}
+
+}  // namespace
+}  // namespace rhw::sram

@@ -1,0 +1,122 @@
+// Fig. 4 methodology tests on a small trained model.
+#include "sram/layer_selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synth_cifar.hpp"
+#include "models/zoo.hpp"
+
+namespace rhw::sram {
+namespace {
+
+class SelectorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SynthCifarConfig dcfg;
+    dcfg.num_classes = 4;
+    dcfg.train_per_class = 60;
+    dcfg.test_per_class = 30;
+    dcfg.image_size = 16;
+    dcfg.noise_std = 0.12f;
+    dcfg.nuisance_amp = 0.15f;
+    data_ = new data::SynthCifar(data::make_synth_cifar(dcfg));
+
+    models::VggConfig mcfg;
+    mcfg.depth = 8;
+    mcfg.num_classes = 4;
+    mcfg.in_size = 16;
+    mcfg.width_mult = 0.125f;
+    model_ = new models::Model(models::make_vgg(mcfg));
+    models::TrainConfig tcfg;
+    tcfg.epochs = 3;
+    tcfg.batch_size = 48;
+    models::train_model(*model_, *data_, tcfg);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete data_;
+    model_ = nullptr;
+    data_ = nullptr;
+  }
+  static data::SynthCifar* data_;
+  static models::Model* model_;
+};
+
+data::SynthCifar* SelectorTest::data_ = nullptr;
+models::Model* SelectorTest::model_ = nullptr;
+
+SelectorConfig fast_config() {
+  SelectorConfig cfg;
+  cfg.eval_count = 80;
+  cfg.epsilon = 0.12f;
+  cfg.batch_size = 80;
+  return cfg;
+}
+
+TEST_F(SelectorTest, ProducesOneBestChoicePerSite) {
+  const auto result = select_layers(*model_, data_->test, fast_config());
+  EXPECT_EQ(result.per_site_best.size(), model_->sites.size());
+  for (const auto& choice : result.per_site_best) {
+    EXPECT_GE(choice.adv_acc, 0.0);
+    EXPECT_LE(choice.adv_acc, 100.0);
+    EXPECT_GE(choice.word.num_6t(), 1);
+    EXPECT_LE(choice.word.num_6t(), 8);
+  }
+}
+
+TEST_F(SelectorTest, ShortlistRespectsThreshold) {
+  const auto cfg = fast_config();
+  const auto result = select_layers(*model_, data_->test, cfg);
+  for (const auto& choice : result.shortlisted) {
+    EXPECT_GT(choice.adv_acc,
+              result.baseline_adv_acc + cfg.improvement_threshold);
+  }
+}
+
+TEST_F(SelectorTest, FinalCombinationNoWorseThanBaseline) {
+  const auto result = select_layers(*model_, data_->test, fast_config());
+  EXPECT_GE(result.final_adv_acc, result.baseline_adv_acc);
+}
+
+TEST_F(SelectorTest, SelectionComesFromShortlist) {
+  const auto result = select_layers(*model_, data_->test, fast_config());
+  for (const auto& sel : result.selected) {
+    bool found = false;
+    for (const auto& short_choice : result.shortlisted) {
+      if (short_choice.site_index == sel.site_index) found = true;
+    }
+    EXPECT_TRUE(found) << "selected site " << sel.site_label
+                       << " not in shortlist";
+  }
+}
+
+TEST_F(SelectorTest, HooksClearedAfterSelection) {
+  (void)select_layers(*model_, data_->test, fast_config());
+  for (const auto& site : model_->sites) {
+    EXPECT_FALSE(site.module->has_post_hook());
+  }
+}
+
+TEST_F(SelectorTest, ApplySelectionInstallsHooks) {
+  auto result = select_layers(*model_, data_->test, fast_config());
+  if (result.selected.empty()) {
+    // Fall back: force-install the best per-site choice to test apply.
+    result.selected.push_back(result.per_site_best.front());
+  }
+  apply_selection(*model_, result.selected, 0.68);
+  size_t hooked = 0;
+  for (const auto& site : model_->sites) {
+    if (site.module->has_post_hook()) ++hooked;
+  }
+  EXPECT_EQ(hooked, result.selected.size());
+  clear_all_site_hooks(*model_);
+}
+
+TEST_F(SelectorTest, BaselineSanity) {
+  const auto result = select_layers(*model_, data_->test, fast_config());
+  EXPECT_GT(result.baseline_clean_acc, 50.0);
+  EXPECT_LT(result.baseline_adv_acc, result.baseline_clean_acc);
+}
+
+}  // namespace
+}  // namespace rhw::sram

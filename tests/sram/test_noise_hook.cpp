@@ -1,0 +1,110 @@
+#include "sram/noise_hook.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+
+namespace rhw::sram {
+namespace {
+
+SramNoiseConfig noisy_config() {
+  SramNoiseConfig cfg;
+  cfg.word.num_8t = 2;  // 6 error-prone bits
+  cfg.vdd = 0.60;       // deep scaling: lots of flips
+  return cfg;
+}
+
+TEST(NoiseHook, PerturbsActivations) {
+  nn::ReLU relu;
+  attach_noise(relu, noisy_config());
+  rhw::RandomEngine rng(1);
+  const Tensor x = Tensor::rand_uniform({1000}, rng, 0.f, 2.f);
+  const Tensor clean = x;  // relu of positive values is identity
+  const Tensor noisy = relu.forward(x);
+  double delta = 0;
+  for (int64_t i = 0; i < x.numel(); ++i) delta += std::fabs(noisy[i] - clean[i]);
+  EXPECT_GT(delta, 0.0);
+}
+
+TEST(NoiseHook, SuppressedDuringAttackGradientScope) {
+  nn::ReLU relu;
+  attach_noise(relu, noisy_config());
+  rhw::RandomEngine rng(2);
+  const Tensor x = Tensor::rand_uniform({1000}, rng, 0.f, 2.f);
+  nn::Module::HooksDisabledScope scope;
+  const Tensor y = relu.forward(x);
+  for (int64_t i = 0; i < x.numel(); ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(NoiseHook, FreshNoisePerForwardButSeededStream) {
+  nn::ReLU a;
+  attach_noise(a, noisy_config());
+  rhw::RandomEngine rng(3);
+  const Tensor x = Tensor::rand_uniform({2000}, rng, 0.f, 1.f);
+  const Tensor y1 = a.forward(x);
+  const Tensor y2 = a.forward(x);
+  double diff = 0;
+  for (int64_t i = 0; i < x.numel(); ++i) diff += std::fabs(y1[i] - y2[i]);
+  EXPECT_GT(diff, 0.0) << "repeated reads draw fresh error patterns";
+
+  // Identical hook construction replays the identical stream.
+  nn::ReLU b, c;
+  attach_noise(b, noisy_config());
+  attach_noise(c, noisy_config());
+  const Tensor yb = b.forward(x);
+  const Tensor yc = c.forward(x);
+  for (int64_t i = 0; i < x.numel(); ++i) EXPECT_EQ(yb[i], yc[i]);
+}
+
+TEST(NoiseHook, HomogeneousEightTIsNoiseless) {
+  nn::ReLU relu;
+  SramNoiseConfig cfg;
+  cfg.word.num_8t = 8;
+  cfg.vdd = 0.60;
+  attach_noise(relu, cfg);
+  rhw::RandomEngine rng(4);
+  const Tensor x = Tensor::rand_uniform({512}, rng, 0.f, 1.f);
+  const Tensor y = relu.forward(x);
+  // All-8T memory at 0.6 V: quantization only (8-bit), no bit errors beyond
+  // the 8T BER floor.
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_NEAR(y[i], x[i], x.max() / 255.f * 0.51f);
+  }
+}
+
+TEST(NoiseHook, CorruptLayerWeightsOnlyTouchesWeights) {
+  nn::Linear lin(8, 4);
+  rhw::RandomEngine rng(5);
+  nn::kaiming_init(lin, rng);
+  lin.bias().value.fill(0.5f);
+  const Tensor w_before = lin.weight().value;
+  SramNoiseConfig cfg = noisy_config();
+  corrupt_layer_weights(lin, cfg);
+  double delta = 0;
+  for (int64_t i = 0; i < w_before.numel(); ++i) {
+    delta += std::fabs(lin.weight().value[i] - w_before[i]);
+  }
+  EXPECT_GT(delta, 0.0);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(lin.bias().value[i], 0.5f);
+}
+
+TEST(NoiseHook, EndToEndNetworkStaysFinite) {
+  nn::Sequential net;
+  net.emplace<nn::Linear>(16, 16);
+  auto& relu = net.emplace<nn::ReLU>();
+  net.emplace<nn::Linear>(16, 4);
+  rhw::RandomEngine rng(6);
+  nn::kaiming_init(net, rng);
+  attach_noise(relu, noisy_config());
+  const Tensor y = net.forward(Tensor::rand_uniform({8, 16}, rng));
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(y[i]));
+  }
+}
+
+}  // namespace
+}  // namespace rhw::sram

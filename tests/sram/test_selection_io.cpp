@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "sram/layer_selector.hpp"
+
+namespace rhw::sram {
+namespace {
+
+std::string temp_file(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+SelectionResult sample_result() {
+  SelectionResult r;
+  r.baseline_clean_acc = 88.5;
+  r.baseline_adv_acc = 40.25;
+  r.final_adv_acc = 55.75;
+  r.final_clean_acc = 86.0;
+  SiteChoice a;
+  a.site_index = 1;
+  a.site_label = "1";
+  a.word.num_8t = 3;
+  a.adv_acc = 52.0;
+  SiteChoice b;
+  b.site_index = 2;
+  b.site_label = "2(P)";
+  b.word.num_8t = 2;
+  b.adv_acc = 49.5;
+  r.per_site_best = {a, b};
+  r.shortlisted = {a};
+  r.selected = {a};
+  return r;
+}
+
+TEST(SelectionIo, RoundTrip) {
+  const auto path = temp_file("rhw_selection_test.txt");
+  const auto original = sample_result();
+  save_selection(path, original);
+  SelectionResult loaded;
+  ASSERT_TRUE(load_selection(path, &loaded));
+  EXPECT_DOUBLE_EQ(loaded.baseline_clean_acc, original.baseline_clean_acc);
+  EXPECT_DOUBLE_EQ(loaded.baseline_adv_acc, original.baseline_adv_acc);
+  EXPECT_DOUBLE_EQ(loaded.final_adv_acc, original.final_adv_acc);
+  EXPECT_DOUBLE_EQ(loaded.final_clean_acc, original.final_clean_acc);
+  ASSERT_EQ(loaded.per_site_best.size(), 2u);
+  ASSERT_EQ(loaded.shortlisted.size(), 1u);
+  ASSERT_EQ(loaded.selected.size(), 1u);
+  EXPECT_EQ(loaded.selected[0].site_index, 1u);
+  EXPECT_EQ(loaded.selected[0].site_label, "1");
+  EXPECT_EQ(loaded.selected[0].word.num_8t, 3);
+  EXPECT_DOUBLE_EQ(loaded.selected[0].adv_acc, 52.0);
+  EXPECT_EQ(loaded.per_site_best[1].site_label, "2(P)");
+  std::remove(path.c_str());
+}
+
+TEST(SelectionIo, MissingFileReturnsFalse) {
+  SelectionResult r;
+  EXPECT_FALSE(load_selection(temp_file("rhw_no_such_selection.txt"), &r));
+}
+
+TEST(SelectionIo, CorruptFileReturnsFalse) {
+  const auto path = temp_file("rhw_corrupt_selection.txt");
+  {
+    std::ofstream os(path);
+    os << "garbage nonsense\n";
+  }
+  SelectionResult r;
+  EXPECT_FALSE(load_selection(path, &r));
+  std::remove(path.c_str());
+}
+
+TEST(SelectionIo, EmptySelectionRoundTrips) {
+  const auto path = temp_file("rhw_empty_selection.txt");
+  SelectionResult r;
+  r.baseline_clean_acc = 90.0;
+  save_selection(path, r);
+  SelectionResult loaded;
+  ASSERT_TRUE(load_selection(path, &loaded));
+  EXPECT_TRUE(loaded.selected.empty());
+  EXPECT_DOUBLE_EQ(loaded.baseline_clean_acc, 90.0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rhw::sram

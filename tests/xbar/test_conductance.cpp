@@ -1,0 +1,131 @@
+#include "xbar/conductance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rhw::xbar {
+namespace {
+
+TEST(CrossbarSpec, PaperDefaults) {
+  CrossbarSpec spec;
+  EXPECT_DOUBLE_EQ(spec.on_off_ratio(), 10.0);
+  EXPECT_DOUBLE_EQ(spec.g_min(), 1.0 / 200e3);
+  EXPECT_DOUBLE_EQ(spec.g_max(), 1.0 / 20e3);
+  EXPECT_DOUBLE_EQ(spec.r_driver, 1e3);
+  EXPECT_DOUBLE_EQ(spec.r_wire_row, 5.0);
+  EXPECT_DOUBLE_EQ(spec.r_wire_col, 10.0);
+  EXPECT_DOUBLE_EQ(spec.r_sense, 1e3);
+  EXPECT_DOUBLE_EQ(spec.sigma_over_mu, 0.10);
+}
+
+TEST(ProgramTile, RoundTripsWeightsWithoutVariation) {
+  CrossbarSpec spec;
+  spec.rows = 4;
+  spec.cols = 4;
+  const std::vector<float> w{0.5f, -0.25f, 0.f, 1.0f, -1.0f, 0.75f};
+  const auto tile = program_tile(w.data(), 2, 3, 3, spec, nullptr);
+  const auto back = tile_weights(tile, tile.g_pos, tile.g_neg, spec);
+  ASSERT_EQ(back.size(), 6u);
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(back[i], w[i], 1e-6f) << "weight " << i;
+  }
+}
+
+TEST(ProgramTile, ConductancesWithinDeviceRange) {
+  CrossbarSpec spec;
+  spec.rows = 8;
+  spec.cols = 8;
+  std::vector<float> w(64);
+  for (size_t i = 0; i < w.size(); ++i) {
+    w[i] = std::sin(static_cast<float>(i));
+  }
+  const auto tile = program_tile(w.data(), 8, 8, 8, spec, nullptr);
+  for (double g : tile.g_pos) {
+    EXPECT_GE(g, spec.g_min() - 1e-12);
+    EXPECT_LE(g, spec.g_max() + 1e-12);
+  }
+  for (double g : tile.g_neg) {
+    EXPECT_GE(g, spec.g_min() - 1e-12);
+    EXPECT_LE(g, spec.g_max() + 1e-12);
+  }
+}
+
+TEST(ProgramTile, PositiveWeightsUseGPos) {
+  CrossbarSpec spec;
+  spec.rows = 2;
+  spec.cols = 2;
+  const std::vector<float> w{1.f, -1.f};  // 1 output, 2 inputs
+  const auto tile = program_tile(w.data(), 1, 2, 2, spec, nullptr);
+  // w[0]=+1 -> g_pos at (row 0, col 0) = g_max, g_neg = g_min
+  EXPECT_NEAR(tile.g_pos[0], spec.g_max(), 1e-12);
+  EXPECT_NEAR(tile.g_neg[0], spec.g_min(), 1e-12);
+  // w[1]=-1 -> row 1, col 0: g_neg = g_max
+  EXPECT_NEAR(tile.g_pos[1 * spec.cols + 0], spec.g_min(), 1e-12);
+  EXPECT_NEAR(tile.g_neg[1 * spec.cols + 0], spec.g_max(), 1e-12);
+}
+
+TEST(ProgramTile, PaddingAtGMin) {
+  CrossbarSpec spec;
+  spec.rows = 4;
+  spec.cols = 4;
+  const std::vector<float> w{1.f};  // 1x1 in a 4x4 tile
+  const auto tile = program_tile(w.data(), 1, 1, 1, spec, nullptr);
+  // Unused cell (3,3):
+  EXPECT_DOUBLE_EQ(tile.g_pos[15], spec.g_min());
+  EXPECT_DOUBLE_EQ(tile.g_neg[15], spec.g_min());
+}
+
+TEST(ProgramTile, OversizedTileThrows) {
+  CrossbarSpec spec;
+  spec.rows = 2;
+  spec.cols = 2;
+  std::vector<float> w(12, 0.f);
+  EXPECT_THROW(program_tile(w.data(), 3, 4, 4, spec, nullptr),
+               std::invalid_argument);
+}
+
+TEST(ProgramTile, VariationPerturbsConductances) {
+  CrossbarSpec spec;
+  spec.rows = 8;
+  spec.cols = 8;
+  std::vector<float> w(64, 0.5f);
+  const auto clean = program_tile(w.data(), 8, 8, 8, spec, nullptr);
+  rhw::RandomEngine rng(7);
+  const auto varied = program_tile(w.data(), 8, 8, 8, spec, &rng);
+  double delta = 0;
+  for (size_t i = 0; i < clean.g_pos.size(); ++i) {
+    delta += std::fabs(clean.g_pos[i] - varied.g_pos[i]);
+  }
+  EXPECT_GT(delta, 0.0);
+}
+
+TEST(ProgramTile, VariationMagnitudeMatchesSigma) {
+  CrossbarSpec spec;
+  spec.rows = 32;
+  spec.cols = 32;
+  std::vector<float> w(32 * 32, 1.f);  // all at g_max
+  rhw::RandomEngine rng(8);
+  const auto tile = program_tile(w.data(), 32, 32, 32, spec, &rng);
+  double rel_acc = 0;
+  int64_t count = 0;
+  for (double g : tile.g_pos) {
+    rel_acc += std::pow((g - spec.g_max()) / spec.g_max(), 2);
+    ++count;
+  }
+  const double sigma_est = std::sqrt(rel_acc / count);
+  EXPECT_NEAR(sigma_est, spec.sigma_over_mu, 0.03);
+}
+
+TEST(ProgramTile, ZeroWeightsTileIsAllGMin) {
+  CrossbarSpec spec;
+  spec.rows = 2;
+  spec.cols = 2;
+  std::vector<float> w(4, 0.f);
+  const auto tile = program_tile(w.data(), 2, 2, 2, spec, nullptr);
+  const auto back = tile_weights(tile, tile.g_pos, tile.g_neg, spec);
+  for (float v : back) EXPECT_EQ(v, 0.f);
+}
+
+}  // namespace
+}  // namespace rhw::xbar

@@ -1,0 +1,129 @@
+#include "xbar/crossbar_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace rhw::xbar {
+namespace {
+
+CrossbarSpec spec_n(int64_t n) {
+  CrossbarSpec spec;
+  spec.rows = n;
+  spec.cols = n;
+  return spec;
+}
+
+std::vector<float> random_weights(int64_t m, int64_t n, uint64_t seed) {
+  rhw::RandomEngine rng(seed);
+  std::vector<float> w(static_cast<size_t>(m * n));
+  for (auto& v : w) v = rng.uniform(-1.f, 1.f);
+  return w;
+}
+
+TEST(CrossbarArray, IdealModelReproducesWeights) {
+  const auto spec = spec_n(8);
+  const auto w = random_weights(5, 7, 1);
+  CrossbarArray xbar(w.data(), 5, 7, 7, spec, CircuitModel::kIdeal, nullptr);
+  const auto& eff = xbar.effective_weights();
+  ASSERT_EQ(eff.size(), w.size());
+  for (size_t i = 0; i < w.size(); ++i) EXPECT_NEAR(eff[i], w[i], 1e-5f);
+}
+
+TEST(CrossbarArray, IdealMatvecMatchesGemv) {
+  const auto spec = spec_n(8);
+  const auto w = random_weights(6, 8, 2);
+  CrossbarArray xbar(w.data(), 6, 8, 8, spec, CircuitModel::kIdeal, nullptr);
+  rhw::RandomEngine rng(3);
+  std::vector<float> x(8);
+  for (auto& v : x) v = rng.uniform(-1.f, 1.f);
+  const auto y = xbar.matvec(x);
+  for (int64_t o = 0; o < 6; ++o) {
+    double expected = 0;
+    for (int64_t i = 0; i < 8; ++i) {
+      expected += w[static_cast<size_t>(o * 8 + i)] * x[static_cast<size_t>(i)];
+    }
+    EXPECT_NEAR(y[static_cast<size_t>(o)], expected, 1e-4f);
+  }
+}
+
+TEST(CrossbarArray, FastApproxDistortsWeights) {
+  const auto spec = spec_n(16);
+  const auto w = random_weights(16, 16, 4);
+  CrossbarArray ideal(w.data(), 16, 16, 16, spec, CircuitModel::kIdeal,
+                      nullptr);
+  CrossbarArray non(w.data(), 16, 16, 16, spec, CircuitModel::kFastApprox,
+                    nullptr);
+  double delta = 0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    delta += std::fabs(ideal.effective_weights()[i] -
+                       non.effective_weights()[i]);
+  }
+  EXPECT_GT(delta, 0.0);
+}
+
+TEST(CrossbarArray, ExactAndFastAgreeLoosely) {
+  const auto spec = spec_n(8);
+  const auto w = random_weights(8, 8, 5);
+  CrossbarArray fast(w.data(), 8, 8, 8, spec, CircuitModel::kFastApprox,
+                     nullptr);
+  CrossbarArray exact(w.data(), 8, 8, 8, spec, CircuitModel::kExactMna,
+                      nullptr);
+  double acc = 0;
+  float wmax = 0.f;
+  for (float v : w) wmax = std::max(wmax, std::fabs(v));
+  for (size_t i = 0; i < w.size(); ++i) {
+    acc += std::fabs(fast.effective_weights()[i] -
+                     exact.effective_weights()[i]) / wmax;
+  }
+  EXPECT_LT(acc / static_cast<double>(w.size()), 0.08);
+}
+
+TEST(CrossbarArray, VariationIsDeterministicPerSeed) {
+  const auto spec = spec_n(8);
+  const auto w = random_weights(8, 8, 6);
+  rhw::RandomEngine rng1(77), rng2(77);
+  CrossbarArray a(w.data(), 8, 8, 8, spec, CircuitModel::kFastApprox, &rng1);
+  CrossbarArray b(w.data(), 8, 8, 8, spec, CircuitModel::kFastApprox, &rng2);
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(a.effective_weights()[i], b.effective_weights()[i]);
+  }
+}
+
+TEST(CrossbarArray, BiggerTileMoreDistortion) {
+  // Effective-weight deviation grows with crossbar size for the same weight
+  // content (the paper's size-robustness link).
+  double prev = -1.0;
+  for (int64_t n : {8, 16, 32}) {
+    const auto spec = spec_n(n);
+    std::vector<float> w(static_cast<size_t>(n * n), 1.f);
+    CrossbarArray xbar(w.data(), n, n, n, spec, CircuitModel::kFastApprox,
+                       nullptr);
+    double acc = 0;
+    for (float eff : xbar.effective_weights()) acc += std::fabs(eff - 1.f);
+    const double mean_dev = acc / static_cast<double>(n * n);
+    EXPECT_GT(mean_dev, prev) << "n=" << n;
+    prev = mean_dev;
+  }
+}
+
+TEST(CrossbarArray, MatvecRejectsBadSize) {
+  const auto spec = spec_n(4);
+  const auto w = random_weights(4, 4, 7);
+  CrossbarArray xbar(w.data(), 4, 4, 4, spec, CircuitModel::kIdeal, nullptr);
+  EXPECT_THROW(xbar.matvec(std::vector<float>(3)), std::invalid_argument);
+}
+
+TEST(CrossbarArray, PartialTileDimensions) {
+  const auto spec = spec_n(8);
+  const auto w = random_weights(3, 5, 8);
+  CrossbarArray xbar(w.data(), 3, 5, 5, spec, CircuitModel::kIdeal, nullptr);
+  EXPECT_EQ(xbar.out_m(), 3);
+  EXPECT_EQ(xbar.in_n(), 5);
+  EXPECT_EQ(xbar.effective_weights().size(), 15u);
+}
+
+}  // namespace
+}  // namespace rhw::xbar

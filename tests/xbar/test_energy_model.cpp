@@ -1,0 +1,75 @@
+#include "xbar/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rhw::xbar {
+namespace {
+
+CrossbarSpec spec_n(int64_t n) {
+  CrossbarSpec spec;
+  spec.rows = n;
+  spec.cols = n;
+  return spec;
+}
+
+TEST(XbarEnergy, DeviceEnergyPositiveAndScalesWithConductance) {
+  XbarEnergyModel m;
+  auto hi_g = spec_n(32);   // r_min 20k
+  auto lo_g = spec_n(32);
+  lo_g.r_min = 40e3;
+  lo_g.r_max = 400e3;
+  EXPECT_GT(m.device_read_energy_fj(hi_g), 0.0);
+  EXPECT_GT(m.device_read_energy_fj(hi_g), m.device_read_energy_fj(lo_g));
+}
+
+TEST(XbarEnergy, TileEnergyGrowsWithSize) {
+  XbarEnergyModel m;
+  double prev = 0.0;
+  for (int64_t n : {16, 32, 64}) {
+    const double e = m.tile_mvm_energy_fj(spec_n(n), 6);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(XbarEnergy, AdcBitsDominateAtHighPrecision) {
+  XbarEnergyModel m;
+  const auto spec = spec_n(32);
+  const double e6 = m.tile_mvm_energy_fj(spec, 6);
+  const double e8 = m.tile_mvm_energy_fj(spec, 8);
+  // Two extra bits: ADC term grows 16x.
+  EXPECT_GT(e8, e6 * 2.0);
+}
+
+TEST(XbarEnergy, PerWeightEnergyFavorsLargerTiles) {
+  // The ADC/DAC overhead amortizes over more devices in a bigger tile — the
+  // efficiency argument for large crossbars that motivates tolerating their
+  // larger non-idealities.
+  XbarEnergyModel m;
+  const auto small = spec_n(16);
+  const auto large = spec_n(64);
+  const double per_w_small =
+      m.tile_mvm_energy_fj(small, 6) / static_cast<double>(16 * 16);
+  const double per_w_large =
+      m.tile_mvm_energy_fj(large, 6) / static_cast<double>(64 * 64);
+  EXPECT_LT(per_w_large, per_w_small);
+}
+
+TEST(XbarEnergy, AreaGrowsWithSizeAndSharingHelps) {
+  XbarEnergyModel m;
+  const auto spec = spec_n(32);
+  EXPECT_GT(m.tile_area_um2(spec_n(64)), m.tile_area_um2(spec));
+  EXPECT_LT(m.tile_area_um2(spec, /*column_sharing=*/16),
+            m.tile_area_um2(spec, /*column_sharing=*/4));
+}
+
+TEST(XbarEnergy, ModelEnergyScalesWithTileCount) {
+  XbarEnergyModel m;
+  const auto spec = spec_n(32);
+  const double one = m.model_mvm_energy_nj(1, spec, 6);
+  const double ten = m.model_mvm_energy_nj(10, spec, 6);
+  EXPECT_NEAR(ten, 10.0 * one, 1e-9);
+}
+
+}  // namespace
+}  // namespace rhw::xbar

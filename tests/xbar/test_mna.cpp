@@ -1,0 +1,154 @@
+#include "xbar/mna_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace rhw::xbar {
+namespace {
+
+CrossbarSpec spec_n(int64_t n) {
+  CrossbarSpec spec;
+  spec.rows = n;
+  spec.cols = n;
+  return spec;
+}
+
+TEST(Mna, OneByOneMatchesHandAnalysis) {
+  // Single device G with driver and sense resistances in series:
+  // I = V / (Rd + 1/G + Rs).
+  auto spec = spec_n(1);
+  spec.r_wire_row = 0;
+  spec.r_wire_col = 0;
+  const double g_dev = 1.0 / 50e3;
+  MnaSolver solver({g_dev}, spec);
+  const auto currents = solver.solve({1.0});
+  const double expected = 1.0 / (spec.r_driver + 50e3 + spec.r_sense);
+  EXPECT_NEAR(currents[0], expected, expected * 1e-9);
+}
+
+TEST(Mna, ZeroParasiticsRecoverIdealDotProduct) {
+  auto spec = spec_n(3);
+  spec.r_driver = spec.r_wire_row = spec.r_wire_col = spec.r_sense = 0.0;
+  rhw::RandomEngine rng(1);
+  std::vector<double> g(9);
+  for (auto& v : g) v = 1e-5 + 4e-5 * rng.next_double();
+  MnaSolver solver(g, spec);
+  const std::vector<double> v_in{0.3, -0.7, 1.0};
+  const auto currents = solver.solve(v_in);
+  for (int64_t j = 0; j < 3; ++j) {
+    double ideal = 0;
+    for (int64_t i = 0; i < 3; ++i) {
+      ideal += g[static_cast<size_t>(i * 3 + j)] * v_in[static_cast<size_t>(i)];
+    }
+    EXPECT_NEAR(currents[static_cast<size_t>(j)], ideal,
+                std::fabs(ideal) * 1e-5 + 1e-12);
+  }
+}
+
+TEST(Mna, LinearityInInputs) {
+  const auto spec = spec_n(4);
+  rhw::RandomEngine rng(2);
+  std::vector<double> g(16);
+  for (auto& v : g) {
+    v = spec.g_min() + (spec.g_max() - spec.g_min()) * rng.next_double();
+  }
+  MnaSolver solver(g, spec);
+  const std::vector<double> a{1.0, 0.2, -0.4, 0.8};
+  const std::vector<double> b{-0.3, 0.9, 0.5, -1.0};
+  std::vector<double> sum(4);
+  for (int i = 0; i < 4; ++i) sum[i] = 2.0 * a[i] + 0.5 * b[i];
+  const auto ia = solver.solve(a);
+  const auto ib = solver.solve(b);
+  const auto is = solver.solve(sum);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_NEAR(is[j], 2.0 * ia[j] + 0.5 * ib[j],
+                std::fabs(is[j]) * 1e-8 + 1e-15);
+  }
+}
+
+TEST(Mna, EffectiveConductanceReproducesSolve) {
+  const auto spec = spec_n(5);
+  rhw::RandomEngine rng(3);
+  std::vector<double> g(25);
+  for (auto& v : g) {
+    v = spec.g_min() + (spec.g_max() - spec.g_min()) * rng.next_double();
+  }
+  MnaSolver solver(g, spec);
+  const auto eff = solver.effective_conductance();
+  std::vector<double> v_in(5);
+  for (auto& v : v_in) v = rng.next_double() * 2.0 - 1.0;
+  const auto direct = solver.solve(v_in);
+  for (int64_t j = 0; j < 5; ++j) {
+    double via_eff = 0;
+    for (int64_t i = 0; i < 5; ++i) {
+      via_eff += eff[static_cast<size_t>(i * 5 + j)] *
+                 v_in[static_cast<size_t>(i)];
+    }
+    EXPECT_NEAR(direct[static_cast<size_t>(j)], via_eff,
+                std::fabs(via_eff) * 1e-8 + 1e-15);
+  }
+}
+
+TEST(Mna, ParasiticsReduceOutputCurrent) {
+  const auto ideal_spec = [] {
+    auto s = spec_n(4);
+    s.r_driver = s.r_wire_row = s.r_wire_col = s.r_sense = 0.0;
+    return s;
+  }();
+  const auto real_spec = spec_n(4);
+  std::vector<double> g(16, real_spec.g_max());
+  MnaSolver ideal(g, ideal_spec);
+  MnaSolver real(g, real_spec);
+  const std::vector<double> v_in(4, 1.0);
+  const auto ii = ideal.solve(v_in);
+  const auto ir = real.solve(v_in);
+  for (int j = 0; j < 4; ++j) EXPECT_LT(ir[j], ii[j]);
+}
+
+TEST(Mna, FarColumnsSeeMoreRowWireDrop) {
+  auto spec = spec_n(6);
+  spec.r_wire_row = 200.0;  // exaggerate to make the gradient obvious
+  std::vector<double> g(36, spec.g_max());
+  MnaSolver solver(g, spec);
+  const auto currents = solver.solve(std::vector<double>(6, 1.0));
+  for (int j = 1; j < 6; ++j) {
+    EXPECT_LT(currents[static_cast<size_t>(j)],
+              currents[static_cast<size_t>(j - 1)])
+        << "col " << j;
+  }
+}
+
+TEST(Mna, RejectsBadSizes) {
+  const auto spec = spec_n(3);
+  EXPECT_THROW(MnaSolver(std::vector<double>(8), spec),
+               std::invalid_argument);
+  MnaSolver solver(std::vector<double>(9, 1e-5), spec);
+  EXPECT_THROW(solver.solve({1.0}), std::invalid_argument);
+}
+
+TEST(Mna, SuperpositionAcrossRows) {
+  // Current response to each row is independent (linearity), so solving with
+  // basis vectors and summing equals solving with all-ones.
+  const auto spec = spec_n(4);
+  rhw::RandomEngine rng(5);
+  std::vector<double> g(16);
+  for (auto& v : g) {
+    v = spec.g_min() + (spec.g_max() - spec.g_min()) * rng.next_double();
+  }
+  MnaSolver solver(g, spec);
+  std::vector<double> summed(4, 0.0);
+  for (int i = 0; i < 4; ++i) {
+    std::vector<double> e(4, 0.0);
+    e[static_cast<size_t>(i)] = 1.0;
+    const auto c = solver.solve(e);
+    for (int j = 0; j < 4; ++j) summed[static_cast<size_t>(j)] += c[j];
+  }
+  const auto all = solver.solve(std::vector<double>(4, 1.0));
+  for (int j = 0; j < 4; ++j) EXPECT_NEAR(all[j], summed[j], 1e-12);
+}
+
+}  // namespace
+}  // namespace rhw::xbar

@@ -1,0 +1,126 @@
+#include "xbar/nonideal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xbar/mna_solver.hpp"
+
+namespace rhw::xbar {
+namespace {
+
+CrossbarSpec small_spec(int64_t n) {
+  CrossbarSpec spec;
+  spec.rows = n;
+  spec.cols = n;
+  return spec;
+}
+
+TEST(NonIdeal, SeriesResistanceGrowsTowardFarCorner) {
+  const auto spec = small_spec(8);
+  // Far corner in the path model: first row (longest column run), last col.
+  EXPECT_GT(series_path_resistance(0, 7, spec),
+            series_path_resistance(7, 0, spec));
+  // Monotone along a row and along a column.
+  for (int64_t j = 1; j < 8; ++j) {
+    EXPECT_GT(series_path_resistance(3, j, spec),
+              series_path_resistance(3, j - 1, spec));
+  }
+  for (int64_t i = 1; i < 8; ++i) {
+    EXPECT_LT(series_path_resistance(i, 3, spec),
+              series_path_resistance(i - 1, 3, spec));
+  }
+}
+
+TEST(NonIdeal, AlwaysReducesConductance) {
+  const auto spec = small_spec(4);
+  std::vector<double> g(16, spec.g_max());
+  const auto eff = nonideal_conductances(g, spec);
+  for (size_t i = 0; i < g.size(); ++i) EXPECT_LT(eff[i], g[i]);
+}
+
+TEST(NonIdeal, ZeroParasiticsIsIdentity) {
+  auto spec = small_spec(4);
+  spec.r_driver = spec.r_wire_row = spec.r_wire_col = spec.r_sense = 0.0;
+  std::vector<double> g(16, 2e-5);
+  const auto eff = nonideal_conductances(g, spec);
+  for (size_t i = 0; i < g.size(); ++i) EXPECT_NEAR(eff[i], g[i], 1e-18);
+}
+
+TEST(NonIdeal, LargerConductanceLargerRelativeDrop) {
+  // The R_MIN effect: high-conductance (low R) devices are distorted more.
+  const auto spec = small_spec(4);
+  std::vector<double> g(16);
+  for (size_t i = 0; i < 8; ++i) g[i] = spec.g_max();
+  for (size_t i = 8; i < 16; ++i) g[i] = spec.g_min();
+  const auto eff = nonideal_conductances(g, spec);
+  const double rel_drop_max = (g[0] - eff[0]) / g[0];
+  const double rel_drop_min = (g[8] - eff[8]) / g[8];
+  EXPECT_GT(rel_drop_max, rel_drop_min);
+}
+
+TEST(NonIdeal, BiggerArrayMoreDistortion) {
+  // Paper Table III property: larger crossbars have longer wires, hence more
+  // deviation for the same device conductance.
+  double prev_rel_drop = 0.0;
+  for (int64_t n : {8, 16, 32, 64}) {
+    const auto spec = small_spec(n);
+    std::vector<double> g(static_cast<size_t>(n * n), spec.g_max());
+    const auto eff = nonideal_conductances(g, spec);
+    double acc = 0;
+    for (size_t i = 0; i < g.size(); ++i) acc += (g[i] - eff[i]) / g[i];
+    const double mean_rel_drop = acc / static_cast<double>(g.size());
+    EXPECT_GT(mean_rel_drop, prev_rel_drop) << "n=" << n;
+    prev_rel_drop = mean_rel_drop;
+  }
+}
+
+TEST(NonIdeal, SmallerRminMoreRelativeDistortion) {
+  // Paper Fig. 8(a): R_MIN = 10k (same ON/OFF) -> more non-ideality.
+  auto spec20 = small_spec(32);
+  auto spec10 = small_spec(32);
+  spec10.r_min = 10e3;
+  spec10.r_max = 100e3;
+  auto mean_drop = [](const CrossbarSpec& spec) {
+    std::vector<double> g(static_cast<size_t>(spec.rows * spec.cols),
+                          spec.g_max());
+    const auto eff = nonideal_conductances(g, spec);
+    double acc = 0;
+    for (size_t i = 0; i < g.size(); ++i) acc += (g[i] - eff[i]) / g[i];
+    return acc / static_cast<double>(g.size());
+  };
+  EXPECT_GT(mean_drop(spec10), mean_drop(spec20));
+}
+
+TEST(NonIdeal, SizeMismatchThrows) {
+  const auto spec = small_spec(4);
+  std::vector<double> g(15);
+  EXPECT_THROW(nonideal_conductances(g, spec), std::invalid_argument);
+}
+
+// The fast model must stay within a bounded gap of the exact MNA solution for
+// the paper's parasitics (it ignores current sharing, so it overestimates
+// degradation slightly for dense high-G tiles).
+TEST(NonIdeal, FastModelTracksExactSolver) {
+  for (int64_t n : {4, 8}) {
+    const auto spec = small_spec(n);
+    rhw::RandomEngine rng(static_cast<uint64_t>(n));
+    std::vector<double> g(static_cast<size_t>(n * n));
+    for (auto& v : g) {
+      v = spec.g_min() + (spec.g_max() - spec.g_min()) * rng.next_double();
+    }
+    const auto fast = nonideal_conductances(g, spec);
+    const auto exact = MnaSolver(g, spec).effective_conductance();
+    for (size_t i = 0; i < g.size(); ++i) {
+      const double rel_gap = std::fabs(fast[i] - exact[i]) / exact[i];
+      EXPECT_LT(rel_gap, 0.30) << "n=" << n << " idx=" << i;
+    }
+    // And on average much closer than the worst case.
+    double acc = 0;
+    for (size_t i = 0; i < g.size(); ++i) {
+      acc += std::fabs(fast[i] - exact[i]) / exact[i];
+    }
+    EXPECT_LT(acc / static_cast<double>(g.size()), 0.15) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace rhw::xbar
