@@ -28,13 +28,10 @@ inline Workbench load_workbench(const std::string& arch,
   return wb;
 }
 
-// Deep copy of a trained model (weights + BN statistics), eval mode.
+// Deep copy of a trained model (weights + BN statistics), eval mode. Zoo
+// models are built with the default width/input size, so the defaults match.
 inline models::Model clone_model(const models::Model& src) {
-  models::Model copy = models::build_model(src.name, src.num_classes);
-  auto& original = const_cast<models::Model&>(src);
-  nn::load_state_dict(*copy.net, nn::state_dict(*original.net));
-  copy.net->set_training(false);
-  return copy;
+  return models::clone_model(src);
 }
 
 inline void banner(const std::string& title, const std::string& subtitle) {

@@ -9,21 +9,24 @@ int main() {
                 "Smaller RMIN -> lower effective resistance -> parasitics "
                 "dominate more -> more intrinsic noise -> lower AL.");
   bench::Workbench wb = bench::load_workbench("vgg8", "synth-c10");
+  auto ideal = hw::make_backend("ideal");
+  ideal->prepare(wb.trained.model);
 
   const std::vector<float> eps{2.f / 255.f, 8.f / 255.f, 32.f / 255.f};
   exp::TablePrinter table({"RMIN", "mode", "eps=2/255", "eps=8/255",
                            "eps=32/255"});
 
   for (double r_min : {10e3, 20e3}) {
-    models::Model mapped = bench::map_model(wb.trained.model, 32, r_min);
+    bench::PreparedBackend mapped = bench::map_backend(wb.trained.model, 32,
+                                                       r_min);
     struct ModeSpec {
       const char* name;
-      nn::Module* grad_net;
+      hw::HardwareBackend* grad_hw;
     };
-    const ModeSpec modes[] = {{"SH", wb.trained.model.net.get()},
-                              {"HH", mapped.net.get()}};
+    const ModeSpec modes[] = {{"SH", ideal.get()},
+                              {"HH", mapped.backend.get()}};
     for (const auto& mode : modes) {
-      const auto curve = exp::al_curve(mode.name, *mode.grad_net, *mapped.net,
+      const auto curve = exp::al_curve(mode.name, *mode.grad_hw, mapped.hw(),
                                        wb.eval_set, attacks::AttackKind::kPgd,
                                        eps);
       table.add_row({exp::fmt(r_min / 1e3, 0) + " kOhm", mode.name,

@@ -29,9 +29,11 @@ int main() {
       "SH-on-Cross32 configuration).");
   bench::Workbench wb = bench::load_workbench("vgg16", "synth-c100");
   models::Model& software = wb.trained.model;
+  auto ideal = hw::make_backend("ideal");
+  ideal->prepare(software);
 
-  // Defense 1: crossbar mapping (SH mode, 32x32).
-  models::Model mapped = bench::map_model(software, 32);
+  // Defense 1: crossbar mapping (SH mode, 32x32), via the backend registry.
+  bench::PreparedBackend mapped = bench::map_backend(software, 32);
 
   // Defense 2: 4-bit pixel discretization [6].
   models::Model disc_base = bench::clone_model(software);
@@ -62,12 +64,12 @@ int main() {
   for (const auto& spec : specs) {
     const std::string attack = attacks::attack_name(spec.kind);
     add_curve(table,
-              exp::al_curve("Attack-SW", *software.net, *software.net,
-                            wb.eval_set, spec.kind, spec.eps),
+              exp::al_curve("Attack-SW", *ideal, *ideal, wb.eval_set,
+                            spec.kind, spec.eps),
               attack);
     add_curve(table,
-              exp::al_curve("SH-Cross32", *software.net, *mapped.net,
-                            wb.eval_set, spec.kind, spec.eps),
+              exp::al_curve("SH-Cross32", *ideal, mapped.hw(), wb.eval_set,
+                            spec.kind, spec.eps),
               attack);
     add_curve(table,
               exp::al_curve("4b-discretization", discretized, discretized,

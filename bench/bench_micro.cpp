@@ -1,6 +1,15 @@
 // Microbenchmarks (google-benchmark): the kernels behind the experiment
 // harness, plus the exact-vs-approximate crossbar solver ablation.
+//
+// Unless the caller passes its own --benchmark_out, results are also written
+// as JSON to BENCH_micro.json so successive PRs accumulate a machine-readable
+// perf trajectory.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/gemm.hpp"
 #include "core/im2col.hpp"
@@ -11,6 +20,7 @@
 #include "xbar/crossbar_array.hpp"
 #include "xbar/mna_solver.hpp"
 #include "xbar/nonideal.hpp"
+#include "xbar/tiled_matrix.hpp"
 
 namespace {
 
@@ -125,6 +135,95 @@ void BM_CrossbarProgramAndRead(benchmark::State& state) {
 }
 BENCHMARK(BM_CrossbarProgramAndRead)->Arg(16)->Arg(32)->Arg(64);
 
+// Tile-level inference on a VGG8-sized layer (largest conv at full width:
+// 256 outputs x 2304 inputs) over 64x64 tiles, batch 100 — serial per-vector
+// matvec vs the pooled batched matmul XbarBackend executes. The batched path
+// must be >= 3x faster: samples interleave their accumulation chains instead
+// of serializing on one, and batch blocks spread across the thread pool.
+struct XbarLayerBench {
+  static constexpr int64_t kOut = 256;
+  static constexpr int64_t kIn = 2304;
+  static constexpr int64_t kBatch = 100;
+
+  xbar::TiledMatrix tiles;
+  std::vector<float> x;  // [kBatch x kIn]
+  std::vector<float> y;  // [kBatch x kOut]
+
+  static XbarLayerBench& instance() {
+    static XbarLayerBench bench;
+    return bench;
+  }
+
+ private:
+  XbarLayerBench() {
+    RandomEngine rng(9);
+    std::vector<float> w(static_cast<size_t>(kOut * kIn));
+    for (auto& v : w) v = rng.uniform(-1.f, 1.f);
+    xbar::CrossbarSpec spec;
+    spec.rows = 64;
+    spec.cols = 64;
+    RandomEngine var(10);
+    tiles = xbar::TiledMatrix(w.data(), kOut, kIn, kIn, spec,
+                              xbar::CircuitModel::kFastApprox, &var);
+    x.resize(static_cast<size_t>(kBatch * kIn));
+    for (auto& v : x) v = rng.uniform(0.f, 1.f);
+    y.resize(static_cast<size_t>(kBatch * kOut));
+  }
+};
+
+void BM_XbarMatvecLoop(benchmark::State& state) {
+  auto& bench = XbarLayerBench::instance();
+  std::vector<float> sample(static_cast<size_t>(bench.kIn));
+  for (auto _ : state) {
+    for (int64_t b = 0; b < bench.kBatch; ++b) {
+      std::copy(bench.x.begin() + b * bench.kIn,
+                bench.x.begin() + (b + 1) * bench.kIn, sample.begin());
+      const auto out = bench.tiles.matvec(sample);
+      benchmark::DoNotOptimize(out.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * bench.kBatch);
+}
+BENCHMARK(BM_XbarMatvecLoop)->Unit(benchmark::kMillisecond);
+
+void BM_XbarBatchedMatmul(benchmark::State& state) {
+  auto& bench = XbarLayerBench::instance();
+  for (auto _ : state) {
+    bench.tiles.matmul(bench.x.data(), bench.kBatch, bench.y.data());
+    benchmark::DoNotOptimize(bench.y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * bench.kBatch);
+}
+BENCHMARK(BM_XbarBatchedMatmul)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a default JSON artifact (BENCH_micro.json) when the
+// caller didn't redirect the output themselves.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false, has_fmt = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+    if (std::strncmp(argv[i], "--benchmark_out_format=", 23) == 0) {
+      has_fmt = true;
+    }
+  }
+  // Inject the default artifact only when the caller controls neither flag:
+  // pairing our .json filename with a caller-chosen format would write a
+  // mislabeled file.
+  if (!has_out && !has_fmt) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  ::benchmark::Initialize(&args_count, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,29 +1,64 @@
 // Shared driver for the crossbar robustness benches (Figs. 6-8, Table III).
+//
+// All hardware comes through the backend registry: a crossbar configuration
+// is a spec string ("xbar:size=32,rmin=10e3,..."), and the paper's attack
+// modes are (grad backend, eval backend) pairings over prepared backends.
 #pragma once
+
+#include <string>
 
 #include "bench_common.hpp"
 #include "exp/ascii_plot.hpp"
-#include "xbar/mapper.hpp"
+#include "hw/registry.hpp"
+#include "hw/xbar_backend.hpp"
 
 namespace rhw::bench {
 
-inline models::Model map_model(const models::Model& software, int64_t size,
-                               double r_min = 20e3, uint64_t seed = 0xB0B0) {
-  models::Model mapped = clone_model(software);
-  xbar::XbarMapConfig cfg;
-  cfg.spec.rows = size;
-  cfg.spec.cols = size;
-  cfg.spec.r_min = r_min;
-  cfg.spec.r_max = r_min * 10.0;  // constant ON/OFF ratio of 10 (paper)
-  cfg.seed = seed;
-  const auto report = xbar::map_onto_crossbars(*mapped.net, cfg);
+// A prepared hardware model: the clone the backend was installed on plus the
+// backend handle serving it.
+struct PreparedBackend {
+  models::Model model;
+  hw::BackendPtr backend;
+
+  hw::HardwareBackend& hw() { return *backend; }
+};
+
+inline PreparedBackend prepare_backend(const models::Model& software,
+                                       const std::string& spec,
+                                       const data::Dataset* calibration =
+                                           nullptr) {
+  PreparedBackend out{bench::clone_model(software), hw::make_backend(spec)};
+  out.backend->prepare(out.model, calibration);
+  return out;
+}
+
+inline std::string xbar_spec(int64_t size, double r_min = 20e3,
+                             uint64_t seed = 0xB0B0) {
+  // Constant ON/OFF ratio of 10 (paper): rmax tracks rmin inside the factory.
+  return "xbar:size=" + std::to_string(size) +
+         ",rmin=" + std::to_string(r_min) + ",seed=" + std::to_string(seed);
+}
+
+inline PreparedBackend map_backend(const models::Model& software, int64_t size,
+                                   double r_min = 20e3,
+                                   uint64_t seed = 0xB0B0) {
+  PreparedBackend out = prepare_backend(software, xbar_spec(size, r_min, seed));
+  const auto& report =
+      dynamic_cast<const hw::XbarBackend&>(*out.backend).map_report();
   std::printf(
       "[bench] mapped %s onto %lldx%lld crossbars (RMIN=%.0f kOhm): %lld "
       "tiles, mean|dW|/max|W| = %.4f\n",
       software.name.c_str(), static_cast<long long>(size),
       static_cast<long long>(size), r_min / 1e3,
-      static_cast<long long>(report.num_tiles), report.mean_rel_weight_error);
-  return mapped;
+      static_cast<long long>(report.num_tiles),
+      report.mean_rel_weight_error);
+  return out;
+}
+
+// Legacy shape used by the ablation/table benches: just the mapped model.
+inline models::Model map_model(const models::Model& software, int64_t size,
+                               double r_min = 20e3, uint64_t seed = 0xB0B0) {
+  return std::move(map_backend(software, size, r_min, seed).model);
 }
 
 // Adds the three attack-mode AL curves (Attack-SW / SH / HH) for one attack
@@ -31,23 +66,24 @@ inline models::Model map_model(const models::Model& software, int64_t size,
 // panel as ASCII art.
 inline void add_mode_curves(exp::TablePrinter& table,
                             const std::string& size_label,
-                            models::Model& software, models::Model& mapped,
+                            hw::HardwareBackend& ideal,
+                            hw::HardwareBackend& mapped,
                             const data::Dataset& eval_set,
                             attacks::AttackKind kind,
                             std::span<const float> eps) {
   struct ModeSpec {
     const char* name;
-    nn::Module* grad_net;
-    nn::Module* eval_net;
+    hw::HardwareBackend* grad_hw;
+    hw::HardwareBackend* eval_hw;
   };
   const ModeSpec modes[] = {
-      {"Attack-SW", software.net.get(), software.net.get()},
-      {"SH", software.net.get(), mapped.net.get()},
-      {"HH", mapped.net.get(), mapped.net.get()},
+      {"Attack-SW", &ideal, &ideal},
+      {"SH", &ideal, &mapped},
+      {"HH", &mapped, &mapped},
   };
   std::vector<exp::Series> panel;
   for (const auto& mode : modes) {
-    const auto curve = exp::al_curve(mode.name, *mode.grad_net, *mode.eval_net,
+    const auto curve = exp::al_curve(mode.name, *mode.grad_hw, *mode.eval_hw,
                                      eval_set, kind, eps);
     exp::Series series;
     series.label = mode.name;
@@ -77,18 +113,22 @@ inline void run_xbar_figure(const std::string& arch,
          "crafted adversaries on the crossbar model; HH = adversaries crafted "
          "through the crossbar model itself. AL = clean - adversarial (%).");
   Workbench wb = load_workbench(arch, dataset);
-  models::Model& software = wb.trained.model;
+
+  auto ideal = hw::make_backend("ideal");
+  ideal->prepare(wb.trained.model);
 
   exp::TablePrinter table({"crossbar", "attack", "mode", "eps", "clean",
                            "adv", "AL"});
   for (int64_t size : {16, 32}) {
-    models::Model mapped = map_model(software, size);
+    PreparedBackend mapped = map_backend(wb.trained.model, size);
     const auto fe = exp::fgsm_epsilons();
     const auto pe = exp::pgd_epsilons();
-    add_mode_curves(table, "Cross" + std::to_string(size), software, mapped,
-                    wb.eval_set, attacks::AttackKind::kFgsm, fe);
-    add_mode_curves(table, "Cross" + std::to_string(size), software, mapped,
-                    wb.eval_set, attacks::AttackKind::kPgd, pe);
+    add_mode_curves(table, "Cross" + std::to_string(size), *ideal,
+                    mapped.hw(), wb.eval_set, attacks::AttackKind::kFgsm, fe);
+    add_mode_curves(table, "Cross" + std::to_string(size), *ideal,
+                    mapped.hw(), wb.eval_set, attacks::AttackKind::kPgd, pe);
+    std::printf("[bench] %s\n",
+                mapped.backend->energy_report().summary().c_str());
   }
   table.print();
   table.write_csv(exp::bench_out_dir() + "/" + figure_name + ".csv");

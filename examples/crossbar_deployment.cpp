@@ -2,14 +2,19 @@
 // crossbars with realistic non-idealities, inspect the weight distortion, and
 // compare Attack-SW / SH / HH robustness.
 //
+// The substrate is selected through the hardware-backend registry; the
+// attack modes are just (grad backend, eval backend) pairings.
+//
 //   $ ./examples/crossbar_deployment
 #include <cstdio>
+#include <string>
 
 #include "attacks/evaluate.hpp"
 #include "data/synth_cifar.hpp"
+#include "hw/registry.hpp"
+#include "hw/xbar_backend.hpp"
 #include "models/zoo.hpp"
 #include "nn/model_io.hpp"
-#include "xbar/mapper.hpp"
 #include "xbar/mna_solver.hpp"
 
 using namespace rhw;
@@ -51,31 +56,34 @@ int main() {
   const double clean = models::train_model(software, dataset, tcfg);
   std::printf("\nsoftware baseline clean accuracy: %.2f%%\n", 100.0 * clean);
 
-  for (int64_t size : {16, 32}) {
-    models::Model mapped = models::build_model("vgg8", 10, 0.125f, 16);
-    nn::load_state_dict(*mapped.net, nn::state_dict(*software.net));
-    mapped.net->set_training(false);
+  auto ideal = hw::make_backend("ideal");
+  ideal->prepare(software);
 
-    xbar::XbarMapConfig xcfg;
-    xcfg.spec.rows = size;
-    xcfg.spec.cols = size;
-    const auto report = xbar::map_onto_crossbars(*mapped.net, xcfg);
+  for (int64_t size : {16, 32}) {
+    models::Model mapped = models::clone_model(software, 0.125f, 16);
+
+    auto backend = hw::make_backend("xbar:size=" + std::to_string(size));
+    backend->prepare(mapped);
+    const auto* xbar_backend =
+        dynamic_cast<const hw::XbarBackend*>(backend.get());
+    const auto& report = xbar_backend->map_report();
     std::printf(
         "\n%lldx%lld crossbars: %lld tiles, mean weight distortion %.4f "
         "(max %.4f)\n",
         static_cast<long long>(size), static_cast<long long>(size),
         static_cast<long long>(report.num_tiles),
         report.mean_rel_weight_error, report.max_rel_weight_error);
+    std::printf("  energy: %s\n", backend->energy_report().summary().c_str());
 
     attacks::AdvEvalConfig cfg;
     cfg.kind = attacks::AttackKind::kFgsm;
     cfg.epsilon = 0.1f;
-    const auto sw = attacks::evaluate_attack(*software.net, *software.net,
-                                             dataset.test, cfg);
-    const auto sh = attacks::evaluate_attack(*software.net, *mapped.net,
-                                             dataset.test, cfg);
-    const auto hh = attacks::evaluate_attack(*mapped.net, *mapped.net,
-                                             dataset.test, cfg);
+    const auto sw = attacks::evaluate_attack(*ideal, *ideal, dataset.test,
+                                             cfg);
+    const auto sh = attacks::evaluate_attack(*ideal, *backend, dataset.test,
+                                             cfg);
+    const auto hh = attacks::evaluate_attack(*backend, *backend, dataset.test,
+                                             cfg);
     std::printf("  FGSM eps=0.1:\n");
     std::printf("    Attack-SW: clean %.2f%%  adv %.2f%%  AL %.2f\n",
                 sw.clean_acc, sw.adv_acc, sw.adversarial_loss());

@@ -1,29 +1,28 @@
 // Defense shoot-out (paper Fig. 8b/c in miniature): hardware-noise defenses
 // vs software quantization defenses on one model, one table.
 //
+// Hardware rows are selected purely by BackendRegistry strings — swap a
+// string to swap the substrate (hw/registry.hpp documents the grammar).
+//
 //   $ ./examples/defense_shootout
 #include <cstdio>
+#include <vector>
 
 #include "attacks/evaluate.hpp"
 #include "data/synth_cifar.hpp"
 #include "exp/table_printer.hpp"
+#include "hw/registry.hpp"
 #include "models/zoo.hpp"
 #include "nn/model_io.hpp"
 #include "quant/pixel_discretizer.hpp"
 #include "quant/quanos.hpp"
-#include "sram/layer_selector.hpp"
-#include "xbar/mapper.hpp"
 
 using namespace rhw;
 
 namespace {
 
-models::Model clone_of(models::Model& src) {
-  models::Model copy = models::build_model(src.name, src.num_classes, 0.125f,
-                                           16);
-  nn::load_state_dict(*copy.net, nn::state_dict(*src.net));
-  copy.net->set_training(false);
-  return copy;
+models::Model clone_of(const models::Model& src) {
+  return models::clone_model(src, 0.125f, 16);
 }
 
 }  // namespace
@@ -43,27 +42,35 @@ int main() {
   tcfg.batch_size = 50;
   models::train_model(baseline, dataset, tcfg);
 
-  // Defense A: hybrid 8T-6T SRAM noise (methodology-selected).
-  models::Model sram_model = clone_of(baseline);
-  sram::SelectorConfig scfg;
-  scfg.eval_count = 150;
-  const auto selection = sram::select_layers(sram_model, dataset.test, scfg);
-  sram::apply_selection(sram_model, selection.selected, scfg.vdd);
+  // Hardware substrates: every backend comes from a registry string. The
+  // sram backend runs the Fig. 4 layer-selection methodology on the
+  // calibration set passed to prepare(); xbar maps onto 32x32 crossbars.
+  const char* kBackendSpecs[] = {
+      "ideal",
+      "sram:vdd=0.68,eval_count=150",
+      "xbar:size=32",
+  };
+  struct HardwareEntry {
+    models::Model model;
+    hw::BackendPtr backend;
+  };
+  std::vector<HardwareEntry> hardware;
+  for (const char* spec : kBackendSpecs) {
+    HardwareEntry entry{clone_of(baseline), hw::make_backend(spec)};
+    entry.backend->prepare(entry.model, &dataset.test);
+    std::printf("prepared '%s'  ->  %s\n", spec,
+                entry.backend->energy_report().summary().c_str());
+    hardware.push_back(std::move(entry));
+  }
+  hw::HardwareBackend& ideal = *hardware[0].backend;
 
-  // Defense B: 32x32 memristive crossbars.
-  models::Model xbar_model = clone_of(baseline);
-  xbar::XbarMapConfig xcfg;
-  xcfg.spec.rows = 32;
-  xcfg.spec.cols = 32;
-  (void)xbar::map_onto_crossbars(*xbar_model.net, xcfg);
-
-  // Defense C: 4-bit pixel discretization.
+  // Software defenses for comparison (not hardware substrates, so they stay
+  // outside the registry): 4-bit pixel discretization and QUANOS.
   models::Model disc_base = clone_of(baseline);
   quant::PixelDiscretizer disc;
   disc.bits = 4;
   quant::DiscretizedModel discretized(*disc_base.net, disc);
 
-  // Defense D: QUANOS hybrid quantization.
   models::Model quanos_model = clone_of(baseline);
   quant::QuanosConfig qcfg;
   qcfg.sample_count = 100;
@@ -75,9 +82,9 @@ int main() {
     nn::Module* eval_net;
   };
   const Entry entries[] = {
-      {"undefended", baseline.net.get(), baseline.net.get()},
-      {"SRAM-noise", baseline.net.get(), sram_model.net.get()},
-      {"crossbar-SH", baseline.net.get(), xbar_model.net.get()},
+      {"undefended", &ideal.module(), &ideal.module()},
+      {"SRAM-noise", &ideal.module(), &hardware[1].backend->module()},
+      {"crossbar-SH", &ideal.module(), &hardware[2].backend->module()},
       {"4b-discretize", &discretized, &discretized},
       {"QUANOS", quanos_model.net.get(), quanos_model.net.get()},
   };

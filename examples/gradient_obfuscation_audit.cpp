@@ -1,17 +1,16 @@
 // Audit the paper's claimed mechanism: hardware noise defends by *gradient
-// obfuscation*. This example maps a trained model onto crossbars and runs the
-// standard obfuscation diagnostics (gradient agreement, white-box vs
-// transfer gap, random-perturbation floor).
+// obfuscation*. This example prepares the hardware models through the backend
+// registry and runs the standard obfuscation diagnostics (gradient
+// agreement, white-box vs transfer gap, random-perturbation floor).
 //
 //   $ ./examples/gradient_obfuscation_audit
 #include <cstdio>
 
 #include "attacks/diagnostics.hpp"
 #include "data/synth_cifar.hpp"
+#include "hw/registry.hpp"
 #include "models/zoo.hpp"
 #include "nn/model_io.hpp"
-#include "sram/layer_selector.hpp"
-#include "xbar/mapper.hpp"
 
 using namespace rhw;
 
@@ -35,6 +34,10 @@ void print_report(const char* name,
                                              : "no");
 }
 
+models::Model clone_of(const models::Model& src) {
+  return models::clone_model(src, 0.125f, 16);
+}
+
 }  // namespace
 
 int main() {
@@ -52,44 +55,33 @@ int main() {
   tcfg.epochs = 4;
   tcfg.batch_size = 50;
   models::train_model(software, dataset, tcfg);
+  software.net->set_training(false);
 
   attacks::ObfuscationConfig ocfg;
   ocfg.epsilon = 0.1f;
   ocfg.sample_count = 200;
 
-  // Control: the software model audited against itself.
-  print_report("software baseline (control)",
-               attacks::diagnose_gradient_obfuscation(
-                   *software.net, *software.net, dataset.test, ocfg));
-
-  // Crossbar-mapped hardware model.
-  models::Model mapped = models::build_model("vgg8", 10, 0.125f, 16);
-  nn::load_state_dict(*mapped.net, nn::state_dict(*software.net));
-  mapped.net->set_training(false);
-  xbar::XbarMapConfig xcfg;
-  xcfg.spec.rows = 32;
-  xcfg.spec.cols = 32;
-  (void)xbar::map_onto_crossbars(*mapped.net, xcfg);
-  print_report("crossbar-mapped model (32x32)",
-               attacks::diagnose_gradient_obfuscation(
-                   *software.net, *mapped.net, dataset.test, ocfg));
-
-  // SRAM bit-error model: noise on the first two activation memories.
-  models::Model noisy = models::build_model("vgg8", 10, 0.125f, 16);
-  nn::load_state_dict(*noisy.net, nn::state_dict(*software.net));
-  noisy.net->set_training(false);
-  std::vector<sram::SiteChoice> selection;
-  for (size_t s = 0; s < 2; ++s) {
-    sram::SiteChoice c;
-    c.site_index = s;
-    c.site_label = noisy.sites[s].label;
-    c.word.num_8t = 2;
-    selection.push_back(c);
+  // Each audited substrate is one registry string on a fresh clone; the
+  // software model is the gradient reference throughout.
+  const struct {
+    const char* title;
+    const char* spec;
+  } substrates[] = {
+      {"software baseline (control)", "ideal"},
+      {"crossbar-mapped model (32x32)", "xbar:size=32"},
+      {"hybrid-SRAM noisy model (2/6 @ 0.64 V)",
+       "sram:sites=2,num_8t=2,vdd=0.64"},
+  };
+  for (const auto& substrate : substrates) {
+    models::Model hardware = clone_of(software);
+    auto backend = hw::make_backend(substrate.spec);
+    // No calibration set: the sram backend uses its fixed fallback sites
+    // instead of running the selection methodology.
+    backend->prepare(hardware);
+    print_report(substrate.title,
+                 attacks::diagnose_gradient_obfuscation(
+                     *software.net, backend->module(), dataset.test, ocfg));
   }
-  sram::apply_selection(noisy, selection, /*vdd=*/0.64);
-  print_report("hybrid-SRAM noisy model (2/6 @ 0.64 V)",
-               attacks::diagnose_gradient_obfuscation(
-                   *software.net, *noisy.net, dataset.test, ocfg));
 
   std::printf(
       "Interpretation: the hardware models' gradients diverge from the "

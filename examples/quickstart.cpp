@@ -7,6 +7,7 @@
 
 #include "attacks/evaluate.hpp"
 #include "data/synth_cifar.hpp"
+#include "hw/registry.hpp"
 #include "models/zoo.hpp"
 
 using namespace rhw;
@@ -38,17 +39,22 @@ int main() {
   const double clean = models::train_model(model, dataset, tcfg);
   std::printf("clean test accuracy: %.2f%%\n\n", 100.0 * clean);
 
-  // 3. Attack it and report the paper's Adversarial Loss metric.
+  // 3. Attack it and report the paper's Adversarial Loss metric. Hardware is
+  // selected through the backend registry; "ideal" is the software reference
+  // (Attack-SW = same backend for gradients and evaluation). Swap the string
+  // for "sram:..." or "xbar:..." to attack a noisy substrate instead.
+  auto backend = hw::make_backend("ideal");
+  backend->prepare(model);
   for (float eps : {0.05f, 0.1f, 0.2f}) {
     attacks::AdvEvalConfig fgsm_cfg;
     fgsm_cfg.kind = attacks::AttackKind::kFgsm;
     fgsm_cfg.epsilon = eps;
-    const auto fgsm = attacks::evaluate_attack(*model.net, *model.net,
+    const auto fgsm = attacks::evaluate_attack(*backend, *backend,
                                                dataset.test, fgsm_cfg);
     attacks::AdvEvalConfig pgd_cfg = fgsm_cfg;
     pgd_cfg.kind = attacks::AttackKind::kPgd;
     pgd_cfg.pgd_steps = 7;
-    const auto pgd = attacks::evaluate_attack(*model.net, *model.net,
+    const auto pgd = attacks::evaluate_attack(*backend, *backend,
                                               dataset.test, pgd_cfg);
     std::printf(
         "eps=%.2f  FGSM: adv %.2f%% (AL %.2f)   PGD-7: adv %.2f%% (AL %.2f)\n",

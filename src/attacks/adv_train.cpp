@@ -70,4 +70,10 @@ AdvTrainResult adversarial_train(nn::Module& net, const data::SynthCifar& data,
   return result;
 }
 
+AdvTrainResult adversarial_train(hw::HardwareBackend& backend,
+                                 const data::SynthCifar& data,
+                                 const AdvTrainConfig& cfg) {
+  return adversarial_train(backend.module(), data, cfg);
+}
+
 }  // namespace rhw::attacks

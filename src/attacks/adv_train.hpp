@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "data/synth_cifar.hpp"
+#include "hw/backend.hpp"
 #include "nn/module.hpp"
 #include "nn/optimizer.hpp"
 
@@ -32,6 +33,14 @@ struct AdvTrainResult {
 // (adversaries regenerated from the current parameters each step, as in
 // standard adversarial training). Assumes the net is already initialized.
 AdvTrainResult adversarial_train(nn::Module& net,
+                                 const data::SynthCifar& data,
+                                 const AdvTrainConfig& cfg);
+
+// Hardware-in-the-loop variant: trains through a prepared backend's module,
+// so forward passes see the hardware model (SRAM noise hooks stay gated out
+// of the FGSM gradient step, crossbar peripheral hooks apply throughout —
+// each substrate's own rules).
+AdvTrainResult adversarial_train(hw::HardwareBackend& backend,
                                  const data::SynthCifar& data,
                                  const AdvTrainConfig& cfg);
 

@@ -102,6 +102,25 @@ double clean_accuracy(nn::Module& eval_net, const data::Dataset& ds,
                               static_cast<double>(ds.size());
 }
 
+AdvEvalResult evaluate_attack(hw::HardwareBackend& grad_hw,
+                              hw::HardwareBackend& eval_hw,
+                              const data::Dataset& ds,
+                              const AdvEvalConfig& cfg) {
+  return evaluate_attack(grad_hw.module(), eval_hw.module(), ds, cfg);
+}
+
+double adversarial_accuracy(hw::HardwareBackend& grad_hw,
+                            hw::HardwareBackend& eval_hw,
+                            const data::Dataset& ds,
+                            const AdvEvalConfig& cfg) {
+  return adversarial_accuracy(grad_hw.module(), eval_hw.module(), ds, cfg);
+}
+
+double clean_accuracy(hw::HardwareBackend& eval_hw, const data::Dataset& ds,
+                      int64_t batch_size) {
+  return clean_accuracy(eval_hw.module(), ds, batch_size);
+}
+
 std::string attack_name(AttackKind kind) {
   return kind == AttackKind::kFgsm ? "FGSM" : "PGD";
 }

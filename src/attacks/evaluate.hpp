@@ -14,6 +14,7 @@
 
 #include "attacks/pgd.hpp"
 #include "data/dataset.hpp"
+#include "hw/backend.hpp"
 
 namespace rhw::attacks {
 
@@ -50,6 +51,20 @@ double adversarial_accuracy(nn::Module& grad_net, nn::Module& eval_net,
 
 // Clean accuracy (percent) with eval_net's hooks active.
 double clean_accuracy(nn::Module& eval_net, const data::Dataset& ds,
+                      int64_t batch_size = 100);
+
+// -- hardware-backend seam ----------------------------------------------------
+// The paper's attack modes are a choice of (grad backend, eval backend):
+// Attack-SW = (ideal, ideal), SH = (ideal, hardware), HH = (hardware,
+// hardware). Both backends must be prepare()d.
+AdvEvalResult evaluate_attack(hw::HardwareBackend& grad_hw,
+                              hw::HardwareBackend& eval_hw,
+                              const data::Dataset& ds,
+                              const AdvEvalConfig& cfg);
+double adversarial_accuracy(hw::HardwareBackend& grad_hw,
+                            hw::HardwareBackend& eval_hw,
+                            const data::Dataset& ds, const AdvEvalConfig& cfg);
+double clean_accuracy(hw::HardwareBackend& eval_hw, const data::Dataset& ds,
                       int64_t batch_size = 100);
 
 std::string attack_name(AttackKind kind);

@@ -119,6 +119,11 @@ void gemm_naive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
 
 void gemv(bool trans_a, int64_t m, int64_t n, float alpha, const float* a,
           int64_t lda, const float* x, float beta, float* y) {
+  // beta == 0 must overwrite, never scale: stale/uninitialized y (NaN, inf)
+  // survives y *= 0 — mirror gemm's explicit zero-fill.
+  if (beta == 0.f) {
+    std::fill(y, y + (trans_a ? n : m), 0.f);
+  }
   // op(A) is (m x n) when !trans_a viewed as given; compute y = op(A) x.
   if (!trans_a) {
     for (int64_t i = 0; i < m; ++i) {
@@ -129,7 +134,9 @@ void gemv(bool trans_a, int64_t m, int64_t n, float alpha, const float* a,
     }
   } else {
     // y (n) = alpha * A^T (n x m) x (m) + beta y
-    for (int64_t j = 0; j < n; ++j) y[j] *= beta;
+    if (beta != 0.f && beta != 1.f) {
+      for (int64_t j = 0; j < n; ++j) y[j] *= beta;
+    }
     for (int64_t i = 0; i < m; ++i) {
       const float xv = alpha * x[i];
       if (xv == 0.f) continue;

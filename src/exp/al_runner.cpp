@@ -29,6 +29,14 @@ AlCurve al_curve(const std::string& label, nn::Module& grad_net,
   return curve;
 }
 
+AlCurve al_curve(const std::string& label, hw::HardwareBackend& grad_hw,
+                 hw::HardwareBackend& eval_hw, const data::Dataset& ds,
+                 attacks::AttackKind kind, std::span<const float> epsilons,
+                 const attacks::AdvEvalConfig& base_cfg) {
+  return al_curve(label, grad_hw.module(), eval_hw.module(), ds, kind,
+                  epsilons, base_cfg);
+}
+
 std::vector<float> fgsm_epsilons() {
   return {0.f, 0.05f, 0.1f, 0.15f, 0.2f, 0.25f, 0.3f};
 }

@@ -29,6 +29,13 @@ AlCurve al_curve(const std::string& label, nn::Module& grad_net,
                  attacks::AttackKind kind, std::span<const float> epsilons,
                  const attacks::AdvEvalConfig& base_cfg = {});
 
+// Hardware-backend seam: the (grad backend, eval backend) pairing selects the
+// attack mode (Attack-SW / SH / HH), see attacks/evaluate.hpp.
+AlCurve al_curve(const std::string& label, hw::HardwareBackend& grad_hw,
+                 hw::HardwareBackend& eval_hw, const data::Dataset& ds,
+                 attacks::AttackKind kind, std::span<const float> epsilons,
+                 const attacks::AdvEvalConfig& base_cfg = {});
+
 // The paper's epsilon grids.
 std::vector<float> fgsm_epsilons();  // 0, 0.05 .. 0.3  (Figs. 5-8b)
 std::vector<float> pgd_epsilons();   // 0, {2,4,8,16,32}/255 (Figs. 6-8c)

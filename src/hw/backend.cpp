@@ -1,0 +1,74 @@
+#include "hw/backend.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rhw::hw {
+
+std::string EnergyReport::summary() const {
+  std::ostringstream os;
+  os << backend << ": " << energy_nj << " nJ, " << area_um2 << " um^2";
+  for (const auto& [key, value] : details) {
+    os << ", " << key << "=" << value;
+  }
+  return os.str();
+}
+
+void HardwareBackend::prepare(models::Model& model,
+                              const data::Dataset* calibration) {
+  sites_ = model.sites;
+  net_ = model.net.get();
+  net_->set_training(false);
+  do_prepare(*net_, sites_, calibration);
+}
+
+void HardwareBackend::prepare(nn::Module& net,
+                              const data::Dataset* calibration) {
+  sites_ = derive_activation_sites(net);
+  net_ = &net;
+  net_->set_training(false);
+  do_prepare(*net_, sites_, calibration);
+}
+
+nn::Module& HardwareBackend::module() const {
+  if (net_ == nullptr) {
+    throw std::logic_error("HardwareBackend::module: prepare() not called");
+  }
+  return *net_;
+}
+
+Tensor HardwareBackend::forward(const Tensor& x) { return module().forward(x); }
+
+EnergyReport HardwareBackend::energy_report() const {
+  EnergyReport report;
+  report.backend = name();
+  return report;
+}
+
+namespace {
+
+void collect_sites(nn::Module& m, std::vector<models::ActivationSite>& out,
+                   int& counter) {
+  const auto kids = m.children();
+  if (kids.empty()) {
+    const std::string t = m.type_name();
+    if (t == "ReLU") {
+      out.push_back({&m, std::to_string(counter++)});
+    } else if (t == "MaxPool2d" || t == "AvgPool2d") {
+      out.push_back({&m, std::to_string(counter++) + "(P)"});
+    }
+    return;
+  }
+  for (nn::Module* kid : kids) collect_sites(*kid, out, counter);
+}
+
+}  // namespace
+
+std::vector<models::ActivationSite> derive_activation_sites(nn::Module& root) {
+  std::vector<models::ActivationSite> sites;
+  int counter = 0;
+  collect_sites(root, sites, counter);
+  return sites;
+}
+
+}  // namespace rhw::hw

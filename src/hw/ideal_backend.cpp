@@ -1,0 +1,20 @@
+#include "hw/ideal_backend.hpp"
+
+namespace rhw::hw {
+
+void IdealBackend::do_prepare(nn::Module& net,
+                              const std::vector<models::ActivationSite>& sites,
+                              const data::Dataset* calibration) {
+  (void)net;
+  (void)sites;
+  (void)calibration;
+}
+
+EnergyReport IdealBackend::energy_report() const {
+  EnergyReport report;
+  report.backend = name();
+  report.details.emplace_back("note", "software reference, not priced");
+  return report;
+}
+
+}  // namespace rhw::hw

@@ -1,0 +1,25 @@
+// Software-reference backend: no hardware model at all.
+//
+// prepare() leaves the network untouched (beyond eval mode), so forward
+// passes are bit-exact with the raw module. This is the "grad backend" for
+// SH-mode attacks and the Attack-SW baseline, and the control arm of every
+// backend-parity test.
+#pragma once
+
+#include "hw/backend.hpp"
+
+namespace rhw::hw {
+
+class IdealBackend final : public HardwareBackend {
+ public:
+  std::string name() const override { return "ideal"; }
+
+  EnergyReport energy_report() const override;
+
+ protected:
+  void do_prepare(nn::Module& net,
+                  const std::vector<models::ActivationSite>& sites,
+                  const data::Dataset* calibration) override;
+};
+
+}  // namespace rhw::hw

@@ -1,0 +1,206 @@
+#include "hw/registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "hw/ideal_backend.hpp"
+#include "hw/sram_backend.hpp"
+#include "hw/xbar_backend.hpp"
+
+namespace rhw::hw {
+
+namespace {
+
+// Pulls and erases options so factories can reject leftovers as unknown.
+class OptionReader {
+ public:
+  explicit OptionReader(BackendOptions opts) : opts_(std::move(opts)) {}
+
+  double number(const std::string& key, double fallback) {
+    const auto it = opts_.find(key);
+    if (it == opts_.end()) return fallback;
+    const std::string text = it->second;
+    opts_.erase(it);
+    try {
+      size_t used = 0;
+      const double v = std::stod(text, &used);
+      if (used != text.size()) throw std::invalid_argument(text);
+      return v;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("backend option " + key +
+                                  ": bad number '" + text + "'");
+    }
+  }
+
+  // Integer-typed options (seeds, sizes, counts): full 64-bit range, no
+  // silent precision loss through double. Negative values are rejected
+  // (stoull would silently wrap them).
+  uint64_t integer(const std::string& key, uint64_t fallback) {
+    const auto it = opts_.find(key);
+    if (it == opts_.end()) return fallback;
+    const std::string text = it->second;
+    opts_.erase(it);
+    try {
+      if (text.empty() || text[0] == '-') throw std::invalid_argument(text);
+      size_t used = 0;
+      const uint64_t v = std::stoull(text, &used);
+      if (used != text.size()) throw std::invalid_argument(text);
+      return v;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("backend option " + key +
+                                  ": bad non-negative integer '" + text +
+                                  "'");
+    }
+  }
+
+  std::string text(const std::string& key, const std::string& fallback) {
+    const auto it = opts_.find(key);
+    if (it == opts_.end()) return fallback;
+    std::string v = it->second;
+    opts_.erase(it);
+    return v;
+  }
+
+  void finish(const std::string& backend) const {
+    if (opts_.empty()) return;
+    std::ostringstream os;
+    os << "backend " << backend << ": unknown option(s):";
+    for (const auto& [key, value] : opts_) os << ' ' << key;
+    throw std::invalid_argument(os.str());
+  }
+
+ private:
+  BackendOptions opts_;
+};
+
+BackendPtr make_ideal(const BackendOptions& opts) {
+  OptionReader reader(opts);
+  reader.finish("ideal");
+  return std::make_unique<IdealBackend>();
+}
+
+BackendPtr make_sram(const BackendOptions& opts) {
+  OptionReader reader(opts);
+  SramBackendConfig cfg;
+  cfg.vdd = reader.number("vdd", cfg.vdd);
+  cfg.seed = reader.integer("seed", cfg.seed);
+  cfg.default_sites = static_cast<int>(
+      reader.integer("sites", static_cast<uint64_t>(cfg.default_sites)));
+  cfg.default_word.num_8t = static_cast<int>(reader.integer(
+      "num_8t", static_cast<uint64_t>(cfg.default_word.num_8t)));
+  cfg.selector.epsilon =
+      static_cast<float>(reader.number("eps", cfg.selector.epsilon));
+  cfg.selector.eval_count = static_cast<int64_t>(reader.integer(
+      "eval_count", static_cast<uint64_t>(cfg.selector.eval_count)));
+  reader.finish("sram");
+  return std::make_unique<SramBackend>(std::move(cfg));
+}
+
+BackendPtr make_xbar(const BackendOptions& opts) {
+  OptionReader reader(opts);
+  XbarBackendConfig cfg;
+  auto& spec = cfg.map.spec;
+  const uint64_t size = reader.integer("size", 0);
+  if (size > 0) {
+    spec.rows = static_cast<int64_t>(size);
+    spec.cols = static_cast<int64_t>(size);
+  }
+  spec.rows = static_cast<int64_t>(
+      reader.integer("rows", static_cast<uint64_t>(spec.rows)));
+  spec.cols = static_cast<int64_t>(
+      reader.integer("cols", static_cast<uint64_t>(spec.cols)));
+  const double ratio = spec.on_off_ratio();
+  const double r_min = reader.number("rmin", spec.r_min);
+  if (r_min != spec.r_min) {
+    spec.r_min = r_min;
+    spec.r_max = r_min * ratio;  // constant ON/OFF unless rmax given
+  }
+  spec.r_max = reader.number("rmax", spec.r_max);
+  cfg.map.adc_bits = static_cast<int>(
+      reader.integer("adc_bits", static_cast<uint64_t>(cfg.map.adc_bits)));
+  cfg.map.seed = reader.integer("seed", cfg.map.seed);
+  cfg.map.process_variation =
+      reader.integer("variation", cfg.map.process_variation ? 1 : 0) != 0;
+  cfg.map.gain_calibration =
+      reader.integer("calibration", cfg.map.gain_calibration ? 1 : 0) != 0;
+  cfg.map.read_noise_sigma =
+      reader.number("read_noise", cfg.map.read_noise_sigma);
+  cfg.map.grad_noise_scale =
+      reader.number("grad_noise", cfg.map.grad_noise_scale);
+  cfg.retain_tiles = reader.integer("retain_tiles", 1) != 0;
+  const std::string circuit = reader.text("model", "fast");
+  if (circuit == "ideal") {
+    cfg.map.model = xbar::CircuitModel::kIdeal;
+  } else if (circuit == "fast") {
+    cfg.map.model = xbar::CircuitModel::kFastApprox;
+  } else if (circuit == "mna") {
+    cfg.map.model = xbar::CircuitModel::kExactMna;
+  } else {
+    throw std::invalid_argument("backend xbar: unknown circuit model '" +
+                                circuit + "' (ideal|fast|mna)");
+  }
+  reader.finish("xbar");
+  return std::make_unique<XbarBackend>(cfg);
+}
+
+}  // namespace
+
+BackendRegistry::BackendRegistry() {
+  factories_["ideal"] = make_ideal;
+  factories_["sram"] = make_sram;
+  factories_["xbar"] = make_xbar;
+}
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::add(const std::string& key, BackendFactory factory) {
+  factories_[key] = std::move(factory);
+}
+
+bool BackendRegistry::contains(const std::string& key) const {
+  return factories_.count(key) > 0;
+}
+
+std::vector<std::string> BackendRegistry::keys() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [key, factory] : factories_) out.push_back(key);
+  return out;
+}
+
+BackendPtr BackendRegistry::create(const std::string& spec) const {
+  const size_t colon = spec.find(':');
+  const std::string key = spec.substr(0, colon);
+  BackendOptions opts;
+  if (colon != std::string::npos) {
+    std::istringstream rest(spec.substr(colon + 1));
+    std::string item;
+    while (std::getline(rest, item, ',')) {
+      if (item.empty()) continue;
+      const size_t eq = item.find('=');
+      if (eq == std::string::npos) {
+        throw std::invalid_argument("backend spec '" + spec +
+                                    "': option '" + item +
+                                    "' is not key=value");
+      }
+      opts[item.substr(0, eq)] = item.substr(eq + 1);
+    }
+  }
+  const auto it = factories_.find(key);
+  if (it == factories_.end()) {
+    std::ostringstream os;
+    os << "unknown hardware backend '" << key << "'; registered:";
+    for (const auto& [name, factory] : factories_) os << ' ' << name;
+    throw std::invalid_argument(os.str());
+  }
+  return it->second(opts);
+}
+
+BackendPtr make_backend(const std::string& spec) {
+  return BackendRegistry::instance().create(spec);
+}
+
+}  // namespace rhw::hw

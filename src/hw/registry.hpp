@@ -1,0 +1,60 @@
+// String-keyed factory for hardware backends.
+//
+// Every example, bench, and test selects hardware by config string instead of
+// hand-wiring mappers and hooks:
+//
+//   auto backend = hw::make_backend("xbar:size=32,rmin=10e3");
+//   backend->prepare(model);
+//
+// Spec grammar: "<key>" or "<key>:<opt>=<value>,<opt>=<value>,...". Built-in
+// keys and their options:
+//
+//   ideal   (no options)
+//   sram    vdd=<V> seed=<u64> sites=<n> num_8t=<n> eps=<f> eval_count=<n>
+//           — sites/num_8t set the fallback configuration; eps/eval_count
+//             tune the Fig. 4 selector used when prepare() gets calibration
+//             data
+//   xbar    size=<n> rows=<n> cols=<n> rmin=<ohm> rmax=<ohm> adc_bits=<n>
+//           seed=<u64> variation=<0|1> calibration=<0|1> read_noise=<f>
+//           grad_noise=<f> model=<ideal|fast|mna> retain_tiles=<0|1>
+//           — rmin without rmax keeps the spec's ON/OFF ratio constant
+//
+// Unknown keys and unknown options throw std::invalid_argument. Downstream
+// code can register additional backends (registry().add) under new keys.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hw/backend.hpp"
+
+namespace rhw::hw {
+
+// Options parsed from the spec string: option name -> raw value text.
+using BackendOptions = std::map<std::string, std::string>;
+using BackendFactory = std::function<BackendPtr(const BackendOptions&)>;
+
+class BackendRegistry {
+ public:
+  // Process-wide registry, built-ins registered on first use.
+  static BackendRegistry& instance();
+
+  // Registers (or replaces) a factory under `key`.
+  void add(const std::string& key, BackendFactory factory);
+  bool contains(const std::string& key) const;
+  std::vector<std::string> keys() const;
+
+  // Parses "<key>[:opt=v,...]" and invokes the factory.
+  BackendPtr create(const std::string& spec) const;
+
+ private:
+  BackendRegistry();
+  std::map<std::string, BackendFactory> factories_;
+};
+
+// Shorthand for BackendRegistry::instance().create(spec).
+BackendPtr make_backend(const std::string& spec);
+
+}  // namespace rhw::hw

@@ -1,0 +1,51 @@
+// Memristive-crossbar backend: the paper's Sec. III-B substrate behind the
+// HardwareBackend seam.
+//
+// prepare() maps every weight layer onto crossbar tiles (effective-weight
+// write-back + ungated ADC/read-noise/gradient hooks, xbar/mapper.hpp) and —
+// by default — retains the programmed TiledMatrix grids, so callers can run
+// tile-level batched matmul directly (the pooled execution path bench_micro
+// measures against serial matvec).
+#pragma once
+
+#include "hw/backend.hpp"
+#include "xbar/energy_model.hpp"
+#include "xbar/mapper.hpp"
+
+namespace rhw::hw {
+
+struct XbarBackendConfig {
+  xbar::XbarMapConfig map;
+  // Keep the programmed tile grids alive for tile-level batched execution.
+  bool retain_tiles = true;
+};
+
+class XbarBackend final : public HardwareBackend {
+ public:
+  explicit XbarBackend(XbarBackendConfig cfg = {}) : cfg_(cfg) {}
+
+  std::string name() const override { return "xbar"; }
+
+  // Whole-model analog MVM energy (one inference, every tile read once) and
+  // tile silicon area from the xbar energy model.
+  EnergyReport energy_report() const override;
+
+  const xbar::XbarMapReport& map_report() const { return mapped_.report; }
+  // One entry per mapped weight layer; .tiles is non-null when retain_tiles.
+  const std::vector<xbar::XbarMappedLayer>& mapped_layers() const {
+    return mapped_.layers;
+  }
+
+  const XbarBackendConfig& config() const { return cfg_; }
+
+ protected:
+  void do_prepare(nn::Module& net,
+                  const std::vector<models::ActivationSite>& sites,
+                  const data::Dataset* calibration) override;
+
+ private:
+  XbarBackendConfig cfg_;
+  xbar::XbarMapResult mapped_;
+};
+
+}  // namespace rhw::hw

@@ -39,6 +39,15 @@ Model build_model(const std::string& arch, int64_t num_classes,
   return make_vgg(cfg);
 }
 
+Model clone_model(const Model& src, float width_mult, int64_t in_size) {
+  Model copy = build_model(src.name, src.num_classes, width_mult, in_size);
+  // state_dict traverses mutably; the source is not modified.
+  auto& source = const_cast<Model&>(src);
+  nn::load_state_dict(*copy.net, nn::state_dict(*source.net));
+  copy.net->set_training(false);
+  return copy;
+}
+
 double evaluate_accuracy(nn::Module& net, const data::Dataset& ds,
                          int64_t batch_size) {
   const bool was_training = net.training();

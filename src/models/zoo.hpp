@@ -36,6 +36,13 @@ TrainConfig default_train_config(const std::string& arch,
 Model build_model(const std::string& arch, int64_t num_classes,
                   float width_mult = 0.25f, int64_t in_size = 32);
 
+// Deep copy of a model (weights + non-trainable buffers such as BatchNorm
+// statistics), returned in eval mode. width_mult/in_size must match how src
+// was built — Model does not record them, so callers using non-default
+// builds pass them explicitly.
+Model clone_model(const Model& src, float width_mult = 0.25f,
+                  int64_t in_size = 32);
+
 // Clean accuracy (0..1) of net over ds, batched, eval mode. Restores the
 // module's previous training flag afterwards.
 double evaluate_accuracy(nn::Module& net, const data::Dataset& ds,

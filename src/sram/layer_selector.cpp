@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "attacks/fgsm.hpp"
 
@@ -35,30 +36,47 @@ data::Dataset craft_adversarial_set(nn::Module& net, const data::Dataset& ds,
 
 }  // namespace
 
+void clear_all_site_hooks(std::span<const models::ActivationSite> sites) {
+  for (const auto& site : sites) site.module->clear_post_hook();
+}
+
 void clear_all_site_hooks(models::Model& model) {
-  for (auto& site : model.sites) site.module->clear_post_hook();
+  clear_all_site_hooks(std::span<const models::ActivationSite>(model.sites));
+}
+
+void apply_selection(std::span<const models::ActivationSite> sites,
+                     const std::vector<SiteChoice>& selection, double vdd,
+                     uint64_t seed, const BitErrorModel& model_ber) {
+  clear_all_site_hooks(sites);
+  for (const auto& choice : selection) {
+    if (choice.site_index >= sites.size()) {
+      throw std::out_of_range("apply_selection: site index " +
+                              std::to_string(choice.site_index) +
+                              " out of range (" +
+                              std::to_string(sites.size()) + " sites)");
+    }
+    SramNoiseConfig nc;
+    nc.word = choice.word;
+    nc.vdd = vdd;
+    nc.seed = seed ^ (0x9E3779B97F4A7C15ULL * (choice.site_index + 1));
+    attach_noise(*sites[choice.site_index].module, nc, model_ber);
+  }
 }
 
 void apply_selection(models::Model& model,
                      const std::vector<SiteChoice>& selection, double vdd,
                      uint64_t seed, const BitErrorModel& model_ber) {
-  clear_all_site_hooks(model);
-  for (const auto& choice : selection) {
-    SramNoiseConfig nc;
-    nc.word = choice.word;
-    nc.vdd = vdd;
-    nc.seed = seed ^ (0x9E3779B97F4A7C15ULL * (choice.site_index + 1));
-    attach_noise(*model.sites.at(choice.site_index).module, nc, model_ber);
-  }
+  apply_selection(std::span<const models::ActivationSite>(model.sites),
+                  selection, vdd, seed, model_ber);
 }
 
-SelectionResult select_layers(models::Model& model,
+SelectionResult select_layers(nn::Module& net,
+                              std::span<const models::ActivationSite> sites,
                               const data::Dataset& test_set,
                               const SelectorConfig& cfg,
                               const BitErrorModel& model_ber) {
-  nn::Module& net = *model.net;
   net.set_training(false);
-  clear_all_site_hooks(model);
+  clear_all_site_hooks(sites);
 
   SelectionResult result;
   const auto subset = test_set.head(cfg.eval_count);
@@ -69,10 +87,10 @@ SelectionResult select_layers(models::Model& model,
                                                     cfg.batch_size);
 
   // Stage 1: per-site sweep over #6T = 1 .. total_bits.
-  for (size_t s = 0; s < model.sites.size(); ++s) {
+  for (size_t s = 0; s < sites.size(); ++s) {
     SiteChoice best;
     best.site_index = s;
-    best.site_label = model.sites[s].label;
+    best.site_label = sites[s].label;
     best.adv_acc = -1.0;
     for (int n6t = 1; n6t <= 8; ++n6t) {
       HybridWordConfig word;
@@ -82,9 +100,9 @@ SelectionResult select_layers(models::Model& model,
       nc.word = word;
       nc.vdd = cfg.vdd;
       nc.seed = cfg.seed ^ (0xABCD * (s + 1)) ^ static_cast<uint64_t>(n6t);
-      attach_noise(*model.sites[s].module, nc, model_ber);
+      attach_noise(*sites[s].module, nc, model_ber);
       const double acc = attacks::clean_accuracy(net, adv_set, cfg.batch_size);
-      model.sites[s].module->clear_post_hook();
+      sites[s].module->clear_post_hook();
       if (acc > best.adv_acc) {
         best.adv_acc = acc;
         best.word = word;
@@ -116,9 +134,9 @@ SelectionResult select_layers(models::Model& model,
     for (size_t i = 0; i < k; ++i) {
       if (mask >> i & 1u) subset_choices.push_back(result.shortlisted[i]);
     }
-    apply_selection(model, subset_choices, cfg.vdd, cfg.seed, model_ber);
+    apply_selection(sites, subset_choices, cfg.vdd, cfg.seed, model_ber);
     const double acc = attacks::clean_accuracy(net, adv_set, cfg.batch_size);
-    clear_all_site_hooks(model);
+    clear_all_site_hooks(sites);
     if (acc > best_acc) {
       best_acc = acc;
       best_subset = subset_choices;
@@ -128,14 +146,23 @@ SelectionResult select_layers(models::Model& model,
   result.final_adv_acc = best_acc;
 
   if (!result.selected.empty()) {
-    apply_selection(model, result.selected, cfg.vdd, cfg.seed, model_ber);
+    apply_selection(sites, result.selected, cfg.vdd, cfg.seed, model_ber);
     result.final_clean_acc =
         attacks::clean_accuracy(net, subset, cfg.batch_size);
-    clear_all_site_hooks(model);
+    clear_all_site_hooks(sites);
   } else {
     result.final_clean_acc = result.baseline_clean_acc;
   }
   return result;
+}
+
+SelectionResult select_layers(models::Model& model,
+                              const data::Dataset& test_set,
+                              const SelectorConfig& cfg,
+                              const BitErrorModel& model_ber) {
+  return select_layers(*model.net,
+                       std::span<const models::ActivationSite>(model.sites),
+                       test_set, cfg, model_ber);
 }
 
 namespace {

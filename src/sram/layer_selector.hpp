@@ -16,6 +16,7 @@
 // gating, see nn/module.hpp).
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,20 +53,34 @@ struct SelectionResult {
   double final_clean_acc = 0.0; // percent, selected combination installed
 };
 
-// Runs the methodology on a trained model. All hooks are cleared on return;
-// call apply_selection to install the chosen configuration.
+// Runs the methodology on a trained network with an explicit list of
+// activation-memory sites (the hardware-backend seam entry point). All hooks
+// are cleared on return; call apply_selection to install the chosen
+// configuration.
+SelectionResult select_layers(nn::Module& net,
+                              std::span<const models::ActivationSite> sites,
+                              const data::Dataset& test_set,
+                              const SelectorConfig& cfg,
+                              const BitErrorModel& model_ber = {});
+
+// Model convenience wrapper (uses model.sites).
 SelectionResult select_layers(models::Model& model,
                               const data::Dataset& test_set,
                               const SelectorConfig& cfg,
                               const BitErrorModel& model_ber = {});
 
 // Installs noise hooks for the chosen sites (clearing all other site hooks).
+void apply_selection(std::span<const models::ActivationSite> sites,
+                     const std::vector<SiteChoice>& selection, double vdd,
+                     uint64_t seed = 0x5AA0,
+                     const BitErrorModel& model_ber = {});
 void apply_selection(models::Model& model,
                      const std::vector<SiteChoice>& selection, double vdd,
                      uint64_t seed = 0x5AA0,
                      const BitErrorModel& model_ber = {});
 
-// Clears hooks from every site of the model.
+// Clears hooks from every listed site.
+void clear_all_site_hooks(std::span<const models::ActivationSite> sites);
 void clear_all_site_hooks(models::Model& model);
 
 // Text-file persistence so benches can share one methodology run (the sweep

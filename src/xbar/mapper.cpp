@@ -58,8 +58,11 @@ void install_peripheral_hook(nn::Module& layer, const XbarMapConfig& cfg,
 
 }  // namespace
 
-XbarMapReport map_onto_crossbars(nn::Module& net, const XbarMapConfig& cfg) {
-  XbarMapReport report;
+XbarMapResult map_onto_crossbars_detailed(nn::Module& net,
+                                          const XbarMapConfig& cfg,
+                                          bool retain_tiles) {
+  XbarMapResult result;
+  XbarMapReport& report = result.report;
   rhw::RandomEngine master(cfg.seed);
   double err_acc = 0.0;
   int64_t err_count = 0;
@@ -68,6 +71,10 @@ XbarMapReport map_onto_crossbars(nn::Module& net, const XbarMapConfig& cfg) {
   for (nn::Module* layer : nn::collect_weight_layers(net)) {
     ++report.num_layers;
     rhw::RandomEngine layer_rng = master.fork(report.num_layers);
+    XbarMappedLayer mapped;
+    mapped.layer = layer;
+    mapped.label =
+        layer->type_name() + "#" + std::to_string(report.num_layers - 1);
     double layer_err_acc = 0.0;
     int64_t layer_err_count = 0;
     double layer_atten_acc = 0.0;
@@ -78,24 +85,18 @@ XbarMapReport map_onto_crossbars(nn::Module& net, const XbarMapConfig& cfg) {
       const int64_t out = w.dim(0), in = w.dim(1);
       const float layer_scale = std::max(w.abs_max(), 1e-12f);
       Tensor original = w;
+      auto tiles = std::make_shared<TiledMatrix>(
+          original.data(), out, in, in, cfg.spec, cfg.model,
+          cfg.process_variation ? &layer_rng : nullptr);
+      report.num_tiles += tiles->num_tiles();
+      const std::vector<float> w_eff = tiles->effective_weights();
       double abs_orig = 0.0, abs_eff = 0.0;
-      for (int64_t i0 = 0; i0 < in; i0 += cfg.spec.rows) {
-        const int64_t in_n = std::min(cfg.spec.rows, in - i0);
-        for (int64_t o0 = 0; o0 < out; o0 += cfg.spec.cols) {
-          const int64_t out_m = std::min(cfg.spec.cols, out - o0);
-          ++report.num_tiles;
-          CrossbarArray tile(original.data() + o0 * in + i0, out_m, in_n, in,
-                             cfg.spec, cfg.model,
-                             cfg.process_variation ? &layer_rng : nullptr);
-          const auto& w_eff = tile.effective_weights();
-          for (int64_t o = 0; o < out_m; ++o) {
-            for (int64_t i = 0; i < in_n; ++i) {
-              const float eff = w_eff[static_cast<size_t>(o * in_n + i)];
-              w.at(o0 + o, i0 + i) = eff;
-              abs_orig += std::fabs(original.at(o0 + o, i0 + i));
-              abs_eff += std::fabs(eff);
-            }
-          }
+      for (int64_t o = 0; o < out; ++o) {
+        for (int64_t i = 0; i < in; ++i) {
+          const float eff = w_eff[static_cast<size_t>(o * in + i)];
+          w.at(o, i) = eff;
+          abs_orig += std::fabs(original.at(o, i));
+          abs_eff += std::fabs(eff);
         }
       }
       if (abs_orig > 0.0) {
@@ -106,7 +107,10 @@ XbarMapReport map_onto_crossbars(nn::Module& net, const XbarMapConfig& cfg) {
         // Per-output-channel trim: each crossbar column has its own sense
         // amplifier / ADC reference, so the per-column gain is calibrated
         // individually (standard practice). Residual distortion is the
-        // within-column structure calibration cannot reach.
+        // within-column structure calibration cannot reach. The same trim
+        // applies to the tile grid, keeping retained tiles consistent with
+        // the written-back weights.
+        std::vector<float> gains(static_cast<size_t>(out), 1.f);
         for (int64_t o = 0; o < out; ++o) {
           double row_orig = 0.0, row_eff = 0.0;
           for (int64_t i = 0; i < in; ++i) {
@@ -115,10 +119,13 @@ XbarMapReport map_onto_crossbars(nn::Module& net, const XbarMapConfig& cfg) {
           }
           if (row_eff > 0.0) {
             const auto gain = static_cast<float>(row_orig / row_eff);
+            gains[static_cast<size_t>(o)] = gain;
             for (int64_t i = 0; i < in; ++i) w.at(o, i) *= gain;
           }
         }
+        tiles->scale_output_gains(gains);
       }
+      if (retain_tiles) mapped.tiles = std::move(tiles);
       for (int64_t o = 0; o < out; ++o) {
         for (int64_t i = 0; i < in; ++i) {
           const double rel = std::fabs(w.at(o, i) - original.at(o, i)) /
@@ -142,6 +149,7 @@ XbarMapReport map_onto_crossbars(nn::Module& net, const XbarMapConfig& cfg) {
     atten_acc += layer_attenuation;
     install_peripheral_hook(*layer, cfg, layer_distortion, layer_attenuation,
                             cfg.seed ^ (0xFEED * report.num_layers));
+    result.layers.push_back(std::move(mapped));
   }
   report.mean_rel_weight_error =
       err_count > 0 ? err_acc / static_cast<double>(err_count) : 0.0;
@@ -149,7 +157,11 @@ XbarMapReport map_onto_crossbars(nn::Module& net, const XbarMapConfig& cfg) {
       report.num_layers > 0
           ? atten_acc / static_cast<double>(report.num_layers)
           : 0.0;
-  return report;
+  return result;
+}
+
+XbarMapReport map_onto_crossbars(nn::Module& net, const XbarMapConfig& cfg) {
+  return map_onto_crossbars_detailed(net, cfg, /*retain_tiles=*/false).report;
 }
 
 }  // namespace rhw::xbar

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <tuple>
 #include <vector>
 
@@ -134,6 +135,26 @@ TEST(Gemv, TransposedMatchesGemm) {
   gemm_naive(true, false, n, 1, m, 1.f, a.data(), n, x.data(), 1, 0.f,
              y_ref.data(), 1);
   expect_near_all(y, y_ref, 1e-4f);
+}
+
+TEST(Gemv, BetaZeroOverwritesStaleValues) {
+  // beta == 0 must ignore whatever is in y — NaN survives y *= 0.f, so the
+  // implementation needs an explicit zero-fill (regression for the gemm/gemv
+  // asymmetry).
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> a{1, 2, 3, 4, 5, 6};  // 2x3
+  const std::vector<float> x3{1, 1, 1};
+  std::vector<float> y{nan, nan};
+  gemv(false, 2, 3, 1.f, a.data(), 3, x3.data(), 0.f, y.data());
+  EXPECT_FLOAT_EQ(y[0], 6.f);
+  EXPECT_FLOAT_EQ(y[1], 15.f);
+
+  const std::vector<float> x2{1, 1};
+  std::vector<float> yt{nan, nan, nan};
+  gemv(true, 2, 3, 1.f, a.data(), 3, x2.data(), 0.f, yt.data());
+  EXPECT_FLOAT_EQ(yt[0], 5.f);
+  EXPECT_FLOAT_EQ(yt[1], 7.f);
+  EXPECT_FLOAT_EQ(yt[2], 9.f);
 }
 
 TEST(Gemm, ZeroSizedNoCrash) {
