@@ -2,10 +2,16 @@
 // ResNet18 on both datasets, baseline vs bit-error-noise-injected models.
 // Includes the paper's noise-target ablation (activations vs weights) when
 // run with --noise-target=weights.
+//
+// Each (arch, dataset) panel is one SweepEngine grid: the Fig. 4 methodology
+// runs (or loads its cache) once, the selected configuration is baked into a
+// backend binder, and the Baseline/BitErrorNoise x eps cells evaluate
+// concurrently with identical-to-serial results (RHW_SWEEP_VERIFY=1 checks).
 #include <cstring>
 
 #include "bench_sram_tables.hpp"
 #include "exp/ascii_plot.hpp"
+#include "hw/sram_backend.hpp"
 
 using namespace rhw;
 
@@ -17,32 +23,56 @@ void run_arch_dataset(const std::string& arch, const std::string& dataset,
   auto selection = bench::run_methodology(wb.trained.model, wb.data.test, arch,
                                           dataset);
 
-  // Hardware model: clone + install the selected noise configuration.
-  models::Model noisy = bench::clone_model(wb.trained.model);
+  exp::SweepGrid grid;
+  grid.model = &wb.trained.model;
+  grid.eval_set = &wb.eval_set;
+  grid.backends.push_back({"ideal", "ideal", nullptr, nullptr});
+  exp::SweepBackendDef noisy;
+  noisy.key = "noisy";
   if (noise_on_weights) {
     // Ablation: put the same hybrid configurations on the *weight* memories
     // of the weight layer feeding each selected site (paper: worse than
     // activations).
-    auto layers = nn::collect_weight_layers(*noisy.net);
-    for (size_t k = 0; k < selection.selected.size() && k < layers.size();
-         ++k) {
-      sram::SramNoiseConfig nc;
-      nc.word = selection.selected[k].word;
-      nc.vdd = 0.68;
-      sram::corrupt_layer_weights(*layers[k], nc);
-    }
+    noisy.bind = [selected = selection.selected](models::Model& m) {
+      auto layers = nn::collect_weight_layers(*m.net);
+      for (size_t k = 0; k < selected.size() && k < layers.size(); ++k) {
+        sram::SramNoiseConfig nc;
+        nc.word = selected[k].word;
+        nc.vdd = 0.68;
+        sram::corrupt_layer_weights(*layers[k], nc);
+      }
+      auto backend = hw::make_backend("ideal");
+      backend->prepare(m);
+      return backend;
+    };
   } else {
-    sram::apply_selection(noisy, selection.selected, 0.68);
+    // The methodology's selected sites, installed by an SramBackend with an
+    // explicit selection (no calibration re-run per replica).
+    noisy.bind = [selected = selection.selected](models::Model& m) {
+      hw::SramBackendConfig cfg;
+      cfg.vdd = 0.68;
+      cfg.selection = selected;
+      auto backend = std::make_unique<hw::SramBackend>(std::move(cfg));
+      backend->prepare(m);
+      return hw::BackendPtr(std::move(backend));
+    };
   }
+  grid.backends.push_back(std::move(noisy));
+  // Attack gradients come from the clean model (noise never in gradients).
+  grid.modes.push_back({"Baseline", "ideal", "ideal"});
+  grid.modes.push_back({"BitErrorNoise", "ideal", "noisy"});
+  grid.attacks.push_back({attacks::AttackKind::kFgsm, exp::fgsm_epsilons()});
+
+  exp::SweepEngine engine(bench::sweep_options());
+  const exp::SweepResult result = engine.run(grid);
+  const std::string tag = std::string(noise_on_weights ? "fig5w_" : "fig5_") +
+                          arch + "_" + dataset;
+  bench::finish_sweep(grid, result, tag);
 
   const auto eps = exp::fgsm_epsilons();
-  const auto base_curve =
-      exp::al_curve("Baseline", *wb.trained.model.net, *wb.trained.model.net,
-                    wb.eval_set, attacks::AttackKind::kFgsm, eps);
-  // Attack gradients come from the clean model (noise never in gradients).
+  const auto base_curve = result.curve("Baseline", attacks::AttackKind::kFgsm);
   const auto noisy_curve =
-      exp::al_curve("BitErrorNoise", *wb.trained.model.net, *noisy.net,
-                    wb.eval_set, attacks::AttackKind::kFgsm, eps);
+      result.curve("BitErrorNoise", attacks::AttackKind::kFgsm);
 
   std::vector<exp::Series> panel(2);
   panel[0].label = "Baseline";

@@ -9,27 +9,36 @@ int main() {
                 "Smaller RMIN -> lower effective resistance -> parasitics "
                 "dominate more -> more intrinsic noise -> lower AL.");
   bench::Workbench wb = bench::load_workbench("vgg8", "synth-c10");
-  auto ideal = hw::make_backend("ideal");
-  ideal->prepare(wb.trained.model);
 
   const std::vector<float> eps{2.f / 255.f, 8.f / 255.f, 32.f / 255.f};
+  const double r_mins[] = {10e3, 20e3};
+
+  exp::SweepGrid grid;
+  grid.model = &wb.trained.model;
+  grid.eval_set = &wb.eval_set;
+  grid.backends.push_back({"ideal", "ideal", nullptr, nullptr});
+  for (const double r_min : r_mins) {
+    const std::string key = "r" + std::to_string(static_cast<int>(r_min / 1e3));
+    grid.backends.push_back({key, bench::xbar_spec(32, r_min), nullptr,
+                             nullptr});
+    grid.modes.push_back({key + "/SH", "ideal", key});
+    grid.modes.push_back({key + "/HH", key, key});
+  }
+  grid.attacks.push_back({attacks::AttackKind::kPgd, eps});
+
+  exp::SweepEngine engine(bench::sweep_options());
+  const exp::SweepResult result = engine.run(grid);
+  bench::finish_sweep(grid, result, "fig8a_rmin");
+
   exp::TablePrinter table({"RMIN", "mode", "eps=2/255", "eps=8/255",
                            "eps=32/255"});
-
-  for (double r_min : {10e3, 20e3}) {
-    bench::PreparedBackend mapped = bench::map_backend(wb.trained.model, 32,
-                                                       r_min);
-    struct ModeSpec {
-      const char* name;
-      hw::HardwareBackend* grad_hw;
-    };
-    const ModeSpec modes[] = {{"SH", ideal.get()},
-                              {"HH", mapped.backend.get()}};
-    for (const auto& mode : modes) {
-      const auto curve = exp::al_curve(mode.name, *mode.grad_hw, mapped.hw(),
-                                       wb.eval_set, attacks::AttackKind::kPgd,
-                                       eps);
-      table.add_row({exp::fmt(r_min / 1e3, 0) + " kOhm", mode.name,
+  for (const double r_min : r_mins) {
+    const std::string key = "r" + std::to_string(static_cast<int>(r_min / 1e3));
+    bench::print_map_report(engine, key, wb.trained.model.name, 32, r_min);
+    for (const char* mode : {"SH", "HH"}) {
+      const auto curve = result.curve(key + "/" + mode,
+                                      attacks::AttackKind::kPgd);
+      table.add_row({exp::fmt(r_min / 1e3, 0) + " kOhm", mode,
                      exp::fmt(curve.points[0].al, 2),
                      exp::fmt(curve.points[1].al, 2),
                      exp::fmt(curve.points[2].al, 2)});

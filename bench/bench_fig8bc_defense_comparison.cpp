@@ -1,6 +1,12 @@
 // Fig. 8(b)-(c): comparison of crossbar non-ideality robustness (SH on 32x32)
 // against software defenses — 4-bit input discretization [6] and QUANOS [8] —
 // on VGG16 with synth-c100, for FGSM (b) and PGD (c).
+//
+// One SweepEngine grid covers all four defenses x both attacks: the hardware
+// arm is a registry spec, the software defenses are backend binders (the
+// discretizer wraps the replica's clone, QUANOS requantizes it in place).
+#include <algorithm>
+
 #include "bench_xbar_common.hpp"
 #include "quant/pixel_discretizer.hpp"
 #include "quant/quanos.hpp"
@@ -28,57 +34,58 @@ int main() {
       "adversaries come from the undefended software baseline (the paper's "
       "SH-on-Cross32 configuration).");
   bench::Workbench wb = bench::load_workbench("vgg16", "synth-c100");
-  models::Model& software = wb.trained.model;
-  auto ideal = hw::make_backend("ideal");
-  ideal->prepare(software);
 
+  exp::SweepGrid grid;
+  grid.model = &wb.trained.model;
+  grid.eval_set = &wb.eval_set;
+  grid.backends.push_back({"ideal", "ideal", nullptr, nullptr});
   // Defense 1: crossbar mapping (SH mode, 32x32), via the backend registry.
-  bench::PreparedBackend mapped = bench::map_backend(software, 32);
+  grid.backends.push_back({"x32", bench::xbar_spec(32), nullptr, nullptr});
+  // Defense 2: 4-bit pixel discretization [6] — a wrapper module around the
+  // replica's clone, adapted to the backend seam.
+  exp::SweepBackendDef disc_def;
+  disc_def.key = "disc4b";
+  disc_def.bind = [](models::Model& m) {
+    quant::PixelDiscretizer disc;
+    disc.bits = 4;
+    return exp::make_module_backend(
+        "disc4b", std::make_unique<quant::DiscretizedModel>(*m.net, disc));
+  };
+  grid.backends.push_back(std::move(disc_def));
+  // Defense 3: QUANOS [8] (ANS-driven hybrid quantization), applied to the
+  // clone in place. Deterministic, so every replica is bit-identical.
+  exp::SweepBackendDef quanos_def;
+  quanos_def.key = "quanos";
+  quanos_def.bind = [&wb](models::Model& m) {
+    quant::QuanosConfig qcfg;
+    qcfg.sample_count = std::min<int64_t>(wb.eval_set.size(), 128);
+    (void)quant::apply_quanos(*m.net, wb.data.test, qcfg);
+    auto backend = hw::make_backend("ideal");
+    backend->prepare(m);
+    return backend;
+  };
+  grid.backends.push_back(std::move(quanos_def));
 
-  // Defense 2: 4-bit pixel discretization [6].
-  models::Model disc_base = bench::clone_model(software);
-  quant::PixelDiscretizer disc;
-  disc.bits = 4;
-  quant::DiscretizedModel discretized(*disc_base.net, disc);
+  grid.modes.push_back({"Attack-SW", "ideal", "ideal"});
+  grid.modes.push_back({"SH-Cross32", "ideal", "x32"});
+  grid.modes.push_back({"4b-discretization", "disc4b", "disc4b"});
+  grid.modes.push_back({"QUANOS", "quanos", "quanos"});
+  grid.attacks.push_back({attacks::AttackKind::kFgsm, exp::fgsm_epsilons()});
+  grid.attacks.push_back({attacks::AttackKind::kPgd, exp::pgd_epsilons()});
 
-  // Defense 3: QUANOS [8] (ANS-driven hybrid quantization).
-  models::Model quanos_model = bench::clone_model(software);
-  quant::QuanosConfig qcfg;
-  qcfg.sample_count = std::min<int64_t>(wb.eval_set.size(), 128);
-  const auto report = quant::apply_quanos(*quanos_model.net, wb.data.test,
-                                          qcfg);
-  std::printf("[bench] QUANOS: median ANS %.4f, %zu layers -> 4-bit\n",
-              report.ans_median,
-              static_cast<size_t>(std::count(report.bits.begin(),
-                                             report.bits.end(), qcfg.low_bits)));
+  exp::SweepEngine engine(bench::sweep_options());
+  const exp::SweepResult result = engine.run(grid);
+  bench::finish_sweep(grid, result, "fig8bc_defense_comparison");
+  bench::print_map_report(engine, "x32", wb.trained.model.name, 32, 20e3);
 
   exp::TablePrinter table({"attack", "defense", "eps", "clean", "adv", "AL"});
-  struct AttackSpec {
-    attacks::AttackKind kind;
-    std::vector<float> eps;
-  };
-  const AttackSpec specs[] = {
-      {attacks::AttackKind::kFgsm, exp::fgsm_epsilons()},
-      {attacks::AttackKind::kPgd, exp::pgd_epsilons()},
-  };
-  for (const auto& spec : specs) {
-    const std::string attack = attacks::attack_name(spec.kind);
-    add_curve(table,
-              exp::al_curve("Attack-SW", *ideal, *ideal, wb.eval_set,
-                            spec.kind, spec.eps),
-              attack);
-    add_curve(table,
-              exp::al_curve("SH-Cross32", *ideal, mapped.hw(), wb.eval_set,
-                            spec.kind, spec.eps),
-              attack);
-    add_curve(table,
-              exp::al_curve("4b-discretization", discretized, discretized,
-                            wb.eval_set, spec.kind, spec.eps),
-              attack);
-    add_curve(table,
-              exp::al_curve("QUANOS", *quanos_model.net, *quanos_model.net,
-                            wb.eval_set, spec.kind, spec.eps),
-              attack);
+  for (const auto kind :
+       {attacks::AttackKind::kFgsm, attacks::AttackKind::kPgd}) {
+    const std::string attack = attacks::attack_name(kind);
+    for (const char* mode :
+         {"Attack-SW", "SH-Cross32", "4b-discretization", "QUANOS"}) {
+      add_curve(table, result.curve(mode, kind), attack);
+    }
   }
   table.print();
   table.write_csv(exp::bench_out_dir() + "/fig8bc_defense_comparison.csv");

@@ -1,10 +1,13 @@
 // Shared driver for Tables I and II: runs the Fig. 4 methodology on one
 // architecture for both datasets and prints the paper-style layer-wise
 // configuration table. Selections are cached under bench_out/ so Fig. 5 can
-// reuse them.
+// reuse them. The selected configuration is then re-evaluated through the
+// sweep engine (Baseline vs BitErrorNoise at the sweep epsilon) and written
+// as a BENCH_table*.json artifact.
 #pragma once
 
 #include "bench_common.hpp"
+#include "hw/sram_backend.hpp"
 #include "sram/layer_selector.hpp"
 
 namespace rhw::bench {
@@ -79,6 +82,41 @@ inline void print_config_table(const std::string& arch,
         result.baseline_clean_acc, result.baseline_adv_acc,
         result.final_adv_acc, result.selected.size(),
         wb.trained.model.sites.size(), result.shortlisted.size());
+
+    // Sweep-engine cross-check: the selected configuration as a one-point
+    // grid (Baseline vs BitErrorNoise at the sweep probe epsilon), evaluated
+    // by the parallel scheduler and emitted as a JSON artifact.
+    const float probe_eps =
+        wb.trained.model.num_classes > 50 ? 0.04f : 0.1f;
+    exp::SweepGrid grid;
+    grid.model = &wb.trained.model;
+    grid.eval_set = &wb.eval_set;
+    grid.backends.push_back({"ideal", "ideal", nullptr, nullptr});
+    exp::SweepBackendDef noisy;
+    noisy.key = "noisy";
+    noisy.bind = [selected = result.selected](models::Model& m) {
+      hw::SramBackendConfig cfg;
+      cfg.vdd = 0.68;
+      cfg.selection = selected;
+      auto backend = std::make_unique<hw::SramBackend>(std::move(cfg));
+      backend->prepare(m);
+      return hw::BackendPtr(std::move(backend));
+    };
+    grid.backends.push_back(std::move(noisy));
+    grid.modes.push_back({"Baseline", "ideal", "ideal"});
+    grid.modes.push_back({"BitErrorNoise", "ideal", "noisy"});
+    grid.attacks.push_back({attacks::AttackKind::kFgsm, {probe_eps}});
+
+    exp::SweepEngine engine(sweep_options());
+    const exp::SweepResult sweep = engine.run(grid);
+    const auto* base = sweep.find(0, 0, 0);
+    const auto* noise = sweep.find(1, 0, 0);
+    std::printf(
+        "  [sweep] eval-set re-check (FGSM eps=%.2f): baseline clean %.2f%% "
+        "adv %.2f%%  |  noisy clean %.2f%% adv %.2f%%  (AL %.2f -> %.2f)\n\n",
+        probe_eps, base->clean.mean, base->adv.mean, noise->clean.mean,
+        noise->adv.mean, base->al.mean, noise->al.mean);
+    finish_sweep(grid, sweep, table_name + "_" + dataset);
   }
 }
 

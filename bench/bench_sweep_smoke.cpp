@@ -1,0 +1,67 @@
+// Sweep-engine smoke: a tiny grid (untrained VGG8, SRAM + crossbar arms,
+// FGSM + PGD, 2 trials) run on a couple of lanes, with a built-in serial
+// parity check and a speedup report. This is the CI guard for the engine's
+// determinism contract: parallel results must be bit-identical to the serial
+// path on every platform, every run. Writes BENCH_sweep_smoke.json.
+//
+//   $ ./bench_sweep_smoke            # lanes from RHW_SWEEP_THREADS (default 2)
+#include "bench_common.hpp"
+
+using namespace rhw;
+
+int main() {
+  bench::banner("Sweep-engine smoke",
+                "Tiny grid, parallel vs serial parity + speedup. Accuracy "
+                "numbers are meaningless (untrained model); determinism and "
+                "scheduling are what is under test.");
+
+  data::SynthCifarConfig dcfg;
+  dcfg.num_classes = 10;
+  dcfg.train_per_class = 4;
+  dcfg.test_per_class = 8;
+  dcfg.image_size = 16;
+  const auto dataset = data::make_synth_cifar(dcfg);
+  models::Model model = models::build_model("vgg8", 10, 0.125f, 16);
+  model.net->set_training(false);
+  const data::Dataset eval_set = dataset.test.head(64);
+
+  exp::SweepGrid grid;
+  grid.model = &model;
+  grid.width_mult = 0.125f;
+  grid.in_size = 16;
+  grid.eval_set = &eval_set;
+  grid.base.batch_size = 32;
+  grid.trials = 2;
+  grid.backends.push_back({"ideal", "ideal", nullptr, nullptr});
+  grid.backends.push_back({"sram", "sram:sites=2,num_8t=4,vdd=0.64", nullptr,
+                           nullptr});
+  grid.backends.push_back({"xbar", "xbar:size=16", nullptr, nullptr});
+  grid.modes.push_back({"Attack-SW", "ideal", "ideal"});
+  grid.modes.push_back({"SH-sram", "ideal", "sram"});
+  grid.modes.push_back({"SH-xbar", "ideal", "xbar"});
+  grid.modes.push_back({"HH-xbar", "xbar", "xbar"});
+  grid.attacks.push_back(
+      {attacks::AttackKind::kFgsm, {0.f, 0.1f, 0.2f}});
+  grid.attacks.push_back({attacks::AttackKind::kPgd, {8.f / 255.f}});
+
+  exp::SweepEngine::Options opt;
+  opt.threads = exp::sweep_threads_env(2);
+  exp::SweepEngine engine(opt);
+  const exp::SweepResult parallel = engine.run(grid);
+  bench::report_sweep(parallel);
+
+  exp::SweepEngine::Options serial_opt;
+  serial_opt.threads = 1;
+  exp::SweepEngine serial_engine(serial_opt);
+  const exp::SweepResult serial = serial_engine.run(grid);
+
+  const size_t mismatches = bench::count_cell_mismatches(parallel, serial);
+  parallel.write_json("BENCH_sweep_smoke.json", "sweep_smoke");
+  if (mismatches > 0) {
+    std::fprintf(stderr, "sweep smoke FAILED: %zu mismatching cells\n",
+                 mismatches);
+    return 1;
+  }
+  bench::report_parity(parallel, serial);
+  return 0;
+}

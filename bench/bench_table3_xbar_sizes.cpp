@@ -12,14 +12,28 @@ int main() {
 
   const std::vector<float> eps{2.f / 255.f, 4.f / 255.f, 8.f / 255.f,
                                16.f / 255.f, 32.f / 255.f};
-  exp::TablePrinter table({"eps", "Cross16", "Cross32", "Cross64"});
+  const int64_t sizes[] = {16, 32, 64};
 
+  exp::SweepGrid grid;
+  grid.model = &wb.trained.model;
+  grid.eval_set = &wb.eval_set;
+  for (const int64_t size : sizes) {
+    const std::string key = "x" + std::to_string(size);
+    grid.backends.push_back({key, bench::xbar_spec(size), nullptr, nullptr});
+    grid.modes.push_back({"HH/" + key, key, key});
+  }
+  grid.attacks.push_back({attacks::AttackKind::kPgd, eps});
+
+  exp::SweepEngine engine(bench::sweep_options());
+  const exp::SweepResult result = engine.run(grid);
+  bench::finish_sweep(grid, result, "table3_xbar_sizes");
+
+  exp::TablePrinter table({"eps", "Cross16", "Cross32", "Cross64"});
   std::vector<std::vector<double>> al(eps.size());
-  for (int64_t size : {16, 32, 64}) {
-    models::Model mapped = bench::map_model(wb.trained.model, size);
-    const auto curve = exp::al_curve("HH", *mapped.net, *mapped.net,
-                                     wb.eval_set, attacks::AttackKind::kPgd,
-                                     eps);
+  for (const int64_t size : sizes) {
+    const std::string key = "x" + std::to_string(size);
+    bench::print_map_report(engine, key, wb.trained.model.name, size, 20e3);
+    const auto curve = result.curve("HH/" + key, attacks::AttackKind::kPgd);
     for (size_t i = 0; i < eps.size(); ++i) {
       al[i].push_back(curve.points[i].al);
     }

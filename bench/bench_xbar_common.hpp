@@ -2,7 +2,10 @@
 //
 // All hardware comes through the backend registry: a crossbar configuration
 // is a spec string ("xbar:size=32,rmin=10e3,..."), and the paper's attack
-// modes are (grad backend, eval backend) pairings over prepared backends.
+// modes are (grad backend, eval backend) pairings declared as SweepMode rows.
+// The whole figure is one exp::SweepGrid evaluated concurrently by
+// exp::SweepEngine — per-cell results are bit-identical to the serial path
+// (RHW_SWEEP_VERIFY=1 re-checks that on every run).
 #pragma once
 
 #include <string>
@@ -15,7 +18,8 @@
 namespace rhw::bench {
 
 // A prepared hardware model: the clone the backend was installed on plus the
-// backend handle serving it.
+// backend handle serving it. Still used by the ablation benches that need a
+// single mapped model outside a sweep grid.
 struct PreparedBackend {
   models::Model model;
   hw::BackendPtr backend;
@@ -55,53 +59,49 @@ inline PreparedBackend map_backend(const models::Model& software, int64_t size,
   return out;
 }
 
-// Legacy shape used by the ablation/table benches: just the mapped model.
+// Legacy shape used by the ablation benches: just the mapped model.
 inline models::Model map_model(const models::Model& software, int64_t size,
                                double r_min = 20e3, uint64_t seed = 0xB0B0) {
   return std::move(map_backend(software, size, r_min, seed).model);
 }
 
-// Adds the three attack-mode AL curves (Attack-SW / SH / HH) for one attack
-// kind and crossbar size to the table, and renders the paper-style AL(eps)
-// panel as ASCII art.
-inline void add_mode_curves(exp::TablePrinter& table,
-                            const std::string& size_label,
-                            hw::HardwareBackend& ideal,
-                            hw::HardwareBackend& mapped,
-                            const data::Dataset& eval_set,
-                            attacks::AttackKind kind,
-                            std::span<const float> eps) {
-  struct ModeSpec {
-    const char* name;
-    hw::HardwareBackend* grad_hw;
-    hw::HardwareBackend* eval_hw;
-  };
-  const ModeSpec modes[] = {
-      {"Attack-SW", &ideal, &ideal},
-      {"SH", &ideal, &mapped},
-      {"HH", &mapped, &mapped},
-  };
-  std::vector<exp::Series> panel;
-  for (const auto& mode : modes) {
-    const auto curve = exp::al_curve(mode.name, *mode.grad_hw, *mode.eval_hw,
-                                     eval_set, kind, eps);
-    exp::Series series;
-    series.label = mode.name;
-    for (const auto& pt : curve.points) {
-      table.add_row({size_label, attacks::attack_name(kind), mode.name,
-                     exp::fmt(pt.epsilon, 3), exp::fmt(pt.clean_acc, 2),
-                     exp::fmt(pt.adv_acc, 2), exp::fmt(pt.al, 2)});
-      series.x.push_back(pt.epsilon);
-      series.y.push_back(pt.al);
-    }
-    panel.push_back(std::move(series));
+// Prints the mapping line the serial driver used to print per size, from the
+// engine's prototype replica.
+inline void print_map_report(exp::SweepEngine& engine, const std::string& key,
+                             const std::string& model_name, int64_t size,
+                             double r_min) {
+  const auto* xb = dynamic_cast<const hw::XbarBackend*>(engine.backend(key));
+  if (xb == nullptr) return;
+  const auto& report = xb->map_report();
+  std::printf(
+      "[bench] mapped %s onto %lldx%lld crossbars (RMIN=%.0f kOhm): %lld "
+      "tiles, mean|dW|/max|W| = %.4f\n",
+      model_name.c_str(), static_cast<long long>(size),
+      static_cast<long long>(size), r_min / 1e3,
+      static_cast<long long>(report.num_tiles),
+      report.mean_rel_weight_error);
+}
+
+// Adds one mode's AL rows for one attack to the table and its series to the
+// plot panel, from the engine's aggregated results.
+inline void add_mode_rows(exp::TablePrinter& table,
+                          std::vector<exp::Series>& panel,
+                          const exp::SweepResult& result,
+                          const std::string& size_label,
+                          const std::string& mode_name,
+                          const std::string& mode_label,
+                          attacks::AttackKind kind) {
+  const auto curve = result.curve(mode_label, kind);
+  exp::Series series;
+  series.label = mode_name;
+  for (const auto& pt : curve.points) {
+    table.add_row({size_label, attacks::attack_name(kind), mode_name,
+                   exp::fmt(pt.epsilon, 3), exp::fmt(pt.clean_acc, 2),
+                   exp::fmt(pt.adv_acc, 2), exp::fmt(pt.al, 2)});
+    series.x.push_back(pt.epsilon);
+    series.y.push_back(pt.al);
   }
-  exp::PlotOptions opt;
-  opt.title = size_label + " - " + attacks::attack_name(kind) +
-              " attack (AL vs eps)";
-  opt.y_min = 0;
-  opt.y_max = 100;
-  std::printf("%s\n", exp::render_ascii_plot(panel, opt).c_str());
+  panel.push_back(std::move(series));
 }
 
 inline void run_xbar_figure(const std::string& arch,
@@ -114,21 +114,50 @@ inline void run_xbar_figure(const std::string& arch,
          "through the crossbar model itself. AL = clean - adversarial (%).");
   Workbench wb = load_workbench(arch, dataset);
 
-  auto ideal = hw::make_backend("ideal");
-  ideal->prepare(wb.trained.model);
+  // The whole figure as one declarative grid: every (mode, attack, eps) cell
+  // is independent and scheduled concurrently.
+  const int64_t sizes[] = {16, 32};
+  exp::SweepGrid grid;
+  grid.model = &wb.trained.model;
+  grid.eval_set = &wb.eval_set;
+  grid.backends.push_back({"ideal", "ideal", nullptr, nullptr});
+  for (const int64_t size : sizes) {
+    const std::string key = "x" + std::to_string(size);
+    const std::string size_label = "Cross" + std::to_string(size);
+    grid.backends.push_back({key, xbar_spec(size), nullptr, nullptr});
+    grid.modes.push_back({size_label + "/Attack-SW", "ideal", "ideal"});
+    grid.modes.push_back({size_label + "/SH", "ideal", key});
+    grid.modes.push_back({size_label + "/HH", key, key});
+  }
+  grid.attacks.push_back({attacks::AttackKind::kFgsm, exp::fgsm_epsilons()});
+  grid.attacks.push_back({attacks::AttackKind::kPgd, exp::pgd_epsilons()});
+
+  exp::SweepEngine engine(sweep_options());
+  const exp::SweepResult result = engine.run(grid);
+  finish_sweep(grid, result, figure_name);
 
   exp::TablePrinter table({"crossbar", "attack", "mode", "eps", "clean",
                            "adv", "AL"});
-  for (int64_t size : {16, 32}) {
-    PreparedBackend mapped = map_backend(wb.trained.model, size);
-    const auto fe = exp::fgsm_epsilons();
-    const auto pe = exp::pgd_epsilons();
-    add_mode_curves(table, "Cross" + std::to_string(size), *ideal,
-                    mapped.hw(), wb.eval_set, attacks::AttackKind::kFgsm, fe);
-    add_mode_curves(table, "Cross" + std::to_string(size), *ideal,
-                    mapped.hw(), wb.eval_set, attacks::AttackKind::kPgd, pe);
+  for (const int64_t size : sizes) {
+    const std::string key = "x" + std::to_string(size);
+    const std::string size_label = "Cross" + std::to_string(size);
+    print_map_report(engine, key, wb.trained.model.name, size, 20e3);
+    for (const auto kind :
+         {attacks::AttackKind::kFgsm, attacks::AttackKind::kPgd}) {
+      std::vector<exp::Series> panel;
+      for (const char* mode : {"Attack-SW", "SH", "HH"}) {
+        add_mode_rows(table, panel, result, size_label, mode,
+                      size_label + "/" + mode, kind);
+      }
+      exp::PlotOptions opt;
+      opt.title = size_label + " - " + attacks::attack_name(kind) +
+                  " attack (AL vs eps)";
+      opt.y_min = 0;
+      opt.y_max = 100;
+      std::printf("%s\n", exp::render_ascii_plot(panel, opt).c_str());
+    }
     std::printf("[bench] %s\n",
-                mapped.backend->energy_report().summary().c_str());
+                engine.backend(key)->energy_report().summary().c_str());
   }
   table.print();
   table.write_csv(exp::bench_out_dir() + "/" + figure_name + ".csv");

@@ -2,14 +2,20 @@
 // vs software quantization defenses on one model, one table.
 //
 // Hardware rows are selected purely by BackendRegistry strings — swap a
-// string to swap the substrate (hw/registry.hpp documents the grammar).
+// string to swap the substrate (hw/registry.hpp documents the grammar). The
+// whole comparison is one exp::SweepEngine grid: every (defense, attack)
+// cell runs concurrently, and the noisy rows are averaged over 3 trials with
+// a 95% confidence interval (the engine derives per-trial noise streams, so
+// the table is bit-reproducible at any thread count).
 //
 //   $ ./examples/defense_shootout
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "attacks/evaluate.hpp"
 #include "data/synth_cifar.hpp"
+#include "exp/sweep.hpp"
 #include "exp/table_printer.hpp"
 #include "hw/registry.hpp"
 #include "models/zoo.hpp"
@@ -18,14 +24,6 @@
 #include "quant/quanos.hpp"
 
 using namespace rhw;
-
-namespace {
-
-models::Model clone_of(const models::Model& src) {
-  return models::clone_model(src, 0.125f, 16);
-}
-
-}  // namespace
 
 int main() {
   std::printf("== Defense shoot-out ==\n\n");
@@ -44,75 +42,77 @@ int main() {
 
   // Hardware substrates: every backend comes from a registry string. The
   // sram backend runs the Fig. 4 layer-selection methodology on the
-  // calibration set passed to prepare(); xbar maps onto 32x32 crossbars.
-  const char* kBackendSpecs[] = {
-      "ideal",
-      "sram:vdd=0.68,eval_count=150",
-      "xbar:size=32",
+  // calibration set passed to prepare() — once; concurrent lanes get cheap
+  // replicas carrying the same selection. xbar maps onto 32x32 crossbars.
+  exp::SweepGrid grid;
+  grid.model = &baseline;
+  grid.width_mult = 0.125f;
+  grid.in_size = 16;
+  grid.eval_set = &dataset.test;
+  grid.trials = 3;
+  grid.backends.push_back({"ideal", "ideal", nullptr, nullptr});
+  grid.backends.push_back(
+      {"sram", "sram:vdd=0.68,eval_count=150", &dataset.test, nullptr});
+  grid.backends.push_back({"xbar", "xbar:size=32", nullptr, nullptr});
+
+  // Software defenses for comparison (not hardware substrates, so they are
+  // backend *binders* rather than registry strings): 4-bit pixel
+  // discretization wraps the replica's clone, QUANOS requantizes it.
+  exp::SweepBackendDef disc_def;
+  disc_def.key = "disc4b";
+  disc_def.bind = [](models::Model& m) {
+    quant::PixelDiscretizer disc;
+    disc.bits = 4;
+    return exp::make_module_backend(
+        "disc4b", std::make_unique<quant::DiscretizedModel>(*m.net, disc));
   };
-  struct HardwareEntry {
-    models::Model model;
-    hw::BackendPtr backend;
+  grid.backends.push_back(std::move(disc_def));
+  exp::SweepBackendDef quanos_def;
+  quanos_def.key = "quanos";
+  quanos_def.bind = [&dataset](models::Model& m) {
+    quant::QuanosConfig qcfg;
+    qcfg.sample_count = 100;
+    (void)quant::apply_quanos(*m.net, dataset.test, qcfg);
+    auto backend = hw::make_backend("ideal");
+    backend->prepare(m);
+    return backend;
   };
-  std::vector<HardwareEntry> hardware;
-  for (const char* spec : kBackendSpecs) {
-    HardwareEntry entry{clone_of(baseline), hw::make_backend(spec)};
-    entry.backend->prepare(entry.model, &dataset.test);
-    std::printf("prepared '%s'  ->  %s\n", spec,
-                entry.backend->energy_report().summary().c_str());
-    hardware.push_back(std::move(entry));
+  grid.backends.push_back(std::move(quanos_def));
+
+  grid.modes.push_back({"undefended", "ideal", "ideal"});
+  grid.modes.push_back({"SRAM-noise", "ideal", "sram"});
+  grid.modes.push_back({"crossbar-SH", "ideal", "xbar"});
+  grid.modes.push_back({"4b-discretize", "disc4b", "disc4b"});
+  grid.modes.push_back({"QUANOS", "quanos", "quanos"});
+  grid.attacks.push_back({attacks::AttackKind::kFgsm, {0.1f}});
+  grid.attacks.push_back({attacks::AttackKind::kPgd, {8.f / 255.f}});
+
+  exp::SweepEngine engine;
+  const exp::SweepResult result = engine.run(grid);
+  std::printf("[sweep] %zu cells (%d trials) on %u lane(s) in %.2fs\n",
+              result.cells.size(), result.trials, result.lanes,
+              result.wall_seconds);
+  for (const char* key : {"ideal", "sram", "xbar"}) {
+    std::printf("prepared '%s'  ->  %s\n", key,
+                engine.backend(key)->energy_report().summary().c_str());
   }
-  hw::HardwareBackend& ideal = *hardware[0].backend;
-
-  // Software defenses for comparison (not hardware substrates, so they stay
-  // outside the registry): 4-bit pixel discretization and QUANOS.
-  models::Model disc_base = clone_of(baseline);
-  quant::PixelDiscretizer disc;
-  disc.bits = 4;
-  quant::DiscretizedModel discretized(*disc_base.net, disc);
-
-  models::Model quanos_model = clone_of(baseline);
-  quant::QuanosConfig qcfg;
-  qcfg.sample_count = 100;
-  (void)quant::apply_quanos(*quanos_model.net, dataset.test, qcfg);
-
-  struct Entry {
-    const char* name;
-    nn::Module* grad_net;
-    nn::Module* eval_net;
-  };
-  const Entry entries[] = {
-      {"undefended", &ideal.module(), &ideal.module()},
-      {"SRAM-noise", &ideal.module(), &hardware[1].backend->module()},
-      {"crossbar-SH", &ideal.module(), &hardware[2].backend->module()},
-      {"4b-discretize", &discretized, &discretized},
-      {"QUANOS", quanos_model.net.get(), quanos_model.net.get()},
-  };
+  std::printf("\n");
 
   exp::TablePrinter table({"defense", "clean", "FGSM adv", "FGSM AL",
                            "PGD adv", "PGD AL"});
-  for (const auto& entry : entries) {
-    attacks::AdvEvalConfig fcfg;
-    fcfg.kind = attacks::AttackKind::kFgsm;
-    fcfg.epsilon = 0.1f;
-    const auto fgsm = attacks::evaluate_attack(*entry.grad_net,
-                                               *entry.eval_net, dataset.test,
-                                               fcfg);
-    attacks::AdvEvalConfig pcfg = fcfg;
-    pcfg.kind = attacks::AttackKind::kPgd;
-    pcfg.epsilon = 8.f / 255.f;
-    const auto pgd = attacks::evaluate_attack(*entry.grad_net, *entry.eval_net,
-                                              dataset.test, pcfg);
-    table.add_row({entry.name, exp::fmt(fgsm.clean_acc, 2),
-                   exp::fmt(fgsm.adv_acc, 2),
-                   exp::fmt(fgsm.adversarial_loss(), 2),
-                   exp::fmt(pgd.adv_acc, 2),
-                   exp::fmt(pgd.adversarial_loss(), 2)});
+  for (size_t m = 0; m < result.mode_labels.size(); ++m) {
+    const auto* fgsm = result.find(m, 0, 0);
+    const auto* pgd = result.find(m, 1, 0);
+    table.add_row({result.mode_labels[m], fgsm->clean.format(),
+                   fgsm->adv.format(), fgsm->al.format(), pgd->adv.format(),
+                   pgd->al.format()});
   }
   table.print();
+  result.write_json("BENCH_defense_shootout.json", "defense_shootout");
   std::printf(
       "\nReading guide: every defense trades a little clean accuracy for a\n"
       "lower AL; the hardware rows do it without touching the training "
-      "pipeline.\n");
+      "pipeline.\nNoisy rows are mean±95%%CI over %d noise-stream trials.\n",
+      result.trials);
   return 0;
 }

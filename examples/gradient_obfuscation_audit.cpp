@@ -1,44 +1,23 @@
 // Audit the paper's claimed mechanism: hardware noise defends by *gradient
-// obfuscation*. This example prepares the hardware models through the backend
-// registry and runs the standard obfuscation diagnostics (gradient
-// agreement, white-box vs transfer gap, random-perturbation floor).
+// obfuscation*. The white-box (HH) and transfer (SH) FGSM accuracies for
+// every substrate are cells of one exp::SweepEngine grid — the pairing of
+// (grad backend, eval backend) IS the white-box/transfer distinction — run
+// concurrently; the gradient-agreement and random-perturbation checks use the
+// engine's prototype replicas afterwards.
 //
 //   $ ./examples/gradient_obfuscation_audit
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "attacks/diagnostics.hpp"
 #include "data/synth_cifar.hpp"
+#include "exp/sweep.hpp"
 #include "hw/registry.hpp"
 #include "models/zoo.hpp"
 #include "nn/model_io.hpp"
 
 using namespace rhw;
-
-namespace {
-
-void print_report(const char* name,
-                  const attacks::ObfuscationReport& report) {
-  std::printf("%s:\n", name);
-  std::printf("  gradient cosine vs software model : %.4f\n",
-              report.grad_cosine);
-  std::printf("  clean accuracy                     : %.2f%%\n",
-              report.clean_acc);
-  std::printf("  white-box FGSM adv accuracy        : %.2f%%\n",
-              report.white_box_adv_acc);
-  std::printf("  transferred FGSM adv accuracy      : %.2f%%\n",
-              report.transfer_adv_acc);
-  std::printf("  random-perturbation floor          : %.2f%%\n",
-              report.random_adv_acc);
-  std::printf("  obfuscation suspected              : %s\n\n",
-              report.obfuscation_suspected() ? "YES (transfer beats white-box)"
-                                             : "no");
-}
-
-models::Model clone_of(const models::Model& src) {
-  return models::clone_model(src, 0.125f, 16);
-}
-
-}  // namespace
 
 int main() {
   std::printf("== Gradient-obfuscation audit ==\n\n");
@@ -60,27 +39,84 @@ int main() {
   attacks::ObfuscationConfig ocfg;
   ocfg.epsilon = 0.1f;
   ocfg.sample_count = 200;
+  // One population for every report row: the sweep cells and the
+  // cosine/random-floor helpers all evaluate this subset.
+  const data::Dataset audit_set = dataset.test.head(ocfg.sample_count);
 
-  // Each audited substrate is one registry string on a fresh clone; the
-  // software model is the gradient reference throughout.
+  // Each audited substrate is one registry string; the software model is the
+  // gradient reference for the transfer (SH) rows.
   const struct {
     const char* title;
+    const char* key;
     const char* spec;
   } substrates[] = {
-      {"software baseline (control)", "ideal"},
-      {"crossbar-mapped model (32x32)", "xbar:size=32"},
-      {"hybrid-SRAM noisy model (2/6 @ 0.64 V)",
+      {"crossbar-mapped model (32x32)", "xbar", "xbar:size=32"},
+      {"hybrid-SRAM noisy model (2/6 @ 0.64 V)", "sram",
        "sram:sites=2,num_8t=2,vdd=0.64"},
   };
-  for (const auto& substrate : substrates) {
-    models::Model hardware = clone_of(software);
-    auto backend = hw::make_backend(substrate.spec);
+
+  exp::SweepGrid grid;
+  grid.model = &software;
+  grid.width_mult = 0.125f;
+  grid.in_size = 16;
+  grid.eval_set = &audit_set;
+  grid.base.batch_size = ocfg.batch_size;
+  grid.backends.push_back({"ideal", "ideal", nullptr, nullptr});
+  grid.modes.push_back({"control", "ideal", "ideal"});
+  for (const auto& sub : substrates) {
     // No calibration set: the sram backend uses its fixed fallback sites
     // instead of running the selection methodology.
-    backend->prepare(hardware);
-    print_report(substrate.title,
-                 attacks::diagnose_gradient_obfuscation(
-                     *software.net, backend->module(), dataset.test, ocfg));
+    grid.backends.push_back({sub.key, sub.spec, nullptr, nullptr});
+    grid.modes.push_back({std::string("white-box/") + sub.key, sub.key,
+                          sub.key});
+    grid.modes.push_back({std::string("transfer/") + sub.key, "ideal",
+                          sub.key});
+  }
+  grid.attacks.push_back({attacks::AttackKind::kFgsm, {ocfg.epsilon}});
+
+  exp::SweepEngine engine;
+  const exp::SweepResult result = engine.run(grid);
+  std::printf("[sweep] %zu attack cells on %u lane(s) in %.2fs\n\n",
+              result.cells.size(), result.lanes, result.wall_seconds);
+
+  nn::Module& reference = engine.backend("ideal")->module();
+  auto mode_index = [&](const std::string& label) {
+    for (size_t m = 0; m < result.mode_labels.size(); ++m) {
+      if (result.mode_labels[m] == label) return m;
+    }
+    return result.mode_labels.size();
+  };
+  const auto* control = result.find(mode_index("control"), 0, 0);
+  std::printf("software baseline (control):\n");
+  std::printf("  clean accuracy                     : %.2f%%\n",
+              control->clean.mean);
+  std::printf("  white-box FGSM adv accuracy        : %.2f%%\n\n",
+              control->adv.mean);
+
+  for (const auto& sub : substrates) {
+    nn::Module& hardware = engine.backend(sub.key)->module();
+    const auto* white =
+        result.find(mode_index(std::string("white-box/") + sub.key), 0, 0);
+    const auto* transfer =
+        result.find(mode_index(std::string("transfer/") + sub.key), 0, 0);
+    const double cos = attacks::gradient_agreement(reference, hardware,
+                                                   audit_set, ocfg);
+    const double random_floor =
+        attacks::random_perturbation_accuracy(hardware, audit_set, ocfg);
+    std::printf("%s:\n", sub.title);
+    std::printf("  gradient cosine vs software model : %.4f\n", cos);
+    std::printf("  clean accuracy                     : %.2f%%\n",
+                white->clean.mean);
+    std::printf("  white-box FGSM adv accuracy        : %.2f%%\n",
+                white->adv.mean);
+    std::printf("  transferred FGSM adv accuracy      : %.2f%%\n",
+                transfer->adv.mean);
+    std::printf("  random-perturbation floor          : %.2f%%\n",
+                random_floor);
+    std::printf("  obfuscation suspected              : %s\n\n",
+                transfer->adv.mean < white->adv.mean
+                    ? "YES (transfer beats white-box)"
+                    : "no");
   }
 
   std::printf(

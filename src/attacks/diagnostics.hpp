@@ -46,4 +46,15 @@ ObfuscationReport diagnose_gradient_obfuscation(nn::Module& software,
                                                 const data::Dataset& ds,
                                                 const ObfuscationConfig& cfg);
 
+// The individual checks, for callers that obtain the attack accuracies
+// elsewhere (the gradient-obfuscation audit example computes white-box and
+// transfer accuracies as sweep-engine cells and only needs these two):
+// mean input-gradient cosine between hardware and software over ds ...
+double gradient_agreement(nn::Module& software, nn::Module& hardware,
+                          const data::Dataset& ds,
+                          const ObfuscationConfig& cfg);
+// ... and accuracy under random-sign perturbations of strength cfg.epsilon.
+double random_perturbation_accuracy(nn::Module& net, const data::Dataset& ds,
+                                    const ObfuscationConfig& cfg);
+
 }  // namespace rhw::attacks

@@ -4,6 +4,14 @@ namespace rhw::attacks {
 
 namespace {
 
+// Attack seed for one batch: (config seed, batch index) mixed through
+// splitmix64 (see the seeding contract in evaluate.hpp). The same derivation
+// seeds exp::SweepEngine cells.
+uint64_t batch_craft_seed(uint64_t cfg_seed, uint64_t batch_index) {
+  return derive_stream_seed(derive_stream_seed(cfg_seed, kCraftStream),
+                            batch_index);
+}
+
 Tensor craft(nn::Module& grad_net, const Tensor& x,
              const std::vector<int64_t>& labels, const AdvEvalConfig& cfg,
              uint64_t batch_seed) {
@@ -38,30 +46,12 @@ int64_t count_correct(nn::Module& net, const Tensor& x,
 AdvEvalResult evaluate_attack(nn::Module& grad_net, nn::Module& eval_net,
                               const data::Dataset& ds,
                               const AdvEvalConfig& cfg) {
-  const bool grad_was_training = grad_net.training();
-  const bool eval_was_training = eval_net.training();
-  grad_net.set_training(false);
-  eval_net.set_training(false);
-
-  int64_t clean_correct = 0, adv_correct = 0;
-  uint64_t batch_counter = 0;
-  for (int64_t begin = 0; begin < ds.size(); begin += cfg.batch_size) {
-    const auto batch = ds.slice(begin, begin + cfg.batch_size);
-    clean_correct += count_correct(eval_net, batch.images, batch.labels);
-    const Tensor adv = craft(grad_net, batch.images, batch.labels, cfg,
-                             cfg.seed + 0x9E37 * (++batch_counter));
-    adv_correct += count_correct(eval_net, adv, batch.labels);
-  }
-
-  grad_net.set_training(grad_was_training);
-  eval_net.set_training(eval_was_training);
-
+  // Composing the two single-pass entry points is the parity guarantee: each
+  // pass pins its own noise streams from cfg.seed, so the clean pass cannot
+  // perturb the adversarial numbers (and vice versa).
   AdvEvalResult out;
-  const auto n = static_cast<double>(ds.size());
-  if (n > 0) {
-    out.clean_acc = 100.0 * static_cast<double>(clean_correct) / n;
-    out.adv_acc = 100.0 * static_cast<double>(adv_correct) / n;
-  }
+  out.clean_acc = clean_accuracy(eval_net, ds, cfg.batch_size, cfg.seed);
+  out.adv_acc = adversarial_accuracy(grad_net, eval_net, ds, cfg);
   return out;
 }
 
@@ -72,12 +62,20 @@ double adversarial_accuracy(nn::Module& grad_net, nn::Module& eval_net,
   const bool eval_was_training = eval_net.training();
   grad_net.set_training(false);
   eval_net.set_training(false);
+
+  nn::reseed_noise_streams(eval_net,
+                           derive_stream_seed(cfg.seed, kAdvPassStream));
+  if (&grad_net != &eval_net) {
+    nn::reseed_noise_streams(grad_net,
+                             derive_stream_seed(cfg.seed, kGradPassStream));
+  }
+
   int64_t adv_correct = 0;
-  uint64_t batch_counter = 0;
+  uint64_t batch_index = 0;
   for (int64_t begin = 0; begin < ds.size(); begin += cfg.batch_size) {
     const auto batch = ds.slice(begin, begin + cfg.batch_size);
     const Tensor adv = craft(grad_net, batch.images, batch.labels, cfg,
-                             cfg.seed + 0x9E37 * (++batch_counter));
+                             batch_craft_seed(cfg.seed, batch_index++));
     adv_correct += count_correct(eval_net, adv, batch.labels);
   }
   grad_net.set_training(grad_was_training);
@@ -88,9 +86,11 @@ double adversarial_accuracy(nn::Module& grad_net, nn::Module& eval_net,
 }
 
 double clean_accuracy(nn::Module& eval_net, const data::Dataset& ds,
-                      int64_t batch_size) {
+                      int64_t batch_size, uint64_t seed) {
   const bool was_training = eval_net.training();
   eval_net.set_training(false);
+  nn::reseed_noise_streams(eval_net,
+                           derive_stream_seed(seed, kCleanPassStream));
   int64_t correct = 0;
   for (int64_t begin = 0; begin < ds.size(); begin += batch_size) {
     const auto batch = ds.slice(begin, begin + batch_size);
@@ -117,8 +117,8 @@ double adversarial_accuracy(hw::HardwareBackend& grad_hw,
 }
 
 double clean_accuracy(hw::HardwareBackend& eval_hw, const data::Dataset& ds,
-                      int64_t batch_size) {
-  return clean_accuracy(eval_hw.module(), ds, batch_size);
+                      int64_t batch_size, uint64_t seed) {
+  return clean_accuracy(eval_hw.module(), ds, batch_size, seed);
 }
 
 std::string attack_name(AttackKind kind) {

@@ -20,6 +20,10 @@ namespace rhw::attacks {
 
 enum class AttackKind { kFgsm, kPgd };
 
+// Default evaluation seed, shared by AdvEvalConfig and clean_accuracy so the
+// two entry points agree when callers stick to defaults.
+inline constexpr uint64_t kDefaultEvalSeed = 0xADE5;
+
 struct AdvEvalConfig {
   AttackKind kind = AttackKind::kFgsm;
   float epsilon = 0.1f;
@@ -28,7 +32,7 @@ struct AdvEvalConfig {
   bool pgd_random_start = true;
   int pgd_grad_samples = 1;     // >1 = EOT (adaptive attack on noisy hardware)
   int64_t batch_size = 100;
-  uint64_t seed = 0xADE5;
+  uint64_t seed = kDefaultEvalSeed;
 };
 
 struct AdvEvalResult {
@@ -37,9 +41,30 @@ struct AdvEvalResult {
   double adversarial_loss() const { return clean_acc - adv_acc; }
 };
 
+// -- seeding contract ---------------------------------------------------------
+// Every evaluation pass pins the eval net's hook noise streams before its
+// first forward (nn::reseed_noise_streams), from a stream derived off the
+// config seed: the clean pass uses derive_stream_seed(seed, kCleanPassStream)
+// and the adversarial pass derive_stream_seed(seed, kAdvPassStream). Per-batch
+// attack seeds come from derive_stream_seed(derive_stream_seed(seed,
+// kCraftStream), batch_index). Consequences:
+//   * evaluate_attack and adversarial_accuracy report bit-identical adv_acc
+//     for the same config (the clean pass can no longer advance the noise
+//     stream the adversarial pass consumes);
+//   * repeated calls with the same config are bit-identical — evaluation is a
+//     pure function of (nets, dataset, config);
+//   * nearby user seeds do not share per-batch streams (splitmix64 avalanche
+//     instead of the old additive seed + 0x9E37 * counter derivation).
+inline constexpr uint64_t kCleanPassStream = 0xC1EA2;
+inline constexpr uint64_t kAdvPassStream = 0xADF0;
+inline constexpr uint64_t kGradPassStream = 0x66AD;
+inline constexpr uint64_t kCraftStream = 0xCAF7;
+
 // Evaluates eval_net on ds cleanly and under adversaries crafted from
 // grad_net. Both nets are run in eval mode; eval_net's noise hooks (if any)
 // are active during evaluation but never during gradient computation.
+// Composes clean_accuracy and adversarial_accuracy, so its numbers match
+// those entry points bit-for-bit.
 AdvEvalResult evaluate_attack(nn::Module& grad_net, nn::Module& eval_net,
                               const data::Dataset& ds,
                               const AdvEvalConfig& cfg);
@@ -49,9 +74,11 @@ AdvEvalResult evaluate_attack(nn::Module& grad_net, nn::Module& eval_net,
 double adversarial_accuracy(nn::Module& grad_net, nn::Module& eval_net,
                             const data::Dataset& ds, const AdvEvalConfig& cfg);
 
-// Clean accuracy (percent) with eval_net's hooks active.
+// Clean accuracy (percent) with eval_net's hooks active; `seed` pins the
+// noise streams for the pass (see the seeding contract above).
 double clean_accuracy(nn::Module& eval_net, const data::Dataset& ds,
-                      int64_t batch_size = 100);
+                      int64_t batch_size = 100,
+                      uint64_t seed = kDefaultEvalSeed);
 
 // -- hardware-backend seam ----------------------------------------------------
 // The paper's attack modes are a choice of (grad backend, eval backend):
@@ -65,7 +92,8 @@ double adversarial_accuracy(hw::HardwareBackend& grad_hw,
                             hw::HardwareBackend& eval_hw,
                             const data::Dataset& ds, const AdvEvalConfig& cfg);
 double clean_accuracy(hw::HardwareBackend& eval_hw, const data::Dataset& ds,
-                      int64_t batch_size = 100);
+                      int64_t batch_size = 100,
+                      uint64_t seed = kDefaultEvalSeed);
 
 std::string attack_name(AttackKind kind);
 

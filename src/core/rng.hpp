@@ -12,12 +12,26 @@
 
 namespace rhw {
 
-// SplitMix64: used only to expand a 64-bit seed into xoshiro state.
+// SplitMix64: used to expand a 64-bit seed into xoshiro state and to derive
+// independent sub-streams (derive_stream_seed).
 inline uint64_t splitmix64_next(uint64_t& state) {
   uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+// Derives the seed of an independent RNG stream from (seed, stream_id).
+// Both inputs pass through the SplitMix64 avalanche, so nearby user seeds
+// (seed vs seed+1) and nearby stream ids yield uncorrelated streams and
+// (seed, id) pairs do not collide the way additive schemes like
+// `seed + C * id` do. This is the repo-wide derivation for per-batch,
+// per-pass and per-cell streams (attacks/evaluate.cpp, exp/sweep.hpp); the
+// reproducibility contract in README.md documents it.
+inline uint64_t derive_stream_seed(uint64_t seed, uint64_t stream_id) {
+  uint64_t state = seed;
+  state = splitmix64_next(state) ^ stream_id;
+  return splitmix64_next(state);
 }
 
 class RandomEngine {

@@ -1,7 +1,14 @@
 #include "exp/al_runner.hpp"
 
+#include "exp/sweep.hpp"
+
 namespace rhw::exp {
 
+// al_curve is the serial single-row special case of the sweep engine: its
+// per-point evaluation seeds are sweep_cell_seed(base, mode=0, attack=0,
+// eps_index, trial=0) and its clean pass uses sweep_clean_seed(base, 0), so a
+// one-row SweepGrid reproduces it bit-for-bit at any lane count (asserted in
+// tests/exp/test_sweep.cpp).
 AlCurve al_curve(const std::string& label, nn::Module& grad_net,
                  nn::Module& eval_net, const data::Dataset& ds,
                  attacks::AttackKind kind, std::span<const float> epsilons,
@@ -9,9 +16,11 @@ AlCurve al_curve(const std::string& label, nn::Module& grad_net,
   AlCurve curve;
   curve.label = label;
   // Clean accuracy does not depend on epsilon; compute once.
-  const double clean = attacks::clean_accuracy(eval_net, ds,
-                                               base_cfg.batch_size);
-  for (float eps : epsilons) {
+  const double clean =
+      attacks::clean_accuracy(eval_net, ds, base_cfg.batch_size,
+                              sweep_clean_seed(base_cfg.seed, 0));
+  for (size_t i = 0; i < epsilons.size(); ++i) {
+    const float eps = epsilons[i];
     AlPoint pt;
     pt.epsilon = eps;
     pt.clean_acc = clean;
@@ -21,6 +30,7 @@ AlCurve al_curve(const std::string& label, nn::Module& grad_net,
       attacks::AdvEvalConfig cfg = base_cfg;
       cfg.kind = kind;
       cfg.epsilon = eps;
+      cfg.seed = sweep_cell_seed(base_cfg.seed, 0, 0, i, 0);
       pt.adv_acc = attacks::adversarial_accuracy(grad_net, eval_net, ds, cfg);
     }
     pt.al = pt.clean_acc - pt.adv_acc;

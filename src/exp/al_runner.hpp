@@ -1,6 +1,10 @@
-// Adversarial-Loss curve runner shared by the figure benches: evaluates one
-// (grad_net, eval_net) pairing over a sweep of perturbation strengths and
-// reports the paper's AL(epsilon) series.
+// Adversarial-Loss curve runner: evaluates one (grad_net, eval_net) pairing
+// over a sweep of perturbation strengths and reports the paper's AL(epsilon)
+// series. This is the thin serial single-row wrapper around the sweep
+// machinery — the figure benches schedule whole grids of these rows
+// concurrently through exp::SweepEngine (exp/sweep.hpp), which shares the
+// same per-cell seed derivation and therefore reproduces al_curve
+// bit-for-bit.
 #pragma once
 
 #include <span>

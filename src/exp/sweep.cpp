@@ -1,0 +1,512 @@
+#include "exp/sweep.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+#include "core/thread_pool.hpp"
+#include "models/zoo.hpp"
+
+namespace rhw::exp {
+
+uint64_t sweep_cell_seed(uint64_t base_seed, size_t mode, size_t attack,
+                         size_t eps_index, int trial) {
+  uint64_t s = derive_stream_seed(base_seed, static_cast<uint64_t>(trial));
+  s = derive_stream_seed(s, kSweepCellStream);
+  s = derive_stream_seed(s, static_cast<uint64_t>(mode));
+  s = derive_stream_seed(s, static_cast<uint64_t>(attack));
+  return derive_stream_seed(s, static_cast<uint64_t>(eps_index));
+}
+
+uint64_t sweep_clean_seed(uint64_t base_seed, int trial) {
+  const uint64_t trial_seed =
+      derive_stream_seed(base_seed, static_cast<uint64_t>(trial));
+  return derive_stream_seed(trial_seed, kSweepCleanStream);
+}
+
+namespace {
+
+// Backend seam adapter for software defenses: owns the wrapper module the
+// bind built around the replica's clone.
+class OwningModuleBackend final : public hw::HardwareBackend {
+ public:
+  OwningModuleBackend(std::string name, nn::ModulePtr wrapper)
+      : name_(std::move(name)), wrapper_(std::move(wrapper)) {}
+
+  std::string name() const override { return name_; }
+
+ protected:
+  void do_prepare(nn::Module&, const std::vector<models::ActivationSite>&,
+                  const data::Dataset*) override {}
+
+ private:
+  std::string name_;
+  nn::ModulePtr wrapper_;
+};
+
+}  // namespace
+
+hw::BackendPtr make_module_backend(std::string name, nn::ModulePtr wrapper) {
+  if (!wrapper) {
+    throw std::invalid_argument("make_module_backend: null wrapper module");
+  }
+  nn::Module* raw = wrapper.get();
+  auto backend = std::make_unique<OwningModuleBackend>(std::move(name),
+                                                       std::move(wrapper));
+  backend->prepare(*raw);  // binds module() to the owned wrapper
+  return backend;
+}
+
+// -- replica pools ------------------------------------------------------------
+
+struct SweepEngine::Pool {
+  SweepBackendDef def;
+
+  struct Replica {
+    models::Model model;
+    hw::BackendPtr backend;
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::unique_ptr<Replica>> all;  // all[0] is the prototype
+  std::vector<Replica*> free_list;
+  Replica* prototype = nullptr;
+  bool prototype_building = false;
+
+  // Replica construction runs OUTSIDE the pool lock so lanes stamp replicas
+  // concurrently; only the prototype (which pays for calibration-driven
+  // prepare and seeds replicate()) is built exclusively, with other lanes
+  // waiting on it.
+  Replica* checkout(const SweepGrid& grid) {
+    std::unique_lock lock(mu);
+    for (;;) {
+      if (!free_list.empty()) {
+        Replica* r = free_list.back();
+        free_list.pop_back();
+        return r;
+      }
+      if (prototype != nullptr || !prototype_building) break;
+      cv.wait(lock);
+    }
+    const bool is_prototype = prototype == nullptr;
+    if (is_prototype) prototype_building = true;
+    lock.unlock();
+
+    auto rep = std::make_unique<Replica>();
+    try {
+      rep->model =
+          models::clone_model(*grid.model, grid.width_mult, grid.in_size);
+      if (def.bind) {
+        rep->backend = def.bind(rep->model);
+        if (!rep->backend || !rep->backend->prepared()) {
+          throw std::invalid_argument("SweepEngine: bind for backend '" +
+                                      def.key +
+                                      "' must return a prepared backend");
+        }
+      } else {
+        // The prototype pays for the full (possibly calibration-driven)
+        // prepare; later replicas reproduce its state via replicate().
+        hw::BackendPtr b =
+            is_prototype ? nullptr : prototype->backend->replicate();
+        const data::Dataset* calibration = b ? nullptr : def.calibration;
+        if (!b) b = hw::make_backend(def.spec);
+        b->prepare(rep->model, calibration);
+        rep->backend = std::move(b);
+      }
+    } catch (...) {
+      if (is_prototype) {
+        lock.lock();
+        prototype_building = false;
+        cv.notify_all();  // let a waiting lane take over prototype duty
+      }
+      throw;
+    }
+
+    lock.lock();
+    all.push_back(std::move(rep));
+    Replica* r = all.back().get();
+    if (is_prototype) {
+      prototype = r;
+      prototype_building = false;
+      cv.notify_all();
+    }
+    return r;
+  }
+
+  void checkin(Replica* r) {
+    {
+      std::lock_guard lock(mu);
+      free_list.push_back(r);
+    }
+    cv.notify_one();
+  }
+};
+
+SweepEngine::SweepEngine(Options opts) : opts_(opts) {}
+SweepEngine::~SweepEngine() = default;
+
+hw::HardwareBackend* SweepEngine::backend(const std::string& key) const {
+  for (const auto& pool : pools_) {
+    if (pool->def.key != key) continue;
+    std::lock_guard lock(pool->mu);
+    return pool->all.empty() ? nullptr : pool->all.front()->backend.get();
+  }
+  return nullptr;
+}
+
+unsigned sweep_threads_env(unsigned fallback) {
+  const char* env = std::getenv("RHW_SWEEP_THREADS");
+  if (env == nullptr || *env == '\0') return fallback;
+  const long v = std::strtol(env, nullptr, 10);
+  return v > 0 ? static_cast<unsigned>(v) : fallback;
+}
+
+SweepResult SweepEngine::run(const SweepGrid& grid) {
+  if (grid.model == nullptr || grid.model->net == nullptr) {
+    throw std::invalid_argument("SweepEngine: grid.model is required");
+  }
+  if (grid.eval_set == nullptr) {
+    throw std::invalid_argument("SweepEngine: grid.eval_set is required");
+  }
+
+  // Rebuild replica pools (run() owns the pool lifetime so callers can query
+  // backend() afterwards).
+  pools_.clear();
+  auto pool_index = [&](const std::string& key) -> size_t {
+    for (size_t i = 0; i < pools_.size(); ++i) {
+      if (pools_[i]->def.key == key) return i;
+    }
+    throw std::invalid_argument("SweepEngine: mode references unknown backend '" +
+                                key + "'");
+  };
+  for (const auto& def : grid.backends) {
+    for (const auto& pool : pools_) {
+      if (pool->def.key == def.key) {
+        throw std::invalid_argument("SweepEngine: duplicate backend key '" +
+                                    def.key + "'");
+      }
+    }
+    if (!def.bind && def.spec.empty()) {
+      throw std::invalid_argument("SweepEngine: backend '" + def.key +
+                                  "' has neither spec nor bind");
+    }
+    auto pool = std::make_unique<Pool>();
+    pool->def = def;
+    pools_.push_back(std::move(pool));
+  }
+
+  const int trials = grid.trials < 1 ? 1 : grid.trials;
+
+  struct ModeIdx {
+    size_t grad = 0, eval = 0;
+  };
+  std::vector<ModeIdx> mode_pools;
+  mode_pools.reserve(grid.modes.size());
+  for (const auto& mode : grid.modes) {
+    mode_pools.push_back({pool_index(mode.grad), pool_index(mode.eval)});
+  }
+
+  SweepResult result;
+  for (const auto& mode : grid.modes) result.mode_labels.push_back(mode.label);
+  for (const auto& attack : grid.attacks) {
+    result.attack_kinds.push_back(attack.kind);
+  }
+  result.trials = trials;
+  result.base_seed = grid.base.seed;
+
+  // Cell enumeration: trial-major, grid order. Deterministic and independent
+  // of the execution schedule.
+  for (int t = 0; t < trials; ++t) {
+    for (size_t m = 0; m < grid.modes.size(); ++m) {
+      for (size_t a = 0; a < grid.attacks.size(); ++a) {
+        const auto& eps_list = grid.attacks[a].epsilons;
+        for (size_t e = 0; e < eps_list.size(); ++e) {
+          SweepCell cell;
+          cell.mode = m;
+          cell.attack = a;
+          cell.eps_index = e;
+          cell.trial = t;
+          cell.epsilon = eps_list[e];
+          cell.seed = sweep_cell_seed(grid.base.seed, m, a, e, t);
+          result.cells.push_back(cell);
+        }
+      }
+    }
+  }
+
+  // Clean accuracy is epsilon- and mode-independent: one value per
+  // (eval backend, trial), computed once and shared.
+  std::vector<double> clean_vals(pools_.size() * static_cast<size_t>(trials),
+                                 0.0);
+  std::vector<char> clean_needed(clean_vals.size(), 0);
+  auto clean_slot = [&](size_t eval_pool, int trial) {
+    return eval_pool * static_cast<size_t>(trials) +
+           static_cast<size_t>(trial);
+  };
+  for (int t = 0; t < trials; ++t) {
+    for (const auto& mi : mode_pools) clean_needed[clean_slot(mi.eval, t)] = 1;
+  }
+
+  // Task list: clean passes plus every eps > 0 adversarial cell.
+  struct Task {
+    bool clean = false;
+    size_t pool = 0;  // clean: eval pool index
+    int trial = 0;    // clean: trial
+    size_t cell = 0;  // adv: index into result.cells
+  };
+  std::vector<Task> tasks;
+  for (size_t p = 0; p < pools_.size(); ++p) {
+    for (int t = 0; t < trials; ++t) {
+      if (clean_needed[clean_slot(p, t)]) tasks.push_back({true, p, t, 0});
+    }
+  }
+  for (size_t c = 0; c < result.cells.size(); ++c) {
+    if (result.cells[c].epsilon != 0.f) tasks.push_back({false, 0, 0, c});
+  }
+
+  lanes_ = opts_.threads != 0
+               ? opts_.threads
+               : static_cast<unsigned>(global_pool().size()) + 1;
+  result.lanes = lanes_;
+
+  std::atomic<size_t> next{0};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  std::atomic<bool> abort{false};
+
+  // Checks the replica back in even when evaluation throws, so other lanes
+  // reuse it instead of stamping fresh clones during an aborting run.
+  struct Checkout {
+    Pool* pool = nullptr;
+    Pool::Replica* rep = nullptr;
+    Checkout(Pool& p, const SweepGrid& g) : pool(&p), rep(p.checkout(g)) {}
+    ~Checkout() {
+      if (pool != nullptr && rep != nullptr) pool->checkin(rep);
+    }
+    Checkout(const Checkout&) = delete;
+    Checkout& operator=(const Checkout&) = delete;
+  };
+
+  auto run_task = [&](const Task& task) {
+    if (task.clean) {
+      Pool& pool = *pools_[task.pool];
+      const Checkout rep(pool, grid);
+      const double acc = attacks::clean_accuracy(
+          rep.rep->backend->module(), *grid.eval_set, grid.base.batch_size,
+          sweep_clean_seed(grid.base.seed, task.trial));
+      clean_vals[clean_slot(task.pool, task.trial)] = acc;
+      if (opts_.verbose) {
+        std::fprintf(stderr, "[sweep] clean %s trial %d: %.2f%%\n",
+                     pool.def.key.c_str(), task.trial, acc);
+      }
+      return;
+    }
+    SweepCell& cell = result.cells[task.cell];
+    const ModeIdx& mi = mode_pools[cell.mode];
+    // grad == eval must run through ONE replica: HH crafts and evaluates on
+    // the same network instance, exactly like the serial path.
+    const Checkout grad_rep(*pools_[mi.grad], grid);
+    const std::optional<Checkout> eval_rep =
+        mi.grad == mi.eval ? std::nullopt
+                           : std::optional<Checkout>(std::in_place,
+                                                     *pools_[mi.eval], grid);
+    nn::Module& grad_net = grad_rep.rep->backend->module();
+    nn::Module& eval_net =
+        eval_rep ? eval_rep->rep->backend->module() : grad_net;
+    attacks::AdvEvalConfig cfg = grid.base;
+    cfg.kind = grid.attacks[cell.attack].kind;
+    cfg.epsilon = cell.epsilon;
+    cfg.seed = cell.seed;
+    cell.adv_acc =
+        attacks::adversarial_accuracy(grad_net, eval_net, *grid.eval_set, cfg);
+    if (opts_.verbose) {
+      std::fprintf(stderr, "[sweep] %s %s eps=%.3f trial %d: adv %.2f%%\n",
+                   result.mode_labels[cell.mode].c_str(),
+                   attacks::attack_name(cfg.kind).c_str(), cell.epsilon,
+                   cell.trial, cell.adv_acc);
+    }
+  };
+
+  auto pump = [&](int64_t, int64_t) {
+    for (size_t i; (i = next.fetch_add(1)) < tasks.size();) {
+      if (abort.load(std::memory_order_relaxed)) return;
+      try {
+        run_task(tasks[i]);
+      } catch (...) {
+        std::lock_guard lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (lanes_ <= 1 || tasks.size() <= 1) {
+    pump(0, 1);
+  } else {
+    // Own pool: cells run on its workers (whose nested parallel_for calls
+    // fall back to serial — the parallelism budget moves to the cell level),
+    // while the caller lane keeps the global pool for its own cells.
+    ThreadPool cell_pool(lanes_ - 1);
+    const auto n_lanes =
+        std::min<int64_t>(static_cast<int64_t>(tasks.size()), lanes_);
+    cell_pool.parallel_for(n_lanes, pump);
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Assembly: attach the shared clean values, resolve eps == 0 rows.
+  for (SweepCell& cell : result.cells) {
+    const ModeIdx& mi = mode_pools[cell.mode];
+    cell.clean_acc = clean_vals[clean_slot(mi.eval, cell.trial)];
+    if (cell.epsilon == 0.f) cell.adv_acc = cell.clean_acc;
+    cell.al = cell.clean_acc - cell.adv_acc;
+  }
+
+  // Aggregates across trials, grid order.
+  for (size_t m = 0; m < grid.modes.size(); ++m) {
+    for (size_t a = 0; a < grid.attacks.size(); ++a) {
+      for (size_t e = 0; e < grid.attacks[a].epsilons.size(); ++e) {
+        SweepAggregate agg;
+        agg.mode = m;
+        agg.attack = a;
+        agg.eps_index = e;
+        agg.epsilon = grid.attacks[a].epsilons[e];
+        std::vector<double> clean, adv, al;
+        for (const SweepCell& cell : result.cells) {
+          if (cell.mode != m || cell.attack != a || cell.eps_index != e) {
+            continue;
+          }
+          clean.push_back(cell.clean_acc);
+          adv.push_back(cell.adv_acc);
+          al.push_back(cell.al);
+        }
+        agg.clean = summarize(clean);
+        agg.adv = summarize(adv);
+        agg.al = summarize(al);
+        result.aggregates.push_back(agg);
+      }
+    }
+  }
+  return result;
+}
+
+const SweepAggregate* SweepResult::find(size_t mode, size_t attack,
+                                        size_t eps_index) const {
+  for (const auto& agg : aggregates) {
+    if (agg.mode == mode && agg.attack == attack &&
+        agg.eps_index == eps_index) {
+      return &agg;
+    }
+  }
+  return nullptr;
+}
+
+AlCurve SweepResult::curve(const std::string& mode_label,
+                           attacks::AttackKind kind) const {
+  size_t mode = mode_labels.size();
+  for (size_t m = 0; m < mode_labels.size(); ++m) {
+    if (mode_labels[m] == mode_label) {
+      mode = m;
+      break;
+    }
+  }
+  size_t attack = attack_kinds.size();
+  for (size_t a = 0; a < attack_kinds.size(); ++a) {
+    if (attack_kinds[a] == kind) {
+      attack = a;
+      break;
+    }
+  }
+  if (mode == mode_labels.size() || attack == attack_kinds.size()) {
+    throw std::invalid_argument("SweepResult::curve: no row for mode '" +
+                                mode_label + "' / " +
+                                attacks::attack_name(kind));
+  }
+  AlCurve curve;
+  curve.label = mode_label;
+  for (const auto& agg : aggregates) {
+    if (agg.mode != mode || agg.attack != attack) continue;
+    AlPoint pt;
+    pt.epsilon = agg.epsilon;
+    pt.clean_acc = agg.clean.mean;
+    pt.adv_acc = agg.adv.mean;
+    pt.al = agg.al.mean;
+    curve.points.push_back(pt);
+  }
+  return curve;
+}
+
+void SweepResult::write_json(const std::string& path,
+                             const std::string& figure) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_json: cannot open " + path);
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", "rhw-sweep-v1");
+  w.field("figure", figure);
+  w.field("trials", static_cast<int64_t>(trials));
+  w.field("base_seed", base_seed);
+  w.field("lanes", static_cast<int64_t>(lanes));
+  w.field("wall_seconds", wall_seconds);
+  w.key("modes");
+  w.begin_array();
+  for (const auto& label : mode_labels) w.value(label);
+  w.end_array();
+  w.key("attacks");
+  w.begin_array();
+  for (const auto kind : attack_kinds) w.value(attacks::attack_name(kind));
+  w.end_array();
+  w.key("cells");
+  w.begin_array();
+  for (const auto& cell : cells) {
+    w.begin_object();
+    w.field("mode", mode_labels[cell.mode]);
+    w.field("attack", attacks::attack_name(attack_kinds[cell.attack]));
+    w.field("eps", static_cast<double>(cell.epsilon));
+    w.field("eps_index", static_cast<int64_t>(cell.eps_index));
+    w.field("trial", static_cast<int64_t>(cell.trial));
+    w.field("seed", cell.seed);
+    w.field("clean", cell.clean_acc);
+    w.field("adv", cell.adv_acc);
+    w.field("al", cell.al);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("aggregates");
+  w.begin_array();
+  for (const auto& agg : aggregates) {
+    w.begin_object();
+    w.field("mode", mode_labels[agg.mode]);
+    w.field("attack", attacks::attack_name(attack_kinds[agg.attack]));
+    w.field("eps", static_cast<double>(agg.epsilon));
+    w.field("n", agg.al.n);
+    w.field("clean_mean", agg.clean.mean);
+    w.field("clean_ci95", agg.clean.ci95);
+    w.field("adv_mean", agg.adv.mean);
+    w.field("adv_ci95", agg.adv.ci95);
+    w.field("al_mean", agg.al.mean);
+    w.field("al_stddev", agg.al.stddev);
+    w.field("al_ci95", agg.al.ci95);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace rhw::exp

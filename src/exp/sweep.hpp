@@ -1,0 +1,187 @@
+// SweepEngine: the parallel scheduler behind the figure/table benches.
+//
+// The paper's results are grids — AL(eps) per attack mode (Attack-SW/SH/HH)
+// per substrate per configuration (Figs. 5-8, Tables I-III). A SweepGrid
+// declares those axes once: backend definitions (registry specs or custom
+// binders), attack-mode pairings over them, attack kinds with epsilon lists,
+// and a trial count for noisy substrates. The engine expands the grid into
+// independent cells and runs them concurrently on a core::ThreadPool.
+//
+// Guarantees:
+//   * Determinism: every cell evaluates under RNG streams derived
+//     (splitmix64) purely from (grid seed, mode index, attack index, epsilon
+//     index, trial) — results are bit-identical regardless of execution
+//     order, lane count, or how many replicas were stamped out.
+//   * Calibrate-once: each backend definition pays for data-driven
+//     calibration exactly once — the prototype replica runs it (SRAM layer
+//     selection is the expensive case) and later replicas reproduce its
+//     prepared state bit-for-bit via HardwareBackend::replicate() without
+//     the calibration data. Replica prepare() itself still runs per lane
+//     (deterministic re-execution: crossbar remap, binder re-application),
+//     a one-time per-lane cost amortized over all the cells that lane runs.
+//     Modules cache forward state, so replicas — not literal sharing — are
+//     what "read-only across cells" means at the module level.
+//   * Trials: trials > 1 re-runs every cell under derived trial seeds;
+//     aggregates carry mean ± 95% CI (exp/sweep_stats.hpp).
+//
+// exp::al_curve is the serial single-row special case (mode 0, attack 0,
+// trial 0) of the same per-cell seed derivation, so a one-row grid
+// reproduces it bit-for-bit.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attacks/evaluate.hpp"
+#include "exp/al_runner.hpp"
+#include "exp/sweep_stats.hpp"
+#include "hw/registry.hpp"
+#include "models/vgg.hpp"
+
+namespace rhw::exp {
+
+// How one hardware arm of the grid is constructed. Either a registry spec
+// (with optional calibration data for data-driven prepare()), or a custom
+// `bind` that receives a fresh clone of the grid model, mutates/wraps it
+// (software defenses, weight-noise ablations) and returns a *prepared*
+// backend. Replicas are stamped per concurrent lane, so bind must be
+// deterministic — every invocation must produce a bit-identical backend.
+struct SweepBackendDef {
+  std::string key;   // referenced by SweepMode::grad / SweepMode::eval
+  std::string spec;  // hw registry spec; ignored when bind is set
+  const data::Dataset* calibration = nullptr;
+  std::function<hw::BackendPtr(models::Model&)> bind;
+};
+
+// One attack-mode pairing. The paper's modes are pairings of backend keys:
+// Attack-SW = (ideal, ideal), SH = (ideal, hw), HH = (hw, hw). grad == eval
+// routes both passes through a single replica, preserving the serial-path
+// semantics where HH crafts and evaluates on one network instance.
+struct SweepMode {
+  std::string label;
+  std::string grad;
+  std::string eval;
+};
+
+struct SweepAttack {
+  attacks::AttackKind kind = attacks::AttackKind::kFgsm;
+  std::vector<float> epsilons;  // eps == 0 rows report adv = clean, AL = 0
+};
+
+struct SweepGrid {
+  const models::Model* model = nullptr;  // trained baseline; never mutated
+  // Clone geometry (models::clone_model needs it for non-default builds).
+  float width_mult = 0.25f;
+  int64_t in_size = 32;
+  const data::Dataset* eval_set = nullptr;
+  std::vector<SweepBackendDef> backends;
+  std::vector<SweepMode> modes;
+  std::vector<SweepAttack> attacks;
+  int trials = 1;
+  attacks::AdvEvalConfig base;  // seed + batch/PGD knobs; kind/epsilon unused
+};
+
+// One evaluated (mode, attack, epsilon, trial) cell.
+struct SweepCell {
+  size_t mode = 0;
+  size_t attack = 0;
+  size_t eps_index = 0;
+  int trial = 0;
+  float epsilon = 0.f;
+  uint64_t seed = 0;  // derived evaluation seed (sweep_cell_seed)
+  double clean_acc = 0.0;
+  double adv_acc = 0.0;
+  double al = 0.0;
+};
+
+// (mode, attack, epsilon) aggregated across trials.
+struct SweepAggregate {
+  size_t mode = 0;
+  size_t attack = 0;
+  size_t eps_index = 0;
+  float epsilon = 0.f;
+  SweepStat clean, adv, al;
+};
+
+struct SweepResult {
+  std::vector<SweepCell> cells;  // trial-major, grid order — deterministic
+  std::vector<SweepAggregate> aggregates;
+  std::vector<std::string> mode_labels;
+  std::vector<attacks::AttackKind> attack_kinds;
+  int trials = 1;
+  uint64_t base_seed = 0;
+  unsigned lanes = 1;
+  double wall_seconds = 0.0;
+
+  const SweepAggregate* find(size_t mode, size_t attack,
+                             size_t eps_index) const;
+  // Trial-mean AL(eps) series for one (mode label, attack kind) row.
+  AlCurve curve(const std::string& mode_label, attacks::AttackKind kind) const;
+  // Machine-readable artifact (the BENCH_fig*.json files CI uploads).
+  void write_json(const std::string& path, const std::string& figure) const;
+};
+
+// -- seed derivation contract -------------------------------------------------
+// A cell's evaluation seed depends only on grid coordinates, never on
+// execution order (README "Reproducibility"):
+//   trial_seed = derive_stream_seed(base_seed, trial)
+//   s = derive_stream_seed(trial_seed, kSweepCellStream)
+//   s = derive(s, mode); s = derive(s, attack); cell_seed = derive(s, eps_i)
+// Clean accuracy is epsilon-independent and shared across modes:
+//   clean_seed = derive_stream_seed(trial_seed, kSweepCleanStream)
+inline constexpr uint64_t kSweepCellStream = 0x5CE1;
+inline constexpr uint64_t kSweepCleanStream = 0x5C1E;
+
+uint64_t sweep_cell_seed(uint64_t base_seed, size_t mode, size_t attack,
+                         size_t eps_index, int trial);
+uint64_t sweep_clean_seed(uint64_t base_seed, int trial);
+
+// Adapts an arbitrary prepared module graph (e.g. a software-defense wrapper
+// built around the cloned model by a SweepBackendDef::bind) to the
+// HardwareBackend seam. The backend owns the wrapper; whatever the wrapper
+// references (the clone) stays owned by the replica.
+hw::BackendPtr make_module_backend(std::string name, nn::ModulePtr wrapper);
+
+struct SweepOptions {
+  // Concurrent cell lanes. 0 = one per hardware thread;
+  // 1 = serial (the reference path the parity tests compare against).
+  unsigned threads = 0;
+  bool verbose = false;  // per-cell completion lines on stderr
+};
+
+class SweepEngine {
+ public:
+  using Options = SweepOptions;
+
+  explicit SweepEngine(Options opts = {});
+  ~SweepEngine();
+
+  SweepEngine(const SweepEngine&) = delete;
+  SweepEngine& operator=(const SweepEngine&) = delete;
+
+  // Expands and evaluates the grid. Throws std::invalid_argument on
+  // malformed grids (missing model/eval set, duplicate or unknown backend
+  // keys). Replica pools persist on the engine after run() returns so
+  // callers can query backend() for energy/map reports.
+  SweepResult run(const SweepGrid& grid);
+
+  // Prototype replica backend for a key of the last run (null if unknown).
+  hw::HardwareBackend* backend(const std::string& key) const;
+
+  unsigned lanes() const { return lanes_; }
+
+ private:
+  struct Pool;
+
+  Options opts_;
+  unsigned lanes_ = 1;
+  std::vector<std::unique_ptr<Pool>> pools_;
+};
+
+// Lane count used by the benches: $RHW_SWEEP_THREADS, or `fallback`
+// (0 = one lane per hardware thread).
+unsigned sweep_threads_env(unsigned fallback = 0);
+
+}  // namespace rhw::exp

@@ -1,0 +1,71 @@
+// Trial aggregation and JSON emission for the sweep engine.
+//
+// SweepStat is the mean ± spread summary of one grid cell's repeated trials
+// (noisy backends re-run with derived trial seeds). JsonWriter is a minimal
+// dependency-free streaming JSON emitter used for the BENCH_*.json artifacts
+// the benches write next to their CSV tables.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rhw::exp {
+
+struct SweepStat {
+  int64_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample stddev (n-1); 0 for n < 2
+  double ci95 = 0.0;    // Student-t 95% half-width: t_{n-1} * stddev / sqrt(n)
+
+  // "12.34" or "12.34±1.20" when the interval is non-degenerate.
+  std::string format(int precision = 2) const;
+};
+
+SweepStat summarize(std::span<const double> xs);
+
+// Streaming JSON writer with automatic comma/indent management. Usage:
+//   JsonWriter w(os);
+//   w.begin_object();
+//   w.field("name", "fig6"); w.key("cells"); w.begin_array(); ... w.end_array();
+//   w.end_object();
+// Doubles are emitted with enough digits to round-trip; NaN/inf become null.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(const std::string& k);
+
+  void value(const std::string& v);
+  void value(const char* v) { value(std::string(v)); }
+  void value(double v);
+  void value(int64_t v);
+  void value(uint64_t v);
+  void value(bool v);
+
+  template <typename T>
+  void field(const std::string& k, T v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void comma();
+  void open(char c);
+  void close(char c);
+
+  std::ostream& os_;
+  // One entry per open container: true once the first element was written.
+  std::vector<bool> has_elems_;
+  bool after_key_ = false;
+};
+
+std::string json_escape(const std::string& s);
+
+}  // namespace rhw::exp

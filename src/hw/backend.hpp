@@ -42,6 +42,9 @@ struct EnergyReport {
   std::string summary() const;
 };
 
+class HardwareBackend;
+using BackendPtr = std::unique_ptr<HardwareBackend>;
+
 class HardwareBackend {
  public:
   virtual ~HardwareBackend() = default;
@@ -71,6 +74,15 @@ class HardwareBackend {
 
   virtual EnergyReport energy_report() const;
 
+  // A fresh, unprepared backend of the same kind and configuration whose
+  // prepare() will reproduce this backend's prepared state bit-for-bit on an
+  // identical network clone — without re-running data-driven calibration
+  // (e.g. SramBackend carries its installed site selection over). This is
+  // how exp::SweepEngine stamps out per-lane replicas after paying for one
+  // full prepare. Returns null when the backend cannot replicate itself;
+  // callers then rebuild from the original spec/factory.
+  virtual BackendPtr replicate() const { return nullptr; }
+
  protected:
   virtual void do_prepare(nn::Module& net,
                           const std::vector<models::ActivationSite>& sites,
@@ -79,8 +91,6 @@ class HardwareBackend {
   nn::Module* net_ = nullptr;
   std::vector<models::ActivationSite> sites_;
 };
-
-using BackendPtr = std::unique_ptr<HardwareBackend>;
 
 // Best-effort reconstruction of activation-memory sites from a bare module
 // tree: the output of every ReLU and pooling layer, numbered in execution

@@ -10,6 +10,10 @@ void IdealBackend::do_prepare(nn::Module& net,
   (void)calibration;
 }
 
+BackendPtr IdealBackend::replicate() const {
+  return std::make_unique<IdealBackend>();
+}
+
 EnergyReport IdealBackend::energy_report() const {
   EnergyReport report;
   report.backend = name();

@@ -15,6 +15,7 @@ class IdealBackend final : public HardwareBackend {
   std::string name() const override { return "ideal"; }
 
   EnergyReport energy_report() const override;
+  BackendPtr replicate() const override;
 
  protected:
   void do_prepare(nn::Module& net,

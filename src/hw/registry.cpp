@@ -196,7 +196,13 @@ BackendPtr BackendRegistry::create(const std::string& spec) const {
     for (const auto& [name, factory] : factories_) os << ' ' << name;
     throw std::invalid_argument(os.str());
   }
-  return it->second(opts);
+  try {
+    return it->second(opts);
+  } catch (const std::invalid_argument& e) {
+    // Factories report the offending option key/value; add the full spec so
+    // errors surfacing far from the call site stay actionable.
+    throw std::invalid_argument("backend spec '" + spec + "': " + e.what());
+  }
 }
 
 BackendPtr make_backend(const std::string& spec) {

@@ -34,6 +34,12 @@ void SramBackend::do_prepare(nn::Module& net,
                         installed_, cfg_.vdd, cfg_.seed, cfg_.ber);
 }
 
+BackendPtr SramBackend::replicate() const {
+  SramBackendConfig cfg = cfg_;
+  if (!installed_.empty()) cfg.selection = installed_;
+  return std::make_unique<SramBackend>(std::move(cfg));
+}
+
 EnergyReport SramBackend::energy_report() const {
   EnergyReport report;
   report.backend = name();

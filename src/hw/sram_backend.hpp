@@ -41,6 +41,11 @@ class SramBackend final : public HardwareBackend {
   // sram::activation_memory_report for a full-model account).
   EnergyReport energy_report() const override;
 
+  // Carries the installed site selection into the replica's config, so
+  // replica prepare() skips the (expensive, calibration-driven) selector and
+  // installs identical hooks.
+  BackendPtr replicate() const override;
+
   // The site choices actually installed by prepare().
   const std::vector<sram::SiteChoice>& selection() const { return installed_; }
   // Full methodology output; only populated when prepare() ran the selector

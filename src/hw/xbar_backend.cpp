@@ -12,6 +12,10 @@ void XbarBackend::do_prepare(nn::Module& net,
   mapped_ = xbar::map_onto_crossbars_detailed(net, cfg_.map, cfg_.retain_tiles);
 }
 
+BackendPtr XbarBackend::replicate() const {
+  return std::make_unique<XbarBackend>(cfg_);
+}
+
 EnergyReport XbarBackend::energy_report() const {
   EnergyReport report;
   report.backend = name();

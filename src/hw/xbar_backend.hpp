@@ -30,6 +30,10 @@ class XbarBackend final : public HardwareBackend {
   // tile silicon area from the xbar energy model.
   EnergyReport energy_report() const override;
 
+  // Mapping is deterministic from the config (cfg.map.seed), so a config
+  // copy reproduces the prepared state exactly.
+  BackendPtr replicate() const override;
+
   const xbar::XbarMapReport& map_report() const { return mapped_.report; }
   // One entry per mapped weight layer; .tiles is non-null when retain_tiles.
   const std::vector<xbar::XbarMappedLayer>& mapped_layers() const {

@@ -1,12 +1,17 @@
 #include "nn/module.hpp"
 
+#include "core/rng.hpp"
+
 namespace rhw::nn {
 
 namespace {
-// Global (not thread-local): attack helpers toggle it around whole passes and
-// evaluation code is structured single-threaded at this level; worker threads
-// inside layers never toggle hooks.
-bool g_hooks_enabled = true;
+// Thread-local: exp::SweepEngine evaluates independent cells concurrently,
+// and each cell toggles hook gating around its own attack-gradient passes
+// (HooksDisabledScope). Hook checks always happen on the thread driving the
+// cell's forward/backward — thread-pool workers inside layers only run GEMM
+// chunks and never consult this flag — so per-thread gating is exactly the
+// per-cell gating the scheduler needs.
+thread_local bool g_hooks_enabled = true;
 }  // namespace
 
 Tensor Module::forward(const Tensor& x) {
@@ -51,6 +56,33 @@ std::vector<Module*> collect_weight_layers(Module& root) {
   std::vector<Module*> out;
   collect_weight_layers_impl(root, out);
   return out;
+}
+
+int Module::reseed_hook_streams(uint64_t seed) {
+  int reseeded = 0;
+  if (post_seeder_) {
+    post_seeder_(derive_stream_seed(seed, 0));
+    ++reseeded;
+  }
+  if (backward_seeder_) {
+    backward_seeder_(derive_stream_seed(seed, 1));
+    ++reseeded;
+  }
+  return reseeded;
+}
+
+namespace {
+void reseed_impl(Module& m, uint64_t seed, uint64_t& dfs_index, int& count) {
+  count += m.reseed_hook_streams(derive_stream_seed(seed, dfs_index++));
+  for (Module* kid : m.children()) reseed_impl(*kid, seed, dfs_index, count);
+}
+}  // namespace
+
+int reseed_noise_streams(Module& root, uint64_t seed) {
+  uint64_t dfs_index = 0;
+  int count = 0;
+  reseed_impl(root, seed, dfs_index, count);
+  return count;
 }
 
 int64_t Module::num_parameters() {

@@ -7,10 +7,11 @@
 //
 // Post-forward hooks model hardware noise on stored activations (hybrid 8T-6T
 // SRAM activation memories, DESIGN.md). Hooks mutate the forward output in
-// place. A process-global enable flag with an RAII disable scope implements
+// place. A thread-local enable flag with an RAII disable scope implements
 // the paper's rule that bit-error noise is *not* present during the gradient
 // computation of an attack (Sec. III-A: "we do not consider bit-error noise
-// during the gradient calculation step").
+// during the gradient calculation step"); thread-locality lets concurrent
+// sweep cells gate their own attack passes independently.
 #pragma once
 
 #include <functional>
@@ -41,6 +42,14 @@ struct Param {
 
 using ActivationHook = std::function<void(Tensor&)>;
 
+// Optional companion to a hook: reseeds the hook's private RNG stream(s).
+// Hooks that draw randomness (SRAM bit errors, crossbar read/gradient noise)
+// register one so evaluation passes can pin every noise stream to a derived
+// seed before running — the repo's per-pass reproducibility contract
+// (attacks/evaluate.cpp, README "Reproducibility"). Deterministic hooks
+// (quantization, test shims) simply omit it.
+using HookSeeder = std::function<void(uint64_t)>;
+
 class Module {
  public:
   virtual ~Module() = default;
@@ -69,23 +78,40 @@ class Module {
   // used for SRAM bit-error noise, which the paper excludes from attack
   // gradients. gated=false: the hook is part of the hardware forward path
   // (crossbar DAC/ADC quantization, read noise) and always applies.
-  void set_post_hook(ActivationHook hook, bool gated = true) {
+  // A stochastic hook passes a seeder so reseed_noise_streams can reach its
+  // RNG; the seeder lives and dies with the hook.
+  void set_post_hook(ActivationHook hook, bool gated = true,
+                     HookSeeder seeder = {}) {
     post_hook_ = std::move(hook);
     post_hook_gated_ = gated;
+    post_seeder_ = std::move(seeder);
   }
-  void clear_post_hook() { post_hook_ = nullptr; }
+  void clear_post_hook() {
+    post_hook_ = nullptr;
+    post_seeder_ = nullptr;
+  }
   bool has_post_hook() const { return static_cast<bool>(post_hook_); }
 
   // Backward hook: mutates the gradient flowing into this module's backward
-  // pass. Same gating semantics as post hooks.
-  void set_backward_hook(ActivationHook hook, bool gated = true) {
+  // pass. Same gating and seeder semantics as post hooks.
+  void set_backward_hook(ActivationHook hook, bool gated = true,
+                         HookSeeder seeder = {}) {
     backward_hook_ = std::move(hook);
     backward_hook_gated_ = gated;
+    backward_seeder_ = std::move(seeder);
   }
-  void clear_backward_hook() { backward_hook_ = nullptr; }
+  void clear_backward_hook() {
+    backward_hook_ = nullptr;
+    backward_seeder_ = nullptr;
+  }
   bool has_backward_hook() const { return static_cast<bool>(backward_hook_); }
 
-  // -- global hook gating -----------------------------------------------------
+  // Reseeds this module's hook RNG streams from `seed` (post hook gets the
+  // sub-stream 0, backward hook sub-stream 1). Returns the number of seeders
+  // invoked. Callers normally use the tree-walking reseed_noise_streams.
+  int reseed_hook_streams(uint64_t seed);
+
+  // -- hook gating (thread-local) ---------------------------------------------
   static bool hooks_enabled();
   // RAII: disables all post hooks in scope (used while computing attack
   // gradients).
@@ -109,8 +135,10 @@ class Module {
   bool training_ = true;
   ActivationHook post_hook_;
   bool post_hook_gated_ = true;
+  HookSeeder post_seeder_;
   ActivationHook backward_hook_;
   bool backward_hook_gated_ = true;
+  HookSeeder backward_seeder_;
 };
 
 using ModulePtr = std::unique_ptr<Module>;
@@ -119,5 +147,14 @@ using ModulePtr = std::unique_ptr<Module>;
 // from root, in execution order. Used by the crossbar mapper, QUANOS and the
 // weight-noise ablation.
 std::vector<Module*> collect_weight_layers(Module& root);
+
+// Reseeds every hook RNG stream in the module tree from `seed`. Each module
+// gets a sub-seed derived (splitmix64) from its depth-first position in the
+// tree — NOT from its position among hooked modules — so one site's stream
+// never depends on which other sites happen to carry hooks. Evaluation
+// harnesses call this at the start of each pass (clean vs adversarial) so
+// results are independent of what ran before; see attacks/evaluate.cpp.
+// Returns the number of seeders invoked.
+int reseed_noise_streams(Module& root, uint64_t seed);
 
 }  // namespace rhw::nn

@@ -4,18 +4,16 @@
 
 namespace rhw::sram {
 
-nn::ActivationHook make_sram_noise_hook(const SramNoiseConfig& cfg,
-                                        const BitErrorModel& model) {
-  auto injector = std::make_shared<BitErrorInjector>(cfg.word, model, cfg.vdd);
-  auto rng = std::make_shared<rhw::RandomEngine>(cfg.seed);
-  return [injector, rng](nn::Tensor& t) {
-    injector->apply_to_activations(t, *rng);
-  };
-}
-
 void attach_noise(nn::Module& site, const SramNoiseConfig& cfg,
                   const BitErrorModel& model) {
-  site.set_post_hook(make_sram_noise_hook(cfg, model));
+  auto injector = std::make_shared<BitErrorInjector>(cfg.word, model, cfg.vdd);
+  auto rng = std::make_shared<rhw::RandomEngine>(cfg.seed);
+  site.set_post_hook(
+      [injector, rng](nn::Tensor& t) { injector->apply_to_activations(t, *rng); },
+      /*gated=*/true,
+      // Seeder: lets evaluation passes pin the bit-error stream
+      // (nn::reseed_noise_streams; README "Reproducibility").
+      [rng](uint64_t seed) { rng->reseed(seed); });
 }
 
 void corrupt_layer_weights(nn::Module& layer, const SramNoiseConfig& cfg,

@@ -20,13 +20,10 @@ struct SramNoiseConfig {
   uint64_t seed = 0x5AA0;
 };
 
-// Builds an ActivationHook that corrupts the tensor through the hybrid
-// memory. The hook owns its RNG stream (seeded from cfg.seed), so repeated
-// evaluations draw fresh-but-reproducible error patterns.
-nn::ActivationHook make_sram_noise_hook(const SramNoiseConfig& cfg,
-                                        const BitErrorModel& model = {});
-
-// Installs the hook on a module (replacing any existing hook).
+// Installs a post-forward hook that corrupts the tensor through the hybrid
+// memory (replacing any existing hook). The hook owns its RNG stream (seeded
+// from cfg.seed) and registers a seeder, so evaluation passes can pin the
+// stream via nn::reseed_noise_streams (README "Reproducibility").
 void attach_noise(nn::Module& site, const SramNoiseConfig& cfg,
                   const BitErrorModel& model = {});
 

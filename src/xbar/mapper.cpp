@@ -33,7 +33,10 @@ void install_peripheral_hook(nn::Module& layer, const XbarMapConfig& cfg,
           }
           if (adc_bits > 0) quant::fake_quantize_symmetric_(t, adc_bits);
         },
-        /*gated=*/false);
+        /*gated=*/false,
+        // Read noise is stochastic: expose the stream to
+        // nn::reseed_noise_streams so evaluation passes are reproducible.
+        [rng](uint64_t seed) { rng->reseed(seed); });
   }
   // Gradients computed *through* the hardware (HH attacks, on-chip training)
   // read the same noisy analog arrays; additive RMS-relative noise scrambles
@@ -52,7 +55,8 @@ void install_peripheral_hook(nn::Module& layer, const XbarMapConfig& cfg,
           if (sigma_add <= 0.f) return;
           for (float& v : g.span()) v += sigma_add * grad_rng->gaussian();
         },
-        /*gated=*/false);
+        /*gated=*/false,
+        [grad_rng](uint64_t seed) { grad_rng->reseed(seed); });
   }
 }
 

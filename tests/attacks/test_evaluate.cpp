@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "data/synth_cifar.hpp"
+#include "hw/registry.hpp"
 #include "models/zoo.hpp"
 
 namespace rhw::attacks {
@@ -111,6 +112,50 @@ TEST_F(EvaluateTest, BatchSizeInvariance) {
   const double b = adversarial_accuracy(*model_->net, *model_->net,
                                         data_->test, big_batches);
   EXPECT_NEAR(a, b, 1e-9);
+}
+
+// Regression for the seed-stream coupling bug: the noisy eval net's hook RNG
+// used to advance during evaluate_attack's clean pass, so adversarial_accuracy
+// (no clean pass) reported different adv numbers for an identical config.
+// Both entry points must agree bit-for-bit, for FGSM and (stochastic) PGD.
+TEST_F(EvaluateTest, EntryPointsAgreeOnNoisyBackend) {
+  models::Model hw_model = models::clone_model(*model_, 0.125f, 16);
+  auto backend = hw::make_backend("sram:sites=2,num_8t=2,vdd=0.6");
+  backend->prepare(hw_model);
+  for (const AttackKind kind : {AttackKind::kFgsm, AttackKind::kPgd}) {
+    AdvEvalConfig cfg;
+    cfg.kind = kind;
+    cfg.epsilon = 0.1f;
+    cfg.pgd_steps = 3;
+    const auto full = evaluate_attack(*model_->net, backend->module(),
+                                      data_->test, cfg);
+    const double only = adversarial_accuracy(*model_->net, backend->module(),
+                                             data_->test, cfg);
+    EXPECT_DOUBLE_EQ(full.adv_acc, only) << attack_name(kind);
+    // Repeated evaluation with the same config is bit-identical: each pass
+    // reseeds the noise streams, so history cannot leak in.
+    const auto again = evaluate_attack(*model_->net, backend->module(),
+                                       data_->test, cfg);
+    EXPECT_DOUBLE_EQ(full.clean_acc, again.clean_acc) << attack_name(kind);
+    EXPECT_DOUBLE_EQ(full.adv_acc, again.adv_acc) << attack_name(kind);
+  }
+}
+
+// Nearby user seeds used to share per-batch streams: under the old additive
+// `seed + 0x9E37 * batch` derivation, batch k of seed s reused batch k-1's
+// stream of seed s + 0x9E37. The splitmix64 derivation must decorrelate
+// every (seed, batch) pair (the derivation itself is covered in
+// tests/core/test_rng.cpp; here we pin the exact collision pattern the
+// evaluation harness used to exhibit).
+TEST_F(EvaluateTest, NearbySeedsGiveIndependentStreams) {
+  const uint64_t seed = 1000;
+  for (uint64_t batch = 1; batch < 8; ++batch) {
+    const uint64_t craft_a =
+        derive_stream_seed(derive_stream_seed(seed, kCraftStream), batch);
+    const uint64_t craft_b = derive_stream_seed(
+        derive_stream_seed(seed + 0x9E37, kCraftStream), batch - 1);
+    EXPECT_NE(craft_a, craft_b) << "batch " << batch;
+  }
 }
 
 TEST(Evaluate, AttackNames) {

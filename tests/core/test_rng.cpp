@@ -22,6 +22,23 @@ TEST(Rng, DifferentSeedsDiffer) {
   EXPECT_EQ(same, 0);
 }
 
+TEST(Rng, DeriveStreamSeedAvalanchesBothInputs) {
+  // Deterministic.
+  EXPECT_EQ(derive_stream_seed(7, 3), derive_stream_seed(7, 3));
+  // No collisions across a dense block of (seed, stream) pairs — the old
+  // additive `seed + C * stream` derivation failed this for nearby seeds.
+  std::set<uint64_t> seen;
+  for (uint64_t seed = 1000; seed < 1000 + 64; ++seed) {
+    for (uint64_t stream = 0; stream < 64; ++stream) {
+      seen.insert(derive_stream_seed(seed, stream));
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u * 64u);
+  // The historical collision pattern specifically: (s, b) vs (s + 0x9E37,
+  // b - 1) shared streams under the old scheme.
+  EXPECT_NE(derive_stream_seed(42, 5), derive_stream_seed(42 + 0x9E37, 4));
+}
+
 TEST(Rng, ReseedRestartsStream) {
   RandomEngine a(55);
   const uint64_t first = a.next_u64();

@@ -1,0 +1,245 @@
+#include "exp/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "data/synth_cifar.hpp"
+#include "exp/al_runner.hpp"
+#include "hw/registry.hpp"
+#include "models/zoo.hpp"
+
+namespace rhw::exp {
+namespace {
+
+// Shared fixture: one small (untrained — determinism, not accuracy, is under
+// test) model and dataset for every grid.
+class SweepTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SynthCifarConfig dcfg;
+    dcfg.num_classes = 4;
+    dcfg.train_per_class = 4;
+    dcfg.test_per_class = 12;
+    dcfg.image_size = 16;
+    data_ = new data::SynthCifar(data::make_synth_cifar(dcfg));
+    model_ = new models::Model(models::build_model("vgg8", 4, 0.125f, 16));
+    model_->net->set_training(false);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete data_;
+    model_ = nullptr;
+    data_ = nullptr;
+  }
+
+  // A grid exercising every scheduling feature: spec + bind backends, shared
+  // eval backends, grad == eval pairing, eps == 0 rows, multiple attacks,
+  // multiple trials.
+  static SweepGrid make_grid() {
+    SweepGrid grid;
+    grid.model = model_;
+    grid.width_mult = 0.125f;
+    grid.in_size = 16;
+    grid.eval_set = &data_->test;
+    grid.base.batch_size = 16;
+    grid.trials = 2;
+    grid.backends.push_back({"ideal", "ideal", nullptr, nullptr});
+    grid.backends.push_back({"sram", "sram:sites=2,num_8t=2,vdd=0.6", nullptr,
+                             nullptr});
+    grid.backends.push_back({"xbar", "xbar:size=16", nullptr, nullptr});
+    grid.modes.push_back({"Attack-SW", "ideal", "ideal"});
+    grid.modes.push_back({"SH-sram", "ideal", "sram"});
+    grid.modes.push_back({"HH-xbar", "xbar", "xbar"});
+    grid.attacks.push_back({attacks::AttackKind::kFgsm, {0.f, 0.1f}});
+    grid.attacks.push_back({attacks::AttackKind::kPgd, {8.f / 255.f}});
+    return grid;
+  }
+
+  static SweepResult run_with_threads(unsigned threads) {
+    SweepEngine::Options opt;
+    opt.threads = threads;
+    SweepEngine engine(opt);
+    return engine.run(make_grid());
+  }
+
+  static void expect_identical(const SweepResult& a, const SweepResult& b) {
+    ASSERT_EQ(a.cells.size(), b.cells.size());
+    for (size_t i = 0; i < a.cells.size(); ++i) {
+      EXPECT_EQ(a.cells[i].seed, b.cells[i].seed) << "cell " << i;
+      EXPECT_DOUBLE_EQ(a.cells[i].clean_acc, b.cells[i].clean_acc)
+          << "cell " << i;
+      EXPECT_DOUBLE_EQ(a.cells[i].adv_acc, b.cells[i].adv_acc)
+          << "cell " << i;
+    }
+  }
+
+  static data::SynthCifar* data_;
+  static models::Model* model_;
+};
+
+data::SynthCifar* SweepTest::data_ = nullptr;
+models::Model* SweepTest::model_ = nullptr;
+
+TEST_F(SweepTest, GridShapeAndZeroEpsilonRows) {
+  const auto result = run_with_threads(2);
+  // 3 modes x (2 FGSM eps + 1 PGD eps) x 2 trials.
+  EXPECT_EQ(result.cells.size(), 3u * 3u * 2u);
+  EXPECT_EQ(result.aggregates.size(), 3u * 3u);
+  for (const auto& cell : result.cells) {
+    if (cell.epsilon == 0.f) {
+      EXPECT_DOUBLE_EQ(cell.adv_acc, cell.clean_acc);
+      EXPECT_DOUBLE_EQ(cell.al, 0.0);
+    }
+    EXPECT_DOUBLE_EQ(cell.al, cell.clean_acc - cell.adv_acc);
+  }
+  for (const auto& agg : result.aggregates) EXPECT_EQ(agg.al.n, 2);
+}
+
+// The acceptance property: a grid run twice, and with 1 lane vs N lanes, is
+// bit-identical — execution order and replica count never leak into results.
+TEST_F(SweepTest, BitIdenticalAcrossRunsAndThreadCounts) {
+  const auto serial = run_with_threads(1);
+  const auto parallel = run_with_threads(4);
+  const auto parallel_again = run_with_threads(4);
+  expect_identical(serial, parallel);
+  expect_identical(parallel, parallel_again);
+}
+
+// al_curve is the single-row special case of the engine's seed derivation: a
+// one-mode grid must reproduce it bit-for-bit.
+TEST_F(SweepTest, SingleRowGridMatchesAlCurve) {
+  // Serial reference: manual clone + prepare, then al_curve.
+  models::Model manual = models::clone_model(*model_, 0.125f, 16);
+  auto manual_backend = hw::make_backend("sram:sites=2,num_8t=2,vdd=0.6");
+  manual_backend->prepare(manual);
+  const std::vector<float> eps{0.f, 0.1f, 0.2f};
+  const auto reference =
+      al_curve("SH", *model_->net, manual_backend->module(), data_->test,
+               attacks::AttackKind::kFgsm, eps);
+
+  SweepGrid grid;
+  grid.model = model_;
+  grid.width_mult = 0.125f;
+  grid.in_size = 16;
+  grid.eval_set = &data_->test;
+  grid.backends.push_back({"ideal", "ideal", nullptr, nullptr});
+  grid.backends.push_back({"sram", "sram:sites=2,num_8t=2,vdd=0.6", nullptr,
+                           nullptr});
+  grid.modes.push_back({"SH", "ideal", "sram"});
+  grid.attacks.push_back({attacks::AttackKind::kFgsm, eps});
+  SweepEngine::Options opt;
+  opt.threads = 3;
+  SweepEngine engine(opt);
+  const auto curve = engine.run(grid).curve("SH", attacks::AttackKind::kFgsm);
+
+  ASSERT_EQ(curve.points.size(), reference.points.size());
+  for (size_t i = 0; i < curve.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(curve.points[i].clean_acc, reference.points[i].clean_acc)
+        << "eps " << eps[i];
+    EXPECT_DOUBLE_EQ(curve.points[i].adv_acc, reference.points[i].adv_acc)
+        << "eps " << eps[i];
+  }
+}
+
+TEST_F(SweepTest, BindBackendsReplicateDeterministically) {
+  SweepGrid grid;
+  grid.model = model_;
+  grid.width_mult = 0.125f;
+  grid.in_size = 16;
+  grid.eval_set = &data_->test;
+  grid.trials = 2;
+  SweepBackendDef def;
+  def.key = "wrapped";
+  def.bind = [](models::Model& m) {
+    auto backend = hw::make_backend("sram:sites=1,num_8t=4");
+    backend->prepare(m);
+    return backend;
+  };
+  grid.backends.push_back(std::move(def));
+  grid.backends.push_back({"ideal", "ideal", nullptr, nullptr});
+  grid.modes.push_back({"SH", "ideal", "wrapped"});
+  grid.attacks.push_back({attacks::AttackKind::kFgsm, {0.15f}});
+
+  SweepEngine::Options serial_opt;
+  serial_opt.threads = 1;
+  SweepEngine::Options parallel_opt;
+  parallel_opt.threads = 4;
+  SweepEngine serial_engine(serial_opt);
+  SweepEngine parallel_engine(parallel_opt);
+  const auto a = serial_engine.run(grid);
+  const auto b = parallel_engine.run(grid);
+  expect_identical(a, b);
+}
+
+TEST_F(SweepTest, MalformedGridsThrow) {
+  SweepGrid grid = make_grid();
+  grid.modes.push_back({"bad", "ideal", "nope"});
+  SweepEngine engine;
+  EXPECT_THROW(engine.run(grid), std::invalid_argument);
+
+  SweepGrid dup = make_grid();
+  dup.backends.push_back({"ideal", "ideal", nullptr, nullptr});
+  EXPECT_THROW(engine.run(dup), std::invalid_argument);
+
+  SweepGrid no_model = make_grid();
+  no_model.model = nullptr;
+  EXPECT_THROW(engine.run(no_model), std::invalid_argument);
+
+  SweepGrid no_spec = make_grid();
+  no_spec.backends.push_back({"empty", "", nullptr, nullptr});
+  EXPECT_THROW(engine.run(no_spec), std::invalid_argument);
+}
+
+TEST_F(SweepTest, EngineExposesPrototypeBackends) {
+  SweepEngine engine;
+  (void)engine.run(make_grid());
+  ASSERT_NE(engine.backend("xbar"), nullptr);
+  EXPECT_EQ(engine.backend("xbar")->name(), "xbar");
+  EXPECT_TRUE(engine.backend("xbar")->prepared());
+  EXPECT_EQ(engine.backend("unknown"), nullptr);
+}
+
+TEST_F(SweepTest, WriteJsonEmitsCellsAndAggregates) {
+  SweepEngine engine;
+  const auto result = engine.run(make_grid());
+  const auto path =
+      (std::filesystem::temp_directory_path() / "rhw_sweep_test.json")
+          .string();
+  result.write_json(path, "sweep_test");
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"schema\":\"rhw-sweep-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"figure\":\"sweep_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"SH-sram\""), std::string::npos);
+  EXPECT_NE(json.find("\"al_ci95\""), std::string::npos);
+  size_t cell_count = 0;
+  for (size_t pos = 0; (pos = json.find("\"trial\":", pos)) != std::string::npos;
+       ++pos) {
+    ++cell_count;
+  }
+  EXPECT_EQ(cell_count, result.cells.size());
+  std::remove(path.c_str());
+}
+
+TEST(SweepSeeds, DerivationIsCoordinateStable) {
+  const uint64_t base = 0xADE5;
+  EXPECT_EQ(sweep_cell_seed(base, 1, 2, 3, 0), sweep_cell_seed(base, 1, 2, 3, 0));
+  EXPECT_NE(sweep_cell_seed(base, 0, 0, 0, 0), sweep_cell_seed(base, 1, 0, 0, 0));
+  EXPECT_NE(sweep_cell_seed(base, 0, 0, 0, 0), sweep_cell_seed(base, 0, 1, 0, 0));
+  EXPECT_NE(sweep_cell_seed(base, 0, 0, 0, 0), sweep_cell_seed(base, 0, 0, 1, 0));
+  EXPECT_NE(sweep_cell_seed(base, 0, 0, 0, 0), sweep_cell_seed(base, 0, 0, 0, 1));
+  EXPECT_NE(sweep_clean_seed(base, 0), sweep_clean_seed(base, 1));
+  // Nearby base seeds decorrelate (the old additive scheme collided).
+  EXPECT_NE(sweep_cell_seed(base, 0, 0, 0, 0),
+            sweep_cell_seed(base + 0x9E37, 0, 0, 0, 0));
+}
+
+}  // namespace
+}  // namespace rhw::exp

@@ -35,6 +35,59 @@ TEST(BackendRegistry, MalformedOptionThrows) {
   EXPECT_THROW(hw::make_backend("xbar:size"), std::invalid_argument);
 }
 
+// Parse failures must name the offending key, the bad value, AND the full
+// spec string (regression: they used to surface as bare std::stod errors).
+TEST(BackendRegistry, ParseErrorNamesKeyValueAndSpec) {
+  try {
+    hw::make_backend("xbar:size=32,rmin=abc");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("rmin"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("abc"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("xbar:size=32,rmin=abc"), std::string::npos) << msg;
+  }
+  try {
+    hw::make_backend("sram:sites=3junk");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("sites"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("3junk"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("sram:sites=3junk"), std::string::npos) << msg;
+  }
+}
+
+// Trailing garbage after a numeric value is rejected, not silently truncated.
+TEST(BackendRegistry, TrailingGarbageRejected) {
+  EXPECT_THROW(hw::make_backend("sram:vdd=0.68volts"), std::invalid_argument);
+  EXPECT_THROW(hw::make_backend("xbar:rmin=10e3 "), std::invalid_argument);
+  EXPECT_THROW(hw::make_backend("xbar:adc_bits=5.5"), std::invalid_argument);
+}
+
+TEST(BackendRegistry, ReplicateReproducesConfig) {
+  auto backend = hw::make_backend("xbar:size=16,rmin=10e3,adc_bits=6");
+  auto replica = backend->replicate();
+  ASSERT_NE(replica, nullptr);
+  const auto* xb = dynamic_cast<const hw::XbarBackend*>(replica.get());
+  ASSERT_NE(xb, nullptr);
+  EXPECT_EQ(xb->config().map.spec.rows, 16);
+  EXPECT_DOUBLE_EQ(xb->config().map.spec.r_min, 10e3);
+  EXPECT_EQ(xb->config().map.adc_bits, 6);
+  EXPECT_FALSE(replica->prepared());
+
+  // SramBackend carries its installed selection into the replica, so replica
+  // prepare() skips the calibration-driven selector.
+  models::Model model = models::build_model("vgg8", 10, 0.125f, 16);
+  auto sram = hw::make_backend("sram:sites=2");
+  sram->prepare(model);
+  auto sram_replica = sram->replicate();
+  ASSERT_NE(sram_replica, nullptr);
+  const auto* sb = dynamic_cast<const hw::SramBackend*>(sram_replica.get());
+  ASSERT_NE(sb, nullptr);
+  EXPECT_EQ(sb->config().selection.size(), 2u);
+}
+
 TEST(BackendRegistry, NegativeIntegerOptionThrows) {
   EXPECT_THROW(hw::make_backend("xbar:size=-1"), std::invalid_argument);
   EXPECT_THROW(hw::make_backend("sram:sites=-2"), std::invalid_argument);
