@@ -23,9 +23,12 @@ int main() {
   for (int k : {1, 4, 16}) {
     for (float eps : eps_list) {
       attacks::AdvEvalConfig cfg;
-      cfg.kind = attacks::AttackKind::kPgd;
+      // k=1 is the paper's plain HH-PGD; k>1 averages gradients over k
+      // independently-reseeded noisy passes per step (the registry's
+      // stochastic-aware "eot_pgd").
+      cfg.attack = k == 1 ? "pgd"
+                          : "eot_pgd:samples=" + std::to_string(k);
       cfg.epsilon = eps;
-      cfg.pgd_grad_samples = k;
       const double adv = attacks::adversarial_accuracy(*mapped.net,
                                                        *mapped.net,
                                                        wb.eval_set, cfg);
@@ -37,7 +40,7 @@ int main() {
   // Reference: the software white-box attack.
   for (float eps : eps_list) {
     attacks::AdvEvalConfig cfg;
-    cfg.kind = attacks::AttackKind::kPgd;
+    cfg.attack = "pgd";
     cfg.epsilon = eps;
     const auto sw = attacks::evaluate_attack(*wb.trained.model.net,
                                              *wb.trained.model.net,

@@ -25,7 +25,7 @@ int main() {
         bench::map_model(wb.trained.model, 32, 20e3,
                          0xC41B + static_cast<uint64_t>(chip) * 7919);
     attacks::AdvEvalConfig cfg;
-    cfg.kind = attacks::AttackKind::kFgsm;
+    cfg.attack = "fgsm";
     cfg.epsilon = eps;
     const auto res = attacks::evaluate_attack(*wb.trained.model.net,
                                               *mapped.net, wb.eval_set, cfg);
@@ -37,7 +37,7 @@ int main() {
   }
   // Software reference.
   attacks::AdvEvalConfig cfg;
-  cfg.kind = attacks::AttackKind::kFgsm;
+  cfg.attack = "fgsm";
   cfg.epsilon = eps;
   const auto sw = attacks::evaluate_attack(*wb.trained.model.net,
                                            *wb.trained.model.net, wb.eval_set,

@@ -61,7 +61,7 @@ void run_arch_dataset(const std::string& arch, const std::string& dataset,
   // Attack gradients come from the clean model (noise never in gradients).
   grid.modes.push_back({"Baseline", "ideal", "ideal"});
   grid.modes.push_back({"BitErrorNoise", "ideal", "noisy"});
-  grid.attacks.push_back({attacks::AttackKind::kFgsm, exp::fgsm_epsilons()});
+  grid.attacks.push_back({"fgsm", exp::fgsm_epsilons()});
 
   exp::SweepEngine engine(bench::sweep_options());
   const exp::SweepResult result = engine.run(grid);
@@ -70,9 +70,8 @@ void run_arch_dataset(const std::string& arch, const std::string& dataset,
   bench::finish_sweep(grid, result, tag);
 
   const auto eps = exp::fgsm_epsilons();
-  const auto base_curve = result.curve("Baseline", attacks::AttackKind::kFgsm);
-  const auto noisy_curve =
-      result.curve("BitErrorNoise", attacks::AttackKind::kFgsm);
+  const auto base_curve = result.curve("Baseline", "fgsm");
+  const auto noisy_curve = result.curve("BitErrorNoise", "fgsm");
 
   std::vector<exp::Series> panel(2);
   panel[0].label = "Baseline";

@@ -24,7 +24,7 @@ int main() {
     grid.modes.push_back({key + "/SH", "ideal", key});
     grid.modes.push_back({key + "/HH", key, key});
   }
-  grid.attacks.push_back({attacks::AttackKind::kPgd, eps});
+  grid.attacks.push_back({"pgd", eps});
 
   exp::SweepEngine engine(bench::sweep_options());
   const exp::SweepResult result = engine.run(grid);
@@ -36,8 +36,7 @@ int main() {
     const std::string key = "r" + std::to_string(static_cast<int>(r_min / 1e3));
     bench::print_map_report(engine, key, wb.trained.model.name, 32, r_min);
     for (const char* mode : {"SH", "HH"}) {
-      const auto curve = result.curve(key + "/" + mode,
-                                      attacks::AttackKind::kPgd);
+      const auto curve = result.curve(key + "/" + mode, "pgd");
       table.add_row({exp::fmt(r_min / 1e3, 0) + " kOhm", mode,
                      exp::fmt(curve.points[0].al, 2),
                      exp::fmt(curve.points[1].al, 2),

@@ -70,8 +70,8 @@ int main() {
   grid.modes.push_back({"SH-Cross32", "ideal", "x32"});
   grid.modes.push_back({"4b-discretization", "disc4b", "disc4b"});
   grid.modes.push_back({"QUANOS", "quanos", "quanos"});
-  grid.attacks.push_back({attacks::AttackKind::kFgsm, exp::fgsm_epsilons()});
-  grid.attacks.push_back({attacks::AttackKind::kPgd, exp::pgd_epsilons()});
+  grid.attacks.push_back({"fgsm", exp::fgsm_epsilons()});
+  grid.attacks.push_back({"pgd", exp::pgd_epsilons()});
 
   exp::SweepEngine engine(bench::sweep_options());
   const exp::SweepResult result = engine.run(grid);
@@ -79,12 +79,11 @@ int main() {
   bench::print_map_report(engine, "x32", wb.trained.model.name, 32, 20e3);
 
   exp::TablePrinter table({"attack", "defense", "eps", "clean", "adv", "AL"});
-  for (const auto kind :
-       {attacks::AttackKind::kFgsm, attacks::AttackKind::kPgd}) {
-    const std::string attack = attacks::attack_name(kind);
+  for (const std::string spec : {"fgsm", "pgd"}) {
+    const std::string attack = attacks::attack_display_name(spec);
     for (const char* mode :
          {"Attack-SW", "SH-Cross32", "4b-discretization", "QUANOS"}) {
-      add_curve(table, result.curve(mode, kind), attack);
+      add_curve(table, result.curve(mode, spec), attack);
     }
   }
   table.print();

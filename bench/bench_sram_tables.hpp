@@ -105,7 +105,7 @@ inline void print_config_table(const std::string& arch,
     grid.backends.push_back(std::move(noisy));
     grid.modes.push_back({"Baseline", "ideal", "ideal"});
     grid.modes.push_back({"BitErrorNoise", "ideal", "noisy"});
-    grid.attacks.push_back({attacks::AttackKind::kFgsm, {probe_eps}});
+    grid.attacks.push_back({"fgsm", {probe_eps}});
 
     exp::SweepEngine engine(sweep_options());
     const exp::SweepResult sweep = engine.run(grid);

@@ -1,8 +1,10 @@
 // Sweep-engine smoke: a tiny grid (untrained VGG8, SRAM + crossbar arms,
-// FGSM + PGD, 2 trials) run on a couple of lanes, with a built-in serial
-// parity check and a speedup report. This is the CI guard for the engine's
-// determinism contract: parallel results must be bit-identical to the serial
-// path on every platform, every run. Writes BENCH_sweep_smoke.json.
+// FGSM + PGD plus stochastic-aware EOT-PGD and black-box Square cells,
+// 2 trials) run on a couple of lanes, with a built-in serial parity check
+// and a speedup report. This is the CI guard for the engine's determinism
+// contract: parallel results must be bit-identical to the serial path on
+// every platform, every run — including for attacks that reseed or query
+// the eval net while crafting. Writes BENCH_sweep_smoke.json.
 //
 //   $ ./bench_sweep_smoke            # lanes from RHW_SWEEP_THREADS (default 2)
 #include "bench_common.hpp"
@@ -40,9 +42,14 @@ int main() {
   grid.modes.push_back({"SH-sram", "ideal", "sram"});
   grid.modes.push_back({"SH-xbar", "ideal", "xbar"});
   grid.modes.push_back({"HH-xbar", "xbar", "xbar"});
-  grid.attacks.push_back(
-      {attacks::AttackKind::kFgsm, {0.f, 0.1f, 0.2f}});
-  grid.attacks.push_back({attacks::AttackKind::kPgd, {8.f / 255.f}});
+  grid.attacks.push_back({"fgsm", {0.f, 0.1f, 0.2f}});
+  grid.attacks.push_back({"pgd", {8.f / 255.f}});
+  // Stochastic-aware arms, tiny budgets: what's under test is that attacks
+  // which reseed (EOT-PGD) or query (Square) the eval net while crafting
+  // still sweep bit-identically at any lane count.
+  grid.attacks.push_back({"eot_pgd:steps=2,samples=2", {8.f / 255.f}});
+  grid.attacks.push_back({"square:queries=12", {0.1f}});
+  grid.attacks.push_back({"mifgsm:steps=2", {0.1f}});
 
   exp::SweepEngine::Options opt;
   opt.threads = exp::sweep_threads_env(2);

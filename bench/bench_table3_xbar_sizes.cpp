@@ -22,7 +22,7 @@ int main() {
     grid.backends.push_back({key, bench::xbar_spec(size), nullptr, nullptr});
     grid.modes.push_back({"HH/" + key, key, key});
   }
-  grid.attacks.push_back({attacks::AttackKind::kPgd, eps});
+  grid.attacks.push_back({"pgd", eps});
 
   exp::SweepEngine engine(bench::sweep_options());
   const exp::SweepResult result = engine.run(grid);
@@ -33,7 +33,7 @@ int main() {
   for (const int64_t size : sizes) {
     const std::string key = "x" + std::to_string(size);
     bench::print_map_report(engine, key, wb.trained.model.name, size, 20e3);
-    const auto curve = result.curve("HH/" + key, attacks::AttackKind::kPgd);
+    const auto curve = result.curve("HH/" + key, "pgd");
     for (size_t i = 0; i < eps.size(); ++i) {
       al[i].push_back(curve.points[i].al);
     }

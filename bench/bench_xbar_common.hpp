@@ -90,14 +90,15 @@ inline void add_mode_rows(exp::TablePrinter& table,
                           const std::string& size_label,
                           const std::string& mode_name,
                           const std::string& mode_label,
-                          attacks::AttackKind kind) {
-  const auto curve = result.curve(mode_label, kind);
+                          const std::string& attack_spec) {
+  const auto curve = result.curve(mode_label, attack_spec);
+  const std::string attack = attacks::attack_display_name(attack_spec);
   exp::Series series;
   series.label = mode_name;
   for (const auto& pt : curve.points) {
-    table.add_row({size_label, attacks::attack_name(kind), mode_name,
-                   exp::fmt(pt.epsilon, 3), exp::fmt(pt.clean_acc, 2),
-                   exp::fmt(pt.adv_acc, 2), exp::fmt(pt.al, 2)});
+    table.add_row({size_label, attack, mode_name, exp::fmt(pt.epsilon, 3),
+                   exp::fmt(pt.clean_acc, 2), exp::fmt(pt.adv_acc, 2),
+                   exp::fmt(pt.al, 2)});
     series.x.push_back(pt.epsilon);
     series.y.push_back(pt.al);
   }
@@ -129,8 +130,8 @@ inline void run_xbar_figure(const std::string& arch,
     grid.modes.push_back({size_label + "/SH", "ideal", key});
     grid.modes.push_back({size_label + "/HH", key, key});
   }
-  grid.attacks.push_back({attacks::AttackKind::kFgsm, exp::fgsm_epsilons()});
-  grid.attacks.push_back({attacks::AttackKind::kPgd, exp::pgd_epsilons()});
+  grid.attacks.push_back({"fgsm", exp::fgsm_epsilons()});
+  grid.attacks.push_back({"pgd", exp::pgd_epsilons()});
 
   exp::SweepEngine engine(sweep_options());
   const exp::SweepResult result = engine.run(grid);
@@ -142,15 +143,14 @@ inline void run_xbar_figure(const std::string& arch,
     const std::string key = "x" + std::to_string(size);
     const std::string size_label = "Cross" + std::to_string(size);
     print_map_report(engine, key, wb.trained.model.name, size, 20e3);
-    for (const auto kind :
-         {attacks::AttackKind::kFgsm, attacks::AttackKind::kPgd}) {
+    for (const std::string spec : {"fgsm", "pgd"}) {
       std::vector<exp::Series> panel;
       for (const char* mode : {"Attack-SW", "SH", "HH"}) {
         add_mode_rows(table, panel, result, size_label, mode,
-                      size_label + "/" + mode, kind);
+                      size_label + "/" + mode, spec);
       }
       exp::PlotOptions opt;
-      opt.title = size_label + " - " + attacks::attack_name(kind) +
+      opt.title = size_label + " - " + attacks::attack_display_name(spec) +
                   " attack (AL vs eps)";
       opt.y_min = 0;
       opt.y_max = 100;

@@ -76,7 +76,7 @@ int main() {
     std::printf("  energy: %s\n", backend->energy_report().summary().c_str());
 
     attacks::AdvEvalConfig cfg;
-    cfg.kind = attacks::AttackKind::kFgsm;
+    cfg.attack = "fgsm";
     cfg.epsilon = 0.1f;
     const auto sw = attacks::evaluate_attack(*ideal, *ideal, dataset.test,
                                              cfg);

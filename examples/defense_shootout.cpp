@@ -84,8 +84,8 @@ int main() {
   grid.modes.push_back({"crossbar-SH", "ideal", "xbar"});
   grid.modes.push_back({"4b-discretize", "disc4b", "disc4b"});
   grid.modes.push_back({"QUANOS", "quanos", "quanos"});
-  grid.attacks.push_back({attacks::AttackKind::kFgsm, {0.1f}});
-  grid.attacks.push_back({attacks::AttackKind::kPgd, {8.f / 255.f}});
+  grid.attacks.push_back({"fgsm", {0.1f}});
+  grid.attacks.push_back({"pgd", {8.f / 255.f}});
 
   exp::SweepEngine engine;
   const exp::SweepResult result = engine.run(grid);

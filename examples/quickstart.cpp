@@ -39,21 +39,22 @@ int main() {
   const double clean = models::train_model(model, dataset, tcfg);
   std::printf("clean test accuracy: %.2f%%\n\n", 100.0 * clean);
 
-  // 3. Attack it and report the paper's Adversarial Loss metric. Hardware is
-  // selected through the backend registry; "ideal" is the software reference
-  // (Attack-SW = same backend for gradients and evaluation). Swap the string
-  // for "sram:..." or "xbar:..." to attack a noisy substrate instead.
+  // 3. Attack it and report the paper's Adversarial Loss metric. Both sides
+  // of the experiment are registry strings: hardware comes from the backend
+  // registry ("ideal" is the software reference; swap in "sram:..." or
+  // "xbar:..." to attack a noisy substrate), the adversary from the attack
+  // registry ("fgsm", "pgd:steps=7", "eot_pgd:samples=8",
+  // "square:queries=200", ... — docs/ATTACKS.md lists them all).
   auto backend = hw::make_backend("ideal");
   backend->prepare(model);
   for (float eps : {0.05f, 0.1f, 0.2f}) {
     attacks::AdvEvalConfig fgsm_cfg;
-    fgsm_cfg.kind = attacks::AttackKind::kFgsm;
+    fgsm_cfg.attack = "fgsm";
     fgsm_cfg.epsilon = eps;
     const auto fgsm = attacks::evaluate_attack(*backend, *backend,
                                                dataset.test, fgsm_cfg);
     attacks::AdvEvalConfig pgd_cfg = fgsm_cfg;
-    pgd_cfg.kind = attacks::AttackKind::kPgd;
-    pgd_cfg.pgd_steps = 7;
+    pgd_cfg.attack = "pgd:steps=7";
     const auto pgd = attacks::evaluate_attack(*backend, *backend,
                                               dataset.test, pgd_cfg);
     std::printf(

@@ -1,5 +1,7 @@
 #include "attacks/evaluate.hpp"
 
+#include <stdexcept>
+
 namespace rhw::attacks {
 
 namespace {
@@ -12,22 +14,20 @@ uint64_t batch_craft_seed(uint64_t cfg_seed, uint64_t batch_index) {
                             batch_index);
 }
 
-Tensor craft(nn::Module& grad_net, const Tensor& x,
-             const std::vector<int64_t>& labels, const AdvEvalConfig& cfg,
-             uint64_t batch_seed) {
-  if (cfg.kind == AttackKind::kFgsm) {
-    FgsmConfig fc;
-    fc.epsilon = cfg.epsilon;
-    return fgsm(grad_net, x, labels, fc);
+// Builds the configured adversary, with the config's epsilon axis overriding
+// whatever the spec embeds. The empty-spec check is explicit so the error
+// says what actually went wrong (an empty spec used to fall through parsing
+// and could be misread as "run a clean-only pass").
+AttackPtr build_attack(const AdvEvalConfig& cfg) {
+  if (cfg.attack.empty()) {
+    throw std::invalid_argument(
+        "AdvEvalConfig::attack is empty — an evaluation needs an attack spec "
+        "(e.g. \"fgsm\", \"pgd:steps=7\"); use clean_accuracy for a "
+        "clean-only pass");
   }
-  PgdConfig pc;
-  pc.epsilon = cfg.epsilon;
-  pc.steps = cfg.pgd_steps;
-  pc.alpha = cfg.pgd_alpha;
-  pc.random_start = cfg.pgd_random_start;
-  pc.grad_samples = cfg.pgd_grad_samples;
-  pc.seed = batch_seed;
-  return pgd(grad_net, x, labels, pc);
+  AttackPtr attack = make_attack(cfg.attack);
+  attack->set_epsilon(cfg.epsilon);
+  return attack;
 }
 
 int64_t count_correct(nn::Module& net, const Tensor& x,
@@ -46,6 +46,9 @@ int64_t count_correct(nn::Module& net, const Tensor& x,
 AdvEvalResult evaluate_attack(nn::Module& grad_net, nn::Module& eval_net,
                               const data::Dataset& ds,
                               const AdvEvalConfig& cfg) {
+  // Validate the spec before paying for the clean pass — a typo'd attack
+  // must fail fast, not after minutes of clean evaluation.
+  (void)build_attack(cfg);
   // Composing the two single-pass entry points is the parity guarantee: each
   // pass pins its own noise streams from cfg.seed, so the clean pass cannot
   // perturb the adversarial numbers (and vice versa).
@@ -58,13 +61,15 @@ AdvEvalResult evaluate_attack(nn::Module& grad_net, nn::Module& eval_net,
 double adversarial_accuracy(nn::Module& grad_net, nn::Module& eval_net,
                             const data::Dataset& ds,
                             const AdvEvalConfig& cfg) {
+  const AttackPtr attack = build_attack(cfg);
+
   const bool grad_was_training = grad_net.training();
   const bool eval_was_training = eval_net.training();
   grad_net.set_training(false);
   eval_net.set_training(false);
 
-  nn::reseed_noise_streams(eval_net,
-                           derive_stream_seed(cfg.seed, kAdvPassStream));
+  const uint64_t adv_pass = derive_stream_seed(cfg.seed, kAdvPassStream);
+  nn::reseed_noise_streams(eval_net, adv_pass);
   if (&grad_net != &eval_net) {
     nn::reseed_noise_streams(grad_net,
                              derive_stream_seed(cfg.seed, kGradPassStream));
@@ -74,9 +79,19 @@ double adversarial_accuracy(nn::Module& grad_net, nn::Module& eval_net,
   uint64_t batch_index = 0;
   for (int64_t begin = 0; begin < ds.size(); begin += cfg.batch_size) {
     const auto batch = ds.slice(begin, begin + cfg.batch_size);
-    const Tensor adv = craft(grad_net, batch.images, batch.labels, cfg,
-                             batch_craft_seed(cfg.seed, batch_index++));
+    AttackContext ctx;
+    ctx.grad_net = &grad_net;
+    ctx.eval_net = &eval_net;
+    ctx.seed = batch_craft_seed(cfg.seed, batch_index);
+    const Tensor adv = attack->perturb(ctx, batch.images, batch.labels);
+    // Re-pin the measurement streams per batch: crafting may have queried or
+    // reseeded eval_net (Square, EOT-PGD in HH mode), and the measured
+    // accuracy must be a pure function of (nets, dataset, config) no matter
+    // which attack ran.
+    nn::reseed_noise_streams(eval_net,
+                             derive_stream_seed(adv_pass, batch_index));
     adv_correct += count_correct(eval_net, adv, batch.labels);
+    ++batch_index;
   }
   grad_net.set_training(grad_was_training);
   eval_net.set_training(eval_was_training);
@@ -119,10 +134,6 @@ double adversarial_accuracy(hw::HardwareBackend& grad_hw,
 double clean_accuracy(hw::HardwareBackend& eval_hw, const data::Dataset& ds,
                       int64_t batch_size, uint64_t seed) {
   return clean_accuracy(eval_hw.module(), ds, batch_size, seed);
-}
-
-std::string attack_name(AttackKind kind) {
-  return kind == AttackKind::kFgsm ? "FGSM" : "PGD";
 }
 
 }  // namespace rhw::attacks

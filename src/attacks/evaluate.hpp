@@ -7,30 +7,40 @@
 //   HH:        grad_net == eval_net == hardware model
 // For SRAM experiments the "hardware model" is the baseline with noise hooks
 // attached; hooks are globally disabled during gradient computation, so HH
-// and SH coincide there exactly as in the paper.
+// and SH coincide there exactly as in the paper. (Stochastic-aware attacks —
+// "eot_pgd", "square" — opt out of that gating by construction; see
+// attacks/registry.hpp.)
+//
+// The adversary itself is a registry spec string (AdvEvalConfig::attack):
+// the harness never names concrete attacks, mirroring how hardware is a
+// hw::BackendRegistry spec on the other side of the experiment.
 #pragma once
 
 #include <string>
 
-#include "attacks/pgd.hpp"
+#include "attacks/registry.hpp"
 #include "data/dataset.hpp"
 #include "hw/backend.hpp"
 
 namespace rhw::attacks {
-
-enum class AttackKind { kFgsm, kPgd };
 
 // Default evaluation seed, shared by AdvEvalConfig and clean_accuracy so the
 // two entry points agree when callers stick to defaults.
 inline constexpr uint64_t kDefaultEvalSeed = 0xADE5;
 
 struct AdvEvalConfig {
-  AttackKind kind = AttackKind::kFgsm;
+  // AttackRegistry spec ("fgsm", "pgd:steps=7", "eot_pgd:samples=8",
+  // "square:queries=200", ...). Must be non-empty: evaluate_attack and
+  // adversarial_accuracy throw std::invalid_argument on an empty spec rather
+  // than silently degrading to a clean-only pass.
+  std::string attack = "fgsm";
+  // L-inf budget; overrides any eps=... in the spec (sweeps drive this axis
+  // per cell). At 0 every attack returns the inputs unchanged; note the
+  // "adversarial" pass still measures them under its own noise streams, so
+  // on stochastic backends adv_acc at eps 0 is a fresh noise draw, not a
+  // bitwise copy of clean_acc (exp::SweepEngine reports adv = clean for
+  // eps 0 rows instead of evaluating them).
   float epsilon = 0.1f;
-  int pgd_steps = 7;
-  float pgd_alpha = 0.f;        // 0 = auto
-  bool pgd_random_start = true;
-  int pgd_grad_samples = 1;     // >1 = EOT (adaptive attack on noisy hardware)
   int64_t batch_size = 100;
   uint64_t seed = kDefaultEvalSeed;
 };
@@ -42,12 +52,17 @@ struct AdvEvalResult {
 };
 
 // -- seeding contract ---------------------------------------------------------
-// Every evaluation pass pins the eval net's hook noise streams before its
-// first forward (nn::reseed_noise_streams), from a stream derived off the
-// config seed: the clean pass uses derive_stream_seed(seed, kCleanPassStream)
-// and the adversarial pass derive_stream_seed(seed, kAdvPassStream). Per-batch
-// attack seeds come from derive_stream_seed(derive_stream_seed(seed,
-// kCraftStream), batch_index). Consequences:
+// Every evaluation pass pins the nets' hook noise streams from streams
+// derived off the config seed:
+//   * clean pass:   reseed eval_net with derive(seed, kCleanPassStream)
+//                   before its first forward;
+//   * adversarial pass: grad_net gets derive(seed, kGradPassStream) once;
+//     batch b is crafted under seed derive(derive(seed, kCraftStream), b),
+//     and eval_net is re-pinned with derive(derive(seed, kAdvPassStream), b)
+//     AFTER crafting and before measuring batch b — so attacks that query or
+//     reseed the eval net while crafting (Square's black-box queries,
+//     EOT-PGD in HH mode) cannot perturb the measurement streams.
+// Consequences:
 //   * evaluate_attack and adversarial_accuracy report bit-identical adv_acc
 //     for the same config (the clean pass can no longer advance the noise
 //     stream the adversarial pass consumes);
@@ -60,11 +75,11 @@ inline constexpr uint64_t kAdvPassStream = 0xADF0;
 inline constexpr uint64_t kGradPassStream = 0x66AD;
 inline constexpr uint64_t kCraftStream = 0xCAF7;
 
-// Evaluates eval_net on ds cleanly and under adversaries crafted from
-// grad_net. Both nets are run in eval mode; eval_net's noise hooks (if any)
-// are active during evaluation but never during gradient computation.
-// Composes clean_accuracy and adversarial_accuracy, so its numbers match
-// those entry points bit-for-bit.
+// Evaluates eval_net on ds cleanly and under adversaries built from
+// cfg.attack: gradient attacks craft on grad_net, black-box attacks query
+// eval_net. Both nets are run in eval mode. Composes clean_accuracy and
+// adversarial_accuracy, so its numbers match those entry points bit-for-bit.
+// Throws std::invalid_argument on an empty or malformed attack spec.
 AdvEvalResult evaluate_attack(nn::Module& grad_net, nn::Module& eval_net,
                               const data::Dataset& ds,
                               const AdvEvalConfig& cfg);
@@ -94,7 +109,5 @@ double adversarial_accuracy(hw::HardwareBackend& grad_hw,
 double clean_accuracy(hw::HardwareBackend& eval_hw, const data::Dataset& ds,
                       int64_t batch_size = 100,
                       uint64_t seed = kDefaultEvalSeed);
-
-std::string attack_name(AttackKind kind);
 
 }  // namespace rhw::attacks

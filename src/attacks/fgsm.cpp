@@ -2,17 +2,28 @@
 
 namespace rhw::attacks {
 
+namespace {
+
+Tensor backprop_to_input(nn::Module& net, const Tensor& x,
+                         const std::vector<int64_t>& labels) {
+  const Tensor logits = net.forward(x);
+  nn::SoftmaxCrossEntropy loss;
+  loss.forward(logits, labels);
+  return net.backward(loss.backward());
+}
+
+}  // namespace
+
 Tensor input_gradient(nn::Module& net, const Tensor& x,
-                      const std::vector<int64_t>& labels) {
+                      const std::vector<int64_t>& labels, bool with_noise) {
   const bool was_training = net.training();
   net.set_training(false);
   Tensor grad;
-  {
+  if (with_noise) {
+    grad = backprop_to_input(net, x, labels);
+  } else {
     nn::Module::HooksDisabledScope no_noise;
-    const Tensor logits = net.forward(x);
-    nn::SoftmaxCrossEntropy loss;
-    loss.forward(logits, labels);
-    grad = net.backward(loss.backward());
+    grad = backprop_to_input(net, x, labels);
   }
   net.set_training(was_training);
   return grad;

@@ -17,8 +17,16 @@ using nn::Tensor;
 // d(mean CE loss)/d(input). Side effect: accumulates into the net's parameter
 // gradients — callers that later train must zero_grad first (SGD::zero_grad
 // does). Restores the net's training flag.
+//
+// with_noise=false (default) computes the gradient under HooksDisabledScope —
+// the paper's rule that bit-error noise is absent during gradient computation
+// (ungated crossbar peripheral hooks still apply; each substrate keeps its
+// own rules). with_noise=true leaves every hook active: one sample of the
+// *stochastic* loss surface, the building block of EOT gradient averaging
+// (pgd.hpp, PgdConfig::noisy_grad).
 Tensor input_gradient(nn::Module& net, const Tensor& x,
-                      const std::vector<int64_t>& labels);
+                      const std::vector<int64_t>& labels,
+                      bool with_noise = false);
 
 struct FgsmConfig {
   float epsilon = 0.1f;

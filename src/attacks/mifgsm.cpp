@@ -1,0 +1,49 @@
+#include "attacks/mifgsm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rhw::attacks {
+
+Tensor mifgsm(nn::Module& grad_net, const Tensor& x,
+              const std::vector<int64_t>& labels, const MiFgsmConfig& cfg) {
+  if (cfg.epsilon == 0.f) return x;
+  const float alpha =
+      cfg.alpha > 0.f ? cfg.alpha
+                      : cfg.epsilon / static_cast<float>(std::max(1, cfg.steps));
+
+  const int64_t batch = x.dim(0);
+  const int64_t per_example = batch > 0 ? x.numel() / batch : 0;
+  Tensor adv = x;
+  Tensor momentum = Tensor::zeros(x.shape());
+  for (int step = 0; step < cfg.steps; ++step) {
+    const Tensor grad = input_gradient(grad_net, adv, labels);
+    // g <- decay * g + grad / ||grad||_1, L1 norm taken per example so a
+    // loud sample cannot steer its neighbours' momentum.
+    float* m = momentum.data();
+    const float* g = grad.data();
+    for (int64_t n = 0; n < batch; ++n) {
+      double l1 = 0.0;
+      for (int64_t i = n * per_example; i < (n + 1) * per_example; ++i) {
+        l1 += std::fabs(g[i]);
+      }
+      const float inv = l1 > 1e-12 ? static_cast<float>(1.0 / l1) : 0.f;
+      for (int64_t i = n * per_example; i < (n + 1) * per_example; ++i) {
+        m[i] = cfg.decay * m[i] + g[i] * inv;
+      }
+    }
+    // Signed step on the accumulated direction, then project into the
+    // eps-ball around x and the valid pixel range.
+    const float* xc = x.data();
+    float* a = adv.data();
+    for (int64_t i = 0; i < adv.numel(); ++i) {
+      const float s = m[i] > 0.f ? 1.f : (m[i] < 0.f ? -1.f : 0.f);
+      a[i] += alpha * s;
+      a[i] = std::clamp(a[i], xc[i] - cfg.epsilon, xc[i] + cfg.epsilon);
+      a[i] = std::clamp(a[i], cfg.clip_lo, cfg.clip_hi);
+    }
+  }
+  return adv;
+}
+
+}  // namespace rhw::attacks

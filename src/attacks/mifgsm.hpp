@@ -1,0 +1,28 @@
+// Momentum Iterative FGSM (Dong et al., 2018): iterated signed steps on an
+// L1-normalized gradient accumulated with momentum, projected into the L-inf
+// epsilon-ball. Momentum stabilizes the update direction across steps, which
+// matters against noisy gradient sources — each step's gradient jitter
+// (crossbar read noise, analog gradient reads) is damped by the running
+// accumulator, so MI-FGSM degrades more gracefully than plain PGD when the
+// loss surface is stochastic.
+#pragma once
+
+#include "attacks/fgsm.hpp"
+
+namespace rhw::attacks {
+
+struct MiFgsmConfig {
+  float epsilon = 8.f / 255.f;
+  int steps = 10;
+  float alpha = 0.f;   // step size; 0 means epsilon / steps (paper default)
+  float decay = 1.0f;  // momentum decay mu; 0 degenerates to iterated FGSM
+  float clip_lo = 0.f;
+  float clip_hi = 1.f;
+};
+
+// Crafts adversarial inputs using grad_net's loss landscape (gradients under
+// the same hook-gating rules as FGSM/PGD).
+Tensor mifgsm(nn::Module& grad_net, const Tensor& x,
+              const std::vector<int64_t>& labels, const MiFgsmConfig& cfg);
+
+}  // namespace rhw::attacks

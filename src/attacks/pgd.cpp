@@ -21,11 +21,34 @@ Tensor pgd(nn::Module& grad_net, const Tensor& x,
     adv.clamp_(cfg.clip_lo, cfg.clip_hi);
   }
 
-  const int grad_samples = std::max(1, cfg.grad_samples);
+  int grad_samples = std::max(1, cfg.grad_samples);
+  const uint64_t eot_base = derive_stream_seed(cfg.seed, kEotSampleStream);
+  if (cfg.noisy_grad && grad_samples > 1 &&
+      nn::reseed_noise_streams(grad_net, eot_base) == 0) {
+    // No stochastic hook streams on the grad net (e.g. EOT-PGD pointed at
+    // the ideal software model in SH/transfer modes): every sample would be
+    // bit-identical, and the averaged sign equals the single-sample sign —
+    // collapse to one pass instead of paying samples x the craft cost.
+    grad_samples = 1;
+  }
+  auto sample_gradient = [&](const Tensor& at, int step, int sample) {
+    if (cfg.noisy_grad) {
+      // One draw of the stochastic loss surface: independent noise streams
+      // per (step, sample), all hooks live during forward and backward.
+      nn::reseed_noise_streams(
+          grad_net,
+          derive_stream_seed(eot_base,
+                             static_cast<uint64_t>(step) *
+                                     static_cast<uint64_t>(grad_samples) +
+                                 static_cast<uint64_t>(sample)));
+      return input_gradient(grad_net, at, labels, /*with_noise=*/true);
+    }
+    return input_gradient(grad_net, at, labels);
+  };
   for (int step = 0; step < cfg.steps; ++step) {
-    Tensor grad = input_gradient(grad_net, adv, labels);
+    Tensor grad = sample_gradient(adv, step, 0);
     for (int s = 1; s < grad_samples; ++s) {
-      grad.add_(input_gradient(grad_net, adv, labels));
+      grad.add_(sample_gradient(adv, step, s));
     }
     grad.sign_();
     adv.add_scaled_(grad, alpha);

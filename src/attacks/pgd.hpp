@@ -18,10 +18,23 @@ struct PgdConfig {
   // (fresh read-noise per pass) EOT is the canonical *adaptive* attack —
   // noise averages out and the systematic gradient re-emerges. 1 = plain PGD.
   int grad_samples = 1;
+  // When true, every gradient sample is one draw of the *stochastic* loss
+  // surface: the net's noise streams are reseeded with an independent
+  // derive_stream_seed(seed, kEotSampleStream, counter) stream and the
+  // backward pass runs with all hooks active (SRAM bit errors included, not
+  // just the ungated crossbar peripherals). This is what makes EOT-PGD
+  // stochastic-aware — plain grad_samples > 1 with noisy_grad = false only
+  // averages the ungated gradient noise. Registered as "eot_pgd" in the
+  // attack registry.
+  bool noisy_grad = false;
   float clip_lo = 0.f;
   float clip_hi = 1.f;
-  uint64_t seed = 0xADE5;  // for the random start
+  uint64_t seed = 0xADE5;  // random start + EOT sample streams
 };
+
+// Sub-stream tag for EOT gradient-sample reseeds: sample k of step t uses
+// derive_stream_seed(derive_stream_seed(seed, kEotSampleStream), t * N + k).
+inline constexpr uint64_t kEotSampleStream = 0xE07;
 
 Tensor pgd(nn::Module& grad_net, const Tensor& x,
            const std::vector<int64_t>& labels, const PgdConfig& cfg);

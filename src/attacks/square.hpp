@@ -1,0 +1,44 @@
+// Square Attack (Andriushchenko et al., 2020), L-inf flavour: score-based
+// black-box random search. Maintains one adversarial candidate per example;
+// each iteration proposes resetting a random square window of the
+// perturbation to a fresh +-eps value per channel and keeps the proposal only
+// if the margin loss (logit of the true class minus the best other logit)
+// decreases.
+//
+// No gradients are ever taken: every query is a plain forward pass through
+// the *deployed* model, noise hooks active — a black-box attacker only ever
+// observes the noisy hardware. That makes Square the control arm of the
+// gradient-obfuscation audit: stochastic hardware can hide its gradients
+// from PGD, but it cannot hide its decisions from an attack that never asks
+// for gradients (the obfuscated-gradients critique, Athalye et al.).
+#pragma once
+
+#include "core/rng.hpp"
+#include "nn/module.hpp"
+
+namespace rhw::attacks {
+
+using nn::Tensor;
+
+struct SquareConfig {
+  float epsilon = 8.f / 255.f;
+  int queries = 200;     // forward-pass budget (one batched query per round)
+  float p_init = 0.1f;   // initial window area as a fraction of H*W
+  float clip_lo = 0.f;
+  float clip_hi = 1.f;
+  uint64_t seed = 0xADE5;  // proposal stream + query-noise reseed
+};
+
+// Sub-streams derived from SquareConfig::seed: proposal randomness and the
+// reseed pinning eval_net's noise streams at craft start (so a batch's query
+// sequence is a pure function of the seed).
+inline constexpr uint64_t kSquareProposalStream = 0x50A2;
+inline constexpr uint64_t kSquareQueryStream = 0x50A3;
+
+// Crafts adversarial inputs by querying eval_net only. Accepts [N,C,H,W]
+// images or [N,F] feature rows (treated as a degenerate Fx1 grid).
+Tensor square_attack(nn::Module& eval_net, const Tensor& x,
+                     const std::vector<int64_t>& labels,
+                     const SquareConfig& cfg);
+
+}  // namespace rhw::attacks

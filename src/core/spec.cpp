@@ -1,0 +1,87 @@
+#include "core/spec.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rhw::core {
+
+ParsedSpec parse_spec(const std::string& domain, const std::string& spec) {
+  if (spec.empty()) {
+    throw std::invalid_argument("empty " + domain +
+                                " spec (expected \"<key>[:opt=value,...]\")");
+  }
+  ParsedSpec out;
+  const size_t colon = spec.find(':');
+  out.key = spec.substr(0, colon);
+  if (colon == std::string::npos) return out;
+  std::istringstream rest(spec.substr(colon + 1));
+  std::string item;
+  while (std::getline(rest, item, ',')) {
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument(domain + " spec '" + spec + "': option '" +
+                                  item + "' is not key=value");
+    }
+    out.options[item.substr(0, eq)] = item.substr(eq + 1);
+  }
+  return out;
+}
+
+OptionReader::OptionReader(std::string domain, std::string name,
+                           SpecOptions opts)
+    : domain_(std::move(domain)),
+      name_(std::move(name)),
+      opts_(std::move(opts)) {}
+
+double OptionReader::number(const std::string& key, double fallback) {
+  const auto it = opts_.find(key);
+  if (it == opts_.end()) return fallback;
+  const std::string text = it->second;
+  opts_.erase(it);
+  try {
+    size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(domain_ + " option " + key + ": bad number '" +
+                                text + "'");
+  }
+}
+
+uint64_t OptionReader::integer(const std::string& key, uint64_t fallback) {
+  const auto it = opts_.find(key);
+  if (it == opts_.end()) return fallback;
+  const std::string text = it->second;
+  opts_.erase(it);
+  try {
+    if (text.empty() || text[0] == '-') throw std::invalid_argument(text);
+    size_t used = 0;
+    const uint64_t v = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(domain_ + " option " + key +
+                                ": bad non-negative integer '" + text + "'");
+  }
+}
+
+std::string OptionReader::text(const std::string& key,
+                               const std::string& fallback) {
+  const auto it = opts_.find(key);
+  if (it == opts_.end()) return fallback;
+  std::string v = it->second;
+  opts_.erase(it);
+  return v;
+}
+
+void OptionReader::finish() const {
+  if (opts_.empty()) return;
+  std::ostringstream os;
+  os << domain_ << ' ' << name_ << ": unknown option(s):";
+  for (const auto& [key, value] : opts_) os << ' ' << key;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace rhw::core

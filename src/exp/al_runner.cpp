@@ -11,7 +11,8 @@ namespace rhw::exp {
 // tests/exp/test_sweep.cpp).
 AlCurve al_curve(const std::string& label, nn::Module& grad_net,
                  nn::Module& eval_net, const data::Dataset& ds,
-                 attacks::AttackKind kind, std::span<const float> epsilons,
+                 const std::string& attack_spec,
+                 std::span<const float> epsilons,
                  const attacks::AdvEvalConfig& base_cfg) {
   AlCurve curve;
   curve.label = label;
@@ -28,7 +29,7 @@ AlCurve al_curve(const std::string& label, nn::Module& grad_net,
       pt.adv_acc = clean;
     } else {
       attacks::AdvEvalConfig cfg = base_cfg;
-      cfg.kind = kind;
+      cfg.attack = attack_spec;
       cfg.epsilon = eps;
       cfg.seed = sweep_cell_seed(base_cfg.seed, 0, 0, i, 0);
       pt.adv_acc = attacks::adversarial_accuracy(grad_net, eval_net, ds, cfg);
@@ -41,9 +42,10 @@ AlCurve al_curve(const std::string& label, nn::Module& grad_net,
 
 AlCurve al_curve(const std::string& label, hw::HardwareBackend& grad_hw,
                  hw::HardwareBackend& eval_hw, const data::Dataset& ds,
-                 attacks::AttackKind kind, std::span<const float> epsilons,
+                 const std::string& attack_spec,
+                 std::span<const float> epsilons,
                  const attacks::AdvEvalConfig& base_cfg) {
-  return al_curve(label, grad_hw.module(), eval_hw.module(), ds, kind,
+  return al_curve(label, grad_hw.module(), eval_hw.module(), ds, attack_spec,
                   epsilons, base_cfg);
 }
 

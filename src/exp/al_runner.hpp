@@ -28,16 +28,20 @@ struct AlCurve {
   std::vector<AlPoint> points;  // one per epsilon
 };
 
+// `attack_spec` is an AttackRegistry spec string ("fgsm", "pgd:steps=7",
+// ...); the per-point epsilon overrides any eps=... embedded in it.
 AlCurve al_curve(const std::string& label, nn::Module& grad_net,
                  nn::Module& eval_net, const data::Dataset& ds,
-                 attacks::AttackKind kind, std::span<const float> epsilons,
+                 const std::string& attack_spec,
+                 std::span<const float> epsilons,
                  const attacks::AdvEvalConfig& base_cfg = {});
 
 // Hardware-backend seam: the (grad backend, eval backend) pairing selects the
 // attack mode (Attack-SW / SH / HH), see attacks/evaluate.hpp.
 AlCurve al_curve(const std::string& label, hw::HardwareBackend& grad_hw,
                  hw::HardwareBackend& eval_hw, const data::Dataset& ds,
-                 attacks::AttackKind kind, std::span<const float> epsilons,
+                 const std::string& attack_spec,
+                 std::span<const float> epsilons,
                  const attacks::AdvEvalConfig& base_cfg = {});
 
 // The paper's epsilon grids.

@@ -218,7 +218,11 @@ SweepResult SweepEngine::run(const SweepGrid& grid) {
   SweepResult result;
   for (const auto& mode : grid.modes) result.mode_labels.push_back(mode.label);
   for (const auto& attack : grid.attacks) {
-    result.attack_kinds.push_back(attack.kind);
+    // Validate every attack arm before evaluating anything: a typo'd spec
+    // must fail the whole run with the registry's token-naming error, not
+    // abort mid-grid from a worker lane.
+    result.attack_specs.push_back(attack.spec);
+    result.attack_names.push_back(attacks::attack_display_name(attack.spec));
   }
   result.trials = trials;
   result.base_seed = grid.base.seed;
@@ -323,7 +327,7 @@ SweepResult SweepEngine::run(const SweepGrid& grid) {
     nn::Module& eval_net =
         eval_rep ? eval_rep->rep->backend->module() : grad_net;
     attacks::AdvEvalConfig cfg = grid.base;
-    cfg.kind = grid.attacks[cell.attack].kind;
+    cfg.attack = grid.attacks[cell.attack].spec;
     cfg.epsilon = cell.epsilon;
     cfg.seed = cell.seed;
     cell.adv_acc =
@@ -331,7 +335,7 @@ SweepResult SweepEngine::run(const SweepGrid& grid) {
     if (opts_.verbose) {
       std::fprintf(stderr, "[sweep] %s %s eps=%.3f trial %d: adv %.2f%%\n",
                    result.mode_labels[cell.mode].c_str(),
-                   attacks::attack_name(cfg.kind).c_str(), cell.epsilon,
+                   result.attack_names[cell.attack].c_str(), cell.epsilon,
                    cell.trial, cell.adv_acc);
     }
   };
@@ -415,7 +419,7 @@ const SweepAggregate* SweepResult::find(size_t mode, size_t attack,
 }
 
 AlCurve SweepResult::curve(const std::string& mode_label,
-                           attacks::AttackKind kind) const {
+                           const std::string& attack_spec) const {
   size_t mode = mode_labels.size();
   for (size_t m = 0; m < mode_labels.size(); ++m) {
     if (mode_labels[m] == mode_label) {
@@ -423,17 +427,17 @@ AlCurve SweepResult::curve(const std::string& mode_label,
       break;
     }
   }
-  size_t attack = attack_kinds.size();
-  for (size_t a = 0; a < attack_kinds.size(); ++a) {
-    if (attack_kinds[a] == kind) {
+  size_t attack = attack_specs.size();
+  for (size_t a = 0; a < attack_specs.size(); ++a) {
+    if (attack_specs[a] == attack_spec) {
       attack = a;
       break;
     }
   }
-  if (mode == mode_labels.size() || attack == attack_kinds.size()) {
+  if (mode == mode_labels.size() || attack == attack_specs.size()) {
     throw std::invalid_argument("SweepResult::curve: no row for mode '" +
-                                mode_label + "' / " +
-                                attacks::attack_name(kind));
+                                mode_label + "' / attack '" + attack_spec +
+                                "'");
   }
   AlCurve curve;
   curve.label = mode_label;
@@ -457,7 +461,7 @@ void SweepResult::write_json(const std::string& path,
   if (!os) throw std::runtime_error("write_json: cannot open " + path);
   JsonWriter w(os);
   w.begin_object();
-  w.field("schema", "rhw-sweep-v1");
+  w.field("schema", "rhw-sweep-v2");
   w.field("figure", figure);
   w.field("trials", static_cast<int64_t>(trials));
   w.field("base_seed", base_seed);
@@ -467,16 +471,22 @@ void SweepResult::write_json(const std::string& path,
   w.begin_array();
   for (const auto& label : mode_labels) w.value(label);
   w.end_array();
+  // v2: attacks are registry spec strings; "attack_names" carries the
+  // display names in the same order for plotting front-ends.
   w.key("attacks");
   w.begin_array();
-  for (const auto kind : attack_kinds) w.value(attacks::attack_name(kind));
+  for (const auto& spec : attack_specs) w.value(spec);
+  w.end_array();
+  w.key("attack_names");
+  w.begin_array();
+  for (const auto& name : attack_names) w.value(name);
   w.end_array();
   w.key("cells");
   w.begin_array();
   for (const auto& cell : cells) {
     w.begin_object();
     w.field("mode", mode_labels[cell.mode]);
-    w.field("attack", attacks::attack_name(attack_kinds[cell.attack]));
+    w.field("attack", attack_specs[cell.attack]);
     w.field("eps", static_cast<double>(cell.epsilon));
     w.field("eps_index", static_cast<int64_t>(cell.eps_index));
     w.field("trial", static_cast<int64_t>(cell.trial));
@@ -492,7 +502,7 @@ void SweepResult::write_json(const std::string& path,
   for (const auto& agg : aggregates) {
     w.begin_object();
     w.field("mode", mode_labels[agg.mode]);
-    w.field("attack", attacks::attack_name(attack_kinds[agg.attack]));
+    w.field("attack", attack_specs[agg.attack]);
     w.field("eps", static_cast<double>(agg.epsilon));
     w.field("n", agg.al.n);
     w.field("clean_mean", agg.clean.mean);

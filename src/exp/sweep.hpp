@@ -3,8 +3,8 @@
 // The paper's results are grids — AL(eps) per attack mode (Attack-SW/SH/HH)
 // per substrate per configuration (Figs. 5-8, Tables I-III). A SweepGrid
 // declares those axes once: backend definitions (registry specs or custom
-// binders), attack-mode pairings over them, attack kinds with epsilon lists,
-// and a trial count for noisy substrates. The engine expands the grid into
+// binders), attack-mode pairings over them, attack arms (AttackRegistry
+// specs) with epsilon lists, and a trial count for noisy substrates. The engine expands the grid into
 // independent cells and runs them concurrently on a core::ThreadPool.
 //
 // Guarantees:
@@ -65,8 +65,13 @@ struct SweepMode {
   std::string eval;
 };
 
+// One attack arm: an AttackRegistry spec string ("fgsm", "pgd:steps=7",
+// "eot_pgd:samples=8", "square:queries=200", ...) plus its epsilon axis. The
+// cell's epsilon overrides any eps=... embedded in the spec. Specs are
+// validated up front — run() throws before evaluating anything if one is
+// unknown or malformed.
 struct SweepAttack {
-  attacks::AttackKind kind = attacks::AttackKind::kFgsm;
+  std::string spec = "fgsm";
   std::vector<float> epsilons;  // eps == 0 rows report adv = clean, AL = 0
 };
 
@@ -109,7 +114,8 @@ struct SweepResult {
   std::vector<SweepCell> cells;  // trial-major, grid order — deterministic
   std::vector<SweepAggregate> aggregates;
   std::vector<std::string> mode_labels;
-  std::vector<attacks::AttackKind> attack_kinds;
+  std::vector<std::string> attack_specs;  // grid order, as declared
+  std::vector<std::string> attack_names;  // display names ("FGSM", "Square")
   int trials = 1;
   uint64_t base_seed = 0;
   unsigned lanes = 1;
@@ -117,8 +123,10 @@ struct SweepResult {
 
   const SweepAggregate* find(size_t mode, size_t attack,
                              size_t eps_index) const;
-  // Trial-mean AL(eps) series for one (mode label, attack kind) row.
-  AlCurve curve(const std::string& mode_label, attacks::AttackKind kind) const;
+  // Trial-mean AL(eps) series for one (mode label, attack spec) row; the
+  // spec must match a grid arm verbatim.
+  AlCurve curve(const std::string& mode_label,
+                const std::string& attack_spec) const;
   // Machine-readable artifact (the BENCH_fig*.json files CI uploads).
   void write_json(const std::string& path, const std::string& figure) const;
 };

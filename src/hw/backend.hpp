@@ -69,9 +69,15 @@ class HardwareBackend {
   // passes through. Throws std::logic_error before prepare().
   nn::Module& module() const;
 
-  // Batched inference through the prepared hardware model.
+  // Batched inference through the prepared hardware model: module().forward
+  // with this substrate's noise hooks active. Backends may override to route
+  // through retained hardware state (XbarBackend's programmed TiledMatrix
+  // grids batch tile blocks across the thread pool).
   virtual Tensor forward(const Tensor& x);
 
+  // Energy/area estimate of the prepared configuration (sram/xbar energy
+  // models); the base implementation returns an empty report carrying only
+  // name(). Valid after prepare().
   virtual EnergyReport energy_report() const;
 
   // A fresh, unprepared backend of the same kind and configuration whose

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/spec.hpp"
 #include "hw/ideal_backend.hpp"
 #include "hw/sram_backend.hpp"
 #include "hw/xbar_backend.hpp"
@@ -11,76 +12,22 @@ namespace rhw::hw {
 
 namespace {
 
-// Pulls and erases options so factories can reject leftovers as unknown.
-class OptionReader {
- public:
-  explicit OptionReader(BackendOptions opts) : opts_(std::move(opts)) {}
-
-  double number(const std::string& key, double fallback) {
-    const auto it = opts_.find(key);
-    if (it == opts_.end()) return fallback;
-    const std::string text = it->second;
-    opts_.erase(it);
-    try {
-      size_t used = 0;
-      const double v = std::stod(text, &used);
-      if (used != text.size()) throw std::invalid_argument(text);
-      return v;
-    } catch (const std::exception&) {
-      throw std::invalid_argument("backend option " + key +
-                                  ": bad number '" + text + "'");
-    }
-  }
-
-  // Integer-typed options (seeds, sizes, counts): full 64-bit range, no
-  // silent precision loss through double. Negative values are rejected
-  // (stoull would silently wrap them).
-  uint64_t integer(const std::string& key, uint64_t fallback) {
-    const auto it = opts_.find(key);
-    if (it == opts_.end()) return fallback;
-    const std::string text = it->second;
-    opts_.erase(it);
-    try {
-      if (text.empty() || text[0] == '-') throw std::invalid_argument(text);
-      size_t used = 0;
-      const uint64_t v = std::stoull(text, &used);
-      if (used != text.size()) throw std::invalid_argument(text);
-      return v;
-    } catch (const std::exception&) {
-      throw std::invalid_argument("backend option " + key +
-                                  ": bad non-negative integer '" + text +
-                                  "'");
-    }
-  }
-
-  std::string text(const std::string& key, const std::string& fallback) {
-    const auto it = opts_.find(key);
-    if (it == opts_.end()) return fallback;
-    std::string v = it->second;
-    opts_.erase(it);
-    return v;
-  }
-
-  void finish(const std::string& backend) const {
-    if (opts_.empty()) return;
-    std::ostringstream os;
-    os << "backend " << backend << ": unknown option(s):";
-    for (const auto& [key, value] : opts_) os << ' ' << key;
-    throw std::invalid_argument(os.str());
-  }
-
- private:
-  BackendOptions opts_;
-};
+// Typed option extraction with leftover rejection, shared with the attack
+// registry (core/spec.hpp). The "backend" domain string keeps the historical
+// error-message shape ("backend option rmin: bad number 'abc'").
+core::OptionReader reader_for(const std::string& backend,
+                              const BackendOptions& opts) {
+  return core::OptionReader("backend", backend, opts);
+}
 
 BackendPtr make_ideal(const BackendOptions& opts) {
-  OptionReader reader(opts);
-  reader.finish("ideal");
+  auto reader = reader_for("ideal", opts);
+  reader.finish();
   return std::make_unique<IdealBackend>();
 }
 
 BackendPtr make_sram(const BackendOptions& opts) {
-  OptionReader reader(opts);
+  auto reader = reader_for("sram", opts);
   SramBackendConfig cfg;
   cfg.vdd = reader.number("vdd", cfg.vdd);
   cfg.seed = reader.integer("seed", cfg.seed);
@@ -92,12 +39,12 @@ BackendPtr make_sram(const BackendOptions& opts) {
       static_cast<float>(reader.number("eps", cfg.selector.epsilon));
   cfg.selector.eval_count = static_cast<int64_t>(reader.integer(
       "eval_count", static_cast<uint64_t>(cfg.selector.eval_count)));
-  reader.finish("sram");
+  reader.finish();
   return std::make_unique<SramBackend>(std::move(cfg));
 }
 
 BackendPtr make_xbar(const BackendOptions& opts) {
-  OptionReader reader(opts);
+  auto reader = reader_for("xbar", opts);
   XbarBackendConfig cfg;
   auto& spec = cfg.map.spec;
   const uint64_t size = reader.integer("size", 0);
@@ -139,7 +86,7 @@ BackendPtr make_xbar(const BackendOptions& opts) {
     throw std::invalid_argument("backend xbar: unknown circuit model '" +
                                 circuit + "' (ideal|fast|mna)");
   }
-  reader.finish("xbar");
+  reader.finish();
   return std::make_unique<XbarBackend>(cfg);
 }
 
@@ -172,32 +119,16 @@ std::vector<std::string> BackendRegistry::keys() const {
 }
 
 BackendPtr BackendRegistry::create(const std::string& spec) const {
-  const size_t colon = spec.find(':');
-  const std::string key = spec.substr(0, colon);
-  BackendOptions opts;
-  if (colon != std::string::npos) {
-    std::istringstream rest(spec.substr(colon + 1));
-    std::string item;
-    while (std::getline(rest, item, ',')) {
-      if (item.empty()) continue;
-      const size_t eq = item.find('=');
-      if (eq == std::string::npos) {
-        throw std::invalid_argument("backend spec '" + spec +
-                                    "': option '" + item +
-                                    "' is not key=value");
-      }
-      opts[item.substr(0, eq)] = item.substr(eq + 1);
-    }
-  }
-  const auto it = factories_.find(key);
+  const core::ParsedSpec parsed = core::parse_spec("backend", spec);
+  const auto it = factories_.find(parsed.key);
   if (it == factories_.end()) {
     std::ostringstream os;
-    os << "unknown hardware backend '" << key << "'; registered:";
+    os << "unknown hardware backend '" << parsed.key << "'; registered:";
     for (const auto& [name, factory] : factories_) os << ' ' << name;
     throw std::invalid_argument(os.str());
   }
   try {
-    return it->second(opts);
+    return it->second(parsed.options);
   } catch (const std::invalid_argument& e) {
     // Factories report the offending option key/value; add the full spec so
     // errors surfacing far from the call site stay actionable.

@@ -21,19 +21,24 @@
 //
 // Unknown keys and unknown options throw std::invalid_argument. Downstream
 // code can register additional backends (registry().add) under new keys.
+// docs/BACKENDS.md documents every knob with defaults and which paper
+// figure/table each configuration reproduces; attacks::AttackRegistry
+// (attacks/registry.hpp) is the same seam for the adversary axis.
 #pragma once
 
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "core/spec.hpp"
 #include "hw/backend.hpp"
 
 namespace rhw::hw {
 
-// Options parsed from the spec string: option name -> raw value text.
-using BackendOptions = std::map<std::string, std::string>;
+// Options parsed from the spec string: option name -> raw value text. The
+// grammar and typed extraction live in core/spec.hpp, shared with
+// attacks::AttackRegistry so both seams parse and report errors identically.
+using BackendOptions = core::SpecOptions;
 using BackendFactory = std::function<BackendPtr(const BackendOptions&)>;
 
 class BackendRegistry {

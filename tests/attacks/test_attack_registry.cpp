@@ -1,0 +1,160 @@
+// AttackRegistry parsing and error reporting, in parity with the
+// BackendRegistry suite (tests/hw/test_registry.cpp): unknown attacks,
+// unknown options, malformed values and trailing garbage must all throw
+// std::invalid_argument naming the offending token and the full spec.
+#include "attacks/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rhw::attacks {
+namespace {
+
+TEST(AttackRegistry, BuiltinsRegistered) {
+  const auto keys = AttackRegistry::instance().keys();
+  for (const char* expected :
+       {"fgsm", "pgd", "eot_pgd", "mifgsm", "square"}) {
+    EXPECT_TRUE(std::find(keys.begin(), keys.end(), expected) != keys.end())
+        << expected;
+    EXPECT_TRUE(AttackRegistry::instance().contains(expected));
+  }
+}
+
+TEST(AttackRegistry, UnknownAttackThrowsNamingKey) {
+  try {
+    make_attack("cw");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("cw"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("registered"), std::string::npos) << msg;
+  }
+}
+
+TEST(AttackRegistry, EmptySpecThrows) {
+  EXPECT_THROW(make_attack(""), std::invalid_argument);
+}
+
+TEST(AttackRegistry, UnknownOptionThrowsNamingIt) {
+  try {
+    make_attack("pgd:stpes=7");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("stpes"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("pgd:stpes=7"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(make_attack("fgsm:steps=7"), std::invalid_argument);
+  // "samples" belongs to eot_pgd, not plain pgd.
+  EXPECT_THROW(make_attack("pgd:samples=8"), std::invalid_argument);
+  EXPECT_THROW(make_attack("square:decay=1"), std::invalid_argument);
+}
+
+// Parse failures must name the offending key, the bad value, AND the full
+// spec string (parity with BackendRegistry::ParseErrorNamesKeyValueAndSpec).
+TEST(AttackRegistry, ParseErrorNamesKeyValueAndSpec) {
+  try {
+    make_attack("pgd:steps=7,alpha=abc");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("alpha"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("abc"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("pgd:steps=7,alpha=abc"), std::string::npos) << msg;
+  }
+  try {
+    make_attack("square:queries=manyy");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("queries"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("manyy"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("square:queries=manyy"), std::string::npos) << msg;
+  }
+}
+
+// Trailing garbage after a numeric value is rejected, not silently truncated.
+TEST(AttackRegistry, TrailingGarbageRejected) {
+  EXPECT_THROW(make_attack("fgsm:eps=0.1junk"), std::invalid_argument);
+  EXPECT_THROW(make_attack("pgd:steps=7.5"), std::invalid_argument);
+  EXPECT_THROW(make_attack("mifgsm:decay=1.0 "), std::invalid_argument);
+}
+
+TEST(AttackRegistry, MalformedOptionThrows) {
+  EXPECT_THROW(make_attack("pgd:steps"), std::invalid_argument);
+}
+
+TEST(AttackRegistry, NegativeIntegerOptionThrows) {
+  EXPECT_THROW(make_attack("pgd:steps=-1"), std::invalid_argument);
+  EXPECT_THROW(make_attack("square:queries=-5"), std::invalid_argument);
+}
+
+// Zero-valued iteration knobs would make the attack a silent no-op (adv ~=
+// clean while measuring nothing); they must be rejected naming the knob.
+TEST(AttackRegistry, ZeroIterationKnobsRejected) {
+  for (const char* spec : {"pgd:steps=0", "eot_pgd:samples=0",
+                           "eot_pgd:steps=0", "mifgsm:steps=0",
+                           "square:queries=0"}) {
+    try {
+      make_attack(spec);
+      FAIL() << "expected std::invalid_argument for " << spec;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("no-op"), std::string::npos)
+          << spec << ": " << e.what();
+    }
+  }
+  // Values past INT_MAX must not wrap back into the no-op range.
+  EXPECT_THROW(make_attack("square:queries=4294967296"),
+               std::invalid_argument);
+  EXPECT_THROW(make_attack("pgd:steps=2147483653"), std::invalid_argument);
+}
+
+TEST(AttackRegistry, OptionsParseIntoConfigs) {
+  auto fgsm = make_attack("fgsm:eps=0.25");
+  EXPECT_EQ(fgsm->name(), "FGSM");
+  EXPECT_FLOAT_EQ(fgsm->epsilon(), 0.25f);
+  EXPECT_FALSE(fgsm->gradient_free());
+
+  auto pgd = make_attack("pgd:eps=0.05,steps=3,alpha=0.01,rs=0");
+  EXPECT_EQ(pgd->name(), "PGD");
+  EXPECT_FLOAT_EQ(pgd->epsilon(), 0.05f);
+
+  auto eot = make_attack("eot_pgd:samples=4");
+  EXPECT_EQ(eot->name(), "EOT-PGD");
+
+  auto mi = make_attack("mifgsm:decay=0.9,steps=5");
+  EXPECT_EQ(mi->name(), "MI-FGSM");
+
+  auto square = make_attack("square:queries=50,p=0.2");
+  EXPECT_EQ(square->name(), "Square");
+  EXPECT_TRUE(square->gradient_free());
+}
+
+TEST(AttackRegistry, SetEpsilonOverridesSpec) {
+  auto attack = make_attack("pgd:eps=0.3");
+  attack->set_epsilon(0.07f);
+  EXPECT_FLOAT_EQ(attack->epsilon(), 0.07f);
+}
+
+TEST(AttackRegistry, DisplayNames) {
+  EXPECT_EQ(attack_display_name("fgsm"), "FGSM");
+  EXPECT_EQ(attack_display_name("pgd:steps=3"), "PGD");
+  EXPECT_EQ(attack_display_name("eot_pgd"), "EOT-PGD");
+  EXPECT_EQ(attack_display_name("mifgsm"), "MI-FGSM");
+  EXPECT_EQ(attack_display_name("square"), "Square");
+}
+
+TEST(AttackRegistry, CustomAttackRegistration) {
+  AttackRegistry::instance().add("custom-fgsm",
+                                 [](const AttackOptions&) {
+                                   return make_attack("fgsm:eps=0.123");
+                                 });
+  auto attack = make_attack("custom-fgsm");
+  EXPECT_EQ(attack->name(), "FGSM");
+  EXPECT_FLOAT_EQ(attack->epsilon(), 0.123f);
+}
+
+}  // namespace
+}  // namespace rhw::attacks

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "data/synth_cifar.hpp"
 #include "hw/registry.hpp"
 #include "models/zoo.hpp"
@@ -54,7 +56,7 @@ TEST_F(EvaluateTest, CleanAccuracyIsHighOnTrainedModel) {
 
 TEST_F(EvaluateTest, AttackReducesAccuracy) {
   AdvEvalConfig cfg;
-  cfg.kind = AttackKind::kFgsm;
+  cfg.attack = "fgsm";
   cfg.epsilon = 0.15f;
   const auto res = evaluate_attack(*model_->net, *model_->net, data_->test,
                                    cfg);
@@ -76,12 +78,11 @@ TEST_F(EvaluateTest, StrongerEpsilonNoWeakerAttack) {
 
 TEST_F(EvaluateTest, PgdNoWeakerThanFgsm) {
   AdvEvalConfig fgsm_cfg;
-  fgsm_cfg.kind = AttackKind::kFgsm;
+  fgsm_cfg.attack = "fgsm";
   fgsm_cfg.epsilon = 0.1f;
   AdvEvalConfig pgd_cfg;
-  pgd_cfg.kind = AttackKind::kPgd;
+  pgd_cfg.attack = "pgd:steps=7";
   pgd_cfg.epsilon = 0.1f;
-  pgd_cfg.pgd_steps = 7;
   const auto rf = evaluate_attack(*model_->net, *model_->net, data_->test,
                                   fgsm_cfg);
   const auto rp = evaluate_attack(*model_->net, *model_->net, data_->test,
@@ -103,7 +104,7 @@ TEST_F(EvaluateTest, BatchSizeInvariance) {
   AdvEvalConfig small_batches;
   small_batches.epsilon = 0.1f;
   small_batches.batch_size = 7;
-  small_batches.kind = AttackKind::kFgsm;
+  small_batches.attack = "fgsm";
   AdvEvalConfig big_batches = small_batches;
   big_batches.batch_size = 100;
   // FGSM is deterministic, so accuracy must not depend on batching.
@@ -117,27 +118,28 @@ TEST_F(EvaluateTest, BatchSizeInvariance) {
 // Regression for the seed-stream coupling bug: the noisy eval net's hook RNG
 // used to advance during evaluate_attack's clean pass, so adversarial_accuracy
 // (no clean pass) reported different adv numbers for an identical config.
-// Both entry points must agree bit-for-bit, for FGSM and (stochastic) PGD.
+// Both entry points must agree bit-for-bit for every attack family,
+// including the ones that reseed (EOT-PGD) or query (Square) the eval net
+// while crafting.
 TEST_F(EvaluateTest, EntryPointsAgreeOnNoisyBackend) {
   models::Model hw_model = models::clone_model(*model_, 0.125f, 16);
   auto backend = hw::make_backend("sram:sites=2,num_8t=2,vdd=0.6");
   backend->prepare(hw_model);
-  for (const AttackKind kind : {AttackKind::kFgsm, AttackKind::kPgd}) {
+  for (const std::string spec : {"fgsm", "pgd:steps=3", "eot_pgd:steps=2,samples=2", "square:queries=15"}) {
     AdvEvalConfig cfg;
-    cfg.kind = kind;
+    cfg.attack = spec;
     cfg.epsilon = 0.1f;
-    cfg.pgd_steps = 3;
     const auto full = evaluate_attack(*model_->net, backend->module(),
                                       data_->test, cfg);
     const double only = adversarial_accuracy(*model_->net, backend->module(),
                                              data_->test, cfg);
-    EXPECT_DOUBLE_EQ(full.adv_acc, only) << attack_name(kind);
+    EXPECT_DOUBLE_EQ(full.adv_acc, only) << spec;
     // Repeated evaluation with the same config is bit-identical: each pass
     // reseeds the noise streams, so history cannot leak in.
     const auto again = evaluate_attack(*model_->net, backend->module(),
                                        data_->test, cfg);
-    EXPECT_DOUBLE_EQ(full.clean_acc, again.clean_acc) << attack_name(kind);
-    EXPECT_DOUBLE_EQ(full.adv_acc, again.adv_acc) << attack_name(kind);
+    EXPECT_DOUBLE_EQ(full.clean_acc, again.clean_acc) << spec;
+    EXPECT_DOUBLE_EQ(full.adv_acc, again.adv_acc) << spec;
   }
 }
 
@@ -158,9 +160,28 @@ TEST_F(EvaluateTest, NearbySeedsGiveIndependentStreams) {
   }
 }
 
-TEST(Evaluate, AttackNames) {
-  EXPECT_EQ(attack_name(AttackKind::kFgsm), "FGSM");
-  EXPECT_EQ(attack_name(AttackKind::kPgd), "PGD");
+TEST(Evaluate, EmptyAttackSpecRejected) {
+  // Regression: an empty spec used to silently degrade to a clean-only pass
+  // (adv == clean); it must fail loudly instead, pointing at the fix.
+  models::Model m = models::build_model("vgg8", 4, 0.125f, 16);
+  data::SynthCifarConfig dcfg;
+  dcfg.num_classes = 4;
+  dcfg.train_per_class = 1;
+  dcfg.test_per_class = 2;
+  dcfg.image_size = 16;
+  const auto tiny = data::make_synth_cifar(dcfg);
+  AdvEvalConfig cfg;
+  cfg.attack = "";
+  try {
+    evaluate_attack(*m.net, *m.net, tiny.test, cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("attack spec"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("clean"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(adversarial_accuracy(*m.net, *m.net, tiny.test, cfg),
+               std::invalid_argument);
 }
 
 TEST(Evaluate, EmptyDatasetGivesZero) {

@@ -94,8 +94,7 @@ TEST(AlRunner, ZeroEpsilonPointHasZeroAl) {
   wrapper.set_training(false);
 
   const std::vector<float> eps{0.f, 0.1f};
-  const auto curve = al_curve("test", wrapper, wrapper, ds,
-                              attacks::AttackKind::kFgsm, eps);
+  const auto curve = al_curve("test", wrapper, wrapper, ds, "fgsm", eps);
   ASSERT_EQ(curve.points.size(), 2u);
   EXPECT_DOUBLE_EQ(curve.points[0].al, 0.0);
   EXPECT_DOUBLE_EQ(curve.points[0].clean_acc, curve.points[0].adv_acc);
@@ -115,8 +114,7 @@ TEST(AlRunner, CleanAccuracyConstantAcrossEpsilons) {
   ds.num_classes = 2;
   for (int i = 0; i < 8; ++i) ds.labels.push_back(i % 2);
   const std::vector<float> eps{0.05f, 0.1f, 0.2f};
-  const auto curve = al_curve("x", net, net, ds, attacks::AttackKind::kFgsm,
-                              eps);
+  const auto curve = al_curve("x", net, net, ds, "fgsm", eps);
   for (const auto& pt : curve.points) {
     EXPECT_DOUBLE_EQ(pt.clean_acc, curve.points[0].clean_acc);
     EXPECT_NEAR(pt.al, pt.clean_acc - pt.adv_acc, 1e-9);

@@ -55,8 +55,8 @@ class SweepTest : public ::testing::Test {
     grid.modes.push_back({"Attack-SW", "ideal", "ideal"});
     grid.modes.push_back({"SH-sram", "ideal", "sram"});
     grid.modes.push_back({"HH-xbar", "xbar", "xbar"});
-    grid.attacks.push_back({attacks::AttackKind::kFgsm, {0.f, 0.1f}});
-    grid.attacks.push_back({attacks::AttackKind::kPgd, {8.f / 255.f}});
+    grid.attacks.push_back({"fgsm", {0.f, 0.1f}});
+    grid.attacks.push_back({"pgd", {8.f / 255.f}});
     return grid;
   }
 
@@ -120,7 +120,7 @@ TEST_F(SweepTest, SingleRowGridMatchesAlCurve) {
   const std::vector<float> eps{0.f, 0.1f, 0.2f};
   const auto reference =
       al_curve("SH", *model_->net, manual_backend->module(), data_->test,
-               attacks::AttackKind::kFgsm, eps);
+               "fgsm", eps);
 
   SweepGrid grid;
   grid.model = model_;
@@ -131,11 +131,11 @@ TEST_F(SweepTest, SingleRowGridMatchesAlCurve) {
   grid.backends.push_back({"sram", "sram:sites=2,num_8t=2,vdd=0.6", nullptr,
                            nullptr});
   grid.modes.push_back({"SH", "ideal", "sram"});
-  grid.attacks.push_back({attacks::AttackKind::kFgsm, eps});
+  grid.attacks.push_back({"fgsm", eps});
   SweepEngine::Options opt;
   opt.threads = 3;
   SweepEngine engine(opt);
-  const auto curve = engine.run(grid).curve("SH", attacks::AttackKind::kFgsm);
+  const auto curve = engine.run(grid).curve("SH", "fgsm");
 
   ASSERT_EQ(curve.points.size(), reference.points.size());
   for (size_t i = 0; i < curve.points.size(); ++i) {
@@ -163,7 +163,7 @@ TEST_F(SweepTest, BindBackendsReplicateDeterministically) {
   grid.backends.push_back(std::move(def));
   grid.backends.push_back({"ideal", "ideal", nullptr, nullptr});
   grid.modes.push_back({"SH", "ideal", "wrapped"});
-  grid.attacks.push_back({attacks::AttackKind::kFgsm, {0.15f}});
+  grid.attacks.push_back({"fgsm", {0.15f}});
 
   SweepEngine::Options serial_opt;
   serial_opt.threads = 1;
@@ -215,7 +215,8 @@ TEST_F(SweepTest, WriteJsonEmitsCellsAndAggregates) {
   std::stringstream ss;
   ss << is.rdbuf();
   const std::string json = ss.str();
-  EXPECT_NE(json.find("\"schema\":\"rhw-sweep-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"rhw-sweep-v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"attack_names\""), std::string::npos);
   EXPECT_NE(json.find("\"figure\":\"sweep_test\""), std::string::npos);
   EXPECT_NE(json.find("\"SH-sram\""), std::string::npos);
   EXPECT_NE(json.find("\"al_ci95\""), std::string::npos);
@@ -226,6 +227,56 @@ TEST_F(SweepTest, WriteJsonEmitsCellsAndAggregates) {
   }
   EXPECT_EQ(cell_count, result.cells.size());
   std::remove(path.c_str());
+}
+
+// The stochastic-aware attacks reseed (EOT-PGD) or query (Square) the eval
+// net while crafting; the per-batch measurement re-pinning in
+// adversarial_accuracy must keep their sweep cells bit-identical at any lane
+// count, exactly like the gradient attacks.
+TEST_F(SweepTest, StochasticAwareAttacksBitIdenticalAcrossLanes) {
+  SweepGrid grid;
+  grid.model = model_;
+  grid.width_mult = 0.125f;
+  grid.in_size = 16;
+  grid.eval_set = &data_->test;
+  grid.base.batch_size = 16;
+  grid.backends.push_back({"ideal", "ideal", nullptr, nullptr});
+  grid.backends.push_back({"sram", "sram:sites=2,num_8t=2,vdd=0.6", nullptr,
+                           nullptr});
+  grid.modes.push_back({"SH", "ideal", "sram"});
+  grid.modes.push_back({"HH", "sram", "sram"});
+  grid.attacks.push_back({"eot_pgd:steps=2,samples=2", {0.1f}});
+  grid.attacks.push_back({"square:queries=10", {0.1f}});
+  grid.attacks.push_back({"mifgsm:steps=2", {0.1f}});
+
+  SweepEngine::Options serial_opt;
+  serial_opt.threads = 1;
+  SweepEngine::Options parallel_opt;
+  parallel_opt.threads = 4;
+  SweepEngine serial_engine(serial_opt);
+  SweepEngine parallel_engine(parallel_opt);
+  const auto a = serial_engine.run(grid);
+  const auto b = parallel_engine.run(grid);
+  expect_identical(a, b);
+}
+
+// A typo'd attack spec must fail the run up front with the registry's
+// token-naming error, not abort mid-grid from a worker lane.
+TEST_F(SweepTest, MalformedAttackSpecThrowsBeforeEvaluating) {
+  SweepGrid grid = make_grid();
+  grid.attacks.push_back({"pgd:stpes=7", {0.1f}});
+  SweepEngine engine;
+  try {
+    engine.run(grid);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("stpes"), std::string::npos)
+        << e.what();
+  }
+
+  SweepGrid unknown = make_grid();
+  unknown.attacks.push_back({"cw", {0.1f}});
+  EXPECT_THROW(engine.run(unknown), std::invalid_argument);
 }
 
 TEST(SweepSeeds, DerivationIsCoordinateStable) {

@@ -1,0 +1,156 @@
+// Documentation checker: fails CI on broken intra-repo markdown links and on
+// stale registry spec strings in the docs.
+//
+// Scans README.md, ROADMAP.md and docs/*.md for
+//   * markdown links [text](target): every non-http target must resolve to
+//     an existing file/directory relative to the markdown file (anchors are
+//     stripped);
+//   * inline code spans that look like registry specs
+//     (`key:opt=v,opt=v` / bare `key` that names a registered key): every
+//     backend spec must parse through hw::BackendRegistry and every attack
+//     spec through attacks::AttackRegistry — so a renamed knob or attack
+//     breaks the build, not a reader.
+//
+// Spans with ellipses or placeholders ("sram:vdd=0.68,...", "eps=<f>") don't
+// match the strict spec shape and are skipped; the docs keep exact,
+// parseable example specs in their tables precisely so this check has
+// teeth. A minimum-hit floor guards against the scanner silently matching
+// nothing.
+//
+//   $ ./docs_check [repo_root]     # root defaults to RHW_SOURCE_DIR
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attacks/registry.hpp"
+#include "hw/registry.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Failure {
+  std::string file;
+  std::string what;
+};
+
+std::string read_file(const fs::path& path) {
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+// Intra-repo link targets: strip #fragment, skip external schemes and
+// pure anchors.
+void check_links(const fs::path& md, const std::string& text,
+                 std::vector<Failure>& failures, size_t& checked) {
+  static const std::regex link_re(R"(\[[^\]]*\]\(([^)\s]+)\))");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), link_re);
+       it != std::sregex_iterator(); ++it) {
+    std::string target = (*it)[1].str();
+    if (target.rfind("http://", 0) == 0 || target.rfind("https://", 0) == 0 ||
+        target.rfind("mailto:", 0) == 0) {
+      continue;
+    }
+    const size_t hash = target.find('#');
+    if (hash == 0) continue;  // in-page anchor
+    if (hash != std::string::npos) target = target.substr(0, hash);
+    if (target.empty()) continue;
+    ++checked;
+    const fs::path resolved = md.parent_path() / target;
+    if (!fs::exists(resolved)) {
+      failures.push_back({md.string(),
+                          "broken link '" + target + "' (resolved to " +
+                              resolved.lexically_normal().string() + ")"});
+    }
+  }
+}
+
+// Inline code spans that look like specs. Strict shape: a registered key,
+// optionally followed by :k=v(,k=v)* with no spaces/placeholders.
+void check_specs(const fs::path& md, const std::string& text,
+                 std::vector<Failure>& failures, size_t& checked) {
+  static const std::regex span_re(R"(`([^`\n]+)`)");
+  static const std::regex spec_re(
+      R"(^([a-z_][a-z0-9_-]*)(:[A-Za-z0-9_]+=[A-Za-z0-9_.+\-/]+(,[A-Za-z0-9_]+=[A-Za-z0-9_.+\-/]+)*)?$)");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), span_re);
+       it != std::sregex_iterator(); ++it) {
+    const std::string span = (*it)[1].str();
+    std::smatch m;
+    if (!std::regex_match(span, m, spec_re)) continue;
+    const std::string key = m[1].str();
+    const bool is_backend = rhw::hw::BackendRegistry::instance().contains(key);
+    const bool is_attack =
+        rhw::attacks::AttackRegistry::instance().contains(key);
+    if (!is_backend && !is_attack) continue;  // not a spec, just a word
+    ++checked;
+    try {
+      if (is_backend) {
+        (void)rhw::hw::make_backend(span);
+      } else {
+        (void)rhw::attacks::make_attack(span);
+      }
+    } catch (const std::exception& e) {
+      failures.push_back({md.string(),
+                          "stale spec `" + span + "`: " + e.what()});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::path(RHW_SOURCE_DIR);
+  std::vector<fs::path> files;
+  for (const char* name : {"README.md", "ROADMAP.md"}) {
+    if (fs::exists(root / name)) files.push_back(root / name);
+  }
+  if (fs::exists(root / "docs")) {
+    for (const auto& entry : fs::directory_iterator(root / "docs")) {
+      if (entry.path().extension() == ".md") files.push_back(entry.path());
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "docs_check: no markdown files under %s\n",
+                 root.string().c_str());
+    return 1;
+  }
+
+  std::vector<Failure> failures;
+  size_t links_checked = 0;
+  size_t specs_checked = 0;
+  for (const auto& md : files) {
+    const std::string text = read_file(md);
+    check_links(md, text, failures, links_checked);
+    check_specs(md, text, failures, specs_checked);
+  }
+
+  std::printf("docs_check: %zu file(s), %zu link(s), %zu spec(s) checked\n",
+              files.size(), links_checked, specs_checked);
+  for (const auto& f : failures) {
+    std::fprintf(stderr, "docs_check: %s: %s\n", f.file.c_str(),
+                 f.what.c_str());
+  }
+  // The floor catches a scanner regression that silently matches nothing
+  // (e.g. a docs reshuffle that drops every exact spec example).
+  if (specs_checked < 10) {
+    std::fprintf(stderr,
+                 "docs_check: only %zu spec string(s) found — expected the "
+                 "docs to carry at least 10 exact spec examples\n",
+                 specs_checked);
+    return 1;
+  }
+  if (links_checked < 3) {
+    std::fprintf(stderr,
+                 "docs_check: only %zu intra-repo link(s) found — expected "
+                 "at least 3\n",
+                 links_checked);
+    return 1;
+  }
+  return failures.empty() ? 0 : 1;
+}
