@@ -4,8 +4,9 @@
 // run with --noise-target=weights.
 //
 // Each (arch, dataset) panel is one SweepEngine grid: the Fig. 4 methodology
-// runs (or loads its cache) once, the selected configuration is baked into a
-// backend binder, and the Baseline/BitErrorNoise x eps cells evaluate
+// runs (or loads its cache) once, the selected configuration is registered
+// as a backend key ("sram_selected" / "sram_weight_noise") referenced by
+// spec string, and the Baseline/BitErrorNoise x eps cells evaluate
 // concurrently with identical-to-serial results (RHW_SWEEP_VERIFY=1 checks).
 #include <cstring>
 
@@ -17,6 +18,38 @@ using namespace rhw;
 
 namespace {
 
+// The weight-noise ablation as a proper backend: prepare() corrupts the
+// weight layers feeding the selected sites, as if the weight memories were
+// read through erroneous 6T cells. Registered under "sram_weight_noise" so
+// the grid references it by spec string; replicate() returns a fresh copy
+// whose (deterministic) prepare reproduces the corruption bit-for-bit.
+class WeightNoiseBackend final : public hw::HardwareBackend {
+ public:
+  explicit WeightNoiseBackend(std::vector<sram::SiteChoice> selected)
+      : selected_(std::move(selected)) {}
+
+  std::string name() const override { return "sram_weight_noise"; }
+
+  hw::BackendPtr replicate() const override {
+    return std::make_unique<WeightNoiseBackend>(selected_);
+  }
+
+ protected:
+  void do_prepare(nn::Module& net, const std::vector<models::ActivationSite>&,
+                  const data::Dataset*) override {
+    auto layers = nn::collect_weight_layers(net);
+    for (size_t k = 0; k < selected_.size() && k < layers.size(); ++k) {
+      sram::SramNoiseConfig nc;
+      nc.word = selected_[k].word;
+      nc.vdd = 0.68;
+      sram::corrupt_layer_weights(*layers[k], nc);
+    }
+  }
+
+ private:
+  std::vector<sram::SiteChoice> selected_;
+};
+
 void run_arch_dataset(const std::string& arch, const std::string& dataset,
                       bool noise_on_weights, exp::TablePrinter& table) {
   bench::Workbench wb = bench::load_workbench(arch, dataset);
@@ -26,38 +59,23 @@ void run_arch_dataset(const std::string& arch, const std::string& dataset,
   exp::SweepGrid grid;
   grid.model = &wb.trained.model;
   grid.eval_set = &wb.eval_set;
-  grid.backends.push_back({"ideal", "ideal", nullptr, nullptr});
-  exp::SweepBackendDef noisy;
-  noisy.key = "noisy";
+  grid.backends.push_back({"ideal", "ideal"});
   if (noise_on_weights) {
-    // Ablation: put the same hybrid configurations on the *weight* memories
-    // of the weight layer feeding each selected site (paper: worse than
-    // activations).
-    noisy.bind = [selected = selection.selected](models::Model& m) {
-      auto layers = nn::collect_weight_layers(*m.net);
-      for (size_t k = 0; k < selected.size() && k < layers.size(); ++k) {
-        sram::SramNoiseConfig nc;
-        nc.word = selected[k].word;
-        nc.vdd = 0.68;
-        sram::corrupt_layer_weights(*layers[k], nc);
-      }
-      auto backend = hw::make_backend("ideal");
-      backend->prepare(m);
-      return backend;
-    };
+    // Ablation: the same hybrid configurations on the *weight* memories of
+    // the layers feeding each selected site (paper: worse than activations).
+    hw::BackendRegistry::instance().add(
+        "sram_weight_noise",
+        [selected = selection.selected](const hw::BackendOptions& opts) {
+          core::OptionReader("backend", "sram_weight_noise", opts).finish();
+          return std::make_unique<WeightNoiseBackend>(selected);
+        });
+    grid.backends.push_back({"noisy", "sram_weight_noise"});
   } else {
     // The methodology's selected sites, installed by an SramBackend with an
     // explicit selection (no calibration re-run per replica).
-    noisy.bind = [selected = selection.selected](models::Model& m) {
-      hw::SramBackendConfig cfg;
-      cfg.vdd = 0.68;
-      cfg.selection = selected;
-      auto backend = std::make_unique<hw::SramBackend>(std::move(cfg));
-      backend->prepare(m);
-      return hw::BackendPtr(std::move(backend));
-    };
+    bench::register_selected_sram_backend(selection.selected);
+    grid.backends.push_back({"noisy", "sram_selected:vdd=0.68"});
   }
-  grid.backends.push_back(std::move(noisy));
   // Attack gradients come from the clean model (noise never in gradients).
   grid.modes.push_back({"Baseline", "ideal", "ideal"});
   grid.modes.push_back({"BitErrorNoise", "ideal", "noisy"});

@@ -16,11 +16,10 @@ int main() {
   exp::SweepGrid grid;
   grid.model = &wb.trained.model;
   grid.eval_set = &wb.eval_set;
-  grid.backends.push_back({"ideal", "ideal", nullptr, nullptr});
+  grid.backends.push_back({"ideal", "ideal"});
   for (const double r_min : r_mins) {
     const std::string key = "r" + std::to_string(static_cast<int>(r_min / 1e3));
-    grid.backends.push_back({key, bench::xbar_spec(32, r_min), nullptr,
-                             nullptr});
+    grid.backends.push_back({key, bench::xbar_spec(32, r_min)});
     grid.modes.push_back({key + "/SH", "ideal", key});
     grid.modes.push_back({key + "/HH", key, key});
   }

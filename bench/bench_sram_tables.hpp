@@ -17,6 +17,25 @@ inline std::string selection_cache_path(const std::string& arch,
   return exp::bench_out_dir() + "/selection_" + arch + "_" + dataset + ".txt";
 }
 
+// Registers (or replaces) the "sram_selected" backend key: an SramBackend
+// carrying an explicit precomputed site selection, so grids re-evaluating a
+// methodology result reference it by spec string like any other hardware —
+// the registry replaces the custom sweep binders this used to need. The
+// only knob is vdd; the selection itself is baked into the factory.
+inline void register_selected_sram_backend(
+    const std::vector<sram::SiteChoice>& selected) {
+  hw::BackendRegistry::instance().add(
+      "sram_selected",
+      [selected](const hw::BackendOptions& opts) -> hw::BackendPtr {
+        auto reader = core::OptionReader("backend", "sram_selected", opts);
+        hw::SramBackendConfig cfg;
+        cfg.vdd = reader.number("vdd", 0.68);
+        cfg.selection = selected;
+        reader.finish();
+        return std::make_unique<hw::SramBackend>(std::move(cfg));
+      });
+}
+
 // Runs (or loads) the methodology for one arch/dataset pair.
 inline sram::SelectionResult run_methodology(models::Model& model,
                                              const data::Dataset& test,
@@ -91,18 +110,9 @@ inline void print_config_table(const std::string& arch,
     exp::SweepGrid grid;
     grid.model = &wb.trained.model;
     grid.eval_set = &wb.eval_set;
-    grid.backends.push_back({"ideal", "ideal", nullptr, nullptr});
-    exp::SweepBackendDef noisy;
-    noisy.key = "noisy";
-    noisy.bind = [selected = result.selected](models::Model& m) {
-      hw::SramBackendConfig cfg;
-      cfg.vdd = 0.68;
-      cfg.selection = selected;
-      auto backend = std::make_unique<hw::SramBackend>(std::move(cfg));
-      backend->prepare(m);
-      return hw::BackendPtr(std::move(backend));
-    };
-    grid.backends.push_back(std::move(noisy));
+    grid.backends.push_back({"ideal", "ideal"});
+    register_selected_sram_backend(result.selected);
+    grid.backends.push_back({"noisy", "sram_selected:vdd=0.68"});
     grid.modes.push_back({"Baseline", "ideal", "ideal"});
     grid.modes.push_back({"BitErrorNoise", "ideal", "noisy"});
     grid.attacks.push_back({"fgsm", {probe_eps}});

@@ -34,10 +34,9 @@ int main() {
   grid.eval_set = &eval_set;
   grid.base.batch_size = 32;
   grid.trials = 2;
-  grid.backends.push_back({"ideal", "ideal", nullptr, nullptr});
-  grid.backends.push_back({"sram", "sram:sites=2,num_8t=4,vdd=0.64", nullptr,
-                           nullptr});
-  grid.backends.push_back({"xbar", "xbar:size=16", nullptr, nullptr});
+  grid.backends.push_back({"ideal", "ideal"});
+  grid.backends.push_back({"sram", "sram:sites=2,num_8t=4,vdd=0.64"});
+  grid.backends.push_back({"xbar", "xbar:size=16"});
   grid.modes.push_back({"Attack-SW", "ideal", "ideal"});
   grid.modes.push_back({"SH-sram", "ideal", "sram"});
   grid.modes.push_back({"SH-xbar", "ideal", "xbar"});

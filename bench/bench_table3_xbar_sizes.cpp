@@ -19,7 +19,7 @@ int main() {
   grid.eval_set = &wb.eval_set;
   for (const int64_t size : sizes) {
     const std::string key = "x" + std::to_string(size);
-    grid.backends.push_back({key, bench::xbar_spec(size), nullptr, nullptr});
+    grid.backends.push_back({key, bench::xbar_spec(size)});
     grid.modes.push_back({"HH/" + key, key, key});
   }
   grid.attacks.push_back({"pgd", eps});

@@ -121,11 +121,11 @@ inline void run_xbar_figure(const std::string& arch,
   exp::SweepGrid grid;
   grid.model = &wb.trained.model;
   grid.eval_set = &wb.eval_set;
-  grid.backends.push_back({"ideal", "ideal", nullptr, nullptr});
+  grid.backends.push_back({"ideal", "ideal"});
   for (const int64_t size : sizes) {
     const std::string key = "x" + std::to_string(size);
     const std::string size_label = "Cross" + std::to_string(size);
-    grid.backends.push_back({key, xbar_spec(size), nullptr, nullptr});
+    grid.backends.push_back({key, xbar_spec(size)});
     grid.modes.push_back({size_label + "/Attack-SW", "ideal", "ideal"});
     grid.modes.push_back({size_label + "/SH", "ideal", key});
     grid.modes.push_back({size_label + "/HH", key, key});

@@ -84,12 +84,12 @@ int main() {
   grid.in_size = 16;
   grid.eval_set = &audit_set;
   grid.base.batch_size = ocfg.batch_size;
-  grid.backends.push_back({"ideal", "ideal", nullptr, nullptr});
+  grid.backends.push_back({"ideal", "ideal"});
   grid.modes.push_back({"control", "ideal", "ideal"});
   for (const auto& sub : substrates) {
     // No calibration set: the sram backend uses its fixed fallback sites
     // instead of running the selection methodology.
-    grid.backends.push_back({sub.key, sub.spec, nullptr, nullptr});
+    grid.backends.push_back({sub.key, sub.spec});
     grid.modes.push_back({std::string("white-box/") + sub.key, sub.key,
                           sub.key});
     grid.modes.push_back({std::string("transfer/") + sub.key, "ideal",

@@ -31,7 +31,9 @@
 //
 // Unknown keys and unknown options throw std::invalid_argument naming the
 // offending token and the full spec. Downstream code can register additional
-// attacks (registry().add) under new keys.
+// attacks (registry().add) under new keys. The other two seams speak the
+// same grammar: hw::BackendRegistry (hw/registry.hpp) for substrates,
+// defenses::DefenseRegistry (defenses/registry.hpp) for defenses.
 #pragma once
 
 #include <functional>

@@ -1,21 +1,41 @@
-#include "attacks/adv_train.hpp"
+#include "defenses/adv_train.hpp"
 
 #include <algorithm>
 
-#include "attacks/fgsm.hpp"
-#include "data/synth_cifar.hpp"
+#include "attacks/registry.hpp"
 #include "nn/loss.hpp"
 
-namespace rhw::attacks {
+namespace rhw::defenses {
+
+namespace {
+
+// Builds the inner adversary from the config. "fgsm" takes no iteration
+// knobs; everything else gets the steps knob (the factory rejects attacks
+// that do not understand it, naming the token).
+attacks::AttackPtr build_inner_attack(const AdvTrainConfig& cfg) {
+  std::string spec = cfg.attack;
+  if (cfg.attack != "fgsm") {
+    spec += ":steps=" + std::to_string(cfg.steps);
+  }
+  attacks::AttackPtr attack = attacks::make_attack(spec);
+  attack->set_epsilon(cfg.epsilon);
+  return attack;
+}
+
+}  // namespace
 
 AdvTrainResult adversarial_train(nn::Module& net, const data::SynthCifar& data,
                                  const AdvTrainConfig& cfg) {
+  const attacks::AttackPtr attack = build_inner_attack(cfg);
   rhw::RandomEngine rng(cfg.seed);
+  const uint64_t craft_stream =
+      derive_stream_seed(cfg.seed, kAdvTrainCraftStream);
   nn::SGD opt(net.parameters(), cfg.sgd);
   nn::SoftmaxCrossEntropy loss;
   const int decay_epoch = std::max(1, cfg.epochs * 2 / 3);
 
   AdvTrainResult result;
+  uint64_t craft_batch = 0;
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
     if (epoch == decay_epoch) opt.set_lr(opt.lr() * cfg.lr_decay);
     const auto order = data::shuffled_indices(data.train.size(), rng);
@@ -28,19 +48,20 @@ AdvTrainResult adversarial_train(nn::Module& net, const data::SynthCifar& data,
       std::vector<int64_t> idx(order.begin() + begin, order.begin() + end);
       auto batch = data.train.gather(idx);
 
-      // Replace the leading adv_fraction of the batch with FGSM adversaries
+      // Replace the leading adv_fraction of the batch with adversaries
       // crafted against the *current* parameters.
       const auto n_adv = static_cast<int64_t>(
           cfg.adv_fraction * static_cast<float>(batch.images.dim(0)));
       if (n_adv > 0 && cfg.epsilon > 0.f) {
         auto head = batch.slice(0, n_adv);
-        FgsmConfig fc;
-        fc.epsilon = cfg.epsilon;
-        const Tensor adv = fgsm(net, head.images, head.labels, fc);
-        const int64_t stride = adv.numel() / n_adv;
+        attacks::AttackContext ctx;
+        ctx.grad_net = &net;
+        ctx.eval_net = &net;
+        ctx.seed = derive_stream_seed(craft_stream, craft_batch);
+        const Tensor adv = attack->perturb(ctx, head.images, head.labels);
         std::copy(adv.data(), adv.data() + adv.numel(), batch.images.data());
-        (void)stride;
       }
+      ++craft_batch;
 
       net.set_training(true);
       opt.zero_grad();
@@ -76,4 +97,4 @@ AdvTrainResult adversarial_train(hw::HardwareBackend& backend,
   return adversarial_train(backend.module(), data, cfg);
 }
 
-}  // namespace rhw::attacks
+}  // namespace rhw::defenses

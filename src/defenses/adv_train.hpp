@@ -1,0 +1,61 @@
+// Adversarial training (Goodfellow et al. / Madry et al.), the algorithmic
+// defense the paper's introduction singles out as the strongest software
+// baseline. Lives in src/defenses — it is a *training-time* defense behind
+// the DefenseRegistry ("adv_train:attack=pgd,steps=7,ratio=0.5") — and
+// crafts its adversarial half through the attack seam, so any registered
+// gradient attack can drive the inner maximization.
+#pragma once
+
+#include <string>
+
+#include "data/synth_cifar.hpp"
+#include "hw/backend.hpp"
+#include "nn/module.hpp"
+#include "nn/optimizer.hpp"
+
+namespace rhw::defenses {
+
+struct AdvTrainConfig {
+  // AttackRegistry key crafting the adversarial half of each batch. The
+  // registry factory restricts this to the white-box gradient attacks
+  // ("fgsm", "pgd") — a black-box attack in the training loop would burn
+  // thousands of queries per step for a worse inner maximizer.
+  std::string attack = "fgsm";
+  int steps = 7;                // pgd inner-attack iterations (fgsm: unused)
+  int epochs = 5;
+  int64_t batch_size = 100;
+  nn::SgdConfig sgd{};
+  float lr_decay = 0.1f;        // once at 2/3 of training
+  float epsilon = 0.1f;         // L-inf budget of the adversarial half
+  float adv_fraction = 0.5f;    // fraction of each batch replaced by
+                                // adversarial examples ("ratio" knob)
+  uint64_t seed = 11;
+};
+
+struct AdvTrainResult {
+  double clean_test_acc = 0.0;  // 0..1
+  double final_train_loss = 0.0;
+};
+
+// Sub-stream tag for per-batch craft seeds: batch b (counted across epochs)
+// crafts under derive(derive(cfg.seed, kAdvTrainCraftStream), b), keeping
+// randomized inner attacks (PGD random start) bit-reproducible.
+inline constexpr uint64_t kAdvTrainCraftStream = 0xAD7;
+
+// Trains net in place on a mix of clean and adversarial batches (adversaries
+// regenerated from the current parameters each step, as in standard
+// adversarial training). Assumes the net is already initialized. Throws
+// std::invalid_argument on a bad cfg.attack spec.
+AdvTrainResult adversarial_train(nn::Module& net,
+                                 const data::SynthCifar& data,
+                                 const AdvTrainConfig& cfg);
+
+// Hardware-in-the-loop variant: trains through a prepared backend's module,
+// so forward passes see the hardware model (SRAM noise hooks stay gated out
+// of the crafting gradient step, crossbar peripheral hooks apply throughout —
+// each substrate's own rules).
+AdvTrainResult adversarial_train(hw::HardwareBackend& backend,
+                                 const data::SynthCifar& data,
+                                 const AdvTrainConfig& cfg);
+
+}  // namespace rhw::defenses

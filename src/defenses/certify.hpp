@@ -1,0 +1,44 @@
+// Randomized-smoothing certification math (Cohen et al., 2019).
+//
+// A smoothed classifier g(x) = argmax_c P[f(x + N(0, sigma^2 I)) = c] is
+// certifiably constant within an L2 ball of radius
+//
+//   R = sigma * Phi^{-1}(p_lower)
+//
+// around x, where p_lower is a high-confidence lower bound on the top-class
+// probability. The bound comes from the vote counts of the Monte-Carlo
+// estimate: k top-class votes out of n samples give the one-sided
+// Clopper-Pearson lower bound at confidence 1 - alpha. p_lower <= 1/2 means
+// the smoothed prediction itself is not certifiable (abstain), radius 0.
+//
+// These are dependency-free doubles-only implementations (regularized
+// incomplete beta via Lentz's continued fraction, inverted by bisection;
+// Phi^{-1} via Acklam's rational approximation) — accurate to ~1e-9, far
+// below the Monte-Carlo error of any realistic sample count.
+#pragma once
+
+#include <cstdint>
+
+namespace rhw::defenses {
+
+// Regularized incomplete beta function I_x(a, b), a,b > 0, x in [0, 1].
+double incomplete_beta(double a, double b, double x);
+
+// One-sided Clopper-Pearson lower confidence bound for the success
+// probability after observing k successes in n Bernoulli trials, at
+// confidence 1 - alpha: the p solving P[Binomial(n, p) >= k] = alpha
+// (equivalently the alpha-quantile of Beta(k, n - k + 1)). Returns 0 for
+// k == 0. Throws std::invalid_argument on k > n, n < 1 or alpha outside
+// (0, 1).
+double clopper_pearson_lower(int64_t k, int64_t n, double alpha);
+
+// Standard normal quantile Phi^{-1}(p), p in (0, 1).
+double normal_quantile(double p);
+
+// Certified L2 radius of one smoothed prediction: sigma *
+// Phi^{-1}(clopper_pearson_lower(top_votes, samples, alpha)), or 0 when the
+// lower bound does not clear 1/2 (abstain).
+double certified_radius(double sigma, int64_t top_votes, int64_t samples,
+                        double alpha);
+
+}  // namespace rhw::defenses

@@ -1,0 +1,48 @@
+#include "defenses/defense.hpp"
+
+#include <stdexcept>
+
+namespace rhw::defenses {
+
+void Defense::harden(models::Model&, const DefenseContext&) const {}
+
+hw::BackendPtr Defense::wrap(hw::HardwareBackend& inner) const {
+  if (!inner.prepared()) {
+    throw std::invalid_argument("defense " + name() +
+                                ": cannot wrap backend '" + inner.name() +
+                                "' before its prepare()");
+  }
+  return do_wrap(inner);
+}
+
+hw::BackendPtr Defense::do_wrap(hw::HardwareBackend&) const { return nullptr; }
+
+WrappedBackend::WrappedBackend(std::string defense_key,
+                               hw::HardwareBackend& inner,
+                               nn::ModulePtr wrapper)
+    : defense_key_(std::move(defense_key)),
+      inner_(&inner),
+      wrapper_(std::move(wrapper)) {
+  if (!wrapper_) {
+    throw std::invalid_argument("WrappedBackend: null wrapper module");
+  }
+  if (!inner_->prepared()) {
+    throw std::invalid_argument("WrappedBackend: inner backend '" +
+                                inner_->name() + "' is not prepared");
+  }
+  prepare(*wrapper_);  // binds module() to the owned wrapper
+}
+
+std::string WrappedBackend::name() const {
+  return defense_key_ + "+" + inner_->name();
+}
+
+hw::EnergyReport WrappedBackend::energy_report() const {
+  return inner_->energy_report();
+}
+
+void WrappedBackend::do_prepare(nn::Module&,
+                                const std::vector<models::ActivationSite>&,
+                                const data::Dataset*) {}
+
+}  // namespace rhw::defenses

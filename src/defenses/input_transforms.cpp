@@ -1,0 +1,37 @@
+#include "defenses/input_transforms.hpp"
+
+#include <stdexcept>
+
+namespace rhw::defenses {
+
+void add_gaussian_noise(Tensor& x, float sigma, float lo, float hi,
+                        RandomEngine& rng) {
+  float* p = x.data();
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    p[i] += sigma * rng.gaussian();
+  }
+  x.clamp_(lo, hi);
+}
+
+GaussAugModule::GaussAugModule(nn::Module& inner, GaussAugConfig cfg)
+    : inner_(&inner), cfg_(cfg) {
+  if (!(cfg_.sigma > 0.f)) {
+    throw std::invalid_argument("GaussAugModule: sigma must be > 0");
+  }
+  // Seeder-only hook registration: reseed_noise_streams pins the
+  // augmentation stream per evaluation pass (identity hook, gated like the
+  // noise itself).
+  set_post_hook([](Tensor&) {}, /*gated=*/true,
+                [this](uint64_t seed) { rng_.reseed(seed); });
+}
+
+Tensor GaussAugModule::do_forward(const Tensor& x) {
+  // Gated like SRAM bit errors: absent from attack-gradient passes
+  // (HooksDisabledScope), present on every deployed forward.
+  if (!hooks_enabled()) return inner_->forward(x);
+  Tensor noisy = x;
+  add_gaussian_noise(noisy, cfg_.sigma, cfg_.clip_lo, cfg_.clip_hi, rng_);
+  return inner_->forward(noisy);
+}
+
+}  // namespace rhw::defenses

@@ -1,0 +1,63 @@
+// Input-transform defenses: cheap wrappers that reshape what the network
+// sees, composing around any prepared hardware backend.
+//
+//   * jpeg_quant — pixel-depth reduction (Panda et al. [6]), reusing
+//     quant::PixelDiscretizer behind the defense seam; deterministic, so it
+//     needs no seeder.
+//   * gauss_aug — a single Gaussian input perturbation per forward (the
+//     1-sample little sibling of randomized smoothing). Stochastic: its RNG
+//     registers a hook seeder and the noise is *gated* like SRAM bit errors —
+//     attack gradients are computed on the clean path (the paper's rule for
+//     gated noise), while "eot_pgd" remains the aware attack.
+#pragma once
+
+#include "core/rng.hpp"
+#include "nn/module.hpp"
+
+namespace rhw::defenses {
+
+// In-place x += N(0, sigma^2) followed by a clamp into [lo, hi] — the one
+// noisy-copy primitive both gauss_aug and the smoothing wrapper draw from,
+// so their noise semantics cannot drift apart.
+void add_gaussian_noise(Tensor& x, float sigma, float lo, float hi,
+                        RandomEngine& rng);
+
+struct GaussAugConfig {
+  float sigma = 0.1f;   // input-noise stddev (pixel scale, 0..1)
+  float clip_lo = 0.f;  // valid pixel range
+  float clip_hi = 1.f;
+};
+
+// Wraps an existing network: forward adds one Gaussian draw to the input
+// (when hooks are enabled — see nn::Module::hooks_enabled), then delegates.
+// Gradients flow straight through the augmentation.
+class GaussAugModule final : public nn::Module {
+ public:
+  GaussAugModule(nn::Module& inner, GaussAugConfig cfg);
+
+  std::vector<nn::Param*> parameters() override {
+    return inner_->parameters();
+  }
+  std::vector<nn::Module*> children() override { return {inner_}; }
+  std::vector<std::pair<std::string, Tensor*>> named_state() override {
+    return {};
+  }
+  std::string type_name() const override { return "GaussAugModule"; }
+  void set_training(bool training) override {
+    nn::Module::set_training(training);
+    inner_->set_training(training);
+  }
+
+ protected:
+  Tensor do_forward(const Tensor& x) override;
+  Tensor do_backward(const Tensor& grad_out) override {
+    return inner_->backward(grad_out);  // straight-through
+  }
+
+ private:
+  nn::Module* inner_;  // non-owning
+  GaussAugConfig cfg_;
+  RandomEngine rng_;
+};
+
+}  // namespace rhw::defenses

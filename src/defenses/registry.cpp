@@ -1,0 +1,284 @@
+#include "defenses/registry.hpp"
+
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "defenses/adv_train.hpp"
+#include "defenses/input_transforms.hpp"
+#include "defenses/smoothing.hpp"
+#include "quant/pixel_discretizer.hpp"
+#include "quant/quanos.hpp"
+
+namespace rhw::defenses {
+
+namespace {
+
+core::OptionReader reader_for(const std::string& defense,
+                              const DefenseOptions& opts) {
+  return core::OptionReader("defense", defense, opts);
+}
+
+// Count knobs (samples, epochs, steps, bits) must be >= 1: a zero would make
+// the defense a silent no-op and the shootout would compare against a row
+// that defended nothing — the same failure mode the attack registry rejects
+// for zero-iteration attacks.
+int positive_int(core::OptionReader& reader, const std::string& defense,
+                 const std::string& key, int fallback) {
+  const uint64_t v = reader.integer(key, static_cast<uint64_t>(fallback));
+  if (v == 0) {
+    throw std::invalid_argument("defense " + defense + ": option " + key +
+                                " must be >= 1 (0 would be a no-op defense)");
+  }
+  if (v > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+    throw std::invalid_argument("defense " + defense + ": option " + key +
+                                " value " + std::to_string(v) +
+                                " exceeds the supported range");
+  }
+  return static_cast<int>(v);
+}
+
+// -- concrete defenses --------------------------------------------------------
+
+class NoneDefense final : public Defense {
+ public:
+  std::string name() const override { return "None"; }
+};
+
+class AdvTrainDefense final : public Defense {
+ public:
+  explicit AdvTrainDefense(AdvTrainConfig cfg) : cfg_(std::move(cfg)) {}
+  std::string name() const override { return "AdvTrain"; }
+  bool training_time() const override { return true; }
+  // Retraining only touches weights/BN buffers, so SweepEngine clones the
+  // hardened prototype instead of re-training per lane.
+  bool replicable_by_clone() const override { return true; }
+  void harden(models::Model& model, const DefenseContext& ctx) const override {
+    if (ctx.train_data == nullptr) {
+      throw std::invalid_argument(
+          "defense adv_train: needs training data (DefenseContext::"
+          "train_data / SweepGrid::train_data)");
+    }
+    (void)adversarial_train(*model.net, *ctx.train_data, cfg_);
+  }
+
+ private:
+  AdvTrainConfig cfg_;
+};
+
+class SmoothDefense final : public Defense {
+ public:
+  explicit SmoothDefense(SmoothConfig cfg) : cfg_(cfg) {}
+  std::string name() const override { return "Smooth"; }
+
+ protected:
+  hw::BackendPtr do_wrap(hw::HardwareBackend& inner) const override {
+    return std::make_unique<SmoothedBackend>(inner, cfg_);
+  }
+
+ private:
+  SmoothConfig cfg_;
+};
+
+class JpegQuantDefense final : public Defense {
+ public:
+  explicit JpegQuantDefense(quant::PixelDiscretizer disc) : disc_(disc) {}
+  std::string name() const override { return "JpegQuant"; }
+
+ protected:
+  hw::BackendPtr do_wrap(hw::HardwareBackend& inner) const override {
+    return std::make_unique<WrappedBackend>(
+        "jpeg_quant", inner,
+        std::make_unique<quant::DiscretizedModel>(inner.module(), disc_));
+  }
+
+ private:
+  quant::PixelDiscretizer disc_;
+};
+
+class GaussAugDefense final : public Defense {
+ public:
+  explicit GaussAugDefense(GaussAugConfig cfg) : cfg_(cfg) {}
+  std::string name() const override { return "GaussAug"; }
+
+ protected:
+  hw::BackendPtr do_wrap(hw::HardwareBackend& inner) const override {
+    return std::make_unique<WrappedBackend>(
+        "gauss_aug", inner,
+        std::make_unique<GaussAugModule>(inner.module(), cfg_));
+  }
+
+ private:
+  GaussAugConfig cfg_;
+};
+
+class QuanosDefense final : public Defense {
+ public:
+  explicit QuanosDefense(quant::QuanosConfig cfg) : cfg_(cfg) {}
+  std::string name() const override { return "QUANOS"; }
+  bool needs_calibration() const override { return true; }
+  // apply_quanos installs activation fake-quantization hooks, which
+  // clone_model does not carry — every replica re-runs the (deterministic)
+  // requantization, so replicable_by_clone stays false.
+  void harden(models::Model& model, const DefenseContext& ctx) const override {
+    if (ctx.calibration == nullptr) {
+      throw std::invalid_argument(
+          "defense quanos: needs a calibration dataset (DefenseContext::"
+          "calibration / SweepBackendDef::calibration)");
+    }
+    (void)quant::apply_quanos(*model.net, *ctx.calibration, cfg_);
+  }
+
+ private:
+  quant::QuanosConfig cfg_;
+};
+
+// -- factories ----------------------------------------------------------------
+
+DefensePtr make_none(const DefenseOptions& opts) {
+  auto reader = reader_for("none", opts);
+  reader.finish();
+  return std::make_unique<NoneDefense>();
+}
+
+DefensePtr make_adv_train(const DefenseOptions& opts) {
+  auto reader = reader_for("adv_train", opts);
+  AdvTrainConfig cfg;
+  cfg.attack = reader.text("attack", cfg.attack);
+  if (cfg.attack != "fgsm" && cfg.attack != "pgd") {
+    throw std::invalid_argument(
+        "defense adv_train: option attack must be fgsm or pgd (got '" +
+        cfg.attack + "')");
+  }
+  cfg.steps = positive_int(reader, "adv_train", "steps", cfg.steps);
+  cfg.epsilon = static_cast<float>(reader.number("eps", cfg.epsilon));
+  cfg.adv_fraction =
+      static_cast<float>(reader.number("ratio", cfg.adv_fraction));
+  if (cfg.adv_fraction < 0.f || cfg.adv_fraction > 1.f) {
+    throw std::invalid_argument(
+        "defense adv_train: option ratio must be in [0, 1] (got " +
+        std::to_string(cfg.adv_fraction) + ")");
+  }
+  cfg.epochs = positive_int(reader, "adv_train", "epochs", cfg.epochs);
+  cfg.seed = reader.integer("seed", cfg.seed);
+  reader.finish();
+  return std::make_unique<AdvTrainDefense>(std::move(cfg));
+}
+
+DefensePtr make_smooth(const DefenseOptions& opts) {
+  auto reader = reader_for("smooth", opts);
+  SmoothConfig cfg;
+  cfg.sigma = static_cast<float>(reader.number("sigma", cfg.sigma));
+  if (!(cfg.sigma > 0.f)) {
+    throw std::invalid_argument(
+        "defense smooth: option sigma must be > 0 (got " +
+        std::to_string(cfg.sigma) + ")");
+  }
+  cfg.samples = positive_int(reader, "smooth", "samples", cfg.samples);
+  cfg.alpha = reader.number("alpha", cfg.alpha);
+  if (!(cfg.alpha > 0.0) || !(cfg.alpha < 0.5)) {
+    throw std::invalid_argument(
+        "defense smooth: option alpha must be in (0, 0.5) (got " +
+        std::to_string(cfg.alpha) + ")");
+  }
+  reader.finish();
+  return std::make_unique<SmoothDefense>(cfg);
+}
+
+DefensePtr make_jpeg_quant(const DefenseOptions& opts) {
+  auto reader = reader_for("jpeg_quant", opts);
+  quant::PixelDiscretizer disc;
+  disc.bits = positive_int(reader, "jpeg_quant", "bits", disc.bits);
+  if (disc.bits > 8) {
+    throw std::invalid_argument(
+        "defense jpeg_quant: option bits must be in [1, 8] (got " +
+        std::to_string(disc.bits) + ")");
+  }
+  reader.finish();
+  return std::make_unique<JpegQuantDefense>(disc);
+}
+
+DefensePtr make_gauss_aug(const DefenseOptions& opts) {
+  auto reader = reader_for("gauss_aug", opts);
+  GaussAugConfig cfg;
+  cfg.sigma = static_cast<float>(reader.number("sigma", cfg.sigma));
+  if (!(cfg.sigma > 0.f)) {
+    throw std::invalid_argument(
+        "defense gauss_aug: option sigma must be > 0 (got " +
+        std::to_string(cfg.sigma) + ")");
+  }
+  reader.finish();
+  return std::make_unique<GaussAugDefense>(cfg);
+}
+
+DefensePtr make_quanos(const DefenseOptions& opts) {
+  auto reader = reader_for("quanos", opts);
+  quant::QuanosConfig cfg;
+  cfg.sample_count = positive_int(reader, "quanos", "samples",
+                                  static_cast<int>(cfg.sample_count));
+  cfg.high_bits = positive_int(reader, "quanos", "high", cfg.high_bits);
+  cfg.low_bits = positive_int(reader, "quanos", "low", cfg.low_bits);
+  cfg.ans_epsilon = static_cast<float>(reader.number("eps", cfg.ans_epsilon));
+  reader.finish();
+  return std::make_unique<QuanosDefense>(cfg);
+}
+
+}  // namespace
+
+DefenseRegistry::DefenseRegistry() {
+  factories_["none"] = make_none;
+  factories_["adv_train"] = make_adv_train;
+  factories_["smooth"] = make_smooth;
+  factories_["jpeg_quant"] = make_jpeg_quant;
+  factories_["gauss_aug"] = make_gauss_aug;
+  factories_["quanos"] = make_quanos;
+}
+
+DefenseRegistry& DefenseRegistry::instance() {
+  static DefenseRegistry registry;
+  return registry;
+}
+
+void DefenseRegistry::add(const std::string& key, DefenseFactory factory) {
+  factories_[key] = std::move(factory);
+}
+
+bool DefenseRegistry::contains(const std::string& key) const {
+  return factories_.count(key) > 0;
+}
+
+std::vector<std::string> DefenseRegistry::keys() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [key, factory] : factories_) out.push_back(key);
+  return out;
+}
+
+DefensePtr DefenseRegistry::create(const std::string& spec) const {
+  const core::ParsedSpec parsed = core::parse_spec("defense", spec);
+  const auto it = factories_.find(parsed.key);
+  if (it == factories_.end()) {
+    std::ostringstream os;
+    os << "unknown defense '" << parsed.key << "'; registered:";
+    for (const auto& [name, factory] : factories_) os << ' ' << name;
+    throw std::invalid_argument(os.str());
+  }
+  try {
+    return it->second(parsed.options);
+  } catch (const std::invalid_argument& e) {
+    // Factories report the offending option key/value; add the full spec so
+    // errors surfacing far from the call site stay actionable.
+    throw std::invalid_argument("defense spec '" + spec + "': " + e.what());
+  }
+}
+
+DefensePtr make_defense(const std::string& spec) {
+  return DefenseRegistry::instance().create(spec);
+}
+
+std::string defense_display_name(const std::string& spec) {
+  return make_defense(spec)->name();
+}
+
+}  // namespace rhw::defenses

@@ -1,0 +1,89 @@
+#include "defenses/smoothing.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "defenses/input_transforms.hpp"
+
+namespace rhw::defenses {
+
+SmoothedModule::SmoothedModule(nn::Module& inner, SmoothConfig cfg)
+    : inner_(&inner), cfg_(cfg) {
+  if (!(cfg_.sigma > 0.f)) {
+    throw std::invalid_argument("SmoothedModule: sigma must be > 0");
+  }
+  if (cfg_.samples < 1) {
+    throw std::invalid_argument("SmoothedModule: samples must be >= 1");
+  }
+  // Register the smoothing noise stream through the hook-seeder channel so
+  // reseed_noise_streams pins it per evaluation pass like any hardware noise
+  // stream. The hook itself is an identity — only the seeder matters.
+  set_post_hook([](Tensor&) {}, /*gated=*/false,
+                [this](uint64_t seed) { rng_.reseed(seed); });
+}
+
+Tensor SmoothedModule::votes(const Tensor& x, int samples) {
+  if (samples <= 0) samples = cfg_.samples;
+  const int64_t n = x.dim(0);
+  Tensor counts;
+  for (int s = 0; s < samples; ++s) {
+    Tensor noisy = x;
+    add_gaussian_noise(noisy, cfg_.sigma, cfg_.clip_lo, cfg_.clip_hi, rng_);
+    const Tensor logits = inner_->forward(noisy);
+    if (counts.empty()) counts = Tensor::zeros({n, logits.dim(1)});
+    const auto preds = logits.argmax_rows();
+    for (int64_t i = 0; i < n; ++i) counts.at(i, preds[i]) += 1.f;
+  }
+  return counts;
+}
+
+Tensor SmoothedModule::do_forward(const Tensor& x) {
+  Tensor counts = votes(x);
+  // Vote shares as logits: argmax is the majority-vote prediction, and the
+  // scale is attack-agnostic (0..1 like softmax probabilities).
+  counts.scale_(1.f / static_cast<float>(cfg_.samples));
+  return counts;
+}
+
+SmoothedBackend::SmoothedBackend(hw::HardwareBackend& inner, SmoothConfig cfg)
+    : WrappedBackend("smooth", inner,
+                     std::make_unique<SmoothedModule>(inner.module(), cfg)),
+      smoothed_(nullptr) {
+  smoothed_ = static_cast<SmoothedModule*>(&module());
+}
+
+double SmoothedBackend::mean_certified_radius(const data::Dataset& ds,
+                                              int64_t batch_size,
+                                              uint64_t seed) {
+  if (ds.size() == 0) return 0.0;
+  const bool was_training = module().training();
+  module().set_training(false);
+  // Pin every stream in the wrapper tree — the smoothing noise AND the inner
+  // substrate's hooks — so the certificate is a pure function of
+  // (model, ds, config, seed).
+  nn::reseed_noise_streams(module(), seed);
+  const SmoothConfig& cfg = smoothed_->config();
+  // Cohen et al.'s CERTIFY: the class under test comes from an independent
+  // selection batch, and the Clopper-Pearson bound from a fresh estimation
+  // batch of the full cfg.samples draws. Reusing one batch for both would
+  // bias the argmax-selected count upward and void the 1 - alpha guarantee.
+  const int selection_samples = std::max(1, cfg.samples / 4);
+  double radius_sum = 0.0;
+  for (int64_t begin = 0; begin < ds.size(); begin += batch_size) {
+    const auto batch = ds.slice(begin, begin + batch_size);
+    const Tensor selection = smoothed_->votes(batch.images, selection_samples);
+    const auto candidates = selection.argmax_rows();
+    const Tensor counts = smoothed_->votes(batch.images, cfg.samples);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i] != batch.labels[i]) continue;  // wrong class: 0
+      const auto k = static_cast<int64_t>(
+          counts.at(static_cast<int64_t>(i), candidates[i]));
+      radius_sum += certified_radius(cfg.sigma, k, cfg.samples, cfg.alpha);
+    }
+  }
+  module().set_training(was_training);
+  return radius_sum / static_cast<double>(ds.size());
+}
+
+}  // namespace rhw::defenses

@@ -1,5 +1,8 @@
 #include "exp/al_runner.hpp"
 
+#include <stdexcept>
+
+#include "defenses/registry.hpp"
 #include "exp/sweep.hpp"
 
 namespace rhw::exp {
@@ -47,6 +50,33 @@ AlCurve al_curve(const std::string& label, hw::HardwareBackend& grad_hw,
                  const attacks::AdvEvalConfig& base_cfg) {
   return al_curve(label, grad_hw.module(), eval_hw.module(), ds, attack_spec,
                   epsilons, base_cfg);
+}
+
+AlCurve al_curve_defended(const std::string& label,
+                          hw::HardwareBackend& grad_hw,
+                          hw::HardwareBackend& eval_hw,
+                          const data::Dataset& ds,
+                          const std::string& defense_spec,
+                          const std::string& attack_spec,
+                          std::span<const float> epsilons,
+                          const attacks::AdvEvalConfig& base_cfg) {
+  const defenses::DefensePtr defense = defenses::make_defense(defense_spec);
+  if (defense->training_time()) {
+    throw std::invalid_argument(
+        "al_curve_defended: defense '" + defense_spec +
+        "' is training-time — it changes the model, declare it as a "
+        "SweepGrid arm instead");
+  }
+  const hw::BackendPtr wrapped = defense->wrap(eval_hw);
+  if (!wrapped) {  // pass-through defense ("none"): plain curve
+    return al_curve(label, grad_hw, eval_hw, ds, attack_spec, epsilons,
+                    base_cfg);
+  }
+  nn::Module& eval_net = wrapped->module();
+  nn::Module& grad_net =
+      &grad_hw == &eval_hw ? eval_net : grad_hw.module();
+  return al_curve(label, grad_net, eval_net, ds, attack_spec, epsilons,
+                  base_cfg);
 }
 
 std::vector<float> fgsm_epsilons() {

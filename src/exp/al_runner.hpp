@@ -44,6 +44,21 @@ AlCurve al_curve(const std::string& label, hw::HardwareBackend& grad_hw,
                  std::span<const float> epsilons,
                  const attacks::AdvEvalConfig& base_cfg = {});
 
+// Defended single row: wraps eval_hw with the DefenseRegistry spec before
+// evaluating (and routes gradients through the wrapper too when grad_hw and
+// eval_hw are the same backend — the white-box-on-the-defense pairing).
+// Inference-time defenses only; a training-time spec (adv_train) throws —
+// those change the model and belong in a SweepGrid arm. A one-row defended
+// SweepGrid reproduces this bit-for-bit, like the undefended overloads.
+AlCurve al_curve_defended(const std::string& label,
+                          hw::HardwareBackend& grad_hw,
+                          hw::HardwareBackend& eval_hw,
+                          const data::Dataset& ds,
+                          const std::string& defense_spec,
+                          const std::string& attack_spec,
+                          std::span<const float> epsilons,
+                          const attacks::AdvEvalConfig& base_cfg = {});
+
 // The paper's epsilon grids.
 std::vector<float> fgsm_epsilons();  // 0, 0.05 .. 0.3  (Figs. 5-8b)
 std::vector<float> pgd_epsilons();   // 0, {2,4,8,16,32}/255 (Figs. 6-8c)

@@ -32,47 +32,25 @@ uint64_t sweep_clean_seed(uint64_t base_seed, int trial) {
   return derive_stream_seed(trial_seed, kSweepCleanStream);
 }
 
-namespace {
-
-// Backend seam adapter for software defenses: owns the wrapper module the
-// bind built around the replica's clone.
-class OwningModuleBackend final : public hw::HardwareBackend {
- public:
-  OwningModuleBackend(std::string name, nn::ModulePtr wrapper)
-      : name_(std::move(name)), wrapper_(std::move(wrapper)) {}
-
-  std::string name() const override { return name_; }
-
- protected:
-  void do_prepare(nn::Module&, const std::vector<models::ActivationSite>&,
-                  const data::Dataset*) override {}
-
- private:
-  std::string name_;
-  nn::ModulePtr wrapper_;
-};
-
-}  // namespace
-
-hw::BackendPtr make_module_backend(std::string name, nn::ModulePtr wrapper) {
-  if (!wrapper) {
-    throw std::invalid_argument("make_module_backend: null wrapper module");
-  }
-  nn::Module* raw = wrapper.get();
-  auto backend = std::make_unique<OwningModuleBackend>(std::move(name),
-                                                       std::move(wrapper));
-  backend->prepare(*raw);  // binds module() to the owned wrapper
-  return backend;
+uint64_t sweep_cert_seed(uint64_t base_seed, int trial) {
+  const uint64_t trial_seed =
+      derive_stream_seed(base_seed, static_cast<uint64_t>(trial));
+  return derive_stream_seed(trial_seed, kSweepCertStream);
 }
 
 // -- replica pools ------------------------------------------------------------
 
 struct SweepEngine::Pool {
   SweepBackendDef def;
+  defenses::DefensePtr defense;  // parsed once in run(), shared by all lanes
 
   struct Replica {
     models::Model model;
-    hw::BackendPtr backend;
+    hw::BackendPtr inner;    // the hardware backend, replicated across lanes
+    hw::BackendPtr wrapped;  // defense wrapper around inner; null = pass-through
+    hw::HardwareBackend* serving() const {
+      return wrapped ? wrapped.get() : inner.get();
+    }
   };
 
   std::mutex mu;
@@ -84,8 +62,8 @@ struct SweepEngine::Pool {
 
   // Replica construction runs OUTSIDE the pool lock so lanes stamp replicas
   // concurrently; only the prototype (which pays for calibration-driven
-  // prepare and seeds replicate()) is built exclusively, with other lanes
-  // waiting on it.
+  // prepare, defense hardening, and seeds replicate()) is built exclusively,
+  // with other lanes waiting on it.
   Replica* checkout(const SweepGrid& grid) {
     std::unique_lock lock(mu);
     for (;;) {
@@ -103,25 +81,34 @@ struct SweepEngine::Pool {
 
     auto rep = std::make_unique<Replica>();
     try {
-      rep->model =
-          models::clone_model(*grid.model, grid.width_mult, grid.in_size);
-      if (def.bind) {
-        rep->backend = def.bind(rep->model);
-        if (!rep->backend || !rep->backend->prepared()) {
-          throw std::invalid_argument("SweepEngine: bind for backend '" +
-                                      def.key +
-                                      "' must return a prepared backend");
-        }
+      defenses::DefenseContext dctx;
+      dctx.train_data = grid.train_data;
+      dctx.calibration = def.calibration;
+      if (!is_prototype && defense->replicable_by_clone()) {
+        // Weight-only hardening (adv_train): clone the prototype's hardened
+        // model instead of re-training per lane. The prototype's weights and
+        // buffers are immutable after it finishes building (evaluation only
+        // touches caches and Param::grad), so the concurrent read is safe.
+        rep->model = models::clone_model(prototype->model, grid.width_mult,
+                                         grid.in_size);
       } else {
-        // The prototype pays for the full (possibly calibration-driven)
-        // prepare; later replicas reproduce its state via replicate().
-        hw::BackendPtr b =
-            is_prototype ? nullptr : prototype->backend->replicate();
-        const data::Dataset* calibration = b ? nullptr : def.calibration;
-        if (!b) b = hw::make_backend(def.spec);
-        b->prepare(rep->model, calibration);
-        rep->backend = std::move(b);
+        rep->model =
+            models::clone_model(*grid.model, grid.width_mult, grid.in_size);
+        // Hardening that installs hooks (quanos) re-runs deterministically
+        // per replica — clone_model would not carry it.
+        defense->harden(rep->model, dctx);
       }
+      // The prototype pays for the full (possibly calibration-driven)
+      // prepare; later replicas reproduce its state via replicate().
+      hw::BackendPtr b =
+          is_prototype ? nullptr : prototype->inner->replicate();
+      const data::Dataset* calibration = b ? nullptr : def.calibration;
+      if (!b) b = hw::make_backend(def.spec);
+      b->prepare(rep->model, calibration);
+      rep->inner = std::move(b);
+      // Inference-time phase: wrap the prepared backend (re-applied per
+      // replica; wrappers are cheap and deterministic).
+      rep->wrapped = defense->wrap(*rep->inner);
     } catch (...) {
       if (is_prototype) {
         lock.lock();
@@ -158,7 +145,7 @@ hw::HardwareBackend* SweepEngine::backend(const std::string& key) const {
   for (const auto& pool : pools_) {
     if (pool->def.key != key) continue;
     std::lock_guard lock(pool->mu);
-    return pool->all.empty() ? nullptr : pool->all.front()->backend.get();
+    return pool->all.empty() ? nullptr : pool->all.front()->serving();
   }
   return nullptr;
 }
@@ -188,6 +175,7 @@ SweepResult SweepEngine::run(const SweepGrid& grid) {
     throw std::invalid_argument("SweepEngine: mode references unknown backend '" +
                                 key + "'");
   };
+  SweepResult result;
   for (const auto& def : grid.backends) {
     for (const auto& pool : pools_) {
       if (pool->def.key == def.key) {
@@ -195,12 +183,31 @@ SweepResult SweepEngine::run(const SweepGrid& grid) {
                                     def.key + "'");
       }
     }
-    if (!def.bind && def.spec.empty()) {
+    if (def.spec.empty()) {
       throw std::invalid_argument("SweepEngine: backend '" + def.key +
-                                  "' has neither spec nor bind");
+                                  "' has an empty hardware spec");
     }
     auto pool = std::make_unique<Pool>();
     pool->def = def;
+    // Validate both specs before evaluating anything — a typo'd spec must
+    // fail the whole run with the registry's token-naming error, not abort
+    // mid-grid from a worker lane. Construction without prepare() is cheap.
+    (void)hw::make_backend(def.spec);
+    const std::string defense_spec =
+        def.defense.empty() ? std::string("none") : def.defense;
+    pool->defense = defenses::make_defense(defense_spec);
+    if (pool->defense->training_time() && grid.train_data == nullptr) {
+      throw std::invalid_argument(
+          "SweepEngine: backend '" + def.key + "' uses training-time defense '" +
+          defense_spec + "' but grid.train_data is not set");
+    }
+    if (pool->defense->needs_calibration() && def.calibration == nullptr) {
+      throw std::invalid_argument(
+          "SweepEngine: backend '" + def.key + "' uses defense '" +
+          defense_spec + "' which needs SweepBackendDef::calibration");
+    }
+    result.backends.push_back(
+        {def.key, def.spec, defense_spec, pool->defense->name()});
     pools_.push_back(std::move(pool));
   }
 
@@ -215,8 +222,10 @@ SweepResult SweepEngine::run(const SweepGrid& grid) {
     mode_pools.push_back({pool_index(mode.grad), pool_index(mode.eval)});
   }
 
-  SweepResult result;
-  for (const auto& mode : grid.modes) result.mode_labels.push_back(mode.label);
+  for (const auto& mode : grid.modes) {
+    result.mode_labels.push_back(mode.label);
+    result.mode_defs.push_back(mode);
+  }
   for (const auto& attack : grid.attacks) {
     // Validate every attack arm before evaluating anything: a typo'd spec
     // must fail the whole run with the registry's token-naming error, not
@@ -248,9 +257,12 @@ SweepResult SweepEngine::run(const SweepGrid& grid) {
   }
 
   // Clean accuracy is epsilon- and mode-independent: one value per
-  // (eval backend, trial), computed once and shared.
+  // (eval backend, trial), computed once and shared. Certified radius
+  // (smooth arms) shares the same slots — it is a property of the eval
+  // backend under its cert-stream seed, not of any attack cell.
   std::vector<double> clean_vals(pools_.size() * static_cast<size_t>(trials),
                                  0.0);
+  std::vector<double> cert_vals(clean_vals.size(), 0.0);
   std::vector<char> clean_needed(clean_vals.size(), 0);
   auto clean_slot = [&](size_t eval_pool, int trial) {
     return eval_pool * static_cast<size_t>(trials) +
@@ -305,9 +317,19 @@ SweepResult SweepEngine::run(const SweepGrid& grid) {
       Pool& pool = *pools_[task.pool];
       const Checkout rep(pool, grid);
       const double acc = attacks::clean_accuracy(
-          rep.rep->backend->module(), *grid.eval_set, grid.base.batch_size,
+          rep.rep->serving()->module(), *grid.eval_set, grid.base.batch_size,
           sweep_clean_seed(grid.base.seed, task.trial));
       clean_vals[clean_slot(task.pool, task.trial)] = acc;
+      // Certifying defense arms (randomized smoothing) piggyback on the
+      // clean task: one certificate per (eval backend, trial), under its own
+      // derived stream.
+      if (auto* cert =
+              dynamic_cast<defenses::Certifier*>(rep.rep->serving())) {
+        cert_vals[clean_slot(task.pool, task.trial)] =
+            cert->mean_certified_radius(
+                *grid.eval_set, grid.base.batch_size,
+                sweep_cert_seed(grid.base.seed, task.trial));
+      }
       if (opts_.verbose) {
         std::fprintf(stderr, "[sweep] clean %s trial %d: %.2f%%\n",
                      pool.def.key.c_str(), task.trial, acc);
@@ -323,9 +345,9 @@ SweepResult SweepEngine::run(const SweepGrid& grid) {
         mi.grad == mi.eval ? std::nullopt
                            : std::optional<Checkout>(std::in_place,
                                                      *pools_[mi.eval], grid);
-    nn::Module& grad_net = grad_rep.rep->backend->module();
+    nn::Module& grad_net = grad_rep.rep->serving()->module();
     nn::Module& eval_net =
-        eval_rep ? eval_rep->rep->backend->module() : grad_net;
+        eval_rep ? eval_rep->rep->serving()->module() : grad_net;
     attacks::AdvEvalConfig cfg = grid.base;
     cfg.attack = grid.attacks[cell.attack].spec;
     cfg.epsilon = cell.epsilon;
@@ -371,10 +393,11 @@ SweepResult SweepEngine::run(const SweepGrid& grid) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
-  // Assembly: attach the shared clean values, resolve eps == 0 rows.
+  // Assembly: attach the shared clean/cert values, resolve eps == 0 rows.
   for (SweepCell& cell : result.cells) {
     const ModeIdx& mi = mode_pools[cell.mode];
     cell.clean_acc = clean_vals[clean_slot(mi.eval, cell.trial)];
+    cell.cert_radius = cert_vals[clean_slot(mi.eval, cell.trial)];
     if (cell.epsilon == 0.f) cell.adv_acc = cell.clean_acc;
     cell.al = cell.clean_acc - cell.adv_acc;
   }
@@ -388,7 +411,7 @@ SweepResult SweepEngine::run(const SweepGrid& grid) {
         agg.attack = a;
         agg.eps_index = e;
         agg.epsilon = grid.attacks[a].epsilons[e];
-        std::vector<double> clean, adv, al;
+        std::vector<double> clean, adv, al, cert;
         for (const SweepCell& cell : result.cells) {
           if (cell.mode != m || cell.attack != a || cell.eps_index != e) {
             continue;
@@ -396,10 +419,12 @@ SweepResult SweepEngine::run(const SweepGrid& grid) {
           clean.push_back(cell.clean_acc);
           adv.push_back(cell.adv_acc);
           al.push_back(cell.al);
+          cert.push_back(cell.cert_radius);
         }
         agg.clean = summarize(clean);
         agg.adv = summarize(adv);
         agg.al = summarize(al);
+        agg.cert = summarize(cert);
         result.aggregates.push_back(agg);
       }
     }
@@ -461,7 +486,7 @@ void SweepResult::write_json(const std::string& path,
   if (!os) throw std::runtime_error("write_json: cannot open " + path);
   JsonWriter w(os);
   w.begin_object();
-  w.field("schema", "rhw-sweep-v2");
+  w.field("schema", "rhw-sweep-v3");
   w.field("figure", figure);
   w.field("trials", static_cast<int64_t>(trials));
   w.field("base_seed", base_seed);
@@ -470,6 +495,30 @@ void SweepResult::write_json(const std::string& path,
   w.key("modes");
   w.begin_array();
   for (const auto& label : mode_labels) w.value(label);
+  w.end_array();
+  // v3: backend arms are self-describing — hw spec + defense spec + defense
+  // display name per key — and modes carry their (grad, eval) pairing, so a
+  // front-end can resolve any cell to its full configuration.
+  w.key("backends");
+  w.begin_array();
+  for (const auto& b : backends) {
+    w.begin_object();
+    w.field("key", b.key);
+    w.field("spec", b.spec);
+    w.field("defense", b.defense);
+    w.field("defense_name", b.defense_name);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("mode_defs");
+  w.begin_array();
+  for (const auto& mode : mode_defs) {
+    w.begin_object();
+    w.field("label", mode.label);
+    w.field("grad", mode.grad);
+    w.field("eval", mode.eval);
+    w.end_object();
+  }
   w.end_array();
   // v2: attacks are registry spec strings; "attack_names" carries the
   // display names in the same order for plotting front-ends.
@@ -494,6 +543,9 @@ void SweepResult::write_json(const std::string& path,
     w.field("clean", cell.clean_acc);
     w.field("adv", cell.adv_acc);
     w.field("al", cell.al);
+    // v3: certified L2 radius of the eval arm's defense (0 when the arm
+    // does not certify).
+    w.field("cert_radius", cell.cert_radius);
     w.end_object();
   }
   w.end_array();
@@ -512,6 +564,8 @@ void SweepResult::write_json(const std::string& path,
     w.field("al_mean", agg.al.mean);
     w.field("al_stddev", agg.al.stddev);
     w.field("al_ci95", agg.al.ci95);
+    w.field("cert_mean", agg.cert.mean);
+    w.field("cert_ci95", agg.cert.ci95);
     w.end_object();
   }
   w.end_array();

@@ -2,39 +2,48 @@
 //
 // The paper's results are grids — AL(eps) per attack mode (Attack-SW/SH/HH)
 // per substrate per configuration (Figs. 5-8, Tables I-III). A SweepGrid
-// declares those axes once: backend definitions (registry specs or custom
-// binders), attack-mode pairings over them, attack arms (AttackRegistry
-// specs) with epsilon lists, and a trial count for noisy substrates. The engine expands the grid into
+// declares those axes once: backend definitions (hw registry specs, each
+// optionally hardened/wrapped by a DefenseRegistry spec), attack-mode
+// pairings over them, attack arms (AttackRegistry specs) with epsilon lists,
+// and a trial count for noisy substrates. The engine expands the grid into
 // independent cells and runs them concurrently on a core::ThreadPool.
 //
 // Guarantees:
 //   * Determinism: every cell evaluates under RNG streams derived
 //     (splitmix64) purely from (grid seed, mode index, attack index, epsilon
 //     index, trial) — results are bit-identical regardless of execution
-//     order, lane count, or how many replicas were stamped out.
+//     order, lane count, or how many replicas were stamped out. Defense
+//     wrappers honor the same contract: their noise streams pin through
+//     nn::reseed_noise_streams like any hardware hook.
 //   * Calibrate-once: each backend definition pays for data-driven
 //     calibration exactly once — the prototype replica runs it (SRAM layer
 //     selection is the expensive case) and later replicas reproduce its
 //     prepared state bit-for-bit via HardwareBackend::replicate() without
-//     the calibration data. Replica prepare() itself still runs per lane
-//     (deterministic re-execution: crossbar remap, binder re-application),
-//     a one-time per-lane cost amortized over all the cells that lane runs.
-//     Modules cache forward state, so replicas — not literal sharing — are
-//     what "read-only across cells" means at the module level.
+//     the calibration data. Defense hardening follows the same rule: a
+//     defense whose harden() is carried by model cloning (adv_train) runs
+//     once on the prototype and replicas clone the hardened weights; the
+//     rest (quanos' hook install) re-run deterministically per lane.
+//     Replica prepare() itself still runs per lane (deterministic
+//     re-execution: crossbar remap), a one-time per-lane cost amortized
+//     over all the cells that lane runs. Modules cache forward state, so
+//     replicas — not literal sharing — are what "read-only across cells"
+//     means at the module level.
 //   * Trials: trials > 1 re-runs every cell under derived trial seeds;
-//     aggregates carry mean ± 95% CI (exp/sweep_stats.hpp).
+//     aggregates carry mean ± 95% CI (exp/sweep_stats.hpp). Certifying
+//     defense arms (smooth) additionally report a mean certified L2 radius
+//     per trial, aggregated like clean accuracy.
 //
 // exp::al_curve is the serial single-row special case (mode 0, attack 0,
 // trial 0) of the same per-cell seed derivation, so a one-row grid
 // reproduces it bit-for-bit.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "attacks/evaluate.hpp"
+#include "defenses/registry.hpp"
 #include "exp/al_runner.hpp"
 #include "exp/sweep_stats.hpp"
 #include "hw/registry.hpp"
@@ -42,17 +51,26 @@
 
 namespace rhw::exp {
 
-// How one hardware arm of the grid is constructed. Either a registry spec
-// (with optional calibration data for data-driven prepare()), or a custom
-// `bind` that receives a fresh clone of the grid model, mutates/wraps it
-// (software defenses, weight-noise ablations) and returns a *prepared*
-// backend. Replicas are stamped per concurrent lane, so bind must be
-// deterministic — every invocation must produce a bit-identical backend.
+// How one hardware arm of the grid is constructed: a hw registry spec (with
+// optional calibration data for data-driven prepare()), optionally hardened
+// and/or wrapped by a defense registry spec. An empty defense means "none".
+// There is no custom-binder escape hatch: an arm that cannot be said in spec
+// strings belongs behind a registered key (hw::BackendRegistry::add /
+// defenses::DefenseRegistry::add), where every bench can reuse it.
 struct SweepBackendDef {
-  std::string key;   // referenced by SweepMode::grad / SweepMode::eval
-  std::string spec;  // hw registry spec; ignored when bind is set
+  std::string key;      // referenced by SweepMode::grad / SweepMode::eval
+  std::string spec;     // hw registry spec (required)
+  std::string defense;  // defense registry spec; "" = "none"
   const data::Dataset* calibration = nullptr;
-  std::function<hw::BackendPtr(models::Model&)> bind;
+
+  SweepBackendDef() = default;
+  SweepBackendDef(std::string key_, std::string spec_,
+                  std::string defense_ = "",
+                  const data::Dataset* calibration_ = nullptr)
+      : key(std::move(key_)),
+        spec(std::move(spec_)),
+        defense(std::move(defense_)),
+        calibration(calibration_) {}
 };
 
 // One attack-mode pairing. The paper's modes are pairings of backend keys:
@@ -81,6 +99,9 @@ struct SweepGrid {
   float width_mult = 0.25f;
   int64_t in_size = 32;
   const data::Dataset* eval_set = nullptr;
+  // Training data for training-time defense arms (adv_train); run() throws
+  // up front when such an arm is declared without it.
+  const data::SynthCifar* train_data = nullptr;
   std::vector<SweepBackendDef> backends;
   std::vector<SweepMode> modes;
   std::vector<SweepAttack> attacks;
@@ -99,6 +120,10 @@ struct SweepCell {
   double clean_acc = 0.0;
   double adv_acc = 0.0;
   double al = 0.0;
+  // Mean certified L2 radius of the eval arm's defense (randomized
+  // smoothing); 0 for non-certifying arms. Epsilon- and attack-independent
+  // like clean_acc: one value per (eval backend, trial), shared.
+  double cert_radius = 0.0;
 };
 
 // (mode, attack, epsilon) aggregated across trials.
@@ -108,12 +133,25 @@ struct SweepAggregate {
   size_t eps_index = 0;
   float epsilon = 0.f;
   SweepStat clean, adv, al;
+  SweepStat cert;  // certified radius across trials (all-zero stats when
+                   // the eval arm does not certify)
+};
+
+// One backend arm as declared, plus its resolved defense display name —
+// carried into the rhw-sweep-v3 JSON so artifacts are self-describing.
+struct SweepBackendInfo {
+  std::string key;
+  std::string spec;
+  std::string defense;       // normalized: "none" when the def left it empty
+  std::string defense_name;  // display name ("None", "Smooth", ...)
 };
 
 struct SweepResult {
   std::vector<SweepCell> cells;  // trial-major, grid order — deterministic
   std::vector<SweepAggregate> aggregates;
   std::vector<std::string> mode_labels;
+  std::vector<SweepMode> mode_defs;        // label + (grad, eval) pairing
+  std::vector<SweepBackendInfo> backends;  // grid order, as declared
   std::vector<std::string> attack_specs;  // grid order, as declared
   std::vector<std::string> attack_names;  // display names ("FGSM", "Square")
   int trials = 1;
@@ -139,18 +177,16 @@ struct SweepResult {
 //   s = derive(s, mode); s = derive(s, attack); cell_seed = derive(s, eps_i)
 // Clean accuracy is epsilon-independent and shared across modes:
 //   clean_seed = derive_stream_seed(trial_seed, kSweepCleanStream)
+// Certification (smooth arms) pins its own independent stream the same way:
+//   cert_seed = derive_stream_seed(trial_seed, kSweepCertStream)
 inline constexpr uint64_t kSweepCellStream = 0x5CE1;
 inline constexpr uint64_t kSweepCleanStream = 0x5C1E;
+inline constexpr uint64_t kSweepCertStream = 0x5CE7;
 
 uint64_t sweep_cell_seed(uint64_t base_seed, size_t mode, size_t attack,
                          size_t eps_index, int trial);
 uint64_t sweep_clean_seed(uint64_t base_seed, int trial);
-
-// Adapts an arbitrary prepared module graph (e.g. a software-defense wrapper
-// built around the cloned model by a SweepBackendDef::bind) to the
-// HardwareBackend seam. The backend owns the wrapper; whatever the wrapper
-// references (the clone) stays owned by the replica.
-hw::BackendPtr make_module_backend(std::string name, nn::ModulePtr wrapper);
+uint64_t sweep_cert_seed(uint64_t base_seed, int trial);
 
 struct SweepOptions {
   // Concurrent cell lanes. 0 = one per hardware thread;
@@ -175,7 +211,9 @@ class SweepEngine {
   // callers can query backend() for energy/map reports.
   SweepResult run(const SweepGrid& grid);
 
-  // Prototype replica backend for a key of the last run (null if unknown).
+  // Prototype replica's serving backend for a key of the last run (the
+  // defense wrapper when the arm declares one, else the hardware backend
+  // itself); null if unknown.
   hw::HardwareBackend* backend(const std::string& key) const;
 
   unsigned lanes() const { return lanes_; }

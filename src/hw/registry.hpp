@@ -23,7 +23,9 @@
 // code can register additional backends (registry().add) under new keys.
 // docs/BACKENDS.md documents every knob with defaults and which paper
 // figure/table each configuration reproduces; attacks::AttackRegistry
-// (attacks/registry.hpp) is the same seam for the adversary axis.
+// (attacks/registry.hpp) is the same seam for the adversary axis and
+// defenses::DefenseRegistry (defenses/registry.hpp) for the defense axis —
+// defense wrappers compose around any prepared backend (docs/DEFENSES.md).
 #pragma once
 
 #include <functional>

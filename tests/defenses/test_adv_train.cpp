@@ -1,12 +1,14 @@
-#include "attacks/adv_train.hpp"
+#include "defenses/adv_train.hpp"
 
 #include <gtest/gtest.h>
+
+#include <stdexcept>
 
 #include "attacks/evaluate.hpp"
 #include "models/zoo.hpp"
 #include "nn/init.hpp"
 
-namespace rhw::attacks {
+namespace rhw::defenses {
 namespace {
 
 data::SynthCifar small_data() {
@@ -54,12 +56,12 @@ TEST(AdvTrain, MoreRobustThanCleanTraining) {
   adv_cfg.epsilon = 0.1f;
   (void)adversarial_train(*robust_model.net, data, adv_cfg);
 
-  AdvEvalConfig eval_cfg;
+  attacks::AdvEvalConfig eval_cfg;
   eval_cfg.epsilon = 0.1f;
-  const auto clean_res = evaluate_attack(*clean_model.net, *clean_model.net,
-                                         data.test, eval_cfg);
-  const auto robust_res = evaluate_attack(*robust_model.net, *robust_model.net,
-                                          data.test, eval_cfg);
+  const auto clean_res = attacks::evaluate_attack(
+      *clean_model.net, *clean_model.net, data.test, eval_cfg);
+  const auto robust_res = attacks::evaluate_attack(
+      *robust_model.net, *robust_model.net, data.test, eval_cfg);
   EXPECT_LT(robust_res.adversarial_loss(),
             clean_res.adversarial_loss() + 1.0)
       << "adversarial training should not be less robust than clean training";
@@ -80,5 +82,33 @@ TEST(AdvTrain, ZeroAdvFractionMatchesPlainTraining) {
   EXPECT_NEAR(ra.clean_test_acc, rb.clean_test_acc, 1e-9);
 }
 
+// The inner adversary comes through the attack registry: a PGD-driven run
+// must work and be reproducible — same seed, same initialization, identical
+// outcome bit-for-bit.
+TEST(AdvTrain, PgdInnerAttackIsDeterministic) {
+  auto data = small_data();
+  auto a = fresh_model(4);
+  auto b = fresh_model(4);
+  AdvTrainConfig cfg;
+  cfg.attack = "pgd";
+  cfg.steps = 2;
+  cfg.epochs = 1;
+  cfg.batch_size = 48;
+  cfg.epsilon = 0.05f;
+  const auto ra = adversarial_train(*a.net, data, cfg);
+  const auto rb = adversarial_train(*b.net, data, cfg);
+  EXPECT_DOUBLE_EQ(ra.clean_test_acc, rb.clean_test_acc);
+  EXPECT_DOUBLE_EQ(ra.final_train_loss, rb.final_train_loss);
+}
+
+TEST(AdvTrain, BadInnerAttackSpecThrows) {
+  auto data = small_data();
+  auto model = fresh_model(5);
+  AdvTrainConfig cfg;
+  cfg.attack = "not_an_attack";
+  EXPECT_THROW(adversarial_train(*model.net, data, cfg),
+               std::invalid_argument);
+}
+
 }  // namespace
-}  // namespace rhw::attacks
+}  // namespace rhw::defenses

@@ -1,0 +1,78 @@
+// Clopper-Pearson / normal-quantile / certified-radius math
+// (defenses/certify.hpp) against closed-form anchors.
+#include "defenses/certify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rhw::defenses {
+namespace {
+
+TEST(Certify, IncompleteBetaAnchors) {
+  // I_x(1, 1) = x (uniform CDF).
+  EXPECT_NEAR(incomplete_beta(1, 1, 0.3), 0.3, 1e-10);
+  // I_x(1, b) = 1 - (1-x)^b.
+  EXPECT_NEAR(incomplete_beta(1, 5, 0.2), 1.0 - std::pow(0.8, 5), 1e-10);
+  // I_x(a, 1) = x^a.
+  EXPECT_NEAR(incomplete_beta(3, 1, 0.5), 0.125, 1e-10);
+  // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+  EXPECT_NEAR(incomplete_beta(2.5, 4.0, 0.35),
+              1.0 - incomplete_beta(4.0, 2.5, 0.65), 1e-10);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2, 3, 1.0), 1.0);
+}
+
+TEST(Certify, ClopperPearsonAnchors) {
+  // k = 0: no evidence, lower bound 0.
+  EXPECT_DOUBLE_EQ(clopper_pearson_lower(0, 10, 0.05), 0.0);
+  // k = n: closed form alpha^(1/n) (P[X = n] = p^n >= alpha).
+  EXPECT_NEAR(clopper_pearson_lower(10, 10, 0.05), std::pow(0.05, 0.1),
+              1e-9);
+  EXPECT_NEAR(clopper_pearson_lower(32, 32, 0.001),
+              std::pow(0.001, 1.0 / 32.0), 1e-9);
+  // Monotone in k, below the point estimate k/n.
+  const double p8 = clopper_pearson_lower(8, 10, 0.05);
+  const double p9 = clopper_pearson_lower(9, 10, 0.05);
+  EXPECT_LT(p8, p9);
+  EXPECT_LT(p9, 0.9);
+  EXPECT_GT(p9, 0.5);
+  // More samples at the same vote share tighten the bound.
+  EXPECT_GT(clopper_pearson_lower(80, 100, 0.05),
+            clopper_pearson_lower(8, 10, 0.05));
+}
+
+TEST(Certify, ClopperPearsonRejectsBadInputs) {
+  EXPECT_THROW(clopper_pearson_lower(11, 10, 0.05), std::invalid_argument);
+  EXPECT_THROW(clopper_pearson_lower(-1, 10, 0.05), std::invalid_argument);
+  EXPECT_THROW(clopper_pearson_lower(5, 0, 0.05), std::invalid_argument);
+  EXPECT_THROW(clopper_pearson_lower(5, 10, 0.0), std::invalid_argument);
+  EXPECT_THROW(clopper_pearson_lower(5, 10, 1.0), std::invalid_argument);
+}
+
+TEST(Certify, NormalQuantileAnchors) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.8413447461), 1.0, 1e-6);  // Phi(1) = 0.8413...
+  EXPECT_NEAR(normal_quantile(0.05), -normal_quantile(0.95), 1e-9);
+  EXPECT_THROW(normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(1.0), std::invalid_argument);
+}
+
+TEST(Certify, CertifiedRadius) {
+  // Unanimous votes certify a positive radius that grows with sigma.
+  const double r_small = certified_radius(0.25, 32, 32, 0.001);
+  const double r_big = certified_radius(0.5, 32, 32, 0.001);
+  EXPECT_GT(r_small, 0.0);
+  EXPECT_NEAR(r_big, 2.0 * r_small, 1e-9);  // linear in sigma
+  // A split vote cannot clear p > 1/2: abstain, radius 0.
+  EXPECT_DOUBLE_EQ(certified_radius(0.25, 16, 32, 0.001), 0.0);
+  EXPECT_DOUBLE_EQ(certified_radius(0.25, 0, 32, 0.001), 0.0);
+  // More votes at the same share -> larger certified radius.
+  EXPECT_GT(certified_radius(0.25, 90, 100, 0.01),
+            certified_radius(0.25, 9, 10, 0.01));
+}
+
+}  // namespace
+}  // namespace rhw::defenses

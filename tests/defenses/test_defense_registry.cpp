@@ -1,0 +1,190 @@
+// DefenseRegistry parsing and error reporting, in parity with the
+// BackendRegistry and AttackRegistry suites (tests/hw/test_registry.cpp,
+// tests/attacks/test_attack_registry.cpp): unknown defenses, unknown
+// options, malformed values and trailing garbage must all throw
+// std::invalid_argument naming the offending token and the full spec.
+#include "defenses/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "models/zoo.hpp"
+
+namespace rhw::defenses {
+namespace {
+
+TEST(DefenseRegistry, BuiltinsRegistered) {
+  const auto keys = DefenseRegistry::instance().keys();
+  for (const char* expected : {"none", "adv_train", "smooth", "jpeg_quant",
+                               "gauss_aug", "quanos"}) {
+    EXPECT_TRUE(std::find(keys.begin(), keys.end(), expected) != keys.end())
+        << expected;
+    EXPECT_TRUE(DefenseRegistry::instance().contains(expected));
+  }
+}
+
+TEST(DefenseRegistry, UnknownDefenseThrowsNamingKey) {
+  try {
+    make_defense("distillation");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("distillation"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("registered"), std::string::npos) << msg;
+  }
+}
+
+TEST(DefenseRegistry, EmptySpecThrows) {
+  EXPECT_THROW(make_defense(""), std::invalid_argument);
+}
+
+TEST(DefenseRegistry, UnknownOptionThrowsNamingIt) {
+  try {
+    make_defense("smooth:sgima=0.25");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("sgima"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("smooth:sgima=0.25"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(make_defense("none:x=1"), std::invalid_argument);
+  // "sigma" belongs to smooth/gauss_aug, not jpeg_quant.
+  EXPECT_THROW(make_defense("jpeg_quant:sigma=0.1"), std::invalid_argument);
+  EXPECT_THROW(make_defense("adv_train:queries=5"), std::invalid_argument);
+}
+
+// Parse failures must name the offending key, the bad value, AND the full
+// spec string (parity with the other registries' ParseErrorNamesKeyValueAndSpec).
+TEST(DefenseRegistry, ParseErrorNamesKeyValueAndSpec) {
+  try {
+    make_defense("smooth:samples=16,sigma=abc");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("sigma"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("abc"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("smooth:samples=16,sigma=abc"), std::string::npos)
+        << msg;
+  }
+  try {
+    make_defense("adv_train:epochs=many");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("epochs"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("many"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("adv_train:epochs=many"), std::string::npos) << msg;
+  }
+}
+
+// Trailing garbage after a numeric value is rejected, not silently truncated.
+TEST(DefenseRegistry, TrailingGarbageRejected) {
+  EXPECT_THROW(make_defense("smooth:sigma=0.25junk"), std::invalid_argument);
+  EXPECT_THROW(make_defense("jpeg_quant:bits=4.5"), std::invalid_argument);
+  EXPECT_THROW(make_defense("gauss_aug:sigma=0.1 "), std::invalid_argument);
+}
+
+TEST(DefenseRegistry, MalformedOptionThrows) {
+  EXPECT_THROW(make_defense("smooth:sigma"), std::invalid_argument);
+}
+
+// Zero-valued count knobs would make the defense a silent no-op; they must
+// be rejected naming the knob (parity with the attack registry's
+// zero-iteration rule).
+TEST(DefenseRegistry, ZeroCountKnobsRejected) {
+  for (const char* spec :
+       {"smooth:samples=0", "jpeg_quant:bits=0", "adv_train:epochs=0",
+        "adv_train:steps=0", "quanos:samples=0"}) {
+    try {
+      make_defense(spec);
+      FAIL() << "expected std::invalid_argument for " << spec;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("no-op"), std::string::npos)
+          << spec << ": " << e.what();
+    }
+  }
+  // Values past INT_MAX must not wrap back into the no-op range.
+  EXPECT_THROW(make_defense("smooth:samples=4294967296"),
+               std::invalid_argument);
+}
+
+TEST(DefenseRegistry, DomainValuesValidated) {
+  // Out-of-range values name the option and the offending value.
+  EXPECT_THROW(make_defense("smooth:sigma=-0.1"), std::invalid_argument);
+  EXPECT_THROW(make_defense("smooth:alpha=0.7"), std::invalid_argument);
+  EXPECT_THROW(make_defense("jpeg_quant:bits=9"), std::invalid_argument);
+  EXPECT_THROW(make_defense("gauss_aug:sigma=0"), std::invalid_argument);
+  EXPECT_THROW(make_defense("adv_train:ratio=1.5"), std::invalid_argument);
+  try {
+    make_defense("adv_train:attack=square");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("attack"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("square"), std::string::npos) << msg;
+  }
+}
+
+TEST(DefenseRegistry, OptionsParseIntoConfigs) {
+  auto none = make_defense("none");
+  EXPECT_EQ(none->name(), "None");
+  EXPECT_FALSE(none->training_time());
+
+  auto adv = make_defense("adv_train:attack=pgd,steps=3,ratio=0.25,epochs=2");
+  EXPECT_EQ(adv->name(), "AdvTrain");
+  EXPECT_TRUE(adv->training_time());
+  EXPECT_TRUE(adv->replicable_by_clone());
+
+  auto smooth = make_defense("smooth:sigma=0.5,samples=4,alpha=0.01");
+  EXPECT_EQ(smooth->name(), "Smooth");
+  EXPECT_FALSE(smooth->training_time());
+
+  EXPECT_EQ(make_defense("jpeg_quant:bits=3")->name(), "JpegQuant");
+  EXPECT_EQ(make_defense("gauss_aug:sigma=0.05")->name(), "GaussAug");
+  auto quanos = make_defense("quanos:samples=32,high=8,low=4");
+  EXPECT_EQ(quanos->name(), "QUANOS");
+  EXPECT_FALSE(quanos->replicable_by_clone());
+}
+
+TEST(DefenseRegistry, DisplayNames) {
+  EXPECT_EQ(defense_display_name("none"), "None");
+  EXPECT_EQ(defense_display_name("adv_train"), "AdvTrain");
+  EXPECT_EQ(defense_display_name("smooth:sigma=0.25"), "Smooth");
+  EXPECT_EQ(defense_display_name("jpeg_quant"), "JpegQuant");
+  EXPECT_EQ(defense_display_name("gauss_aug"), "GaussAug");
+  EXPECT_EQ(defense_display_name("quanos"), "QUANOS");
+}
+
+// Defenses needing data they were not given fail loudly, naming themselves.
+TEST(DefenseRegistry, MissingContextDataThrows) {
+  models::Model model = models::build_model("vgg8", 4, 0.125f, 16);
+  DefenseContext empty_ctx;
+  try {
+    make_defense("adv_train:epochs=1")->harden(model, empty_ctx);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("adv_train"), std::string::npos)
+        << e.what();
+  }
+  try {
+    make_defense("quanos")->harden(model, empty_ctx);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("quanos"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DefenseRegistry, CustomDefenseRegistration) {
+  DefenseRegistry::instance().add("custom-smooth",
+                                  [](const DefenseOptions&) {
+                                    return make_defense("smooth:samples=2");
+                                  });
+  auto defense = make_defense("custom-smooth");
+  EXPECT_EQ(defense->name(), "Smooth");
+}
+
+}  // namespace
+}  // namespace rhw::defenses

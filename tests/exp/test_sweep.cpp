@@ -48,10 +48,9 @@ class SweepTest : public ::testing::Test {
     grid.eval_set = &data_->test;
     grid.base.batch_size = 16;
     grid.trials = 2;
-    grid.backends.push_back({"ideal", "ideal", nullptr, nullptr});
-    grid.backends.push_back({"sram", "sram:sites=2,num_8t=2,vdd=0.6", nullptr,
-                             nullptr});
-    grid.backends.push_back({"xbar", "xbar:size=16", nullptr, nullptr});
+    grid.backends.push_back({"ideal", "ideal"});
+    grid.backends.push_back({"sram", "sram:sites=2,num_8t=2,vdd=0.6"});
+    grid.backends.push_back({"xbar", "xbar:size=16"});
     grid.modes.push_back({"Attack-SW", "ideal", "ideal"});
     grid.modes.push_back({"SH-sram", "ideal", "sram"});
     grid.modes.push_back({"HH-xbar", "xbar", "xbar"});
@@ -127,9 +126,8 @@ TEST_F(SweepTest, SingleRowGridMatchesAlCurve) {
   grid.width_mult = 0.125f;
   grid.in_size = 16;
   grid.eval_set = &data_->test;
-  grid.backends.push_back({"ideal", "ideal", nullptr, nullptr});
-  grid.backends.push_back({"sram", "sram:sites=2,num_8t=2,vdd=0.6", nullptr,
-                           nullptr});
+  grid.backends.push_back({"ideal", "ideal"});
+  grid.backends.push_back({"sram", "sram:sites=2,num_8t=2,vdd=0.6"});
   grid.modes.push_back({"SH", "ideal", "sram"});
   grid.attacks.push_back({"fgsm", eps});
   SweepEngine::Options opt;
@@ -146,22 +144,20 @@ TEST_F(SweepTest, SingleRowGridMatchesAlCurve) {
   }
 }
 
-TEST_F(SweepTest, BindBackendsReplicateDeterministically) {
+// Defense-wrapped arms (inference-time wrapper around a noisy backend)
+// replicate deterministically: the wrapper is re-applied per lane and its
+// noise streams pin through the same per-pass reseeding as the hardware
+// hooks.
+TEST_F(SweepTest, DefenseArmsReplicateDeterministically) {
   SweepGrid grid;
   grid.model = model_;
   grid.width_mult = 0.125f;
   grid.in_size = 16;
   grid.eval_set = &data_->test;
   grid.trials = 2;
-  SweepBackendDef def;
-  def.key = "wrapped";
-  def.bind = [](models::Model& m) {
-    auto backend = hw::make_backend("sram:sites=1,num_8t=4");
-    backend->prepare(m);
-    return backend;
-  };
-  grid.backends.push_back(std::move(def));
-  grid.backends.push_back({"ideal", "ideal", nullptr, nullptr});
+  grid.backends.push_back(
+      {"wrapped", "sram:sites=1,num_8t=4", "jpeg_quant:bits=4"});
+  grid.backends.push_back({"ideal", "ideal"});
   grid.modes.push_back({"SH", "ideal", "wrapped"});
   grid.attacks.push_back({"fgsm", {0.15f}});
 
@@ -183,7 +179,7 @@ TEST_F(SweepTest, MalformedGridsThrow) {
   EXPECT_THROW(engine.run(grid), std::invalid_argument);
 
   SweepGrid dup = make_grid();
-  dup.backends.push_back({"ideal", "ideal", nullptr, nullptr});
+  dup.backends.push_back({"ideal", "ideal"});
   EXPECT_THROW(engine.run(dup), std::invalid_argument);
 
   SweepGrid no_model = make_grid();
@@ -191,8 +187,33 @@ TEST_F(SweepTest, MalformedGridsThrow) {
   EXPECT_THROW(engine.run(no_model), std::invalid_argument);
 
   SweepGrid no_spec = make_grid();
-  no_spec.backends.push_back({"empty", "", nullptr, nullptr});
+  no_spec.backends.push_back({"empty", ""});
   EXPECT_THROW(engine.run(no_spec), std::invalid_argument);
+
+  // Defense specs are validated up front with the registry's token-naming
+  // error, exactly like attack specs.
+  SweepGrid bad_defense = make_grid();
+  bad_defense.backends.push_back({"d", "ideal", "smooth:sgima=0.25"});
+  try {
+    engine.run(bad_defense);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("sgima"), std::string::npos)
+        << e.what();
+  }
+
+  // A training-time defense arm without grid.train_data fails fast.
+  SweepGrid no_train = make_grid();
+  no_train.backends.push_back({"at", "ideal", "adv_train:epochs=1"});
+  no_train.modes.push_back({"AT", "at", "at"});
+  EXPECT_THROW(engine.run(no_train), std::invalid_argument);
+
+  // ... and so does a calibration-hungry defense arm without a calibration
+  // set — up front, not mid-grid from a worker lane.
+  SweepGrid no_calib = make_grid();
+  no_calib.backends.push_back({"q", "ideal", "quanos:samples=8"});
+  no_calib.modes.push_back({"Q", "q", "q"});
+  EXPECT_THROW(engine.run(no_calib), std::invalid_argument);
 }
 
 TEST_F(SweepTest, EngineExposesPrototypeBackends) {
@@ -215,11 +236,17 @@ TEST_F(SweepTest, WriteJsonEmitsCellsAndAggregates) {
   std::stringstream ss;
   ss << is.rdbuf();
   const std::string json = ss.str();
-  EXPECT_NE(json.find("\"schema\":\"rhw-sweep-v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"rhw-sweep-v3\""), std::string::npos);
   EXPECT_NE(json.find("\"attack_names\""), std::string::npos);
   EXPECT_NE(json.find("\"figure\":\"sweep_test\""), std::string::npos);
   EXPECT_NE(json.find("\"SH-sram\""), std::string::npos);
   EXPECT_NE(json.find("\"al_ci95\""), std::string::npos);
+  // v3: self-describing backend arms + certified-radius columns.
+  EXPECT_NE(json.find("\"backends\""), std::string::npos);
+  EXPECT_NE(json.find("\"defense\":\"none\""), std::string::npos);
+  EXPECT_NE(json.find("\"mode_defs\""), std::string::npos);
+  EXPECT_NE(json.find("\"cert_radius\""), std::string::npos);
+  EXPECT_NE(json.find("\"cert_mean\""), std::string::npos);
   size_t cell_count = 0;
   for (size_t pos = 0; (pos = json.find("\"trial\":", pos)) != std::string::npos;
        ++pos) {
@@ -240,9 +267,8 @@ TEST_F(SweepTest, StochasticAwareAttacksBitIdenticalAcrossLanes) {
   grid.in_size = 16;
   grid.eval_set = &data_->test;
   grid.base.batch_size = 16;
-  grid.backends.push_back({"ideal", "ideal", nullptr, nullptr});
-  grid.backends.push_back({"sram", "sram:sites=2,num_8t=2,vdd=0.6", nullptr,
-                           nullptr});
+  grid.backends.push_back({"ideal", "ideal"});
+  grid.backends.push_back({"sram", "sram:sites=2,num_8t=2,vdd=0.6"});
   grid.modes.push_back({"SH", "ideal", "sram"});
   grid.modes.push_back({"HH", "sram", "sram"});
   grid.attacks.push_back({"eot_pgd:steps=2,samples=2", {0.1f}});

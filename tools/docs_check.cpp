@@ -7,8 +7,9 @@
 //     stripped);
 //   * inline code spans that look like registry specs
 //     (`key:opt=v,opt=v` / bare `key` that names a registered key): every
-//     backend spec must parse through hw::BackendRegistry and every attack
-//     spec through attacks::AttackRegistry — so a renamed knob or attack
+//     backend spec must parse through hw::BackendRegistry, every attack
+//     spec through attacks::AttackRegistry, and every defense spec through
+//     defenses::DefenseRegistry — so a renamed knob, attack or defense
 //     breaks the build, not a reader.
 //
 // Spans with ellipses or placeholders ("sram:vdd=0.68,...", "eps=<f>") don't
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "attacks/registry.hpp"
+#include "defenses/registry.hpp"
 #include "hw/registry.hpp"
 
 namespace fs = std::filesystem;
@@ -87,13 +89,17 @@ void check_specs(const fs::path& md, const std::string& text,
     const bool is_backend = rhw::hw::BackendRegistry::instance().contains(key);
     const bool is_attack =
         rhw::attacks::AttackRegistry::instance().contains(key);
-    if (!is_backend && !is_attack) continue;  // not a spec, just a word
+    const bool is_defense =
+        rhw::defenses::DefenseRegistry::instance().contains(key);
+    if (!is_backend && !is_attack && !is_defense) continue;  // just a word
     ++checked;
     try {
       if (is_backend) {
         (void)rhw::hw::make_backend(span);
-      } else {
+      } else if (is_attack) {
         (void)rhw::attacks::make_attack(span);
+      } else {
+        (void)rhw::defenses::make_defense(span);
       }
     } catch (const std::exception& e) {
       failures.push_back({md.string(),
