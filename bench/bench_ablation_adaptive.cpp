@@ -1,59 +1,14 @@
 // Ablation: adaptive attacker (EOT-PGD) against the stochastic crossbar
-// defense.
-//
-// Gradient obfuscation through read noise is known to be breakable by
-// averaging gradients over noise draws (expectation over transformation).
-// This bench quantifies how much of the HH robustness survives an adaptive
-// attacker — the honest caveat any noise-as-defense result needs.
-#include "bench_xbar_common.hpp"
+// defense — thin wrapper over the "ablation_adaptive" experiment preset,
+// equivalently `rhw_run ablation_adaptive`. Extra arguments pass through as
+// overrides (e.g. attacks+=eot_pgd:samples=64@0.125).
+#include <string>
+#include <vector>
 
-using namespace rhw;
+#include "exp/experiment_registry.hpp"
 
-int main() {
-  bench::banner("Ablation: adaptive (EOT) attack on the crossbar defense",
-                "HH-PGD with gradient averaging over k noise draws per step. "
-                "k=1 is the paper's HH; larger k models an attacker who "
-                "knows the hardware is stochastic.");
-  bench::Workbench wb = bench::load_workbench("vgg8", "synth-c10");
-  models::Model mapped = bench::map_model(wb.trained.model, 32);
-
-  exp::TablePrinter table({"attack", "eps", "clean", "adv", "AL"});
-  const float eps_list[] = {8.f / 255.f, 16.f / 255.f, 32.f / 255.f};
-  const double clean = attacks::clean_accuracy(*mapped.net, wb.eval_set);
-  for (int k : {1, 4, 16}) {
-    for (float eps : eps_list) {
-      attacks::AdvEvalConfig cfg;
-      // k=1 is the paper's plain HH-PGD; k>1 averages gradients over k
-      // independently-reseeded noisy passes per step (the registry's
-      // stochastic-aware "eot_pgd").
-      cfg.attack = k == 1 ? "pgd"
-                          : "eot_pgd:samples=" + std::to_string(k);
-      cfg.epsilon = eps;
-      const double adv = attacks::adversarial_accuracy(*mapped.net,
-                                                       *mapped.net,
-                                                       wb.eval_set, cfg);
-      table.add_row({"EOT-PGD k=" + std::to_string(k),
-                     exp::fmt(eps * 255, 0) + "/255", exp::fmt(clean, 2),
-                     exp::fmt(adv, 2), exp::fmt(clean - adv, 2)});
-    }
-  }
-  // Reference: the software white-box attack.
-  for (float eps : eps_list) {
-    attacks::AdvEvalConfig cfg;
-    cfg.attack = "pgd";
-    cfg.epsilon = eps;
-    const auto sw = attacks::evaluate_attack(*wb.trained.model.net,
-                                             *wb.trained.model.net,
-                                             wb.eval_set, cfg);
-    table.add_row({"Attack-SW (ref)", exp::fmt(eps * 255, 0) + "/255",
-                   exp::fmt(sw.clean_acc, 2), exp::fmt(sw.adv_acc, 2),
-                   exp::fmt(sw.adversarial_loss(), 2)});
-  }
-  table.print();
-  table.write_csv(exp::bench_out_dir() + "/ablation_adaptive_eot.csv");
-  std::printf(
-      "\nReading guide: AL grows with k (the adaptive attacker recovers part "
-      "of the\ngradient signal), but the deterministic weight distortion keeps "
-      "a residual\nrobustness floor below the software baseline's AL.\n");
-  return 0;
+int main(int argc, char** argv) {
+  std::vector<std::string> args{"ablation_adaptive"};
+  args.insert(args.end(), argv + 1, argv + argc);
+  return rhw::exp::rhw_run_main(args);
 }

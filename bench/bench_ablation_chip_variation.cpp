@@ -1,57 +1,15 @@
-// Ablation: chip-to-chip reproducibility of the crossbar defense.
-//
-// Process variation is a per-chip die roll: each fabricated crossbar chip is
-// a different sample of the sigma/mu = 10% conductance distribution. This
-// bench maps the same trained model onto N virtual chips (variation seeds)
-// and reports the spread of clean accuracy and AL — whether the paper's
-// robustness claim holds chip to chip or only on average.
-#include "core/stats.hpp"
-#include "bench_xbar_common.hpp"
+// Ablation: chip-to-chip reproducibility of the crossbar defense — thin
+// wrapper over the "ablation_chip_variation" experiment preset, equivalently
+// `rhw_run ablation_chip_variation`. Each virtual chip is an xbar arm with
+// its own variation seed; add more with
+// backends+=chip5=xbar:size=32,seed=<s> modes+=chip5=ideal/chip5.
+#include <string>
+#include <vector>
 
-using namespace rhw;
+#include "exp/experiment_registry.hpp"
 
-int main() {
-  bench::banner("Ablation: chip-to-chip variation",
-                "Same network, same crossbar spec, N variation seeds "
-                "(= N fabricated chips).");
-  bench::Workbench wb = bench::load_workbench("vgg8", "synth-c10");
-
-  constexpr int kChips = 5;
-  const float eps = 0.1f;
-  exp::TablePrinter table({"chip", "clean %", "SH adv %", "SH AL"});
-  RunningStats clean_stats, al_stats;
-  for (int chip = 0; chip < kChips; ++chip) {
-    models::Model mapped =
-        bench::map_model(wb.trained.model, 32, 20e3,
-                         0xC41B + static_cast<uint64_t>(chip) * 7919);
-    attacks::AdvEvalConfig cfg;
-    cfg.attack = "fgsm";
-    cfg.epsilon = eps;
-    const auto res = attacks::evaluate_attack(*wb.trained.model.net,
-                                              *mapped.net, wb.eval_set, cfg);
-    table.add_row({std::to_string(chip), exp::fmt(res.clean_acc, 2),
-                   exp::fmt(res.adv_acc, 2),
-                   exp::fmt(res.adversarial_loss(), 2)});
-    clean_stats.push(res.clean_acc);
-    al_stats.push(res.adversarial_loss());
-  }
-  // Software reference.
-  attacks::AdvEvalConfig cfg;
-  cfg.attack = "fgsm";
-  cfg.epsilon = eps;
-  const auto sw = attacks::evaluate_attack(*wb.trained.model.net,
-                                           *wb.trained.model.net, wb.eval_set,
-                                           cfg);
-  table.add_row({"software", exp::fmt(sw.clean_acc, 2),
-                 exp::fmt(sw.adv_acc, 2), exp::fmt(sw.adversarial_loss(), 2)});
-  table.print();
-  table.write_csv(exp::bench_out_dir() + "/ablation_chip_variation.csv");
-  std::printf(
-      "\nacross %d chips @ FGSM eps=%.2f: clean %.2f +- %.2f %%, AL %.2f +- "
-      "%.2f %% (software AL %.2f)\n"
-      "Paper shape check: every chip's AL should sit below the software AL — "
-      "the\ndefense is a property of the technology, not of one lucky die.\n",
-      kChips, eps, clean_stats.mean, clean_stats.stddev(), al_stats.mean,
-      al_stats.stddev(), sw.adversarial_loss());
-  return 0;
+int main(int argc, char** argv) {
+  std::vector<std::string> args{"ablation_chip_variation"};
+  args.insert(args.end(), argv + 1, argv + argc);
+  return rhw::exp::rhw_run_main(args);
 }

@@ -3,7 +3,6 @@
 // network"). Reports clean accuracy and AL before/after fine-tuning with the
 // noise hooks active.
 #include "bench_common.hpp"
-#include "bench_sram_tables.hpp"
 #include "sram/retrain.hpp"
 
 using namespace rhw;

@@ -1,17 +1,14 @@
-// Shared setup for the per-table/figure benchmark harnesses.
+// Shared setup for the standalone ablation benches (the figure/table benches
+// are thin wrappers over exp::ExperimentRegistry presets and use none of
+// this — see tools/rhw_run.cpp).
 #pragma once
 
-#include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
 #include "data/synth_cifar.hpp"
-#include "exp/al_runner.hpp"
-#include "exp/sweep.hpp"
 #include "exp/table_printer.hpp"
 #include "models/zoo.hpp"
-#include "nn/model_io.hpp"
 
 namespace rhw::bench {
 
@@ -40,85 +37,6 @@ inline models::Model clone_model(const models::Model& src) {
 inline void banner(const std::string& title, const std::string& subtitle) {
   std::printf("\n=== %s ===\n%s\n\n", title.c_str(), subtitle.c_str());
   std::fflush(stdout);
-}
-
-// Engine options shared by the figure/table benches: lane count from
-// $RHW_SWEEP_THREADS (default: one lane per hardware thread).
-inline exp::SweepEngine::Options sweep_options() {
-  exp::SweepEngine::Options opt;
-  opt.threads = exp::sweep_threads_env(0);
-  return opt;
-}
-
-inline void report_sweep(const exp::SweepResult& result) {
-  std::printf("[sweep] %zu cells (%d trial(s)) on %u lane(s) in %.2fs\n",
-              result.cells.size(), result.trials, result.lanes,
-              result.wall_seconds);
-}
-
-// The parity contract shared by verify_serial_parity and bench_sweep_smoke:
-// per-cell results (and derived seeds) must match bitwise across lane counts.
-// Returns the number of mismatching cells, reporting each on stderr.
-inline size_t count_cell_mismatches(const exp::SweepResult& parallel,
-                                    const exp::SweepResult& serial) {
-  size_t mismatches = 0;
-  for (size_t i = 0; i < parallel.cells.size(); ++i) {
-    const auto& a = parallel.cells[i];
-    const auto& b = serial.cells[i];
-    if (a.seed != b.seed || a.clean_acc != b.clean_acc ||
-        a.adv_acc != b.adv_acc) {
-      ++mismatches;
-      std::fprintf(stderr,
-                   "[sweep-verify] MISMATCH cell %zu (mode %zu eps %.3f "
-                   "trial %d): parallel %.10f/%.10f vs serial %.10f/%.10f\n",
-                   i, a.mode, a.epsilon, a.trial, a.clean_acc, a.adv_acc,
-                   b.clean_acc, b.adv_acc);
-    }
-  }
-  return mismatches;
-}
-
-inline void report_parity(const exp::SweepResult& parallel,
-                          const exp::SweepResult& serial) {
-  std::printf(
-      "[sweep-verify] OK: %zu cells bit-identical on %u lane(s) vs serial; "
-      "speedup %.2fx (serial %.2fs / parallel %.2fs)\n",
-      parallel.cells.size(), parallel.lanes,
-      parallel.wall_seconds > 0 ? serial.wall_seconds / parallel.wall_seconds
-                                : 0.0,
-      serial.wall_seconds, parallel.wall_seconds);
-}
-
-// RHW_SWEEP_VERIFY=1: re-run the grid on a single lane and require
-// bit-identical per-cell results — the engine's cross-thread determinism
-// acceptance check. Reports the serial/parallel wall-clock ratio. Exits
-// non-zero on any mismatch.
-inline void verify_serial_parity(const exp::SweepGrid& grid,
-                                 const exp::SweepResult& parallel) {
-  const char* env = std::getenv("RHW_SWEEP_VERIFY");
-  if (env == nullptr || *env == '\0' || *env == '0') return;
-  exp::SweepEngine::Options opt;
-  opt.threads = 1;
-  exp::SweepEngine serial_engine(opt);
-  const exp::SweepResult serial = serial_engine.run(grid);
-  const size_t mismatches = count_cell_mismatches(parallel, serial);
-  if (mismatches > 0) {
-    std::fprintf(stderr, "[sweep-verify] FAILED: %zu mismatching cells\n",
-                 mismatches);
-    std::exit(1);
-  }
-  report_parity(parallel, serial);
-}
-
-// Shared epilogue for sweep-driven benches: timing line, serial-parity check
-// (which exits non-zero on mismatch, so a failed run publishes no artifact),
-// then the BENCH_<figure>.json artifact.
-inline void finish_sweep(const exp::SweepGrid& grid,
-                         const exp::SweepResult& result,
-                         const std::string& figure) {
-  report_sweep(result);
-  verify_serial_parity(grid, result);
-  result.write_json("BENCH_" + figure + ".json", figure);
 }
 
 }  // namespace rhw::bench

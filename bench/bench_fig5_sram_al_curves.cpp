@@ -1,152 +1,20 @@
-// Fig. 5: Adversarial Loss vs FGSM strength (eps 0.05..0.3) for VGG19 and
-// ResNet18 on both datasets, baseline vs bit-error-noise-injected models.
-// Includes the paper's noise-target ablation (activations vs weights) when
-// run with --noise-target=weights.
-//
-// Each (arch, dataset) panel is one SweepEngine grid: the Fig. 4 methodology
-// runs (or loads its cache) once, the selected configuration is registered
-// as a backend key ("sram_selected" / "sram_weight_noise") referenced by
-// spec string, and the Baseline/BitErrorNoise x eps cells evaluate
-// concurrently with identical-to-serial results (RHW_SWEEP_VERIFY=1 checks).
+// Fig. 5: thin wrapper over the "fig5" experiment preset (the weight-noise
+// ablation rides on "fig5w"). The grid, methodology setup and rendering all
+// live in exp::ExperimentRegistry — equivalently: `rhw_run fig5`.
 #include <cstring>
+#include <string>
+#include <vector>
 
-#include "bench_sram_tables.hpp"
-#include "exp/ascii_plot.hpp"
-#include "hw/sram_backend.hpp"
-
-using namespace rhw;
-
-namespace {
-
-// The weight-noise ablation as a proper backend: prepare() corrupts the
-// weight layers feeding the selected sites, as if the weight memories were
-// read through erroneous 6T cells. Registered under "sram_weight_noise" so
-// the grid references it by spec string; replicate() returns a fresh copy
-// whose (deterministic) prepare reproduces the corruption bit-for-bit.
-class WeightNoiseBackend final : public hw::HardwareBackend {
- public:
-  explicit WeightNoiseBackend(std::vector<sram::SiteChoice> selected)
-      : selected_(std::move(selected)) {}
-
-  std::string name() const override { return "sram_weight_noise"; }
-
-  hw::BackendPtr replicate() const override {
-    return std::make_unique<WeightNoiseBackend>(selected_);
-  }
-
- protected:
-  void do_prepare(nn::Module& net, const std::vector<models::ActivationSite>&,
-                  const data::Dataset*) override {
-    auto layers = nn::collect_weight_layers(net);
-    for (size_t k = 0; k < selected_.size() && k < layers.size(); ++k) {
-      sram::SramNoiseConfig nc;
-      nc.word = selected_[k].word;
-      nc.vdd = 0.68;
-      sram::corrupt_layer_weights(*layers[k], nc);
-    }
-  }
-
- private:
-  std::vector<sram::SiteChoice> selected_;
-};
-
-void run_arch_dataset(const std::string& arch, const std::string& dataset,
-                      bool noise_on_weights, exp::TablePrinter& table) {
-  bench::Workbench wb = bench::load_workbench(arch, dataset);
-  auto selection = bench::run_methodology(wb.trained.model, wb.data.test, arch,
-                                          dataset);
-
-  exp::SweepGrid grid;
-  grid.model = &wb.trained.model;
-  grid.eval_set = &wb.eval_set;
-  grid.backends.push_back({"ideal", "ideal"});
-  if (noise_on_weights) {
-    // Ablation: the same hybrid configurations on the *weight* memories of
-    // the layers feeding each selected site (paper: worse than activations).
-    hw::BackendRegistry::instance().add(
-        "sram_weight_noise",
-        [selected = selection.selected](const hw::BackendOptions& opts) {
-          core::OptionReader("backend", "sram_weight_noise", opts).finish();
-          return std::make_unique<WeightNoiseBackend>(selected);
-        });
-    grid.backends.push_back({"noisy", "sram_weight_noise"});
-  } else {
-    // The methodology's selected sites, installed by an SramBackend with an
-    // explicit selection (no calibration re-run per replica).
-    bench::register_selected_sram_backend(selection.selected);
-    grid.backends.push_back({"noisy", "sram_selected:vdd=0.68"});
-  }
-  // Attack gradients come from the clean model (noise never in gradients).
-  grid.modes.push_back({"Baseline", "ideal", "ideal"});
-  grid.modes.push_back({"BitErrorNoise", "ideal", "noisy"});
-  grid.attacks.push_back({"fgsm", exp::fgsm_epsilons()});
-
-  exp::SweepEngine engine(bench::sweep_options());
-  const exp::SweepResult result = engine.run(grid);
-  const std::string tag = std::string(noise_on_weights ? "fig5w_" : "fig5_") +
-                          arch + "_" + dataset;
-  bench::finish_sweep(grid, result, tag);
-
-  const auto eps = exp::fgsm_epsilons();
-  const auto base_curve = result.curve("Baseline", "fgsm");
-  const auto noisy_curve = result.curve("BitErrorNoise", "fgsm");
-
-  std::vector<exp::Series> panel(2);
-  panel[0].label = "Baseline";
-  panel[1].label = "BitErrorNoise";
-  for (size_t i = 0; i < eps.size(); ++i) {
-    table.add_row({arch, dataset, exp::fmt(eps[i], 2),
-                   exp::fmt(base_curve.points[i].al, 2),
-                   exp::fmt(noisy_curve.points[i].al, 2),
-                   exp::fmt(base_curve.points[i].al -
-                            noisy_curve.points[i].al, 2),
-                   exp::fmt(noisy_curve.points[i].clean_acc, 2),
-                   exp::fmt(noisy_curve.points[i].adv_acc, 2)});
-    panel[0].x.push_back(eps[i]);
-    panel[0].y.push_back(base_curve.points[i].al);
-    panel[1].x.push_back(eps[i]);
-    panel[1].y.push_back(noisy_curve.points[i].al);
-  }
-  exp::PlotOptions opt;
-  opt.title = arch + " / " + dataset + " - FGSM (AL vs eps)";
-  opt.y_min = 0;
-  opt.y_max = 100;
-  std::printf("%s\n", exp::render_ascii_plot(panel, opt).c_str());
-}
-
-}  // namespace
+#include "exp/experiment_registry.hpp"
 
 int main(int argc, char** argv) {
-  bool noise_on_weights = false;
+  std::vector<std::string> args{"fig5"};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--noise-target=weights") == 0) {
-      noise_on_weights = true;
+      args[0] = "fig5w";
+    } else {
+      args.emplace_back(argv[i]);
     }
   }
-  bench::banner(
-      "Fig. 5: AL vs FGSM epsilon with hybrid-memory bit-error noise",
-      noise_on_weights
-          ? "(ablation: noise injected into weight memories instead of "
-            "activation memories)"
-          : "AL = clean - adversarial accuracy (%); lower is more robust. "
-            "Baseline = software model, BitErrorNoise = selected layers at "
-            "Vdd 0.68 V.");
-
-  exp::TablePrinter table({"network", "dataset", "eps", "AL baseline",
-                           "AL bit-error", "AL reduction", "clean (noisy)",
-                           "adv (noisy)"});
-  for (const std::string arch : {"vgg19", "resnet18"}) {
-    for (const std::string dataset : {"synth-c10", "synth-c100"}) {
-      run_arch_dataset(arch, dataset, noise_on_weights, table);
-    }
-  }
-  table.print();
-  table.write_csv(exp::bench_out_dir() +
-                  (noise_on_weights ? "/fig5_al_curves_weights.csv"
-                                    : "/fig5_al_curves.csv"));
-  std::printf(
-      "\nPaper shape check: the bit-error column should sit below the "
-      "baseline column\n(positive 'AL reduction'), with VGG19 showing lower "
-      "overall AL than ResNet18.\n");
-  return 0;
+  return rhw::exp::rhw_run_main(args);
 }

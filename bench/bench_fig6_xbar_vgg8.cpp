@@ -1,8 +1,12 @@
-// Fig. 6: AL vs eps for Attack-SW / SH / HH (FGSM and PGD) on VGG8 with
-// synth-c10, crossbar sizes 16x16 and 32x32.
-#include "bench_xbar_common.hpp"
+// Fig. 6: thin wrapper over the "fig6" experiment preset — equivalently:
+// `rhw_run fig6`. Extra arguments pass through as overrides.
+#include <string>
+#include <vector>
 
-int main() {
-  rhw::bench::run_xbar_figure("vgg8", "synth-c10", "fig6_vgg8_c10");
-  return 0;
+#include "exp/experiment_registry.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args{"fig6"};
+  args.insert(args.end(), argv + 1, argv + argc);
+  return rhw::exp::rhw_run_main(args);
 }

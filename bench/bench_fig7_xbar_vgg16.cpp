@@ -1,12 +1,12 @@
-// Fig. 7: AL vs eps for Attack-SW / SH / HH (FGSM and PGD) on VGG16 with
-// synth-c100, crossbar sizes 16x16 and 32x32.
-#include "bench_xbar_common.hpp"
+// Fig. 7: thin wrapper over the "fig7" experiment preset — equivalently:
+// `rhw_run fig7`. Extra arguments pass through as overrides.
+#include <string>
+#include <vector>
 
-int main() {
-  rhw::bench::run_xbar_figure("vgg16", "synth-c100", "fig7_vgg16_c100");
-  std::printf(
-      "Additional paper shape check (complex dataset): under PGD, HH should "
-      "show\nlower AL than SH (gradient obfuscation through the hardware "
-      "forward path).\n");
-  return 0;
+#include "exp/experiment_registry.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args{"fig7"};
+  args.insert(args.end(), argv + 1, argv + argc);
+  return rhw::exp::rhw_run_main(args);
 }

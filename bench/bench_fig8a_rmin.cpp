@@ -1,51 +1,12 @@
-// Fig. 8(a): ALs for SH and HH PGD attacks on a VGG8/synth-c10 model mapped
-// to 32x32 crossbars for RMIN = 10 kOhm vs 20 kOhm at constant ON/OFF = 10.
-#include "bench_xbar_common.hpp"
+// Fig. 8(a): thin wrapper over the "fig8a" experiment preset — equivalently:
+// `rhw_run fig8a`. Extra arguments pass through as overrides.
+#include <string>
+#include <vector>
 
-using namespace rhw;
+#include "exp/experiment_registry.hpp"
 
-int main() {
-  bench::banner("Fig. 8(a): effect of RMIN on crossbar robustness",
-                "Smaller RMIN -> lower effective resistance -> parasitics "
-                "dominate more -> more intrinsic noise -> lower AL.");
-  bench::Workbench wb = bench::load_workbench("vgg8", "synth-c10");
-
-  const std::vector<float> eps{2.f / 255.f, 8.f / 255.f, 32.f / 255.f};
-  const double r_mins[] = {10e3, 20e3};
-
-  exp::SweepGrid grid;
-  grid.model = &wb.trained.model;
-  grid.eval_set = &wb.eval_set;
-  grid.backends.push_back({"ideal", "ideal"});
-  for (const double r_min : r_mins) {
-    const std::string key = "r" + std::to_string(static_cast<int>(r_min / 1e3));
-    grid.backends.push_back({key, bench::xbar_spec(32, r_min)});
-    grid.modes.push_back({key + "/SH", "ideal", key});
-    grid.modes.push_back({key + "/HH", key, key});
-  }
-  grid.attacks.push_back({"pgd", eps});
-
-  exp::SweepEngine engine(bench::sweep_options());
-  const exp::SweepResult result = engine.run(grid);
-  bench::finish_sweep(grid, result, "fig8a_rmin");
-
-  exp::TablePrinter table({"RMIN", "mode", "eps=2/255", "eps=8/255",
-                           "eps=32/255"});
-  for (const double r_min : r_mins) {
-    const std::string key = "r" + std::to_string(static_cast<int>(r_min / 1e3));
-    bench::print_map_report(engine, key, wb.trained.model.name, 32, r_min);
-    for (const char* mode : {"SH", "HH"}) {
-      const auto curve = result.curve(key + "/" + mode, "pgd");
-      table.add_row({exp::fmt(r_min / 1e3, 0) + " kOhm", mode,
-                     exp::fmt(curve.points[0].al, 2),
-                     exp::fmt(curve.points[1].al, 2),
-                     exp::fmt(curve.points[2].al, 2)});
-    }
-  }
-  table.print();
-  table.write_csv(exp::bench_out_dir() + "/fig8a_rmin.csv");
-  std::printf(
-      "\nPaper shape check: ALs for RMIN = 10 kOhm rows should be lower than "
-      "the\ncorresponding RMIN = 20 kOhm rows.\n");
-  return 0;
+int main(int argc, char** argv) {
+  std::vector<std::string> args{"fig8a"};
+  args.insert(args.end(), argv + 1, argv + argc);
+  return rhw::exp::rhw_run_main(args);
 }

@@ -1,116 +1,15 @@
-// Fig. 8(b)-(c): comparison of crossbar non-ideality robustness (SH on 32x32)
-// against software defenses — 4-bit input discretization [6] and QUANOS [8] —
-// on VGG16 with synth-c100, for FGSM (b) and PGD (c). Extended beyond the
-// paper with a randomized-smoothing arm, which also exercises the sweep's
-// certified-radius column (rhw-sweep-v3).
-//
-// One SweepEngine grid covers all five defenses x both attacks, and every
-// arm is declared purely by spec strings: the hardware side through
-// hw::BackendRegistry, the defense side through defenses::DefenseRegistry
-// (docs/DEFENSES.md) — no custom binder code anywhere.
-//
-// RHW_FAST=1 switches to VGG8 / synth-c10 so CI can regenerate the artifact
-// (same pipeline, same schema, minutes instead of hours).
-#include <algorithm>
-#include <cstdlib>
+// Fig. 8(b)-(c): thin wrapper over the "fig8bc" experiment preset —
+// equivalently: `rhw_run fig8bc`. RHW_FAST=1 switches the preset to its
+// VGG8/synth-c10 small-model pipeline so CI can regenerate the artifact
+// (same schema and arm structure as the full figure). Extra arguments pass
+// through as overrides.
+#include <string>
+#include <vector>
 
-#include "bench_xbar_common.hpp"
+#include "exp/experiment_registry.hpp"
 
-using namespace rhw;
-
-namespace {
-
-void add_curve(exp::TablePrinter& table, const exp::AlCurve& curve,
-               const std::string& attack) {
-  for (const auto& pt : curve.points) {
-    table.add_row({attack, curve.label, exp::fmt(pt.epsilon, 3),
-                   exp::fmt(pt.clean_acc, 2), exp::fmt(pt.adv_acc, 2),
-                   exp::fmt(pt.al, 2)});
-  }
-}
-
-bool fast_mode() {
-  const char* env = std::getenv("RHW_FAST");
-  return env != nullptr && *env != '\0' && *env != '0';
-}
-
-}  // namespace
-
-int main() {
-  const bool fast = fast_mode();
-  const std::string arch = fast ? "vgg8" : "vgg16";
-  const std::string dataset = fast ? "synth-c10" : "synth-c100";
-  bench::banner(
-      "Fig. 8(b)-(c): crossbar defense vs 4-bit discretization vs QUANOS vs "
-      "randomized smoothing (" + arch + ", " + dataset + ")" +
-          (fast ? " [RHW_FAST]" : ""),
-      "All defenses evaluated white-box on themselves except SH, whose "
-      "adversaries come from the undefended software baseline (the paper's "
-      "SH-on-Cross32 configuration). Every arm is a (backend spec, defense "
-      "spec) pair.");
-  bench::Workbench wb = bench::load_workbench(arch, dataset);
-
-  exp::SweepGrid grid;
-  grid.model = &wb.trained.model;
-  grid.eval_set = &wb.eval_set;
-  grid.backends.push_back({"ideal", "ideal"});
-  // Defense 1: crossbar mapping (SH mode, 32x32), via the backend registry.
-  grid.backends.push_back({"x32", bench::xbar_spec(32)});
-  // Defense 2: 4-bit pixel discretization [6] — a defense spec over the
-  // ideal substrate.
-  grid.backends.push_back({"disc4b", "ideal", "jpeg_quant:bits=4"});
-  // Defense 3: QUANOS [8] (ANS-driven hybrid quantization), requantizing the
-  // replica's clone from the calibration set. Deterministic, so every
-  // replica is bit-identical.
-  grid.backends.push_back({"quanos", "ideal",
-                           "quanos:samples=" +
-                               std::to_string(std::min<int64_t>(
-                                   wb.eval_set.size(), 128)),
-                           &wb.data.test});
-  // Defense 4 (beyond the paper): randomized smoothing — majority vote over
-  // noisy passes, with a Clopper-Pearson certified L2 radius reported in the
-  // sweep's cert column. 16 votes is the floor at alpha=0.001: fewer samples
-  // cannot push the lower bound past 1/2 even on unanimous votes
-  // (alpha^(1/n) > 0.5 needs n >= 10; 16 leaves certification headroom).
-  grid.backends.push_back({"smoothed", "ideal",
-                           "smooth:sigma=0.1,samples=16"});
-
-  grid.modes.push_back({"Attack-SW", "ideal", "ideal"});
-  grid.modes.push_back({"SH-Cross32", "ideal", "x32"});
-  grid.modes.push_back({"4b-discretization", "disc4b", "disc4b"});
-  grid.modes.push_back({"QUANOS", "quanos", "quanos"});
-  grid.modes.push_back({"Smooth", "smoothed", "smoothed"});
-  grid.attacks.push_back({"fgsm", exp::fgsm_epsilons()});
-  grid.attacks.push_back({"pgd", exp::pgd_epsilons()});
-
-  exp::SweepEngine engine(bench::sweep_options());
-  const exp::SweepResult result = engine.run(grid);
-  bench::finish_sweep(grid, result, "fig8bc_defense_comparison");
-  bench::print_map_report(engine, "x32", wb.trained.model.name, 32, 20e3);
-
-  exp::TablePrinter table({"attack", "defense", "eps", "clean", "adv", "AL"});
-  for (const std::string spec : {"fgsm", "pgd"}) {
-    const std::string attack = attacks::attack_display_name(spec);
-    for (const char* mode : {"Attack-SW", "SH-Cross32", "4b-discretization",
-                             "QUANOS", "Smooth"}) {
-      add_curve(table, result.curve(mode, spec), attack);
-    }
-  }
-  table.print();
-  table.write_csv(exp::bench_out_dir() + "/fig8bc_defense_comparison.csv");
-
-  // Certified-radius line for the smoothing arm (any (attack, eps) cell of
-  // the mode carries the same per-trial value).
-  for (size_t m = 0; m < result.mode_labels.size(); ++m) {
-    if (result.mode_labels[m] != "Smooth") continue;
-    const auto* smooth_agg = result.find(m, 0, 0);
-    std::printf("\n[cert] Smooth: mean certified L2 radius %.4f (sigma=0.1, "
-                "16 votes, Clopper-Pearson @ 99.9%%)\n",
-                smooth_agg != nullptr ? smooth_agg->cert.mean : 0.0);
-  }
-  std::printf(
-      "\nPaper shape check: FGSM -> SH-Cross32 should have the lowest AL of "
-      "all\npaper defenses (paper: ~15%% better than 4b, ~4%% better than "
-      "QUANOS); PGD ->\nQUANOS should win with SH second.\n");
-  return 0;
+int main(int argc, char** argv) {
+  std::vector<std::string> args{"fig8bc"};
+  args.insert(args.end(), argv + 1, argv + argc);
+  return rhw::exp::rhw_run_main(args);
 }

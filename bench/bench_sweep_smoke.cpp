@@ -1,73 +1,15 @@
-// Sweep-engine smoke: a tiny grid (untrained VGG8, SRAM + crossbar arms,
-// FGSM + PGD plus stochastic-aware EOT-PGD and black-box Square cells,
-// 2 trials) run on a couple of lanes, with a built-in serial parity check
-// and a speedup report. This is the CI guard for the engine's determinism
-// contract: parallel results must be bit-identical to the serial path on
-// every platform, every run — including for attacks that reseed or query
-// the eval net while crafting. Writes BENCH_sweep_smoke.json.
-//
-//   $ ./bench_sweep_smoke            # lanes from RHW_SWEEP_THREADS (default 2)
-#include "bench_common.hpp"
+// Sweep-engine smoke: thin wrapper over the "sweep_smoke" experiment preset
+// — equivalently: `rhw_run sweep_smoke`. The preset sets verify=1, so every
+// run re-executes the grid serially and fails on any cell mismatch: the CI
+// guard for the engine's determinism contract (lane count from
+// $RHW_SWEEP_THREADS). Writes BENCH_sweep_smoke.json (rhw-sweep-v4).
+#include <string>
+#include <vector>
 
-using namespace rhw;
+#include "exp/experiment_registry.hpp"
 
-int main() {
-  bench::banner("Sweep-engine smoke",
-                "Tiny grid, parallel vs serial parity + speedup. Accuracy "
-                "numbers are meaningless (untrained model); determinism and "
-                "scheduling are what is under test.");
-
-  data::SynthCifarConfig dcfg;
-  dcfg.num_classes = 10;
-  dcfg.train_per_class = 4;
-  dcfg.test_per_class = 8;
-  dcfg.image_size = 16;
-  const auto dataset = data::make_synth_cifar(dcfg);
-  models::Model model = models::build_model("vgg8", 10, 0.125f, 16);
-  model.net->set_training(false);
-  const data::Dataset eval_set = dataset.test.head(64);
-
-  exp::SweepGrid grid;
-  grid.model = &model;
-  grid.width_mult = 0.125f;
-  grid.in_size = 16;
-  grid.eval_set = &eval_set;
-  grid.base.batch_size = 32;
-  grid.trials = 2;
-  grid.backends.push_back({"ideal", "ideal"});
-  grid.backends.push_back({"sram", "sram:sites=2,num_8t=4,vdd=0.64"});
-  grid.backends.push_back({"xbar", "xbar:size=16"});
-  grid.modes.push_back({"Attack-SW", "ideal", "ideal"});
-  grid.modes.push_back({"SH-sram", "ideal", "sram"});
-  grid.modes.push_back({"SH-xbar", "ideal", "xbar"});
-  grid.modes.push_back({"HH-xbar", "xbar", "xbar"});
-  grid.attacks.push_back({"fgsm", {0.f, 0.1f, 0.2f}});
-  grid.attacks.push_back({"pgd", {8.f / 255.f}});
-  // Stochastic-aware arms, tiny budgets: what's under test is that attacks
-  // which reseed (EOT-PGD) or query (Square) the eval net while crafting
-  // still sweep bit-identically at any lane count.
-  grid.attacks.push_back({"eot_pgd:steps=2,samples=2", {8.f / 255.f}});
-  grid.attacks.push_back({"square:queries=12", {0.1f}});
-  grid.attacks.push_back({"mifgsm:steps=2", {0.1f}});
-
-  exp::SweepEngine::Options opt;
-  opt.threads = exp::sweep_threads_env(2);
-  exp::SweepEngine engine(opt);
-  const exp::SweepResult parallel = engine.run(grid);
-  bench::report_sweep(parallel);
-
-  exp::SweepEngine::Options serial_opt;
-  serial_opt.threads = 1;
-  exp::SweepEngine serial_engine(serial_opt);
-  const exp::SweepResult serial = serial_engine.run(grid);
-
-  const size_t mismatches = bench::count_cell_mismatches(parallel, serial);
-  parallel.write_json("BENCH_sweep_smoke.json", "sweep_smoke");
-  if (mismatches > 0) {
-    std::fprintf(stderr, "sweep smoke FAILED: %zu mismatching cells\n",
-                 mismatches);
-    return 1;
-  }
-  bench::report_parity(parallel, serial);
-  return 0;
+int main(int argc, char** argv) {
+  std::vector<std::string> args{"sweep_smoke"};
+  args.insert(args.end(), argv + 1, argv + argc);
+  return rhw::exp::rhw_run_main(args);
 }

@@ -1,12 +1,12 @@
-// Table I: layer-wise hybrid activation-memory configurations for VGG19 on
-// synth-c10 and synth-c100, selected by the Fig. 4 methodology.
-#include "bench_sram_tables.hpp"
+// Table I: thin wrapper over the "table1" experiment preset — equivalently:
+// `rhw_run table1`. Extra arguments pass through as overrides.
+#include <string>
+#include <vector>
 
-int main() {
-  rhw::bench::print_config_table("vgg19", "table1_vgg19");
-  std::printf(
-      "Paper shape check: noise-injection sites should concentrate in the\n"
-      "initial layers, with a small clean-accuracy deviation (paper: 2.61%% /"
-      " 2.9%%).\n");
-  return 0;
+#include "exp/experiment_registry.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args{"table1"};
+  args.insert(args.end(), argv + 1, argv + argc);
+  return rhw::exp::rhw_run_main(args);
 }

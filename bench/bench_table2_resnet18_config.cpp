@@ -1,12 +1,12 @@
-// Table II: layer-wise hybrid activation-memory configurations for ResNet18
-// on synth-c10 and synth-c100 ('S' marks shortcut memories).
-#include "bench_sram_tables.hpp"
+// Table II: thin wrapper over the "table2" experiment preset — equivalently:
+// `rhw_run table2`. Extra arguments pass through as overrides.
+#include <string>
+#include <vector>
 
-int main() {
-  rhw::bench::print_config_table("resnet18", "table2_resnet18");
-  std::printf(
-      "Paper shape check: as in Table I, early layers dominate; ResNet18\n"
-      "tolerates a somewhat larger clean-accuracy deviation (paper: 6.14%% /"
-      " 7.1%%).\n");
-  return 0;
+#include "exp/experiment_registry.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args{"table2"};
+  args.insert(args.end(), argv + 1, argv + argc);
+  return rhw::exp::rhw_run_main(args);
 }

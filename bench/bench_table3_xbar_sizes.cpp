@@ -1,53 +1,12 @@
-// Table III: ALs (%) for the HH PGD attack on crossbar sizes 16x16, 32x32
-// and 64x64 (VGG8, synth-c10), eps in {2,4,8,16,32}/255.
-#include "bench_xbar_common.hpp"
+// Table III: thin wrapper over the "table3" experiment preset —
+// equivalently: `rhw_run table3`. Extra arguments pass through as overrides.
+#include <string>
+#include <vector>
 
-using namespace rhw;
+#include "exp/experiment_registry.hpp"
 
-int main() {
-  bench::banner("Table III: HH-PGD AL vs crossbar size (VGG8, synth-c10)",
-                "Larger crossbars carry more parasitics, hence more intrinsic "
-                "noise and lower AL.");
-  bench::Workbench wb = bench::load_workbench("vgg8", "synth-c10");
-
-  const std::vector<float> eps{2.f / 255.f, 4.f / 255.f, 8.f / 255.f,
-                               16.f / 255.f, 32.f / 255.f};
-  const int64_t sizes[] = {16, 32, 64};
-
-  exp::SweepGrid grid;
-  grid.model = &wb.trained.model;
-  grid.eval_set = &wb.eval_set;
-  for (const int64_t size : sizes) {
-    const std::string key = "x" + std::to_string(size);
-    grid.backends.push_back({key, bench::xbar_spec(size)});
-    grid.modes.push_back({"HH/" + key, key, key});
-  }
-  grid.attacks.push_back({"pgd", eps});
-
-  exp::SweepEngine engine(bench::sweep_options());
-  const exp::SweepResult result = engine.run(grid);
-  bench::finish_sweep(grid, result, "table3_xbar_sizes");
-
-  exp::TablePrinter table({"eps", "Cross16", "Cross32", "Cross64"});
-  std::vector<std::vector<double>> al(eps.size());
-  for (const int64_t size : sizes) {
-    const std::string key = "x" + std::to_string(size);
-    bench::print_map_report(engine, key, wb.trained.model.name, size, 20e3);
-    const auto curve = result.curve("HH/" + key, "pgd");
-    for (size_t i = 0; i < eps.size(); ++i) {
-      al[i].push_back(curve.points[i].al);
-    }
-  }
-  for (size_t i = 0; i < eps.size(); ++i) {
-    table.add_row({std::to_string(static_cast<int>(eps[i] * 255 + 0.5f)) +
-                       "/255",
-                   exp::fmt(al[i][0], 2), exp::fmt(al[i][1], 2),
-                   exp::fmt(al[i][2], 2)});
-  }
-  table.print();
-  table.write_csv(exp::bench_out_dir() + "/table3_xbar_sizes.csv");
-  std::printf(
-      "\nPaper shape check: for each eps, AL should decrease with crossbar "
-      "size\n(Cross64 most robust; paper rows: ~72 / ~71 / ~68).\n");
-  return 0;
+int main(int argc, char** argv) {
+  std::vector<std::string> args{"table3"};
+  args.insert(args.end(), argv + 1, argv + argc);
+  return rhw::exp::rhw_run_main(args);
 }

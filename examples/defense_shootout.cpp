@@ -1,112 +1,22 @@
 // Defense shoot-out (paper Fig. 8b/c in miniature): hardware-noise defenses
 // vs software defenses on one model, one table — every arm declared purely
-// by spec strings.
+// by spec strings, and the whole experiment a named preset. This binary is a
+// thin wrapper over the "shootout" preset; equivalently:
 //
-// Hardware rows are BackendRegistry strings ("sram:...", "xbar:..."),
-// software defenses are DefenseRegistry strings ("adv_train:...",
-// "jpeg_quant:bits=4", "quanos", "smooth:..."), and the two compose: the
-// "smooth+sram" row is randomized smoothing stacked ON TOP of the noisy SRAM
-// substrate — a smoothed noisy-hardware classifier, which also reports a
-// Clopper-Pearson certified L2 radius (docs/DEFENSES.md has every knob).
+//   $ rhw_run shootout
+//   $ rhw_run shootout trials=5 backends+=gauss=ideal+gauss_aug:sigma=0.1 \
+//         modes+=gauss-aug=ideal/gauss
 //
-// The whole comparison is one exp::SweepEngine grid: every (defense, attack)
-// cell runs concurrently, and the noisy rows are averaged over 3 trials with
-// a 95% confidence interval (the engine derives per-trial noise streams, so
-// the table is bit-reproducible at any thread count).
-//
-//   $ ./examples/defense_shootout
-#include <cstdio>
+// The energy column prices each arm including its defense overhead (N x
+// forwards for smooth, requantized words for QUANOS) so rows rank at
+// iso-energy. docs/EXPERIMENTS.md has the full grammar.
+#include <string>
 #include <vector>
 
-#include "attacks/evaluate.hpp"
-#include "data/synth_cifar.hpp"
-#include "exp/sweep.hpp"
-#include "exp/table_printer.hpp"
-#include "models/zoo.hpp"
-#include "nn/model_io.hpp"
+#include "exp/experiment_registry.hpp"
 
-using namespace rhw;
-
-int main() {
-  std::printf("== Defense shoot-out ==\n\n");
-
-  data::SynthCifarConfig dcfg;
-  dcfg.num_classes = 10;
-  dcfg.train_per_class = 100;
-  dcfg.test_per_class = 25;
-  dcfg.image_size = 16;
-  const auto dataset = data::make_synth_cifar(dcfg);
-  models::Model baseline = models::build_model("vgg8", 10, 0.125f, 16);
-  models::TrainConfig tcfg;
-  tcfg.epochs = 4;
-  tcfg.batch_size = 50;
-  models::train_model(baseline, dataset, tcfg);
-
-  // Every arm is a (hardware spec, defense spec) pair. The sram backend runs
-  // the Fig. 4 layer-selection methodology on its calibration set — once;
-  // concurrent lanes get cheap replicas carrying the same selection. The
-  // adv_train arm retrains the clone (grid.train_data feeds it) — also once;
-  // lanes clone the hardened weights.
-  exp::SweepGrid grid;
-  grid.model = &baseline;
-  grid.width_mult = 0.125f;
-  grid.in_size = 16;
-  grid.eval_set = &dataset.test;
-  grid.train_data = &dataset;
-  grid.trials = 3;
-  grid.backends.push_back({"ideal", "ideal"});
-  grid.backends.push_back(
-      {"sram", "sram:vdd=0.68,eval_count=150", "", &dataset.test});
-  grid.backends.push_back({"xbar", "xbar:size=32"});
-  grid.backends.push_back(
-      {"advtrain", "ideal", "adv_train:attack=fgsm,eps=0.1,ratio=0.5,epochs=2"});
-  grid.backends.push_back({"disc4b", "ideal", "jpeg_quant:bits=4"});
-  grid.backends.push_back({"quanos", "ideal", "quanos:samples=100",
-                           &dataset.test});
-  // The compositional arm: smoothing over the noisy SRAM substrate.
-  grid.backends.push_back({"smoothsram",
-                           "sram:vdd=0.68,eval_count=150",
-                           "smooth:sigma=0.12,samples=8,alpha=0.05", &dataset.test});
-
-  grid.modes.push_back({"undefended", "ideal", "ideal"});
-  grid.modes.push_back({"SRAM-noise", "ideal", "sram"});
-  grid.modes.push_back({"crossbar-SH", "ideal", "xbar"});
-  grid.modes.push_back({"adv-train", "advtrain", "advtrain"});
-  grid.modes.push_back({"4b-discretize", "disc4b", "disc4b"});
-  grid.modes.push_back({"QUANOS", "quanos", "quanos"});
-  grid.modes.push_back({"smooth+SRAM", "ideal", "smoothsram"});
-  grid.attacks.push_back({"fgsm", {0.1f}});
-  grid.attacks.push_back({"pgd", {8.f / 255.f}});
-
-  exp::SweepEngine engine;
-  const exp::SweepResult result = engine.run(grid);
-  std::printf("[sweep] %zu cells (%d trials) on %u lane(s) in %.2fs\n",
-              result.cells.size(), result.trials, result.lanes,
-              result.wall_seconds);
-  for (const char* key : {"ideal", "sram", "xbar", "smoothsram"}) {
-    std::printf("prepared '%s'  ->  %s\n", key,
-                engine.backend(key)->energy_report().summary().c_str());
-  }
-  std::printf("\n");
-
-  exp::TablePrinter table({"defense", "clean", "FGSM adv", "FGSM AL",
-                           "PGD adv", "PGD AL", "cert L2"});
-  for (size_t m = 0; m < result.mode_labels.size(); ++m) {
-    const auto* fgsm = result.find(m, 0, 0);
-    const auto* pgd = result.find(m, 1, 0);
-    table.add_row({result.mode_labels[m], fgsm->clean.format(),
-                   fgsm->adv.format(), fgsm->al.format(), pgd->adv.format(),
-                   pgd->al.format(),
-                   fgsm->cert.mean > 0.0 ? fgsm->cert.format(3) : "-"});
-  }
-  table.print();
-  result.write_json("BENCH_defense_shootout.json", "defense_shootout");
-  std::printf(
-      "\nReading guide: every defense trades a little clean accuracy for a\n"
-      "lower AL; the hardware rows do it without touching the training "
-      "pipeline,\nand the smooth+SRAM row composes both worlds (its cert "
-      "column is the mean\ncertified L2 radius — no other arm certifies "
-      "anything).\nNoisy rows are mean±95%%CI over %d noise-stream trials.\n",
-      result.trials);
-  return 0;
+int main(int argc, char** argv) {
+  std::vector<std::string> args{"shootout"};
+  args.insert(args.end(), argv + 1, argv + argc);
+  return rhw::exp::rhw_run_main(args);
 }

@@ -1,192 +1,20 @@
 // Audit the paper's claimed mechanism: hardware noise defends by *gradient
 // obfuscation*. If that is all it does, the robustness is an artifact of the
 // attack, not of the model — the obfuscated-gradients critique (Athalye et
-// al.). This audit runs the three canonical checks as ONE declarative
-// exp::SweepEngine grid, per hardware substrate:
+// al.). The audit runs PGD vs EOT-PGD (adaptive) vs Square (gradient-free)
+// plus transfer and gradient-agreement checks per hardware substrate, as ONE
+// declarative grid. This binary is a thin wrapper over the
+// "obfuscation_audit" preset; equivalently:
 //
-//   PGD        white-box gradient attack — the number the paper reports;
-//   EOT-PGD    the adaptive attack: gradients averaged over independently
-//              reseeded noisy passes. If it beats PGD, the noise was hiding
-//              gradient signal that an aware attacker recovers;
-//   Square     gradient-free black-box random search. No amount of gradient
-//              noise can mask a model from an attack that never asks for
-//              gradients — if Square beats PGD, the white-box gradients were
-//              actively misleading.
-//
-// Plus the transfer check (software-crafted adversaries beating white-box
-// ones) and the gradient-agreement / random-floor diagnostics from
-// attacks/diagnostics.hpp.
-//
-//   $ ./examples/gradient_obfuscation_audit
-#include <cstdio>
+//   $ rhw_run obfuscation_audit
+//   $ rhw_run obfuscation_audit attacks+=eot_pgd:steps=7,samples=32@0.1
 #include <string>
 #include <vector>
 
-#include "attacks/diagnostics.hpp"
-#include "data/synth_cifar.hpp"
-#include "exp/sweep.hpp"
-#include "exp/table_printer.hpp"
-#include "hw/registry.hpp"
-#include "models/zoo.hpp"
-#include "nn/model_io.hpp"
+#include "exp/experiment_registry.hpp"
 
-using namespace rhw;
-
-namespace {
-
-// The audit's attack suite: one epsilon, three adversaries with very
-// different knowledge of the defense. Declared once, swept everywhere.
-constexpr const char* kPgdSpec = "pgd:steps=7";
-constexpr const char* kEotSpec = "eot_pgd:steps=7,samples=8";
-constexpr const char* kSquareSpec = "square:queries=150";
-
-}  // namespace
-
-int main() {
-  std::printf("== Gradient-obfuscation audit ==\n\n");
-
-  data::SynthCifarConfig dcfg;
-  dcfg.num_classes = 10;
-  dcfg.train_per_class = 100;
-  dcfg.test_per_class = 25;
-  dcfg.image_size = 16;
-  const auto dataset = data::make_synth_cifar(dcfg);
-
-  models::Model software = models::build_model("vgg8", 10, 0.125f, 16);
-  models::TrainConfig tcfg;
-  tcfg.epochs = 4;
-  tcfg.batch_size = 50;
-  models::train_model(software, dataset, tcfg);
-  software.net->set_training(false);
-
-  attacks::ObfuscationConfig ocfg;
-  ocfg.epsilon = 0.1f;
-  ocfg.sample_count = 200;
-  // One population for every report row: the sweep cells and the
-  // cosine/random-floor helpers all evaluate this subset.
-  const data::Dataset audit_set = dataset.test.head(ocfg.sample_count);
-
-  // Each audited substrate is one registry string; the software model is the
-  // gradient reference for the transfer rows.
-  const struct {
-    const char* title;
-    const char* key;
-    const char* spec;
-  } substrates[] = {
-      {"crossbar-mapped model (32x32)", "xbar", "xbar:size=32"},
-      {"hybrid-SRAM noisy model (2/6 @ 0.64 V)", "sram",
-       "sram:sites=2,num_8t=2,vdd=0.64"},
-  };
-
-  exp::SweepGrid grid;
-  grid.model = &software;
-  grid.width_mult = 0.125f;
-  grid.in_size = 16;
-  grid.eval_set = &audit_set;
-  grid.base.batch_size = ocfg.batch_size;
-  grid.backends.push_back({"ideal", "ideal"});
-  grid.modes.push_back({"control", "ideal", "ideal"});
-  for (const auto& sub : substrates) {
-    // No calibration set: the sram backend uses its fixed fallback sites
-    // instead of running the selection methodology.
-    grid.backends.push_back({sub.key, sub.spec});
-    grid.modes.push_back({std::string("white-box/") + sub.key, sub.key,
-                          sub.key});
-    grid.modes.push_back({std::string("transfer/") + sub.key, "ideal",
-                          sub.key});
-  }
-  grid.attacks.push_back({kPgdSpec, {ocfg.epsilon}});
-  grid.attacks.push_back({kEotSpec, {ocfg.epsilon}});
-  grid.attacks.push_back({kSquareSpec, {ocfg.epsilon}});
-
-  exp::SweepEngine engine;
-  const exp::SweepResult result = engine.run(grid);
-  std::printf("[sweep] %zu attack cells on %u lane(s) in %.2fs\n\n",
-              result.cells.size(), result.lanes, result.wall_seconds);
-
-  nn::Module& reference = engine.backend("ideal")->module();
-  auto mode_index = [&](const std::string& label) {
-    for (size_t m = 0; m < result.mode_labels.size(); ++m) {
-      if (result.mode_labels[m] == label) return m;
-    }
-    return result.mode_labels.size();
-  };
-  // Attack arms by grid order: 0 = PGD, 1 = EOT-PGD, 2 = Square.
-  auto adv = [&](const std::string& mode, size_t attack) {
-    return result.find(mode_index(mode), attack, 0)->adv.mean;
-  };
-
-  const auto* control = result.find(mode_index("control"), 0, 0);
-  std::printf("software baseline (control):\n");
-  std::printf("  clean accuracy                     : %.2f%%\n",
-              control->clean.mean);
-  std::printf("  white-box PGD adv accuracy         : %.2f%%\n",
-              control->adv.mean);
-  std::printf("  EOT-PGD adv accuracy               : %.2f%%\n",
-              adv("control", 1));
-  std::printf("  Square (black-box) adv accuracy    : %.2f%%\n\n",
-              adv("control", 2));
-
-  exp::TablePrinter table({"substrate", "clean", "PGD", "EOT-PGD", "Square",
-                           "transfer-PGD", "verdict"});
-  for (const auto& sub : substrates) {
-    const std::string white = std::string("white-box/") + sub.key;
-    const std::string transfer = std::string("transfer/") + sub.key;
-    nn::Module& hardware = engine.backend(sub.key)->module();
-    const double clean = result.find(mode_index(white), 0, 0)->clean.mean;
-    const double pgd_acc = adv(white, 0);
-    const double eot_acc = adv(white, 1);
-    const double square_acc = adv(white, 2);
-    const double transfer_acc = adv(transfer, 0);
-    const double cos = attacks::gradient_agreement(reference, hardware,
-                                                   audit_set, ocfg);
-    const double random_floor =
-        attacks::random_perturbation_accuracy(hardware, audit_set, ocfg);
-
-    // Any stronger-informed attack beating white-box PGD means PGD's
-    // gradients were hiding attack surface: the robustness gap is (at least
-    // partly) obfuscation, not margin. The accuracies are single noisy
-    // draws on a 200-sample set (one example = 0.5 points), so require the
-    // gap to clear a 5-example margin before raising the flag — evaluation
-    // noise alone must not read as obfuscation.
-    const double margin =
-        100.0 * 5.0 / static_cast<double>(audit_set.size());
-    const bool eot_breaks = eot_acc < pgd_acc - margin;
-    const bool square_breaks = square_acc < pgd_acc - margin;
-    const bool transfer_breaks = transfer_acc < pgd_acc - margin;
-    const bool suspected = eot_breaks || square_breaks || transfer_breaks;
-    std::string verdict = suspected ? "OBFUSCATION:" : "no sign";
-    if (eot_breaks) verdict += " eot";
-    if (square_breaks) verdict += " square";
-    if (transfer_breaks) verdict += " transfer";
-    table.add_row({sub.key, exp::fmt(clean, 2), exp::fmt(pgd_acc, 2),
-                   exp::fmt(eot_acc, 2), exp::fmt(square_acc, 2),
-                   exp::fmt(transfer_acc, 2), verdict});
-
-    std::printf("%s:\n", sub.title);
-    std::printf("  gradient cosine vs software model : %.4f\n", cos);
-    std::printf("  clean accuracy                     : %.2f%%\n", clean);
-    std::printf("  white-box PGD adv accuracy         : %.2f%%\n", pgd_acc);
-    std::printf("  EOT-PGD (adaptive) adv accuracy    : %.2f%%%s\n", eot_acc,
-                eot_breaks ? "   <- beats PGD" : "");
-    std::printf("  Square (black-box) adv accuracy    : %.2f%%%s\n",
-                square_acc, square_breaks ? "   <- beats PGD" : "");
-    std::printf("  transferred PGD adv accuracy       : %.2f%%%s\n",
-                transfer_acc, transfer_breaks ? "   <- beats PGD" : "");
-    std::printf("  random-perturbation floor          : %.2f%%\n",
-                random_floor);
-    std::printf("  obfuscation suspected              : %s\n\n",
-                suspected ? "YES" : "no");
-  }
-  table.print();
-  result.write_json("BENCH_gradient_obfuscation_audit.json",
-                    "gradient_obfuscation_audit");
-
-  std::printf(
-      "\nInterpretation: gradient cosine < 1 means the hardware gradients "
-      "diverge from\nthe software model's. Robustness that survives EOT-PGD "
-      "and Square is real margin;\nrobustness that only holds against plain "
-      "PGD is gradient obfuscation — the\nhonest caveat the paper's Fig. 1 "
-      "story needs.\n");
-  return 0;
+int main(int argc, char** argv) {
+  std::vector<std::string> args{"obfuscation_audit"};
+  args.insert(args.end(), argv + 1, argv + argc);
+  return rhw::exp::rhw_run_main(args);
 }

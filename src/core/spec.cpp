@@ -28,6 +28,19 @@ ParsedSpec parse_spec(const std::string& domain, const std::string& spec) {
   return out;
 }
 
+std::string canonical_spec(const std::string& domain,
+                           const std::string& spec) {
+  const ParsedSpec parsed = parse_spec(domain, spec);
+  std::string out = parsed.key;
+  char sep = ':';
+  for (const auto& [key, value] : parsed.options) {  // std::map: sorted
+    out += sep;
+    sep = ',';
+    out += key + "=" + value;
+  }
+  return out;
+}
+
 OptionReader::OptionReader(std::string domain, std::string name,
                            SpecOptions opts)
     : domain_(std::move(domain)),

@@ -36,6 +36,12 @@ struct ParsedSpec {
 // item that is not of the form key=value.
 ParsedSpec parse_spec(const std::string& domain, const std::string& spec);
 
+// Canonical re-rendering of a spec: the key followed by its options in
+// sorted order with empty items dropped, so "pgd:steps=7," and
+// "pgd:alpha=0,steps=7" vs "pgd:steps=7,alpha=0" compare equal as strings.
+// Values stay raw text (no numeric normalization). Throws like parse_spec.
+std::string canonical_spec(const std::string& domain, const std::string& spec);
+
 // Pulls and erases typed options from a SpecOptions map so that factories can
 // reject whatever is left as unknown (finish()). All extraction errors throw
 // std::invalid_argument naming the option key and offending value text.

@@ -38,7 +38,9 @@ std::string WrappedBackend::name() const {
 }
 
 hw::EnergyReport WrappedBackend::energy_report() const {
-  return inner_->energy_report();
+  hw::EnergyReport report = inner_->energy_report();
+  report.details.emplace_back("defense", defense_key_);
+  return report;
 }
 
 void WrappedBackend::do_prepare(nn::Module&,

@@ -113,8 +113,12 @@ class Certifier {
 };
 
 // Backend decorator shared by the inference-time defenses: serves a wrapper
-// module built around a prepared inner backend's module. Energy/area proxy
-// to the inner backend (the defense is software; the substrate still pays).
+// module built around a prepared inner backend's module. Energy/area start
+// from the inner backend's report (the substrate still pays) with a
+// "defense" line item naming the wrapper; defenses with real overhead
+// (smooth's N× forwards, quanos' requantized word sizes) override
+// energy_report to price it, so the shootout can rank defenses at
+// iso-energy.
 class WrappedBackend : public hw::HardwareBackend {
  public:
   // `defense_key` labels name() as "<defense_key>+<inner name>", e.g.

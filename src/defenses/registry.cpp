@@ -1,5 +1,6 @@
 #include "defenses/registry.hpp"
 
+#include <cstdio>
 #include <limits>
 #include <memory>
 #include <sstream>
@@ -113,6 +114,76 @@ class GaussAugDefense final : public Defense {
   GaussAugConfig cfg_;
 };
 
+// Identity wrapper module: routes straight through the inner net. Lets a
+// harden-phase defense surface as a WrappedBackend purely so its energy
+// overhead shows up on the serving backend's report.
+class ForwardingModule final : public nn::Module {
+ public:
+  explicit ForwardingModule(nn::Module& inner) : inner_(&inner) {}
+  std::vector<nn::Param*> parameters() override {
+    return inner_->parameters();
+  }
+  std::vector<nn::Module*> children() override { return {inner_}; }
+  std::vector<std::pair<std::string, Tensor*>> named_state() override {
+    return {};
+  }
+  std::string type_name() const override { return "ForwardingModule"; }
+  void set_training(bool training) override {
+    nn::Module::set_training(training);
+    inner_->set_training(training);
+  }
+
+ protected:
+  Tensor do_forward(const Tensor& x) override { return inner_->forward(x); }
+  Tensor do_backward(const Tensor& grad_out) override {
+    return inner_->backward(grad_out);
+  }
+
+ private:
+  nn::Module* inner_;  // non-owning
+};
+
+// QUANOS activations live in requantized words: the median-ANS split assigns
+// low_bits to half the weight layers by construction and high_bits to the
+// rest, so *activation-memory* read energy scales with the mean word size
+// relative to 8-bit words. The sram backend's report is exactly that
+// (per-word read energy of the noisy activation sites), so it takes the
+// credit; compute-denominated reports (xbar's analog MVM energy) and the
+// unpriced ideal backend keep their number — for those the requantized word
+// sizes surface as line items only, so downstream tooling can still price
+// its own memory model at iso-energy.
+class QuanosEnergyBackend final : public WrappedBackend {
+ public:
+  QuanosEnergyBackend(hw::HardwareBackend& inner, quant::QuanosConfig cfg)
+      : WrappedBackend("quanos", inner,
+                       std::make_unique<ForwardingModule>(inner.module())),
+        cfg_(cfg) {}
+
+  hw::EnergyReport energy_report() const override {
+    hw::EnergyReport report = WrappedBackend::energy_report();
+    const double mean_bits = 0.5 * (cfg_.high_bits + cfg_.low_bits);
+    const double scale = mean_bits / 8.0;
+    char scale_buf[32];
+    std::snprintf(scale_buf, sizeof scale_buf, "%.3f", scale);
+    report.details.emplace_back("quanos_word_bits",
+                                std::to_string(cfg_.high_bits) + "b/" +
+                                    std::to_string(cfg_.low_bits) + "b");
+    report.details.emplace_back("quanos_word_scale", scale_buf);
+    if (report.backend.rfind("sram", 0) == 0) {
+      const double substrate_nj = report.energy_nj;
+      report.energy_nj = substrate_nj * scale;
+      char substrate_buf[32];
+      std::snprintf(substrate_buf, sizeof substrate_buf, "%.4g",
+                    substrate_nj);
+      report.details.emplace_back("substrate_energy_nj", substrate_buf);
+    }
+    return report;
+  }
+
+ private:
+  quant::QuanosConfig cfg_;
+};
+
 class QuanosDefense final : public Defense {
  public:
   explicit QuanosDefense(quant::QuanosConfig cfg) : cfg_(cfg) {}
@@ -128,6 +199,11 @@ class QuanosDefense final : public Defense {
           "calibration / SweepBackendDef::calibration)");
     }
     (void)quant::apply_quanos(*model.net, *ctx.calibration, cfg_);
+  }
+
+ protected:
+  hw::BackendPtr do_wrap(hw::HardwareBackend& inner) const override {
+    return std::make_unique<QuanosEnergyBackend>(inner, cfg_);
   }
 
  private:

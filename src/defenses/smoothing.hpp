@@ -12,10 +12,21 @@
 // hardware noise streams. A smoothed-noisy sweep arm is therefore
 // bit-identical at any lane count (tests/defenses/test_defense_sweep.cpp).
 //
+// Cost: the N noisy copies do NOT run as N sequential forwards. votes()
+// tiles them into one large batch (chunked to bound activation memory) so
+// the inner substrate amortizes its batched execution path — threaded gemm
+// blocks, and on crossbars the tile-level batching XbarBackend's layers ride
+// on — across copies. bench_micro's BM_SmoothVotes* pair records the
+// batched-vs-sequential speedup. Noise draws happen copy-major in the same
+// linear order the sequential loop used, so the copies see identical
+// perturbations.
+//
 // Gradients: do_backward is straight-through the *last* noisy sample's
 // cached state — the usual straight-through treatment for vote-based
-// inference. White-box gradient attacks on a smoothed arm see that proxy
-// gradient; the honest adaptive attack remains "eot_pgd" on the inner model.
+// inference (do_forward runs that final copy as its own inner pass, so the
+// cache is input-shaped and belongs to a counted vote). White-box gradient
+// attacks on a smoothed arm see that proxy gradient; the honest adaptive
+// attack remains "eot_pgd" on the inner model.
 #pragma once
 
 #include "core/rng.hpp"
@@ -40,8 +51,9 @@ class SmoothedModule final : public nn::Module {
  public:
   SmoothedModule(nn::Module& inner, SmoothConfig cfg);
 
-  // Vote counts [N, num_classes] over `samples` noisy passes (cfg.samples
-  // when <= 0). Advances the smoothing noise stream; pin it first via
+  // Vote counts [N, num_classes] over `samples` noisy copies (cfg.samples
+  // when <= 0), evaluated through the inner model in large batched chunks.
+  // Advances the smoothing noise stream; pin it first via
   // reseed_noise_streams for reproducible counts.
   Tensor votes(const Tensor& x, int samples = 0);
 
@@ -67,6 +79,11 @@ class SmoothedModule final : public nn::Module {
   }
 
  private:
+  // With input_shaped_tail, the final copy runs as its own inner pass so the
+  // inner cache do_backward replays is input-shaped and belongs to a counted
+  // vote (do_forward's mode; votes() batches every copy).
+  Tensor votes_impl(const Tensor& x, int samples, bool input_shaped_tail);
+
   nn::Module* inner_;  // non-owning
   SmoothConfig cfg_;
   RandomEngine rng_;
@@ -82,6 +99,12 @@ class SmoothedBackend final : public WrappedBackend, public Certifier {
 
   double mean_certified_radius(const data::Dataset& ds, int64_t batch_size,
                                uint64_t seed) override;
+
+  // The substrate's report with the defense overhead priced in: a smoothed
+  // prediction pays `samples` substrate forwards, so energy_nj scales by the
+  // vote count, with the raw substrate energy kept as a line item — the
+  // defense shootout ranks defenses at iso-energy off these numbers.
+  hw::EnergyReport energy_report() const override;
 
   const SmoothConfig& config() const { return smoothed_->config(); }
 

@@ -1,0 +1,348 @@
+#include "exp/experiment_registry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/ascii_plot.hpp"
+#include "exp/table_printer.hpp"
+
+namespace rhw::exp {
+
+// -- registry -----------------------------------------------------------------
+
+ExperimentRegistry::ExperimentRegistry() {
+  register_builtin_experiments(*this);
+}
+
+ExperimentRegistry& ExperimentRegistry::instance() {
+  static ExperimentRegistry registry;
+  return registry;
+}
+
+void ExperimentRegistry::add(const std::string& key, ExperimentFactory factory,
+                             ProgramFactory program) {
+  factories_[key] = {std::move(factory), std::move(program)};
+}
+
+bool ExperimentRegistry::contains(const std::string& key) const {
+  return factories_.count(key) > 0;
+}
+
+std::vector<std::string> ExperimentRegistry::keys() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [key, entry] : factories_) out.push_back(key);
+  return out;
+}
+
+ExperimentSpec ExperimentRegistry::preset(const std::string& key) const {
+  const auto it = factories_.find(key);
+  if (it == factories_.end()) {
+    std::ostringstream os;
+    os << "unknown experiment '" << key << "'; registered:";
+    for (const auto& [name, entry] : factories_) os << ' ' << name;
+    throw std::invalid_argument(os.str());
+  }
+  ExperimentSpec spec = it->second.factory();
+  spec.name = key;
+  if (spec.tag.empty()) spec.tag = key;
+  return spec;
+}
+
+std::unique_ptr<ExperimentProgram> ExperimentRegistry::program(
+    const std::string& key) const {
+  const auto it = factories_.find(key);
+  if (it != factories_.end() && it->second.program) {
+    return it->second.program();
+  }
+  return std::make_unique<ExperimentProgram>();
+}
+
+// -- default rendering --------------------------------------------------------
+
+void ExperimentProgram::report(PanelContext& panel) {
+  const SweepResult& result = *panel.result;
+  bool any_cert = false;
+  for (const auto& agg : result.aggregates) {
+    if (agg.cert.mean > 0.0) any_cert = true;
+  }
+  std::vector<std::string> headers{"attack", "mode", "eps",
+                                   "clean",  "adv",  "AL"};
+  if (any_cert) headers.push_back("cert L2");
+  TablePrinter table(headers);
+  for (size_t a = 0; a < result.attack_specs.size(); ++a) {
+    for (size_t m = 0; m < result.mode_labels.size(); ++m) {
+      for (const auto& agg : result.aggregates) {
+        if (agg.mode != m || agg.attack != a) continue;
+        std::vector<std::string> row{
+            result.attack_names[a],  result.mode_labels[m],
+            fmt(agg.epsilon, 3),     agg.clean.format(),
+            agg.adv.format(),        agg.al.format()};
+        if (any_cert) {
+          row.push_back(agg.cert.mean > 0.0 ? agg.cert.format(3) : "-");
+        }
+        table.add_row(std::move(row));
+      }
+    }
+  }
+  table.print();
+  table.write_csv(bench_out_dir() + "/" + panel.tag + ".csv");
+
+  // AL(eps) panel per attack with a real epsilon axis.
+  for (size_t a = 0; a < result.attack_specs.size(); ++a) {
+    std::vector<Series> panel_series;
+    for (size_t m = 0; m < result.mode_labels.size(); ++m) {
+      Series series;
+      series.label = result.mode_labels[m];
+      for (const auto& agg : result.aggregates) {
+        if (agg.mode != m || agg.attack != a) continue;
+        series.x.push_back(agg.epsilon);
+        series.y.push_back(agg.al.mean);
+      }
+      if (series.x.size() >= 2) panel_series.push_back(std::move(series));
+    }
+    if (panel_series.empty()) continue;
+    PlotOptions opt;
+    opt.title = result.attack_names[a] + " (AL vs eps)";
+    opt.y_min = 0;
+    opt.y_max = 100;
+    std::printf("%s\n", render_ascii_plot(panel_series, opt).c_str());
+  }
+}
+
+// -- driver -------------------------------------------------------------------
+
+namespace {
+
+bool env_flag(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+std::string artifact_path(const ExperimentSpec& spec,
+                          const PanelContext& panel) {
+  if (spec.out.empty()) return "BENCH_" + panel.tag + ".json";
+  if (spec.panels.size() == 1) return spec.out;
+  // Multi-panel run with an explicit output path: suffix before ".json".
+  const std::string suffix = "_" + panel.arch.arch + "_" + panel.dataset.tag;
+  const size_t ext = spec.out.rfind(".json");
+  if (ext != std::string::npos && ext + 5 == spec.out.size()) {
+    return spec.out.substr(0, ext) + suffix + ".json";
+  }
+  return spec.out + suffix;
+}
+
+PanelContext make_panel(const ExperimentSpec& spec, size_t index) {
+  PanelContext pc;
+  pc.spec = &spec;
+  pc.index = index;
+  pc.arch = parse_arch_section(spec.panels[index].arch);
+  pc.dataset = parse_dataset_section(spec.panels[index].dataset);
+  pc.tag = spec.tag;
+  if (spec.panels.size() > 1) {
+    pc.tag += "_" + pc.arch.arch + "_" + pc.dataset.tag;
+  }
+  if (pc.dataset.key == "tiny") {
+    data::SynthCifarConfig dcfg;
+    dcfg.num_classes = pc.dataset.classes;
+    dcfg.train_per_class = pc.dataset.train_per_class;
+    dcfg.test_per_class = pc.dataset.test_per_class;
+    dcfg.image_size = pc.dataset.image_size;
+    pc.data = data::make_synth_cifar(dcfg);
+  } else {
+    pc.data = data::make_dataset_by_name(pc.dataset.key);
+  }
+  const TrainSection tr = parse_train_section(spec.train);
+  if (tr.key == "zoo") {
+    models::TrainedModel trained =
+        models::get_trained(pc.arch.arch, pc.dataset.tag, pc.data);
+    pc.model = std::move(trained.model);
+  } else {
+    pc.model = models::build_model(pc.arch.arch, pc.data.train.num_classes,
+                                   pc.arch.width_mult, pc.arch.in_size);
+    if (tr.key == "quick") {
+      models::TrainConfig tcfg;
+      tcfg.epochs = tr.epochs;
+      tcfg.batch_size = tr.batch;
+      models::train_model(pc.model, pc.data, tcfg);
+    }
+    pc.model.net->set_training(false);
+  }
+  pc.eval_set = spec.eval_count == 0
+                    ? pc.data.test
+                    : pc.data.test.head(eval_count(spec.eval_count));
+  return pc;
+}
+
+void build_grid(const ExperimentSpec& spec, PanelContext& pc) {
+  SweepGrid& grid = pc.grid;
+  grid.model = &pc.model;
+  grid.width_mult = pc.arch.width_mult;
+  grid.in_size = pc.arch.in_size;
+  grid.eval_set = &pc.eval_set;
+  grid.train_data = &pc.data;
+  for (const auto& arm : spec.backends) {
+    grid.backends.push_back(
+        {arm.key, arm.hw, arm.defense,
+         arm.calibrate ? &pc.data.test : nullptr});
+  }
+  for (const auto& mode : spec.modes) {
+    grid.modes.push_back({mode.label, mode.grad, mode.eval});
+  }
+  for (const auto& attack : spec.attacks) {
+    grid.attacks.push_back({attack.spec, attack.epsilons});
+  }
+  grid.trials = spec.trials;
+  grid.base.batch_size = spec.batch;
+  grid.base.seed = spec.seed;
+}
+
+// The engine's cross-lane determinism check: re-run serially, require
+// bit-identical cells. Shared contract with tests/exp/test_sweep.cpp.
+size_t count_cell_mismatches(const SweepResult& parallel,
+                             const SweepResult& serial) {
+  size_t mismatches = 0;
+  for (size_t i = 0; i < parallel.cells.size(); ++i) {
+    const auto& a = parallel.cells[i];
+    const auto& b = serial.cells[i];
+    if (a.seed != b.seed || a.clean_acc != b.clean_acc ||
+        a.adv_acc != b.adv_acc || a.cert_radius != b.cert_radius) {
+      ++mismatches;
+      std::fprintf(stderr,
+                   "[sweep-verify] MISMATCH cell %zu (mode %zu eps %.3f "
+                   "trial %d): parallel %.10f/%.10f vs serial %.10f/%.10f\n",
+                   i, a.mode, a.epsilon, a.trial, a.clean_acc, a.adv_acc,
+                   b.clean_acc, b.adv_acc);
+    }
+  }
+  return mismatches;
+}
+
+void verify_serial_parity(const SweepGrid& grid, const SweepResult& parallel) {
+  SweepEngine::Options opt;
+  opt.threads = 1;
+  SweepEngine serial_engine(opt);
+  const SweepResult serial = serial_engine.run(grid);
+  const size_t mismatches = count_cell_mismatches(parallel, serial);
+  if (mismatches > 0) {
+    throw std::runtime_error("sweep verify FAILED: " +
+                             std::to_string(mismatches) +
+                             " mismatching cell(s) vs the serial run");
+  }
+  std::printf(
+      "[sweep-verify] OK: %zu cells bit-identical on %u lane(s) vs serial; "
+      "speedup %.2fx (serial %.2fs / parallel %.2fs)\n",
+      parallel.cells.size(), parallel.lanes,
+      parallel.wall_seconds > 0 ? serial.wall_seconds / parallel.wall_seconds
+                                : 0.0,
+      serial.wall_seconds, parallel.wall_seconds);
+}
+
+}  // namespace
+
+std::vector<SweepResult> run_experiment(
+    const std::string& preset, const std::vector<std::string>& overrides) {
+  ExperimentRegistry& registry = ExperimentRegistry::instance();
+  ExperimentSpec spec = registry.preset(preset);
+  for (const auto& token : overrides) spec.apply_override(token);
+  spec.validate();
+
+  ExperimentStamp stamp;
+  stamp.preset = preset;
+  stamp.overrides = overrides;
+  stamp.canonical = spec.to_args();
+
+  std::printf("\n=== %s ===\n%s\n\n",
+              spec.title.empty() ? spec.name.c_str() : spec.title.c_str(),
+              spec.subtitle.c_str());
+  std::fflush(stdout);
+
+  const std::unique_ptr<ExperimentProgram> program = registry.program(preset);
+  RunContext rc;
+  rc.spec = &spec;
+  rc.overrides = overrides;
+
+  std::vector<SweepResult> results;
+  for (size_t p = 0; p < spec.panels.size(); ++p) {
+    PanelContext pc = make_panel(spec, p);
+    if (spec.panels.size() > 1) {
+      std::printf("--- panel %zu/%zu: %s on %s ---\n", p + 1,
+                  spec.panels.size(), pc.arch.arch.c_str(),
+                  pc.dataset.tag.c_str());
+    }
+    program->setup(pc);
+    build_grid(spec, pc);
+
+    SweepEngine::Options opt;
+    opt.threads = sweep_threads_env(0);
+    SweepEngine engine(opt);
+    SweepResult result = engine.run(pc.grid);
+    result.experiment = stamp;
+    std::printf("[sweep] %zu cells (%d trial(s)) on %u lane(s) in %.2fs\n",
+                result.cells.size(), result.trials, result.lanes,
+                result.wall_seconds);
+    // Verify BEFORE publishing: a run that fails the cross-lane determinism
+    // check must not leave an artifact behind for later steps to pick up.
+    if (spec.verify || env_flag("RHW_SWEEP_VERIFY")) {
+      verify_serial_parity(pc.grid, result);
+    }
+    result.write_json(artifact_path(spec, pc), pc.tag);
+    pc.engine = &engine;
+    pc.result = &result;
+    program->report(pc);
+    results.push_back(std::move(result));
+  }
+  program->finish(rc);
+  return results;
+}
+
+int rhw_run_main(const std::vector<std::string>& args) {
+  ExperimentRegistry& registry = ExperimentRegistry::instance();
+  if (args.empty() || args[0] == "--help" || args[0] == "-h") {
+    std::printf(
+        "usage: rhw_run <preset> [key=value|axis+=item ...]\n"
+        "       rhw_run --list\n\n"
+        "Runs a registered experiment preset through the sweep engine with\n"
+        "declarative overrides (docs/EXPERIMENTS.md has the grammar and a\n"
+        "cookbook). Presets:\n");
+    for (const auto& key : registry.keys()) {
+      std::printf("  %s\n", key.c_str());
+    }
+    return args.empty() ? 1 : 0;
+  }
+  if (args[0] == "--list") {
+    // The CI smoke: every registered preset must still resolve AND validate
+    // against the live hw/attack/defense registries.
+    bool ok = true;
+    for (const auto& key : registry.keys()) {
+      try {
+        const ExperimentSpec spec = registry.preset(key);
+        spec.validate();
+        std::printf("%-24s %zu panel(s), %zu arm(s), %zu mode(s), %zu "
+                    "attack(s), trials=%d\n",
+                    key.c_str(), spec.panels.size(), spec.backends.size(),
+                    spec.modes.size(), spec.attacks.size(), spec.trials);
+      } catch (const std::exception& e) {
+        ok = false;
+        std::fprintf(stderr, "%-24s INVALID: %s\n", key.c_str(), e.what());
+      }
+    }
+    return ok ? 0 : 1;
+  }
+  if (args[0].rfind("--", 0) == 0) {
+    std::fprintf(stderr, "rhw_run: unknown flag '%s' (try --help)\n",
+                 args[0].c_str());
+    return 1;
+  }
+  try {
+    (void)run_experiment(args[0], {args.begin() + 1, args.end()});
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rhw_run: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace rhw::exp

@@ -452,17 +452,28 @@ AlCurve SweepResult::curve(const std::string& mode_label,
       break;
     }
   }
+  if (mode == mode_labels.size()) {
+    std::string known;
+    for (const auto& label : mode_labels) known += " '" + label + "'";
+    throw std::invalid_argument("SweepResult::curve: unknown mode '" +
+                                mode_label + "'; grid modes:" + known);
+  }
+  // Attack arms match through the registry grammar, not verbatim text:
+  // "pgd:steps=7," and "pgd:alpha=0.01,steps=7" vs "pgd:steps=7,alpha=0.01"
+  // canonicalize to the same row.
+  const std::string wanted = core::canonical_spec("attack", attack_spec);
   size_t attack = attack_specs.size();
   for (size_t a = 0; a < attack_specs.size(); ++a) {
-    if (attack_specs[a] == attack_spec) {
+    if (core::canonical_spec("attack", attack_specs[a]) == wanted) {
       attack = a;
       break;
     }
   }
-  if (mode == mode_labels.size() || attack == attack_specs.size()) {
-    throw std::invalid_argument("SweepResult::curve: no row for mode '" +
-                                mode_label + "' / attack '" + attack_spec +
-                                "'");
+  if (attack == attack_specs.size()) {
+    std::string known;
+    for (const auto& spec : attack_specs) known += " '" + spec + "'";
+    throw std::invalid_argument("SweepResult::curve: unknown attack '" +
+                                attack_spec + "'; grid attacks:" + known);
   }
   AlCurve curve;
   curve.label = mode_label;
@@ -478,6 +489,12 @@ AlCurve SweepResult::curve(const std::string& mode_label,
   return curve;
 }
 
+std::string ExperimentStamp::command() const {
+  std::string out = "rhw_run " + preset;
+  for (const auto& token : overrides) out += " " + token;
+  return out;
+}
+
 void SweepResult::write_json(const std::string& path,
                              const std::string& figure) const {
   const std::filesystem::path p(path);
@@ -486,8 +503,29 @@ void SweepResult::write_json(const std::string& path,
   if (!os) throw std::runtime_error("write_json: cannot open " + path);
   JsonWriter w(os);
   w.begin_object();
-  w.field("schema", "rhw-sweep-v3");
+  w.field("schema", "rhw-sweep-v4");
   w.field("figure", figure);
+  // v4: the experiment spec itself — preset, user overrides, the reproducing
+  // command line, and the fully-resolved canonical override list (which
+  // rebuilds the spec even if the preset's defaults drift later). Ad-hoc
+  // grids (no driver) emit null.
+  w.key("experiment");
+  if (experiment.preset.empty()) {
+    w.null_value();
+  } else {
+    w.begin_object();
+    w.field("preset", experiment.preset);
+    w.field("command", experiment.command());
+    w.key("overrides");
+    w.begin_array();
+    for (const auto& token : experiment.overrides) w.value(token);
+    w.end_array();
+    w.key("canonical");
+    w.begin_array();
+    for (const auto& token : experiment.canonical) w.value(token);
+    w.end_array();
+    w.end_object();
+  }
   w.field("trials", static_cast<int64_t>(trials));
   w.field("base_seed", base_seed);
   w.field("lanes", static_cast<int64_t>(lanes));

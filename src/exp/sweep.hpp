@@ -146,6 +146,18 @@ struct SweepBackendInfo {
   std::string defense_name;  // display name ("None", "Smooth", ...)
 };
 
+// Provenance stamp for sweep artifacts: which experiment-registry preset
+// produced this grid and the exact command that reproduces it. Set by the
+// rhw_run driver (exp/experiment_registry.hpp) before write_json; hand-built
+// grids leave it empty and the artifact carries "experiment": null.
+struct ExperimentStamp {
+  std::string preset;                  // ExperimentRegistry key
+  std::vector<std::string> overrides;  // user-supplied override tokens
+  std::vector<std::string> canonical;  // full canonical args (to_args())
+  // "rhw_run <preset> <overrides...>" — the reproducing command line.
+  std::string command() const;
+};
+
 struct SweepResult {
   std::vector<SweepCell> cells;  // trial-major, grid order — deterministic
   std::vector<SweepAggregate> aggregates;
@@ -158,11 +170,15 @@ struct SweepResult {
   uint64_t base_seed = 0;
   unsigned lanes = 1;
   double wall_seconds = 0.0;
+  ExperimentStamp experiment;  // empty preset = ad-hoc grid
 
   const SweepAggregate* find(size_t mode, size_t attack,
                              size_t eps_index) const;
-  // Trial-mean AL(eps) series for one (mode label, attack spec) row; the
-  // spec must match a grid arm verbatim.
+  // Trial-mean AL(eps) series for one (mode label, attack spec) row. The
+  // attack spec is matched through the registry grammar, not verbatim:
+  // "pgd:steps=7,", reordered knobs, or dropped empty items all resolve to
+  // the same arm. A genuine miss throws std::invalid_argument naming the
+  // offending spec/label and listing the grid's rows.
   AlCurve curve(const std::string& mode_label,
                 const std::string& attack_spec) const;
   // Machine-readable artifact (the BENCH_fig*.json files CI uploads).

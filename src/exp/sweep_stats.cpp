@@ -80,6 +80,11 @@ void JsonWriter::value(const std::string& v) {
   os_ << '"' << json_escape(v) << '"';
 }
 
+void JsonWriter::null_value() {
+  comma();
+  os_ << "null";
+}
+
 void JsonWriter::value(double v) {
   comma();
   if (!std::isfinite(v)) {

@@ -44,6 +44,7 @@ class JsonWriter {
 
   void value(const std::string& v);
   void value(const char* v) { value(std::string(v)); }
+  void null_value();  // literal JSON null
   void value(double v);
   void value(int64_t v);
   void value(uint64_t v);

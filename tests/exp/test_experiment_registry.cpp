@@ -1,0 +1,325 @@
+// The fourth seam's contract: preset resolution, override semantics
+// (key=value, axis+=item), parse-error parity with the hw/attack/defense
+// registries, and golden grid-expansion tests asserting that the fig5 and
+// fig8bc presets expand to exactly the grids their pre-redesign bench
+// binaries assembled by hand.
+#include "exp/experiment_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/al_runner.hpp"
+#include "hw/registry.hpp"
+#include "hw/xbar_backend.hpp"
+
+namespace rhw::exp {
+namespace {
+
+bool fast_mode() {
+  const char* env = std::getenv("RHW_FAST");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+TEST(ExperimentRegistry, RegistersEveryFigureTableAndExample) {
+  auto& registry = ExperimentRegistry::instance();
+  for (const char* name :
+       {"fig5", "fig5w", "fig6", "fig7", "fig8a", "fig8bc", "table1",
+        "table2", "table3", "shootout", "obfuscation_audit", "sweep_smoke",
+        "ablation_adaptive", "ablation_chip_variation"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+    // Resolution + full validation against the three live registries — the
+    // same check `rhw_run --list` runs in CI.
+    EXPECT_NO_THROW(registry.preset(name).validate()) << name;
+  }
+}
+
+// Unknown presets fail with the same error shape as the other three
+// registries: the offending token plus the registered keys.
+TEST(ExperimentRegistry, UnknownPresetNamesTokenAndListsKeys) {
+  try {
+    (void)ExperimentRegistry::instance().preset("fig9");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fig9"), std::string::npos) << what;
+    EXPECT_NE(what.find("registered:"), std::string::npos) << what;
+    EXPECT_NE(what.find("fig8bc"), std::string::npos) << what;
+  }
+}
+
+// -- override semantics -------------------------------------------------------
+
+TEST(ExperimentOverrides, ScalarAndListOverrides) {
+  ExperimentSpec spec = ExperimentRegistry::instance().preset("sweep_smoke");
+  spec.apply_override("trials=5");
+  spec.apply_override("seed=99");
+  spec.apply_override("batch=16");
+  EXPECT_EQ(spec.trials, 5);
+  EXPECT_EQ(spec.seed, 99u);
+  EXPECT_EQ(spec.batch, 16);
+
+  const size_t arms = spec.backends.size();
+  spec.apply_override("backends+=xbar:rmin=1e5+smooth:sigma=0.25");
+  ASSERT_EQ(spec.backends.size(), arms + 1);
+  const ExperimentBackend& added = spec.backends.back();
+  EXPECT_EQ(added.key, "xbar+smooth");  // auto key: hw key + defense key
+  EXPECT_EQ(added.hw, "xbar:rmin=1e5");
+  EXPECT_EQ(added.defense, "smooth:sigma=0.25");
+  EXPECT_FALSE(added.calibrate);
+  spec.apply_override("modes+=SH-smooth=ideal/xbar+smooth");
+  EXPECT_EQ(spec.modes.back().grad, "ideal");
+  EXPECT_EQ(spec.modes.back().eval, "xbar+smooth");
+  spec.apply_override("attacks+=pgd:steps=3@0.05,0.1");
+  EXPECT_EQ(spec.attacks.back().spec, "pgd:steps=3");
+  ASSERT_EQ(spec.attacks.back().epsilons.size(), 2u);
+  EXPECT_FLOAT_EQ(spec.attacks.back().epsilons[1], 0.1f);
+  EXPECT_NO_THROW(spec.validate());
+
+  // axis= replaces; axis= with an empty value clears.
+  spec.apply_override("attacks=fgsm@fgsm-grid");
+  ASSERT_EQ(spec.attacks.size(), 1u);
+  EXPECT_EQ(spec.attacks[0].epsilons, fgsm_epsilons());
+  spec.apply_override("modes=");
+  EXPECT_TRUE(spec.modes.empty());
+  EXPECT_THROW(spec.validate(), std::invalid_argument);  // no modes left
+}
+
+// The numeric-'+' edge: "rmin=1e+5" keeps its plus; only '+<letter>' starts
+// a defense spec. "@calib" hands the arm the calibration set.
+TEST(ExperimentOverrides, BackendItemGrammar) {
+  const ExperimentBackend plain = parse_backend_item("xbar:rmin=1e+5");
+  EXPECT_EQ(plain.hw, "xbar:rmin=1e+5");
+  EXPECT_TRUE(plain.defense.empty());
+  EXPECT_EQ(plain.key, "xbar");
+
+  const ExperimentBackend keyed =
+      parse_backend_item("noisy=sram:vdd=0.68,eval_count=150@calib");
+  EXPECT_EQ(keyed.key, "noisy");
+  EXPECT_EQ(keyed.hw, "sram:vdd=0.68,eval_count=150");
+  EXPECT_TRUE(keyed.calibrate);
+
+  const ExperimentBackend composed =
+      parse_backend_item("xbar:rmin=1e+5+smooth:sigma=0.25");
+  EXPECT_EQ(composed.hw, "xbar:rmin=1e+5");
+  EXPECT_EQ(composed.defense, "smooth:sigma=0.25");
+
+  EXPECT_THROW(parse_backend_item("ideal@wat"), std::invalid_argument);
+  EXPECT_THROW(parse_backend_item(""), std::invalid_argument);
+}
+
+// Error parity with the other registries: every failure names the offending
+// token.
+TEST(ExperimentOverrides, ErrorsNameTheOffendingToken) {
+  ExperimentSpec spec = ExperimentRegistry::instance().preset("sweep_smoke");
+  try {
+    spec.apply_override("trils=5");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("trils"), std::string::npos)
+        << e.what();
+  }
+  try {
+    spec.apply_override("trials=abc");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("abc"), std::string::npos)
+        << e.what();
+  }
+  // A typo'd defense knob surfaces the DefenseRegistry's token-naming error
+  // at validate() time, exactly like SweepEngine::run does for hand-built
+  // grids.
+  spec.apply_override("backends+=d=ideal+smooth:sgima=0.25");
+  try {
+    spec.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("sgima"), std::string::npos)
+        << e.what();
+  }
+  spec.apply_override("backends=");
+  spec.apply_override("backends+=ideal");
+  spec.apply_override("modes=SW=ideal");
+  spec.apply_override("attacks+=pgd:stpes=7@0.1");
+  try {
+    spec.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("stpes"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ExperimentOverrides, ModelAndDatasetRewriteEveryPanel) {
+  ExperimentSpec spec = ExperimentRegistry::instance().preset("fig6");
+  spec.apply_override("model=vgg16");
+  spec.apply_override("dataset=synth-c100");
+  ASSERT_EQ(spec.panels.size(), 1u);
+  EXPECT_EQ(spec.panels[0].arch, "vgg16");
+  EXPECT_EQ(spec.panels[0].dataset, "synth-c100");
+  // ... which is exactly fig7's grid.
+  const ExperimentSpec fig7 = ExperimentRegistry::instance().preset("fig7");
+  EXPECT_EQ(spec.panels, fig7.panels);
+  EXPECT_EQ(spec.backends, fig7.backends);
+  EXPECT_EQ(spec.modes, fig7.modes);
+  EXPECT_EQ(spec.attacks, fig7.attacks);
+}
+
+// to_args() is the canonical serialization the v4 artifacts embed: applying
+// it to an empty spec reproduces the preset bit-exactly (epsilons included).
+TEST(ExperimentOverrides, ToArgsRoundTripsBitExactly) {
+  for (const char* name : {"fig5", "fig8bc", "shootout", "sweep_smoke"}) {
+    const ExperimentSpec original =
+        ExperimentRegistry::instance().preset(name);
+    ExperimentSpec rebuilt;
+    for (const auto& token : original.to_args()) {
+      rebuilt.apply_override(token);
+    }
+    EXPECT_EQ(rebuilt.panels, original.panels) << name;
+    EXPECT_EQ(rebuilt.train, original.train) << name;
+    EXPECT_EQ(rebuilt.eval_count, original.eval_count) << name;
+    EXPECT_EQ(rebuilt.backends, original.backends) << name;
+    EXPECT_EQ(rebuilt.modes, original.modes) << name;
+    EXPECT_EQ(rebuilt.attacks, original.attacks) << name;
+    EXPECT_EQ(rebuilt.trials, original.trials) << name;
+    EXPECT_EQ(rebuilt.seed, original.seed) << name;
+    EXPECT_EQ(rebuilt.batch, original.batch) << name;
+    EXPECT_EQ(rebuilt.verify, original.verify) << name;
+    EXPECT_EQ(rebuilt.tag, original.tag) << name;
+  }
+}
+
+// -- golden grid expansions ---------------------------------------------------
+// The acceptance criterion: the presets expand to grids bit-identical to the
+// ones the pre-redesign bench binaries assembled imperatively. The expected
+// values below are copied from the deleted bench code
+// (bench_fig5_sram_al_curves.cpp / bench_fig8bc_defense_comparison.cpp as of
+// the PR that introduced the registry).
+
+TEST(ExperimentGolden, Fig5ExpandsToThePreRedesignGrid) {
+  const ExperimentSpec spec = ExperimentRegistry::instance().preset("fig5");
+  // Panels: arch-outer, dataset-inner loop order of the old bench.
+  const std::vector<ExperimentPanel> panels{{"vgg19", "synth-c10"},
+                                            {"vgg19", "synth-c100"},
+                                            {"resnet18", "synth-c10"},
+                                            {"resnet18", "synth-c100"}};
+  EXPECT_EQ(spec.panels, panels);
+  ASSERT_EQ(spec.backends.size(), 2u);
+  EXPECT_EQ(spec.backends[0], (ExperimentBackend{"ideal", "ideal", "", false}));
+  EXPECT_EQ(spec.backends[1],
+            (ExperimentBackend{"noisy", "sram_selected:vdd=0.68", "", false}));
+  ASSERT_EQ(spec.modes.size(), 2u);
+  EXPECT_EQ(spec.modes[0], (ExperimentMode{"Baseline", "ideal", "ideal"}));
+  EXPECT_EQ(spec.modes[1], (ExperimentMode{"BitErrorNoise", "ideal", "noisy"}));
+  ASSERT_EQ(spec.attacks.size(), 1u);
+  EXPECT_EQ(spec.attacks[0].spec, "fgsm");
+  EXPECT_EQ(spec.attacks[0].epsilons, fgsm_epsilons());  // bitwise
+  EXPECT_EQ(spec.trials, 1);
+  EXPECT_EQ(spec.seed, 0xADE5u);  // attacks::kDefaultEvalSeed
+  EXPECT_EQ(spec.batch, 100);
+  EXPECT_EQ(spec.eval_count, 256);
+  EXPECT_EQ(spec.train, "zoo");
+}
+
+TEST(ExperimentGolden, Fig8bcExpandsToThePreRedesignGrid) {
+  const ExperimentSpec spec = ExperimentRegistry::instance().preset("fig8bc");
+  // The old bench switched model/dataset on RHW_FAST; the preset factory
+  // preserves that.
+  ASSERT_EQ(spec.panels.size(), 1u);
+  if (fast_mode()) {
+    EXPECT_EQ(spec.panels[0], (ExperimentPanel{"vgg8", "synth-c10"}));
+  } else {
+    EXPECT_EQ(spec.panels[0], (ExperimentPanel{"vgg16", "synth-c100"}));
+  }
+  const std::vector<ExperimentBackend> backends{
+      {"ideal", "ideal", "", false},
+      {"x32", "xbar:size=32", "", false},
+      {"disc4b", "ideal", "jpeg_quant:bits=4", false},
+      {"quanos", "ideal", "quanos:samples=128", true},
+      {"smoothed", "ideal", "smooth:sigma=0.1,samples=16", false},
+  };
+  EXPECT_EQ(spec.backends, backends);
+  const std::vector<ExperimentMode> modes{
+      {"Attack-SW", "ideal", "ideal"},
+      {"SH-Cross32", "ideal", "x32"},
+      {"4b-discretization", "disc4b", "disc4b"},
+      {"QUANOS", "quanos", "quanos"},
+      {"Smooth", "smoothed", "smoothed"},
+  };
+  EXPECT_EQ(spec.modes, modes);
+  ASSERT_EQ(spec.attacks.size(), 2u);
+  EXPECT_EQ(spec.attacks[0].spec, "fgsm");
+  EXPECT_EQ(spec.attacks[0].epsilons, fgsm_epsilons());
+  EXPECT_EQ(spec.attacks[1].spec, "pgd");
+  EXPECT_EQ(spec.attacks[1].epsilons, pgd_epsilons());
+  EXPECT_EQ(spec.trials, 1);
+  EXPECT_EQ(spec.tag, "fig8bc_defense_comparison");
+
+  // The old bench's crossbar arm was bench::xbar_spec(32) =
+  // "xbar:size=32,rmin=20000.000000,seed=45232". The preset writes the
+  // equivalent minimal spec; assert the constructed hardware is identical.
+  const auto from_preset = hw::make_backend(spec.backends[1].hw);
+  const auto from_old_bench =
+      hw::make_backend("xbar:size=32,rmin=20000.000000,seed=45232");
+  const auto* a = dynamic_cast<const hw::XbarBackend*>(from_preset.get());
+  const auto* b = dynamic_cast<const hw::XbarBackend*>(from_old_bench.get());
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->config().map.spec.rows, b->config().map.spec.rows);
+  EXPECT_EQ(a->config().map.spec.cols, b->config().map.spec.cols);
+  EXPECT_DOUBLE_EQ(a->config().map.spec.r_min, b->config().map.spec.r_min);
+  EXPECT_DOUBLE_EQ(a->config().map.spec.r_max, b->config().map.spec.r_max);
+  EXPECT_EQ(a->config().map.seed, b->config().map.seed);
+}
+
+// The smoke preset mirrors the old bench_sweep_smoke grid, with verify=1
+// standing in for its built-in serial-parity check.
+TEST(ExperimentGolden, SweepSmokeKeepsTheStochasticAwareArms) {
+  const ExperimentSpec spec =
+      ExperimentRegistry::instance().preset("sweep_smoke");
+  EXPECT_TRUE(spec.verify);
+  EXPECT_EQ(spec.trials, 2);
+  EXPECT_EQ(spec.batch, 32);
+  EXPECT_EQ(spec.eval_count, 64);
+  EXPECT_EQ(spec.train, "none");
+  ASSERT_EQ(spec.attacks.size(), 5u);
+  EXPECT_EQ(spec.attacks[2].spec, "eot_pgd:steps=2,samples=2");
+  EXPECT_EQ(spec.attacks[3].spec, "square:queries=12");
+  EXPECT_EQ(spec.attacks[4].spec, "mifgsm:steps=2");
+}
+
+// -- section grammar ----------------------------------------------------------
+
+TEST(ExperimentSections, ParseAndReject) {
+  const ArchSection arch = parse_arch_section("vgg8:width=0.125,in=16");
+  EXPECT_EQ(arch.arch, "vgg8");
+  EXPECT_FLOAT_EQ(arch.width_mult, 0.125f);
+  EXPECT_EQ(arch.in_size, 16);
+  EXPECT_THROW(parse_arch_section("vgg9"), std::invalid_argument);
+  EXPECT_THROW(parse_arch_section("vgg8:wdith=0.5"), std::invalid_argument);
+
+  const DatasetSection tiny =
+      parse_dataset_section("tiny:classes=4,train=8,test=10,size=16");
+  EXPECT_EQ(tiny.tag, "tiny-c4");
+  EXPECT_EQ(tiny.train_per_class, 8);
+  EXPECT_THROW(parse_dataset_section("synth-c10:classes=4"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_dataset_section("cifar10"), std::invalid_argument);
+
+  const TrainSection quick = parse_train_section("quick:epochs=2,batch=25");
+  EXPECT_EQ(quick.epochs, 2);
+  EXPECT_EQ(quick.batch, 25);
+  EXPECT_THROW(parse_train_section("sgd"), std::invalid_argument);
+  EXPECT_THROW(parse_train_section("zoo:epochs=2"), std::invalid_argument);
+
+  // zoo training serves default-geometry models on the paper datasets only.
+  ExperimentSpec spec = ExperimentRegistry::instance().preset("sweep_smoke");
+  spec.apply_override("train=zoo");
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rhw::exp

@@ -236,7 +236,10 @@ TEST_F(SweepTest, WriteJsonEmitsCellsAndAggregates) {
   std::stringstream ss;
   ss << is.rdbuf();
   const std::string json = ss.str();
-  EXPECT_NE(json.find("\"schema\":\"rhw-sweep-v3\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"rhw-sweep-v4\""), std::string::npos);
+  // v4: hand-built grids carry a null experiment stamp; driver runs embed
+  // the preset + reproducing command (tests/exp/test_experiment_registry).
+  EXPECT_NE(json.find("\"experiment\":null"), std::string::npos);
   EXPECT_NE(json.find("\"attack_names\""), std::string::npos);
   EXPECT_NE(json.find("\"figure\":\"sweep_test\""), std::string::npos);
   EXPECT_NE(json.find("\"SH-sram\""), std::string::npos);
@@ -303,6 +306,47 @@ TEST_F(SweepTest, MalformedAttackSpecThrowsBeforeEvaluating) {
   SweepGrid unknown = make_grid();
   unknown.attacks.push_back({"cw", {0.1f}});
   EXPECT_THROW(engine.run(unknown), std::invalid_argument);
+}
+
+// curve() matches attack arms through the registry grammar, not verbatim
+// text: trailing commas, reordered knobs and empty items all resolve to the
+// same row; a genuine miss names the offending spec and the grid's rows.
+TEST_F(SweepTest, CurveNormalizesAttackSpecs) {
+  SweepGrid grid;
+  grid.model = model_;
+  grid.width_mult = 0.125f;
+  grid.in_size = 16;
+  grid.eval_set = &data_->test;
+  grid.base.batch_size = 16;
+  grid.backends.push_back({"ideal", "ideal"});
+  grid.modes.push_back({"SW", "ideal", "ideal"});
+  grid.attacks.push_back({"pgd:steps=2,alpha=0.02", {0.1f}});
+  SweepEngine engine;
+  const auto result = engine.run(grid);
+
+  const auto exact = result.curve("SW", "pgd:steps=2,alpha=0.02");
+  const auto trailing = result.curve("SW", "pgd:steps=2,alpha=0.02,");
+  const auto reordered = result.curve("SW", "pgd:alpha=0.02,steps=2");
+  ASSERT_EQ(exact.points.size(), 1u);
+  EXPECT_DOUBLE_EQ(trailing.points[0].adv_acc, exact.points[0].adv_acc);
+  EXPECT_DOUBLE_EQ(reordered.points[0].adv_acc, exact.points[0].adv_acc);
+
+  // A genuine miss is a token-naming error listing the grid's rows.
+  try {
+    (void)result.curve("SW", "pgd:steps=7");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("pgd:steps=7"), std::string::npos) << what;
+    EXPECT_NE(what.find("pgd:steps=2,alpha=0.02"), std::string::npos) << what;
+  }
+  try {
+    (void)result.curve("nope", "pgd:steps=2,alpha=0.02");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("nope"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(SweepSeeds, DerivationIsCoordinateStable) {

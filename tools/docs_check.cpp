@@ -8,9 +8,14 @@
 //   * inline code spans that look like registry specs
 //     (`key:opt=v,opt=v` / bare `key` that names a registered key): every
 //     backend spec must parse through hw::BackendRegistry, every attack
-//     spec through attacks::AttackRegistry, and every defense spec through
-//     defenses::DefenseRegistry — so a renamed knob, attack or defense
-//     breaks the build, not a reader.
+//     spec through attacks::AttackRegistry, every defense spec through
+//     defenses::DefenseRegistry, and every experiment preset through
+//     exp::ExperimentRegistry — so a renamed knob, attack, defense or
+//     preset breaks the build, not a reader;
+//   * inline `rhw_run <preset> [overrides...]` command spans: the preset
+//     must resolve, every override token must apply, and the resulting
+//     spec must validate against all the live registries — the override
+//     cookbook in docs/EXPERIMENTS.md can never drift from the grammar.
 //
 // Spans with ellipses or placeholders ("sram:vdd=0.68,...", "eps=<f>") don't
 // match the strict spec shape and are skipped; the docs keep exact,
@@ -29,6 +34,7 @@
 
 #include "attacks/registry.hpp"
 #include "defenses/registry.hpp"
+#include "exp/experiment_registry.hpp"
 #include "hw/registry.hpp"
 
 namespace fs = std::filesystem;
@@ -91,19 +97,74 @@ void check_specs(const fs::path& md, const std::string& text,
         rhw::attacks::AttackRegistry::instance().contains(key);
     const bool is_defense =
         rhw::defenses::DefenseRegistry::instance().contains(key);
-    if (!is_backend && !is_attack && !is_defense) continue;  // just a word
+    const bool is_experiment =
+        span == key && rhw::exp::ExperimentRegistry::instance().contains(key);
+    if (!is_backend && !is_attack && !is_defense && !is_experiment) {
+      continue;  // just a word
+    }
     ++checked;
     try {
       if (is_backend) {
         (void)rhw::hw::make_backend(span);
       } else if (is_attack) {
         (void)rhw::attacks::make_attack(span);
-      } else {
+      } else if (is_defense) {
         (void)rhw::defenses::make_defense(span);
+      } else {
+        rhw::exp::ExperimentRegistry::instance().preset(span).validate();
       }
     } catch (const std::exception& e) {
       failures.push_back({md.string(),
                           "stale spec `" + span + "`: " + e.what()});
+    }
+  }
+}
+
+// `rhw_run <preset> [overrides...]` commands — inline spans AND fenced
+// command lines ("$ rhw_run ...", "build/rhw_run ..."): resolve the preset,
+// apply every override token, validate the resulting experiment spec — so
+// the docs' override cookbook stays executable. Commands containing
+// placeholders (<...>, "...") are skipped like elsewhere.
+void check_experiment_commands(const fs::path& md, const std::string& text,
+                               std::vector<Failure>& failures,
+                               size_t& checked) {
+  static const std::regex span_re(R"(`rhw_run ([^`\n]+)`)");
+  static const std::regex line_re(
+      R"((?:^|\n)\s*\$?\s*(?:build/)?rhw_run ([^\n]+))");
+  std::vector<std::string> bodies;
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), span_re);
+       it != std::sregex_iterator(); ++it) {
+    bodies.push_back((*it)[1].str());
+  }
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), line_re);
+       it != std::sregex_iterator(); ++it) {
+    bodies.push_back((*it)[1].str());
+  }
+  for (std::string body : bodies) {
+    if (body.find('<') != std::string::npos ||
+        body.find("...") != std::string::npos) {
+      continue;  // placeholder, not an exact example
+    }
+    // Shell comments after the command don't take part in the override list.
+    if (const size_t hash = body.find(" #"); hash != std::string::npos) {
+      body = body.substr(0, hash);
+    }
+    std::istringstream is(body);
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (is >> tok) tokens.push_back(tok);
+    if (tokens.empty() || tokens[0].rfind("--", 0) == 0) continue;  // flags
+    ++checked;
+    try {
+      rhw::exp::ExperimentSpec spec =
+          rhw::exp::ExperimentRegistry::instance().preset(tokens[0]);
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        spec.apply_override(tokens[i]);
+      }
+      spec.validate();
+    } catch (const std::exception& e) {
+      failures.push_back(
+          {md.string(), "stale command `rhw_run " + body + "`: " + e.what()});
     }
   }
 }
@@ -130,14 +191,18 @@ int main(int argc, char** argv) {
   std::vector<Failure> failures;
   size_t links_checked = 0;
   size_t specs_checked = 0;
+  size_t commands_checked = 0;
   for (const auto& md : files) {
     const std::string text = read_file(md);
     check_links(md, text, failures, links_checked);
     check_specs(md, text, failures, specs_checked);
+    check_experiment_commands(md, text, failures, commands_checked);
   }
 
-  std::printf("docs_check: %zu file(s), %zu link(s), %zu spec(s) checked\n",
-              files.size(), links_checked, specs_checked);
+  std::printf(
+      "docs_check: %zu file(s), %zu link(s), %zu spec(s), %zu rhw_run "
+      "command(s) checked\n",
+      files.size(), links_checked, specs_checked, commands_checked);
   for (const auto& f : failures) {
     std::fprintf(stderr, "docs_check: %s: %s\n", f.file.c_str(),
                  f.what.c_str());
@@ -156,6 +221,14 @@ int main(int argc, char** argv) {
                  "docs_check: only %zu intra-repo link(s) found — expected "
                  "at least 3\n",
                  links_checked);
+    return 1;
+  }
+  // docs/EXPERIMENTS.md's cookbook must keep exact, checkable commands.
+  if (commands_checked < 3) {
+    std::fprintf(stderr,
+                 "docs_check: only %zu exact `rhw_run ...` command(s) found "
+                 "— expected the docs to carry at least 3\n",
+                 commands_checked);
     return 1;
   }
   return failures.empty() ? 0 : 1;

@@ -1,0 +1,21 @@
+// rhw_run: the single experiment driver. Every figure, table and example of
+// the reproduction is a named preset in exp::ExperimentRegistry; this binary
+// resolves one, applies declarative overrides, runs the sweep, and emits the
+// table / ASCII-plot / rhw-sweep-v4 JSON artifacts. New (backend x defense x
+// attack) scenarios are command lines, not new binaries.
+//
+//   $ rhw_run --list
+//   $ rhw_run sweep_smoke
+//   $ rhw_run fig8bc trials=5 backends+=xbar:rmin=1e5+smooth:sigma=0.25
+//
+// docs/EXPERIMENTS.md has the grammar, every preset, and an override
+// cookbook.
+#include <string>
+#include <vector>
+
+#include "exp/experiment_registry.hpp"
+
+int main(int argc, char** argv) {
+  return rhw::exp::rhw_run_main(std::vector<std::string>(argv + 1,
+                                                         argv + argc));
+}
