@@ -1,0 +1,172 @@
+#include "core/engine_registry.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/gemm_simd.hpp"
+
+namespace rhw::core {
+
+namespace {
+
+// Typed option extraction with leftover rejection, shared with the other
+// four registries (core/spec.hpp). The "engine" domain string keeps the
+// common error-message shape ("engine option bk: bad integer 'abc'").
+OptionReader reader_for(const std::string& engine, const EngineOptions& opts) {
+  return OptionReader("engine", engine, opts);
+}
+
+EnginePtr make_naive(const EngineOptions& opts) {
+  auto reader = reader_for("naive", opts);
+  reader.finish();
+  return std::make_shared<NaiveEngine>();
+}
+
+EnginePtr make_blocked(const EngineOptions& opts) {
+  auto reader = reader_for("blocked", opts);
+  BlockedEngine::Config cfg;
+  cfg.bk = static_cast<int64_t>(
+      reader.integer("bk", static_cast<uint64_t>(cfg.bk)));
+  cfg.bn = static_cast<int64_t>(
+      reader.integer("bn", static_cast<uint64_t>(cfg.bn)));
+  cfg.zero_skip = reader.integer("zero_skip", 0) != 0;
+  reader.finish();
+  if (cfg.bk < 1 || cfg.bn < 1) {
+    throw std::invalid_argument("engine blocked: bk and bn must be >= 1 (got "
+                                "bk=" + std::to_string(cfg.bk) +
+                                ", bn=" + std::to_string(cfg.bn) + ")");
+  }
+  return std::make_shared<BlockedEngine>(cfg);
+}
+
+EnginePtr make_simd(const EngineOptions& opts) {
+  auto reader = reader_for("simd", opts);
+  SimdEngine::Config cfg;
+  cfg.mr = static_cast<int64_t>(
+      reader.integer("mr", static_cast<uint64_t>(cfg.mr)));
+  cfg.nr = static_cast<int64_t>(
+      reader.integer("nr", static_cast<uint64_t>(cfg.nr)));
+  cfg.threads = static_cast<int64_t>(
+      reader.integer("threads", static_cast<uint64_t>(cfg.threads)));
+  reader.finish();
+  return std::make_shared<SimdEngine>(cfg);  // validates the tile shape
+}
+
+}  // namespace
+
+EngineRegistry::EngineRegistry() {
+  factories_["naive"] = make_naive;
+  factories_["blocked"] = make_blocked;
+  factories_["simd"] = make_simd;
+}
+
+EngineRegistry& EngineRegistry::instance() {
+  static EngineRegistry registry;
+  return registry;
+}
+
+void EngineRegistry::add(const std::string& key, EngineFactory factory) {
+  factories_[key] = std::move(factory);
+}
+
+bool EngineRegistry::contains(const std::string& key) const {
+  return factories_.count(key) > 0;
+}
+
+std::vector<std::string> EngineRegistry::keys() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [key, factory] : factories_) out.push_back(key);
+  return out;
+}
+
+EnginePtr EngineRegistry::create(const std::string& spec) const {
+  const ParsedSpec parsed = parse_spec("engine", spec);
+  const auto it = factories_.find(parsed.key);
+  if (it == factories_.end()) {
+    std::ostringstream os;
+    os << "unknown compute engine '" << parsed.key << "'; registered:";
+    for (const auto& [name, factory] : factories_) os << ' ' << name;
+    throw std::invalid_argument(os.str());
+  }
+  try {
+    return it->second(parsed.options);
+  } catch (const std::invalid_argument& e) {
+    // Factories report the offending option key/value; add the full spec so
+    // errors surfacing far from the call site stay actionable.
+    throw std::invalid_argument("engine spec '" + spec + "': " + e.what());
+  }
+}
+
+EnginePtr make_engine(const std::string& spec) {
+  return EngineRegistry::instance().create(spec);
+}
+
+// -- active engine ------------------------------------------------------------
+
+namespace {
+
+// Hot-path dispatch is a single acquire load of this pointer. Every engine
+// that has ever been active is pinned in g_pinned (engines are tiny,
+// immutable and few), so the raw pointer — including the one an EngineScope
+// restores — can never dangle.
+std::mutex g_active_mutex;
+std::atomic<const Engine*> g_active{nullptr};
+
+std::vector<EnginePtr>& pinned_engines() {
+  static std::vector<EnginePtr>* pinned = new std::vector<EnginePtr>();
+  return *pinned;  // leaked deliberately: outlives static-destruction order
+}
+
+const Engine* pin(EnginePtr engine) {
+  std::lock_guard<std::mutex> lock(g_active_mutex);
+  pinned_engines().push_back(std::move(engine));
+  return pinned_engines().back().get();
+}
+
+}  // namespace
+
+const Engine& active_engine() {
+  const Engine* engine = g_active.load(std::memory_order_acquire);
+  if (engine != nullptr) return *engine;
+  // Lazy default: $RHW_ENGINE, else "blocked" (bit-compatible with the
+  // historical kernel). Double-checked so racing first calls agree.
+  std::lock_guard<std::mutex> lock(g_active_mutex);
+  engine = g_active.load(std::memory_order_relaxed);
+  if (engine == nullptr) {
+    const char* env = std::getenv("RHW_ENGINE");
+    pinned_engines().push_back(
+        make_engine(env != nullptr && *env != '\0' ? env : "blocked"));
+    engine = pinned_engines().back().get();
+    g_active.store(engine, std::memory_order_release);
+  }
+  return *engine;
+}
+
+void set_active_engine(EnginePtr engine) {
+  if (engine == nullptr) {
+    throw std::invalid_argument("set_active_engine: null engine");
+  }
+  g_active.store(pin(std::move(engine)), std::memory_order_release);
+}
+
+void set_active_engine(const std::string& spec) {
+  set_active_engine(make_engine(spec));
+}
+
+EngineScope::EngineScope(EnginePtr engine)
+    : prev_(g_active.load(std::memory_order_acquire)) {
+  set_active_engine(std::move(engine));
+}
+
+EngineScope::EngineScope(const std::string& spec)
+    : EngineScope(make_engine(spec)) {}
+
+EngineScope::~EngineScope() {
+  g_active.store(prev_, std::memory_order_release);
+}
+
+}  // namespace rhw::core

@@ -1,0 +1,86 @@
+// String-keyed factory for compute engines — the fifth registry seam, after
+// hw::BackendRegistry, attacks::AttackRegistry, defenses::DefenseRegistry and
+// exp::ExperimentRegistry. Same core/spec grammar, same token-naming error
+// contract:
+//
+//   auto engine = core::make_engine("simd:mr=6,nr=16");
+//   core::set_active_engine("blocked:bk=128");   // process-wide
+//
+// Built-in keys and their options (docs/ENGINES.md has defaults, contract
+// and measured impact):
+//
+//   naive     (no options)   reference triple loop, double accumulators
+//   blocked   bk=<n> bn=<n> zero_skip=<0|1>   cache-blocked scalar kernel
+//   simd      mr=<1|2|4|6|8> nr=<8|16> threads=<0|1>   register-tiled
+//             micro-kernel GEMM (AVX2/FMA, NEON, portable fallback)
+//
+// The *active* engine is a process-wide selection that every core::gemm /
+// core::gemv / fused-conv call routes through. It is lazily initialized from
+// $RHW_ENGINE (default "blocked" — bit-compatible with the historical
+// kernel); ExperimentRegistry::run_experiment sets it from the experiment's
+// `engine=` knob before any cell runs, and the chosen canonical spec is
+// recorded in every rhw-sweep-v4 artifact. Selection is cheap (one atomic
+// load per kernel call) and set_active_engine is safe to call from any
+// thread, but swapping engines mid-computation gives no ordering guarantee —
+// experiments swap once, up front.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/spec.hpp"
+
+namespace rhw::core {
+
+using EngineOptions = SpecOptions;
+using EngineFactory = std::function<EnginePtr(const EngineOptions&)>;
+
+class EngineRegistry {
+ public:
+  // Process-wide registry, built-ins registered on first use.
+  static EngineRegistry& instance();
+
+  // Registers (or replaces) a factory under `key`.
+  void add(const std::string& key, EngineFactory factory);
+  bool contains(const std::string& key) const;
+  std::vector<std::string> keys() const;
+
+  // Parses "<key>[:opt=v,...]" and invokes the factory.
+  EnginePtr create(const std::string& spec) const;
+
+ private:
+  EngineRegistry();
+  std::map<std::string, EngineFactory> factories_;
+};
+
+// Shorthand for EngineRegistry::instance().create(spec).
+EnginePtr make_engine(const std::string& spec);
+
+// The engine every core::gemm / core::gemv / fused-conv call dispatches to.
+// Lazily initialized from $RHW_ENGINE (default "blocked") on first use.
+const Engine& active_engine();
+
+// Replaces the active engine process-wide. Engines set here stay alive for
+// the rest of the process (they are a handful of tiny immutable objects), so
+// raw references handed out by active_engine() never dangle.
+void set_active_engine(EnginePtr engine);
+void set_active_engine(const std::string& spec);
+
+// RAII selection for tests and benchmarks: activates an engine for the
+// scope's lifetime and restores the previous selection on exit.
+class EngineScope {
+ public:
+  explicit EngineScope(const std::string& spec);
+  explicit EngineScope(EnginePtr engine);
+  ~EngineScope();
+  EngineScope(const EngineScope&) = delete;
+  EngineScope& operator=(const EngineScope&) = delete;
+
+ private:
+  const Engine* prev_;  // may be null: restores the "not yet chosen" state
+};
+
+}  // namespace rhw::core

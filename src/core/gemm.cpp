@@ -1,108 +1,36 @@
 #include "core/gemm.hpp"
 
-#include <algorithm>
-#include <vector>
-
-#include "core/thread_pool.hpp"
+#include "core/engine.hpp"
+#include "core/engine_registry.hpp"
 
 namespace rhw {
 
-namespace {
-
-// Packs op(X) (m x k either direct or transposed view of x) into a contiguous
-// row-major buffer. Packing keeps a single fast inner kernel for all four
-// transpose combinations.
-void pack_op(bool trans, int64_t rows, int64_t cols, const float* x,
-             int64_t ldx, float* out) {
-  if (!trans) {
-    for (int64_t i = 0; i < rows; ++i) {
-      const float* src = x + i * ldx;
-      std::copy(src, src + cols, out + i * cols);
-    }
-  } else {
-    // out[i][j] = x[j][i]
-    for (int64_t j = 0; j < cols; ++j) {
-      const float* src = x + j * ldx;
-      for (int64_t i = 0; i < rows; ++i) {
-        out[i * cols + j] = src[i];
-      }
-    }
-  }
-}
-
-constexpr int64_t kBlockK = 256;
-constexpr int64_t kBlockN = 512;
-
-// C[m x n] (ldc) += alpha * A[m x k] (row-major, contiguous) * B[k x n]
-// (row-major, contiguous). Rows are split across the pool by the caller.
-void kernel_rows(int64_t row_begin, int64_t row_end, int64_t n, int64_t k,
-                 float alpha, const float* a, const float* b, float* c,
-                 int64_t ldc) {
-  for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
-    const int64_t k1 = std::min(k, k0 + kBlockK);
-    for (int64_t n0 = 0; n0 < n; n0 += kBlockN) {
-      const int64_t n1 = std::min(n, n0 + kBlockN);
-      for (int64_t i = row_begin; i < row_end; ++i) {
-        const float* arow = a + i * k;
-        float* crow = c + i * ldc;
-        for (int64_t p = k0; p < k1; ++p) {
-          const float av = alpha * arow[p];
-          if (av == 0.f) continue;
-          const float* brow = b + p * n;
-          for (int64_t j = n0; j < n1; ++j) {
-            crow[j] += av * brow[j];
-          }
-        }
-      }
-    }
-  }
-}
-
-}  // namespace
+// The free functions are the stable call surface for layer code; since the
+// engine seam landed they are one-line dispatchers to the process-wide
+// active engine (core/engine_registry.hpp). The historical blocked kernel
+// lives on as core::BlockedEngine — still the default selection.
 
 void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
           float alpha, const float* a, int64_t lda, const float* b, int64_t ldb,
           float beta, float* c, int64_t ldc) {
-  // Scale / clear C.
-  if (beta == 0.f) {
-    for (int64_t i = 0; i < m; ++i) std::fill(c + i * ldc, c + i * ldc + n, 0.f);
-  } else if (beta != 1.f) {
-    for (int64_t i = 0; i < m; ++i) {
-      float* row = c + i * ldc;
-      for (int64_t j = 0; j < n; ++j) row[j] *= beta;
-    }
-  }
-  if (m == 0 || n == 0 || k == 0 || alpha == 0.f) return;
+  core::active_engine().gemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb,
+                             beta, c, ldc);
+}
 
-  std::vector<float> a_packed;
-  const float* a_ptr = a;
-  if (trans_a || lda != k) {
-    a_packed.resize(static_cast<size_t>(m * k));
-    pack_op(trans_a, m, k, a, lda, a_packed.data());
-    a_ptr = a_packed.data();
-  }
-  std::vector<float> b_packed;
-  const float* b_ptr = b;
-  if (trans_b || ldb != n) {
-    b_packed.resize(static_cast<size_t>(k * n));
-    pack_op(trans_b, k, n, b, ldb, b_packed.data());
-    b_ptr = b_packed.data();
-  }
-
-  // Only parallelize when the work is worth the synchronization cost.
-  const int64_t flops = m * n * k;
-  if (flops < (1 << 16)) {
-    kernel_rows(0, m, n, k, alpha, a_ptr, b_ptr, c, ldc);
-    return;
-  }
-  parallel_for(m, [&](int64_t begin, int64_t end) {
-    kernel_rows(begin, end, n, k, alpha, a_ptr, b_ptr, c, ldc);
-  });
+void gemv(bool trans_a, int64_t m, int64_t n, float alpha, const float* a,
+          int64_t lda, const float* x, float beta, float* y) {
+  core::active_engine().gemv(trans_a, m, n, alpha, a, lda, x, beta, y);
 }
 
 void gemm_naive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
                 float alpha, const float* a, int64_t lda, const float* b,
                 int64_t ldb, float beta, float* c, int64_t ldc) {
+  // Same BLAS edge contract as every engine: alpha == 0 never reads A or B,
+  // beta == 0 overwrites C (0 * NaN must not resurrect stale values).
+  if (alpha == 0.f) {
+    core::detail::scale_c(m, n, beta, c, ldc);
+    return;
+  }
   for (int64_t i = 0; i < m; ++i) {
     for (int64_t j = 0; j < n; ++j) {
       double acc = 0.0;
@@ -111,37 +39,9 @@ void gemm_naive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
         const float bv = trans_b ? b[j * ldb + p] : b[p * ldb + j];
         acc += static_cast<double>(av) * bv;
       }
-      c[i * ldc + j] =
-          static_cast<float>(alpha * acc + beta * c[i * ldc + j]);
-    }
-  }
-}
-
-void gemv(bool trans_a, int64_t m, int64_t n, float alpha, const float* a,
-          int64_t lda, const float* x, float beta, float* y) {
-  // beta == 0 must overwrite, never scale: stale/uninitialized y (NaN, inf)
-  // survives y *= 0 — mirror gemm's explicit zero-fill.
-  if (beta == 0.f) {
-    std::fill(y, y + (trans_a ? n : m), 0.f);
-  }
-  // op(A) is (m x n) when !trans_a viewed as given; compute y = op(A) x.
-  if (!trans_a) {
-    for (int64_t i = 0; i < m; ++i) {
-      double acc = 0.0;
-      const float* row = a + i * lda;
-      for (int64_t j = 0; j < n; ++j) acc += static_cast<double>(row[j]) * x[j];
-      y[i] = static_cast<float>(alpha * acc + beta * y[i]);
-    }
-  } else {
-    // y (n) = alpha * A^T (n x m) x (m) + beta y
-    if (beta != 0.f && beta != 1.f) {
-      for (int64_t j = 0; j < n; ++j) y[j] *= beta;
-    }
-    for (int64_t i = 0; i < m; ++i) {
-      const float xv = alpha * x[i];
-      if (xv == 0.f) continue;
-      const float* row = a + i * lda;
-      for (int64_t j = 0; j < n; ++j) y[j] += xv * row[j];
+      const double prior =
+          beta == 0.f ? 0.0 : static_cast<double>(beta) * c[i * ldc + j];
+      c[i * ldc + j] = static_cast<float>(alpha * acc + prior);
     }
   }
 }

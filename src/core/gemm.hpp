@@ -1,10 +1,15 @@
-// Blocked, multi-threaded single-precision GEMM.
+// Single-precision GEMM / GEMV entry points.
 //
 //   C = alpha * op(A) * op(B) + beta * C
 //
 // op(X) is X or X^T. Row-major storage with explicit leading dimensions,
 // mirroring the BLAS interface so layer code reads conventionally. This is the
 // hot loop of the whole repo (conv via im2col and all linear layers).
+//
+// Both calls dispatch to the process-wide active core::Engine — select it
+// with core::set_active_engine / $RHW_ENGINE / the experiment `engine=` knob
+// (core/engine_registry.hpp, docs/ENGINES.md). The default engine "blocked"
+// is the historical cache-blocked kernel, unchanged.
 #pragma once
 
 #include <cstdint>

@@ -5,6 +5,11 @@
 namespace rhw {
 
 void im2col(const ConvGeom& g, const float* input, float* columns) {
+  im2col_ld(g, input, columns, g.col_cols());
+}
+
+void im2col_ld(const ConvGeom& g, const float* input, float* columns,
+               int64_t ld) {
   const int64_t oh = g.out_h(), ow = g.out_w();
   const int64_t plane = g.in_h * g.in_w;
   int64_t row = 0;
@@ -12,7 +17,7 @@ void im2col(const ConvGeom& g, const float* input, float* columns) {
     const float* chan = input + c * plane;
     for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
       for (int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
-        float* out_row = columns + row * (oh * ow);
+        float* out_row = columns + row * ld;
         for (int64_t y = 0; y < oh; ++y) {
           const int64_t in_y = y * g.stride + kh - g.pad;
           float* dst = out_row + y * ow;

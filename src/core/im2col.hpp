@@ -25,6 +25,13 @@ struct ConvGeom {
 // col_rows x col_cols, caller-allocated).
 void im2col(const ConvGeom& g, const float* input, float* columns);
 
+// Strided variant for batch-fused lowering (core::Engine::conv2d_forward):
+// rows are written with leading dimension ld >= col_cols, so several
+// samples' columns can sit side by side in one [col_rows x batch*col_cols]
+// buffer feeding a single GEMM. im2col(...) == im2col_ld(..., col_cols()).
+void im2col_ld(const ConvGeom& g, const float* input, float* columns,
+               int64_t ld);
+
 // Scatter-adds a column buffer back into an input-shaped gradient buffer
 // (caller must zero it first if accumulation from zero is desired).
 void col2im(const ConvGeom& g, const float* columns, float* input_grad);

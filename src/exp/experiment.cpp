@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "attacks/registry.hpp"
+#include "core/engine_registry.hpp"
 #include "defenses/registry.hpp"
 #include "exp/al_runner.hpp"
 #include "hw/registry.hpp"
@@ -328,6 +329,12 @@ void ExperimentSpec::apply_override(const std::string& token) {
   } else if (key == "train") {
     (void)parse_train_section(value);
     train = value;
+  } else if (key == "engine") {
+    // Fail fast through the live registry so a typo'd engine token reports
+    // the same "engine spec '...': ..." error as the other seams; empty
+    // resets to the $RHW_ENGINE / "blocked" default.
+    if (!value.empty()) (void)core::make_engine(value);
+    engine = value;
   } else if (key == "trials") {
     trials = static_cast<int>(scalar_reader(key, value).integer(key, 1));
     if (trials < 1) {
@@ -355,8 +362,8 @@ void ExperimentSpec::apply_override(const std::string& token) {
   } else {
     throw std::invalid_argument(
         "experiment override '" + token + "': unknown option '" + key +
-        "' (known: panels model dataset train eval_count backends modes "
-        "attacks trials seed batch verify out tag)");
+        "' (known: panels model dataset train engine eval_count backends "
+        "modes attacks trials seed batch verify out tag)");
   }
 }
 
@@ -364,6 +371,7 @@ std::vector<std::string> ExperimentSpec::to_args() const {
   std::vector<std::string> args;
   for (const auto& panel : panels) args.push_back("panels+=" + panel.to_item());
   args.push_back("train=" + train);
+  if (!engine.empty()) args.push_back("engine=" + engine);
   args.push_back("eval_count=" + std::to_string(eval_count));
   args.push_back("trials=" + std::to_string(trials));
   args.push_back("seed=" + std::to_string(seed));
@@ -387,6 +395,7 @@ void ExperimentSpec::validate() const {
   if (panels.empty()) {
     throw std::invalid_argument(who + ": no panels declared");
   }
+  if (!engine.empty()) (void)core::make_engine(engine);
   const TrainSection tr = parse_train_section(train);
   for (const auto& panel : panels) {
     const ArchSection arch = parse_arch_section(panel.arch);

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/engine_registry.hpp"
 #include "exp/ascii_plot.hpp"
 #include "exp/table_printer.hpp"
 
@@ -247,6 +248,15 @@ std::vector<SweepResult> run_experiment(
   ExperimentRegistry& registry = ExperimentRegistry::instance();
   ExperimentSpec spec = registry.preset(preset);
   for (const auto& token : overrides) spec.apply_override(token);
+
+  // Resolve the compute engine before any panel work (training included):
+  // the explicit engine= knob, else whatever $RHW_ENGINE / "blocked" lazily
+  // resolves to. The scope pins it for the whole run and restores the prior
+  // selection afterwards; spec.engine becomes the active engine's canonical
+  // spec so the artifact's canonical args record the actual kernel used.
+  if (spec.engine.empty()) spec.engine = core::active_engine().spec();
+  core::EngineScope engine_scope(spec.engine);
+  spec.engine = core::active_engine().spec();
   spec.validate();
 
   ExperimentStamp stamp;
@@ -254,9 +264,9 @@ std::vector<SweepResult> run_experiment(
   stamp.overrides = overrides;
   stamp.canonical = spec.to_args();
 
-  std::printf("\n=== %s ===\n%s\n\n",
+  std::printf("\n=== %s ===\n%s\n[engine] %s\n\n",
               spec.title.empty() ? spec.name.c_str() : spec.title.c_str(),
-              spec.subtitle.c_str());
+              spec.subtitle.c_str(), spec.engine.c_str());
   std::fflush(stdout);
 
   const std::unique_ptr<ExperimentProgram> program = registry.program(preset);

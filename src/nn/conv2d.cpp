@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/engine_registry.hpp"
 #include "core/gemm.hpp"
 #include "core/thread_pool.hpp"
 
@@ -34,34 +35,15 @@ Tensor Conv2d::do_forward(const Tensor& x) {
   input_ = x;
   geom_ = ConvGeom{in_c_, x.dim(2), x.dim(3), kernel_, kernel_, stride_, pad_};
   const int64_t n = x.dim(0);
-  const int64_t oh = geom_.out_h(), ow = geom_.out_w();
-  const int64_t col_rows = geom_.col_rows(), col_cols = geom_.col_cols();
 
-  Tensor out({n, out_c_, oh, ow});
-  const int64_t in_stride = in_c_ * geom_.in_h * geom_.in_w;
-  const int64_t out_stride = out_c_ * oh * ow;
-
-  // Parallel over samples; the GEMM runs serially inside workers (the pool's
-  // reentrancy guard sees to that), which is the right granularity for the
-  // small per-sample matrices used here.
-  parallel_for(n, [&](int64_t begin, int64_t end) {
-    std::vector<float> cols(static_cast<size_t>(col_rows * col_cols));
-    for (int64_t i = begin; i < end; ++i) {
-      im2col(geom_, x.data() + i * in_stride, cols.data());
-      // [out_c, col_rows] x [col_rows, col_cols]
-      gemm(false, false, out_c_, col_cols, col_rows, 1.f,
-           weight_.value.data(), col_rows, cols.data(), col_cols, 0.f,
-           out.data() + i * out_stride, col_cols);
-      if (has_bias_) {
-        float* sample = out.data() + i * out_stride;
-        for (int64_t oc = 0; oc < out_c_; ++oc) {
-          const float b = bias_.value[oc];
-          float* plane = sample + oc * oh * ow;
-          for (int64_t p = 0; p < oh * ow; ++p) plane[p] += b;
-        }
-      }
-    }
-  });
+  // Fused batched path: the engine im2cols the whole batch (chunked) into
+  // one wide column buffer, runs a single [out_c x col_rows] x
+  // [col_rows x chunk*oh*ow] GEMM, and adds the bias in its vectorized
+  // scatter epilogue — no per-sample small GEMMs, no scalar bias loop.
+  Tensor out({n, out_c_, geom_.out_h(), geom_.out_w()});
+  core::active_engine().conv2d_forward(
+      geom_, n, x.data(), out_c_, weight_.value.data(),
+      has_bias_ ? bias_.value.data() : nullptr, out.data());
   return out;
 }
 

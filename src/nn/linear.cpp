@@ -1,5 +1,6 @@
 #include "nn/linear.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/gemm.hpp"
@@ -26,15 +27,17 @@ Tensor Linear::do_forward(const Tensor& x) {
   input_ = x;
   const int64_t n = x.dim(0);
   Tensor out({n, out_f_});
-  // out = x [n, in] * W^T [in, out]
-  gemm(false, true, n, out_f_, in_f_, 1.f, x.data(), in_f_,
-       weight_.value.data(), in_f_, 0.f, out.data(), out_f_);
+  // out = x [n, in] * W^T [in, out], bias folded through the engine's beta
+  // path: broadcast it into the output rows and accumulate with beta = 1
+  // instead of a scalar fix-up loop after the GEMM.
   if (has_bias_) {
+    const float* b = bias_.value.data();
     for (int64_t i = 0; i < n; ++i) {
-      float* row = out.data() + i * out_f_;
-      for (int64_t j = 0; j < out_f_; ++j) row[j] += bias_.value[j];
+      std::copy(b, b + out_f_, out.data() + i * out_f_);
     }
   }
+  gemm(false, true, n, out_f_, in_f_, 1.f, x.data(), in_f_,
+       weight_.value.data(), in_f_, has_bias_ ? 1.f : 0.f, out.data(), out_f_);
   return out;
 }
 

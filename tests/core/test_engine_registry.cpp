@@ -1,0 +1,410 @@
+// EngineRegistry seam tests: registry error parity with the other four
+// registries, the numeric contract from engine.hpp (alpha==0 / beta==0 /
+// NaN propagation / zero_skip opt-out), per-engine parity versus the naive
+// reference, the fused batched conv against a per-sample reference, and the
+// active-engine selection machinery (EngineScope, determinism).
+#include "core/engine_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/gemm.hpp"
+#include "core/gemm_simd.hpp"
+#include "core/im2col.hpp"
+#include "core/rng.hpp"
+
+namespace rhw {
+namespace {
+
+std::vector<float> random_matrix(int64_t rows, int64_t cols,
+                                 RandomEngine& rng) {
+  std::vector<float> m(static_cast<size_t>(rows * cols));
+  for (auto& v : m) v = rng.uniform(-1.f, 1.f);
+  return m;
+}
+
+// Engines accumulate in different orders, so parity versus naive holds to a
+// FLOP-scaled tolerance: eps * k * |values|~1 with headroom.
+float flop_tol(int64_t k) {
+  return 1e-6f * static_cast<float>(std::max<int64_t>(k, 1)) * 8.f + 1e-6f;
+}
+
+const char* const kAllEngines[] = {"naive", "blocked", "simd"};
+
+// -- registry surface ---------------------------------------------------------
+
+TEST(EngineRegistry, BuiltinsRegistered) {
+  const auto keys = core::EngineRegistry::instance().keys();
+  for (const char* expected : kAllEngines) {
+    EXPECT_TRUE(std::find(keys.begin(), keys.end(), expected) != keys.end())
+        << expected;
+    EXPECT_TRUE(core::EngineRegistry::instance().contains(expected));
+  }
+}
+
+TEST(EngineRegistry, UnknownKeyThrowsWithTokenNaming) {
+  try {
+    core::make_engine("cublas");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown compute engine"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cublas"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("registered:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("blocked"), std::string::npos) << msg;
+  }
+}
+
+TEST(EngineRegistry, UnknownOptionThrows) {
+  EXPECT_THROW(core::make_engine("naive:x=1"), std::invalid_argument);
+  EXPECT_THROW(core::make_engine("blocked:bogus=1"), std::invalid_argument);
+  EXPECT_THROW(core::make_engine("simd:lanes=4"), std::invalid_argument);
+}
+
+// Errors name the offending key, the bad value, AND the full spec string —
+// same contract as the hw/attack/defense/experiment registries.
+TEST(EngineRegistry, ParseErrorNamesKeyValueAndSpec) {
+  try {
+    core::make_engine("blocked:bk=abc");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("bk"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("abc"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("blocked:bk=abc"), std::string::npos) << msg;
+  }
+}
+
+TEST(EngineRegistry, InvalidKnobValuesThrow) {
+  EXPECT_THROW(core::make_engine("blocked:bk=0"), std::invalid_argument);
+  EXPECT_THROW(core::make_engine("blocked:bn=-4"), std::invalid_argument);
+  EXPECT_THROW(core::make_engine("simd:mr=3"), std::invalid_argument);
+  EXPECT_THROW(core::make_engine("simd:nr=12"), std::invalid_argument);
+  EXPECT_THROW(core::make_engine("simd:mr=7.5"), std::invalid_argument);
+}
+
+TEST(EngineRegistry, CanonicalSpecSpellsOutEveryKnob) {
+  EXPECT_EQ(core::make_engine("naive")->spec(), "naive");
+  EXPECT_EQ(core::make_engine("blocked")->spec(),
+            "blocked:bk=256,bn=512,zero_skip=0");
+  EXPECT_EQ(core::make_engine("blocked:bk=64")->spec(),
+            "blocked:bk=64,bn=512,zero_skip=0");
+  EXPECT_EQ(core::make_engine("simd")->spec(), "simd:mr=6,nr=16,threads=0");
+  EXPECT_EQ(core::make_engine("simd:mr=8,nr=8")->spec(),
+            "simd:mr=8,nr=8,threads=0");
+  // Canonical specs round-trip through the registry unchanged.
+  for (const char* key : kAllEngines) {
+    const auto spec = core::make_engine(key)->spec();
+    EXPECT_EQ(core::make_engine(spec)->spec(), spec) << key;
+  }
+}
+
+TEST(EngineRegistry, CustomEngineRegistration) {
+  core::EngineRegistry::instance().add(
+      "custom-naive", [](const core::EngineOptions&) -> core::EnginePtr {
+        return core::make_engine("naive");
+      });
+  auto engine = core::make_engine("custom-naive");
+  EXPECT_EQ(engine->key(), "naive");
+}
+
+// -- numeric contract ---------------------------------------------------------
+
+class EngineContract : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EngineContract, AlphaZeroNeverReadsInputs) {
+  auto engine = core::make_engine(GetParam());
+  std::vector<float> c{1.f, 2.f, 3.f, 4.f};
+  engine->gemm(false, false, 2, 2, 8, 0.f, nullptr, 8, nullptr, 2, 2.f,
+               c.data(), 2);
+  EXPECT_FLOAT_EQ(c[0], 2.f);
+  EXPECT_FLOAT_EQ(c[3], 8.f);
+}
+
+TEST_P(EngineContract, BetaZeroOverwritesStaleNaN) {
+  auto engine = core::make_engine(GetParam());
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> a{1, 2, 3, 4};
+  const std::vector<float> b{1, 0, 0, 1};
+  std::vector<float> c{nan, nan, nan, nan};
+  engine->gemm(false, false, 2, 2, 2, 1.f, a.data(), 2, b.data(), 2, 0.f,
+               c.data(), 2);
+  EXPECT_FLOAT_EQ(c[0], 1.f);
+  EXPECT_FLOAT_EQ(c[1], 2.f);
+  EXPECT_FLOAT_EQ(c[2], 3.f);
+  EXPECT_FLOAT_EQ(c[3], 4.f);
+}
+
+TEST_P(EngineContract, NaNInInputsPropagates) {
+  // A zero row in A multiplying a NaN in B still yields NaN (0 * NaN = NaN)
+  // for every default-configured engine — zero_skip is opt-in.
+  auto engine = core::make_engine(GetParam());
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> a{0, 0, 1, 1};   // row 0 all zeros
+  const std::vector<float> b{nan, 1, 2, 3};
+  std::vector<float> c(4, 0.f);
+  engine->gemm(false, false, 2, 2, 2, 1.f, a.data(), 2, b.data(), 2, 0.f,
+               c.data(), 2);
+  EXPECT_TRUE(std::isnan(c[0])) << engine->spec() << " c[0]=" << c[0];
+  EXPECT_TRUE(std::isnan(c[2]));
+}
+
+TEST_P(EngineContract, DeterministicAcrossRepeats) {
+  auto engine = core::make_engine(GetParam());
+  RandomEngine rng(31);
+  const int64_t m = 67, n = 45, k = 123;  // crosses the parallel threshold
+  const auto a = random_matrix(m, k, rng);
+  const auto b = random_matrix(k, n, rng);
+  std::vector<float> first(static_cast<size_t>(m * n), 0.f);
+  engine->gemm(false, false, m, n, k, 1.f, a.data(), k, b.data(), n, 0.f,
+               first.data(), n);
+  for (int rep = 0; rep < 3; ++rep) {
+    std::vector<float> again(static_cast<size_t>(m * n), 0.f);
+    engine->gemm(false, false, m, n, k, 1.f, a.data(), k, b.data(), n, 0.f,
+                 again.data(), n);
+    ASSERT_EQ(first, again) << engine->spec() << " rep " << rep;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, EngineContract,
+                         ::testing::ValuesIn(kAllEngines));
+
+TEST(EngineContract, ZeroSkipDropsNaNPropagation) {
+  // blocked:zero_skip=1 restores the historical fast path: a zero element of
+  // A skips its multiply, so NaN in the corresponding B row is dropped.
+  auto skipping = core::make_engine("blocked:zero_skip=1");
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> a{0, 1};  // 1x2, first element zero
+  const std::vector<float> b{nan, 2};  // 2x1, NaN sits on the skipped row
+  std::vector<float> c{0.f};
+  skipping->gemm(false, false, 1, 1, 2, 1.f, a.data(), 2, b.data(), 1, 0.f,
+                 c.data(), 1);
+  EXPECT_FLOAT_EQ(c[0], 2.f) << "zero_skip=1 should skip the 0 * NaN term";
+
+  auto strict = core::make_engine("blocked:zero_skip=0");
+  c[0] = 0.f;
+  strict->gemm(false, false, 1, 1, 2, 1.f, a.data(), 2, b.data(), 1, 0.f,
+               c.data(), 1);
+  EXPECT_TRUE(std::isnan(c[0])) << "default blocked must propagate NaN";
+}
+
+// -- parity versus naive ------------------------------------------------------
+
+class EngineParity
+    : public ::testing::TestWithParam<std::tuple<const char*, bool, bool>> {};
+
+TEST_P(EngineParity, MatchesNaiveAcrossShapes) {
+  const auto [spec, ta, tb] = GetParam();
+  auto engine = core::make_engine(spec);
+  auto naive = core::make_engine("naive");
+  // Sizes chosen to hit full tiles, edge tiles, packing, and the parallel
+  // threshold; leading dims padded to exercise the strided paths.
+  const std::tuple<int, int, int> shapes[] = {
+      {1, 1, 1}, {5, 3, 4}, {17, 9, 33}, {64, 48, 96}, {70, 31, 129}};
+  for (const auto& [m, n, k] : shapes) {
+    RandomEngine rng(static_cast<uint64_t>(m * 31 + n * 7 + k) + (ta ? 64 : 0) +
+                     (tb ? 128 : 0));
+    const int64_t pad = (m + n + k) % 3;  // mix tight and loose lds
+    const int64_t lda = (ta ? m : k) + pad;
+    const int64_t ldb = (tb ? k : n) + pad;
+    const int64_t ldc = n + pad;
+    const auto a = random_matrix(ta ? k : m, lda, rng);
+    const auto b = random_matrix(tb ? n : k, ldb, rng);
+    std::vector<float> c(static_cast<size_t>(m * ldc), 0.25f);
+    std::vector<float> c_ref = c;
+    engine->gemm(ta, tb, m, n, k, 0.9f, a.data(), lda, b.data(), ldb, 0.4f,
+                 c.data(), ldc);
+    naive->gemm(ta, tb, m, n, k, 0.9f, a.data(), lda, b.data(), ldb, 0.4f,
+                c_ref.data(), ldc);
+    const float tol = flop_tol(k);
+    for (size_t i = 0; i < c.size(); ++i) {
+      ASSERT_NEAR(c[i], c_ref[i], tol)
+          << spec << " shape (" << m << "," << n << "," << k << ") ta=" << ta
+          << " tb=" << tb << " at " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EngineParity,
+    ::testing::Combine(::testing::Values("blocked", "blocked:bk=16,bn=32",
+                                         "simd", "simd:mr=1,nr=8",
+                                         "simd:mr=8,nr=8", "simd:mr=4,nr=16",
+                                         "simd:threads=1"),
+                       ::testing::Bool(), ::testing::Bool()));
+
+TEST(EngineParity, SimdGemvMatchesNaive) {
+  auto simd = core::make_engine("simd");
+  auto naive = core::make_engine("naive");
+  RandomEngine rng(41);
+  const int64_t m = 37, n = 53;
+  const auto a = random_matrix(m, n, rng);
+  for (bool trans : {false, true}) {
+    const int64_t xs = trans ? m : n;
+    const int64_t ys = trans ? n : m;
+    const auto x = random_matrix(xs, 1, rng);
+    for (float beta : {0.f, 1.f, 0.5f}) {
+      std::vector<float> y(static_cast<size_t>(ys), 1.5f);
+      std::vector<float> y_ref = y;
+      simd->gemv(trans, m, n, 0.8f, a.data(), n, x.data(), beta, y.data());
+      naive->gemv(trans, m, n, 0.8f, a.data(), n, x.data(), beta,
+                  y_ref.data());
+      const float tol = flop_tol(trans ? m : n);
+      for (size_t i = 0; i < y.size(); ++i) {
+        ASSERT_NEAR(y[i], y_ref[i], tol)
+            << "trans=" << trans << " beta=" << beta << " at " << i;
+      }
+    }
+  }
+}
+
+// -- fused batched convolution ------------------------------------------------
+
+// Per-sample reference: im2col + one GEMM per sample + scalar bias loop —
+// the shape of the historical nn::Conv2d forward.
+void conv_reference(const ConvGeom& g, int64_t batch, const float* input,
+                    int64_t out_c, const float* weights, const float* bias,
+                    float* out) {
+  const int64_t cr = g.col_rows(), cc = g.col_cols();
+  const int64_t in_sz = g.in_c * g.in_h * g.in_w;
+  std::vector<float> cols(static_cast<size_t>(cr * cc));
+  auto naive = core::make_engine("naive");
+  for (int64_t i = 0; i < batch; ++i) {
+    im2col(g, input + i * in_sz, cols.data());
+    float* dst = out + i * out_c * cc;
+    naive->gemm(false, false, out_c, cc, cr, 1.f, weights, cr, cols.data(), cc,
+                0.f, dst, cc);
+    if (bias) {
+      for (int64_t oc = 0; oc < out_c; ++oc) {
+        for (int64_t p = 0; p < cc; ++p) dst[oc * cc + p] += bias[oc];
+      }
+    }
+  }
+}
+
+class EngineConv : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EngineConv, FusedForwardMatchesPerSampleReference) {
+  auto engine = core::make_engine(GetParam());
+  ConvGeom g;
+  g.in_c = 3;
+  g.in_h = 9;
+  g.in_w = 9;
+  g.kernel_h = 3;
+  g.kernel_w = 3;
+  g.stride = 1;
+  g.pad = 1;
+  const int64_t batch = 5, out_c = 7;
+  RandomEngine rng(51);
+  const auto input = random_matrix(batch, g.in_c * g.in_h * g.in_w, rng);
+  const auto weights = random_matrix(out_c, g.col_rows(), rng);
+  const auto bias = random_matrix(out_c, 1, rng);
+  const size_t out_sz = static_cast<size_t>(batch * out_c * g.col_cols());
+  for (const float* b : {bias.data(), static_cast<const float*>(nullptr)}) {
+    std::vector<float> out(out_sz, -9.f), ref(out_sz, -9.f);
+    engine->conv2d_forward(g, batch, input.data(), out_c, weights.data(), b,
+                           out.data());
+    conv_reference(g, batch, input.data(), out_c, weights.data(), b,
+                   ref.data());
+    const float tol = flop_tol(g.col_rows());
+    for (size_t i = 0; i < out.size(); ++i) {
+      ASSERT_NEAR(out[i], ref[i], tol)
+          << GetParam() << (b ? " with bias" : " no bias") << " at " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, EngineConv,
+                         ::testing::ValuesIn(kAllEngines));
+
+TEST(EngineConv, ChunkingInvariance) {
+  // A batch large enough to force multiple scratch chunks must produce the
+  // same bits as the same conv run one sample at a time through the fused
+  // path (per-element accumulation order is chunk-independent).
+  auto engine = core::make_engine("simd");
+  ConvGeom g;
+  g.in_c = 2;
+  g.in_h = 6;
+  g.in_w = 6;
+  g.kernel_h = 3;
+  g.kernel_w = 3;
+  g.stride = 1;
+  g.pad = 1;
+  const int64_t batch = 9, out_c = 4;
+  RandomEngine rng(61);
+  const auto input = random_matrix(batch, g.in_c * g.in_h * g.in_w, rng);
+  const auto weights = random_matrix(out_c, g.col_rows(), rng);
+  const size_t per_sample = static_cast<size_t>(out_c * g.col_cols());
+  std::vector<float> whole(static_cast<size_t>(batch) * per_sample, 0.f);
+  engine->conv2d_forward(g, batch, input.data(), out_c, weights.data(),
+                         nullptr, whole.data());
+  std::vector<float> single(static_cast<size_t>(batch) * per_sample, 0.f);
+  const int64_t in_sz = g.in_c * g.in_h * g.in_w;
+  for (int64_t i = 0; i < batch; ++i) {
+    engine->conv2d_forward(g, 1, input.data() + i * in_sz, out_c,
+                           weights.data(), nullptr,
+                           single.data() + i * per_sample);
+  }
+  ASSERT_EQ(whole, single);
+}
+
+// -- active-engine selection --------------------------------------------------
+
+TEST(EngineScope, SelectsAndRestores) {
+  const std::string before = core::active_engine().spec();
+  {
+    core::EngineScope scope("naive");
+    EXPECT_EQ(core::active_engine().spec(), "naive");
+    {
+      core::EngineScope inner("simd:mr=8,nr=8");
+      EXPECT_EQ(core::active_engine().spec(), "simd:mr=8,nr=8,threads=0");
+    }
+    EXPECT_EQ(core::active_engine().spec(), "naive");
+  }
+  EXPECT_EQ(core::active_engine().spec(), before);
+}
+
+TEST(EngineScope, FreeGemmRoutesThroughActiveEngine) {
+  // zero_skip=1 is observable through the free-function dispatcher: the
+  // 0 * NaN term disappears exactly when that engine is active.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> a{0, 1};
+  const std::vector<float> b{nan, 2};
+  std::vector<float> c{0.f};
+  {
+    core::EngineScope scope("blocked:zero_skip=1");
+    gemm(false, false, 1, 1, 2, 1.f, a.data(), 2, b.data(), 1, 0.f, c.data(),
+         1);
+  }
+  EXPECT_FLOAT_EQ(c[0], 2.f);
+  c[0] = 0.f;
+  {
+    core::EngineScope scope("blocked");
+    gemm(false, false, 1, 1, 2, 1.f, a.data(), 2, b.data(), 1, 0.f, c.data(),
+         1);
+  }
+  EXPECT_TRUE(std::isnan(c[0]));
+}
+
+TEST(EngineScope, SetActiveEngineRejectsNull) {
+  EXPECT_THROW(core::set_active_engine(core::EnginePtr{}),
+               std::invalid_argument);
+}
+
+TEST(EngineRegistry, FastPathReportsWithoutCrashing) {
+  // Informational only — just make sure the runtime dispatch query is safe
+  // to call and stable.
+  const bool first = core::SimdEngine::fast_path();
+  EXPECT_EQ(core::SimdEngine::fast_path(), first);
+}
+
+}  // namespace
+}  // namespace rhw

@@ -157,6 +157,84 @@ TEST(Gemv, BetaZeroOverwritesStaleValues) {
   EXPECT_FLOAT_EQ(yt[2], 9.f);
 }
 
+TEST(Gemm, BetaWithStridedC) {
+  // beta != 0 combined with ldc > n: the scaled stale values must come from
+  // the strided positions, and the gap columns must never be touched.
+  RandomEngine rng(21);
+  const int64_t m = 5, n = 3, k = 4, ldc = 7;
+  const auto a = random_matrix(m, k, rng);
+  const auto b = random_matrix(k, n, rng);
+  std::vector<float> c_fast(static_cast<size_t>(m * ldc), 2.f);
+  std::vector<float> c_ref = c_fast;
+  gemm(false, false, m, n, k, 1.f, a.data(), k, b.data(), n, 0.5f,
+       c_fast.data(), ldc);
+  gemm_naive(false, false, m, n, k, 1.f, a.data(), k, b.data(), n, 0.5f,
+             c_ref.data(), ldc);
+  expect_near_all(c_fast, c_ref, 1e-4f);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = n; j < ldc; ++j) {
+      ASSERT_FLOAT_EQ(c_fast[static_cast<size_t>(i * ldc + j)], 2.f)
+          << "gap column touched at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(Gemm, AlphaZeroNeverReadsInputs) {
+  // alpha == 0 must not dereference A or B (BLAS contract) — nullptr inputs
+  // crash if the fast path is missing. beta still applies to C.
+  std::vector<float> c{1.f, 2.f, 3.f, 4.f};
+  gemm(false, false, 2, 2, 3, 0.f, nullptr, 3, nullptr, 2, 0.5f, c.data(), 2);
+  EXPECT_FLOAT_EQ(c[0], 0.5f);
+  EXPECT_FLOAT_EQ(c[3], 2.f);
+  // ... and with beta == 0 it zero-fills, clearing stale NaN.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> cz{nan, nan, nan, nan};
+  gemm(false, false, 2, 2, 3, 0.f, nullptr, 3, nullptr, 2, 0.f, cz.data(), 2);
+  for (float v : cz) EXPECT_FLOAT_EQ(v, 0.f);
+}
+
+TEST(Gemm, TransposeCombosWithLooseLeadingDims) {
+  // All four transpose combinations where every operand lives in a wider
+  // buffer than its logical shape (lda/ldb/ldc all non-tight) — the packing
+  // paths must honor the strides.
+  RandomEngine rng(22);
+  const int64_t m = 6, n = 5, k = 7;
+  const int64_t pad = 3;
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      const int64_t lda = (ta ? m : k) + pad;
+      const int64_t ldb = (tb ? k : n) + pad;
+      const int64_t ldc = n + pad;
+      const auto a = random_matrix(ta ? k : m, lda, rng);
+      const auto b = random_matrix(tb ? n : k, ldb, rng);
+      std::vector<float> c_fast(static_cast<size_t>(m * ldc), -1.f);
+      std::vector<float> c_ref = c_fast;
+      gemm(ta, tb, m, n, k, 1.1f, a.data(), lda, b.data(), ldb, 0.3f,
+           c_fast.data(), ldc);
+      gemm_naive(ta, tb, m, n, k, 1.1f, a.data(), lda, b.data(), ldb, 0.3f,
+                 c_ref.data(), ldc);
+      expect_near_all(c_fast, c_ref, 1e-3f);
+    }
+  }
+}
+
+TEST(Gemv, TransposedBetaSweep) {
+  // Transposed gemv across the three beta regimes: overwrite (0), accumulate
+  // (1), and scale-accumulate (0.5) — each against the gemm_naive reference.
+  RandomEngine rng(23);
+  const int64_t m = 10, n = 6;
+  const auto a = random_matrix(m, n, rng);
+  const auto x = random_matrix(m, 1, rng);
+  for (float beta : {0.f, 1.f, 0.5f}) {
+    std::vector<float> y(static_cast<size_t>(n), 4.f);
+    std::vector<float> y_ref = y;
+    gemv(true, m, n, 1.f, a.data(), n, x.data(), beta, y.data());
+    gemm_naive(true, false, n, 1, m, 1.f, a.data(), n, x.data(), 1, beta,
+               y_ref.data(), 1);
+    expect_near_all(y, y_ref, 1e-4f);
+  }
+}
+
 TEST(Gemm, ZeroSizedNoCrash) {
   std::vector<float> c(1, 3.f);
   gemm(false, false, 0, 0, 0, 1.f, nullptr, 1, nullptr, 1, 0.f, c.data(), 1);

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
@@ -153,6 +154,43 @@ TEST(ExperimentOverrides, ErrorsNameTheOffendingToken) {
   }
 }
 
+// The engine= knob routes the whole run through one core::EngineRegistry
+// spec; unknown tokens fail at override time with the engine registry's own
+// token-naming error.
+TEST(ExperimentOverrides, EngineKnobValidatesAndRoundTrips) {
+  ExperimentSpec spec = ExperimentRegistry::instance().preset("sweep_smoke");
+  EXPECT_TRUE(spec.engine.empty());  // presets defer to $RHW_ENGINE
+
+  spec.apply_override("engine=simd:mr=8,nr=8");
+  EXPECT_EQ(spec.engine, "simd:mr=8,nr=8");
+  EXPECT_NO_THROW(spec.validate());
+  const auto args = spec.to_args();
+  EXPECT_TRUE(std::find(args.begin(), args.end(), "engine=simd:mr=8,nr=8") !=
+              args.end());
+
+  // engine= with an empty value restores the deferred default, and the token
+  // then disappears from the canonical serialization.
+  spec.apply_override("engine=");
+  EXPECT_TRUE(spec.engine.empty());
+  for (const auto& token : spec.to_args()) {
+    EXPECT_TRUE(token.rfind("engine=", 0) != 0) << token;
+  }
+
+  try {
+    spec.apply_override("engine=cublas");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown compute engine"), std::string::npos) << what;
+    EXPECT_NE(what.find("cublas"), std::string::npos) << what;
+  }
+  EXPECT_THROW(spec.apply_override("engine=simd:mr=3"), std::invalid_argument);
+  // A stale engine token planted directly in the spec is caught by the same
+  // up-front validate() that vets hw/defense/attack specs.
+  spec.engine = "blocked:bk=0";
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
 TEST(ExperimentOverrides, ModelAndDatasetRewriteEveryPanel) {
   ExperimentSpec spec = ExperimentRegistry::instance().preset("fig6");
   spec.apply_override("model=vgg16");
@@ -180,6 +218,7 @@ TEST(ExperimentOverrides, ToArgsRoundTripsBitExactly) {
     }
     EXPECT_EQ(rebuilt.panels, original.panels) << name;
     EXPECT_EQ(rebuilt.train, original.train) << name;
+    EXPECT_EQ(rebuilt.engine, original.engine) << name;
     EXPECT_EQ(rebuilt.eval_count, original.eval_count) << name;
     EXPECT_EQ(rebuilt.backends, original.backends) << name;
     EXPECT_EQ(rebuilt.modes, original.modes) << name;

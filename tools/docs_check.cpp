@@ -9,9 +9,10 @@
 //     (`key:opt=v,opt=v` / bare `key` that names a registered key): every
 //     backend spec must parse through hw::BackendRegistry, every attack
 //     spec through attacks::AttackRegistry, every defense spec through
-//     defenses::DefenseRegistry, and every experiment preset through
-//     exp::ExperimentRegistry — so a renamed knob, attack, defense or
-//     preset breaks the build, not a reader;
+//     defenses::DefenseRegistry, every engine spec through
+//     core::EngineRegistry, and every experiment preset through
+//     exp::ExperimentRegistry — so a renamed knob, attack, defense,
+//     engine or preset breaks the build, not a reader;
 //   * inline `rhw_run <preset> [overrides...]` command spans: the preset
 //     must resolve, every override token must apply, and the resulting
 //     spec must validate against all the live registries — the override
@@ -33,6 +34,7 @@
 #include <vector>
 
 #include "attacks/registry.hpp"
+#include "core/engine_registry.hpp"
 #include "defenses/registry.hpp"
 #include "exp/experiment_registry.hpp"
 #include "hw/registry.hpp"
@@ -97,9 +99,11 @@ void check_specs(const fs::path& md, const std::string& text,
         rhw::attacks::AttackRegistry::instance().contains(key);
     const bool is_defense =
         rhw::defenses::DefenseRegistry::instance().contains(key);
+    const bool is_engine = rhw::core::EngineRegistry::instance().contains(key);
     const bool is_experiment =
         span == key && rhw::exp::ExperimentRegistry::instance().contains(key);
-    if (!is_backend && !is_attack && !is_defense && !is_experiment) {
+    if (!is_backend && !is_attack && !is_defense && !is_engine &&
+        !is_experiment) {
       continue;  // just a word
     }
     ++checked;
@@ -110,6 +114,8 @@ void check_specs(const fs::path& md, const std::string& text,
         (void)rhw::attacks::make_attack(span);
       } else if (is_defense) {
         (void)rhw::defenses::make_defense(span);
+      } else if (is_engine) {
+        (void)rhw::core::make_engine(span);
       } else {
         rhw::exp::ExperimentRegistry::instance().preset(span).validate();
       }
