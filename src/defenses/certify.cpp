@@ -47,6 +47,18 @@ double betacf(double a, double b, double x) {
   return h;
 }
 
+// glibc's lgamma writes the process-global `signgam`, which races when
+// concurrent sweep lanes certify cells; lgamma_r keeps the sign local (and
+// the arguments here are strictly positive, so the sign is always +1).
+double lgamma_threadsafe(double v) {
+#if defined(__GLIBC__) || defined(_GNU_SOURCE)
+  int sign = 0;
+  return ::lgamma_r(v, &sign);
+#else
+  return std::lgamma(v);
+#endif
+}
+
 }  // namespace
 
 double incomplete_beta(double a, double b, double x) {
@@ -55,8 +67,8 @@ double incomplete_beta(double a, double b, double x) {
   }
   if (x <= 0.0) return 0.0;
   if (x >= 1.0) return 1.0;
-  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
-                          std::lgamma(b) + a * std::log(x) +
+  const double ln_front = lgamma_threadsafe(a + b) - lgamma_threadsafe(a) -
+                          lgamma_threadsafe(b) + a * std::log(x) +
                           b * std::log1p(-x);
   const double front = std::exp(ln_front);
   if (x < (a + 1.0) / (a + b + 2.0)) {

@@ -39,46 +39,46 @@ TEST(AttackRegistry, EmptySpecThrows) {
 
 TEST(AttackRegistry, UnknownOptionThrowsNamingIt) {
   try {
-    make_attack("pgd:stpes=7");
+    make_attack("pgd:stpes=7");  // rhw-lint: allow(spec) stale on purpose
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("stpes"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("pgd:stpes=7"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("pgd:stpes=7"), std::string::npos) << msg;  // rhw-lint: allow(spec) stale on purpose
   }
-  EXPECT_THROW(make_attack("fgsm:steps=7"), std::invalid_argument);
+  EXPECT_THROW(make_attack("fgsm:steps=7"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
   // "samples" belongs to eot_pgd, not plain pgd.
-  EXPECT_THROW(make_attack("pgd:samples=8"), std::invalid_argument);
-  EXPECT_THROW(make_attack("square:decay=1"), std::invalid_argument);
+  EXPECT_THROW(make_attack("pgd:samples=8"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
+  EXPECT_THROW(make_attack("square:decay=1"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
 }
 
 // Parse failures must name the offending key, the bad value, AND the full
 // spec string (parity with BackendRegistry::ParseErrorNamesKeyValueAndSpec).
 TEST(AttackRegistry, ParseErrorNamesKeyValueAndSpec) {
   try {
-    make_attack("pgd:steps=7,alpha=abc");
+    make_attack("pgd:steps=7,alpha=abc");  // rhw-lint: allow(spec) stale on purpose
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("alpha"), std::string::npos) << msg;
     EXPECT_NE(msg.find("abc"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("pgd:steps=7,alpha=abc"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("pgd:steps=7,alpha=abc"), std::string::npos) << msg;  // rhw-lint: allow(spec) stale on purpose
   }
   try {
-    make_attack("square:queries=manyy");
+    make_attack("square:queries=manyy");  // rhw-lint: allow(spec) stale on purpose
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("queries"), std::string::npos) << msg;
     EXPECT_NE(msg.find("manyy"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("square:queries=manyy"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("square:queries=manyy"), std::string::npos) << msg;  // rhw-lint: allow(spec) stale on purpose
   }
 }
 
 // Trailing garbage after a numeric value is rejected, not silently truncated.
 TEST(AttackRegistry, TrailingGarbageRejected) {
-  EXPECT_THROW(make_attack("fgsm:eps=0.1junk"), std::invalid_argument);
-  EXPECT_THROW(make_attack("pgd:steps=7.5"), std::invalid_argument);
+  EXPECT_THROW(make_attack("fgsm:eps=0.1junk"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
+  EXPECT_THROW(make_attack("pgd:steps=7.5"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
   EXPECT_THROW(make_attack("mifgsm:decay=1.0 "), std::invalid_argument);
 }
 
@@ -87,16 +87,16 @@ TEST(AttackRegistry, MalformedOptionThrows) {
 }
 
 TEST(AttackRegistry, NegativeIntegerOptionThrows) {
-  EXPECT_THROW(make_attack("pgd:steps=-1"), std::invalid_argument);
-  EXPECT_THROW(make_attack("square:queries=-5"), std::invalid_argument);
+  EXPECT_THROW(make_attack("pgd:steps=-1"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
+  EXPECT_THROW(make_attack("square:queries=-5"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
 }
 
 // Zero-valued iteration knobs would make the attack a silent no-op (adv ~=
 // clean while measuring nothing); they must be rejected naming the knob.
 TEST(AttackRegistry, ZeroIterationKnobsRejected) {
-  for (const char* spec : {"pgd:steps=0", "eot_pgd:samples=0",
-                           "eot_pgd:steps=0", "mifgsm:steps=0",
-                           "square:queries=0"}) {
+  for (const char* spec : {"pgd:steps=0", "eot_pgd:samples=0",  // rhw-lint: allow(spec) stale on purpose
+                           "eot_pgd:steps=0", "mifgsm:steps=0",  // rhw-lint: allow(spec) stale on purpose
+                           "square:queries=0"}) {  // rhw-lint: allow(spec) stale on purpose
     try {
       make_attack(spec);
       FAIL() << "expected std::invalid_argument for " << spec;
@@ -106,9 +106,9 @@ TEST(AttackRegistry, ZeroIterationKnobsRejected) {
     }
   }
   // Values past INT_MAX must not wrap back into the no-op range.
-  EXPECT_THROW(make_attack("square:queries=4294967296"),
+  EXPECT_THROW(make_attack("square:queries=4294967296"),  // rhw-lint: allow(spec) stale on purpose
                std::invalid_argument);
-  EXPECT_THROW(make_attack("pgd:steps=2147483653"), std::invalid_argument);
+  EXPECT_THROW(make_attack("pgd:steps=2147483653"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
 }
 
 TEST(AttackRegistry, OptionsParseIntoConfigs) {

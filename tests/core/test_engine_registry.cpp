@@ -64,31 +64,31 @@ TEST(EngineRegistry, UnknownKeyThrowsWithTokenNaming) {
 }
 
 TEST(EngineRegistry, UnknownOptionThrows) {
-  EXPECT_THROW(core::make_engine("naive:x=1"), std::invalid_argument);
-  EXPECT_THROW(core::make_engine("blocked:bogus=1"), std::invalid_argument);
-  EXPECT_THROW(core::make_engine("simd:lanes=4"), std::invalid_argument);
+  EXPECT_THROW(core::make_engine("naive:x=1"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
+  EXPECT_THROW(core::make_engine("blocked:bogus=1"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
+  EXPECT_THROW(core::make_engine("simd:lanes=4"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
 }
 
 // Errors name the offending key, the bad value, AND the full spec string —
 // same contract as the hw/attack/defense/experiment registries.
 TEST(EngineRegistry, ParseErrorNamesKeyValueAndSpec) {
   try {
-    core::make_engine("blocked:bk=abc");
+    core::make_engine("blocked:bk=abc");  // rhw-lint: allow(spec) stale on purpose
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("bk"), std::string::npos) << msg;
     EXPECT_NE(msg.find("abc"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("blocked:bk=abc"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("blocked:bk=abc"), std::string::npos) << msg;  // rhw-lint: allow(spec) stale on purpose
   }
 }
 
 TEST(EngineRegistry, InvalidKnobValuesThrow) {
-  EXPECT_THROW(core::make_engine("blocked:bk=0"), std::invalid_argument);
-  EXPECT_THROW(core::make_engine("blocked:bn=-4"), std::invalid_argument);
-  EXPECT_THROW(core::make_engine("simd:mr=3"), std::invalid_argument);
-  EXPECT_THROW(core::make_engine("simd:nr=12"), std::invalid_argument);
-  EXPECT_THROW(core::make_engine("simd:mr=7.5"), std::invalid_argument);
+  EXPECT_THROW(core::make_engine("blocked:bk=0"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
+  EXPECT_THROW(core::make_engine("blocked:bn=-4"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
+  EXPECT_THROW(core::make_engine("simd:mr=3"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
+  EXPECT_THROW(core::make_engine("simd:nr=12"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
+  EXPECT_THROW(core::make_engine("simd:mr=7.5"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
 }
 
 TEST(EngineRegistry, CanonicalSpecSpellsOutEveryKnob) {

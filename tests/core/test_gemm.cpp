@@ -62,7 +62,9 @@ class GemmParity
 
 TEST_P(GemmParity, MatchesNaive) {
   const auto [ta, tb, m, n, k] = GetParam();
-  RandomEngine rng(static_cast<uint64_t>(m * 73856093 ^ n * 19349663 ^ k) +
+  RandomEngine rng((static_cast<uint64_t>(m) * 73856093u ^
+                    static_cast<uint64_t>(n) * 19349663u ^
+                    static_cast<uint64_t>(k)) +
                    (ta ? 2 : 0) + (tb ? 1 : 0));
   const auto a = random_matrix(ta ? k : m, ta ? m : k, rng);
   const auto b = random_matrix(tb ? n : k, tb ? k : n, rng);

@@ -42,47 +42,47 @@ TEST(DefenseRegistry, EmptySpecThrows) {
 
 TEST(DefenseRegistry, UnknownOptionThrowsNamingIt) {
   try {
-    make_defense("smooth:sgima=0.25");
+    make_defense("smooth:sgima=0.25");  // rhw-lint: allow(spec) stale on purpose
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("sgima"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("smooth:sgima=0.25"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("smooth:sgima=0.25"), std::string::npos) << msg;  // rhw-lint: allow(spec) stale on purpose
   }
-  EXPECT_THROW(make_defense("none:x=1"), std::invalid_argument);
+  EXPECT_THROW(make_defense("none:x=1"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
   // "sigma" belongs to smooth/gauss_aug, not jpeg_quant.
-  EXPECT_THROW(make_defense("jpeg_quant:sigma=0.1"), std::invalid_argument);
-  EXPECT_THROW(make_defense("adv_train:queries=5"), std::invalid_argument);
+  EXPECT_THROW(make_defense("jpeg_quant:sigma=0.1"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
+  EXPECT_THROW(make_defense("adv_train:queries=5"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
 }
 
 // Parse failures must name the offending key, the bad value, AND the full
 // spec string (parity with the other registries' ParseErrorNamesKeyValueAndSpec).
 TEST(DefenseRegistry, ParseErrorNamesKeyValueAndSpec) {
   try {
-    make_defense("smooth:samples=16,sigma=abc");
+    make_defense("smooth:samples=16,sigma=abc");  // rhw-lint: allow(spec) stale on purpose
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("sigma"), std::string::npos) << msg;
     EXPECT_NE(msg.find("abc"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("smooth:samples=16,sigma=abc"), std::string::npos)
+    EXPECT_NE(msg.find("smooth:samples=16,sigma=abc"), std::string::npos)  // rhw-lint: allow(spec) stale on purpose
         << msg;
   }
   try {
-    make_defense("adv_train:epochs=many");
+    make_defense("adv_train:epochs=many");  // rhw-lint: allow(spec) stale on purpose
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("epochs"), std::string::npos) << msg;
     EXPECT_NE(msg.find("many"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("adv_train:epochs=many"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("adv_train:epochs=many"), std::string::npos) << msg;  // rhw-lint: allow(spec) stale on purpose
   }
 }
 
 // Trailing garbage after a numeric value is rejected, not silently truncated.
 TEST(DefenseRegistry, TrailingGarbageRejected) {
-  EXPECT_THROW(make_defense("smooth:sigma=0.25junk"), std::invalid_argument);
-  EXPECT_THROW(make_defense("jpeg_quant:bits=4.5"), std::invalid_argument);
+  EXPECT_THROW(make_defense("smooth:sigma=0.25junk"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
+  EXPECT_THROW(make_defense("jpeg_quant:bits=4.5"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
   EXPECT_THROW(make_defense("gauss_aug:sigma=0.1 "), std::invalid_argument);
 }
 
@@ -95,8 +95,8 @@ TEST(DefenseRegistry, MalformedOptionThrows) {
 // zero-iteration rule).
 TEST(DefenseRegistry, ZeroCountKnobsRejected) {
   for (const char* spec :
-       {"smooth:samples=0", "jpeg_quant:bits=0", "adv_train:epochs=0",
-        "adv_train:steps=0", "quanos:samples=0"}) {
+       {"smooth:samples=0", "jpeg_quant:bits=0", "adv_train:epochs=0",  // rhw-lint: allow(spec) stale on purpose
+        "adv_train:steps=0", "quanos:samples=0"}) {  // rhw-lint: allow(spec) stale on purpose
     try {
       make_defense(spec);
       FAIL() << "expected std::invalid_argument for " << spec;
@@ -106,19 +106,19 @@ TEST(DefenseRegistry, ZeroCountKnobsRejected) {
     }
   }
   // Values past INT_MAX must not wrap back into the no-op range.
-  EXPECT_THROW(make_defense("smooth:samples=4294967296"),
+  EXPECT_THROW(make_defense("smooth:samples=4294967296"),  // rhw-lint: allow(spec) stale on purpose
                std::invalid_argument);
 }
 
 TEST(DefenseRegistry, DomainValuesValidated) {
   // Out-of-range values name the option and the offending value.
-  EXPECT_THROW(make_defense("smooth:sigma=-0.1"), std::invalid_argument);
-  EXPECT_THROW(make_defense("smooth:alpha=0.7"), std::invalid_argument);
-  EXPECT_THROW(make_defense("jpeg_quant:bits=9"), std::invalid_argument);
-  EXPECT_THROW(make_defense("gauss_aug:sigma=0"), std::invalid_argument);
-  EXPECT_THROW(make_defense("adv_train:ratio=1.5"), std::invalid_argument);
+  EXPECT_THROW(make_defense("smooth:sigma=-0.1"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
+  EXPECT_THROW(make_defense("smooth:alpha=0.7"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
+  EXPECT_THROW(make_defense("jpeg_quant:bits=9"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
+  EXPECT_THROW(make_defense("gauss_aug:sigma=0"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
+  EXPECT_THROW(make_defense("adv_train:ratio=1.5"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
   try {
-    make_defense("adv_train:attack=square");
+    make_defense("adv_train:attack=square");  // rhw-lint: allow(spec) stale on purpose
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
     const std::string msg = e.what();

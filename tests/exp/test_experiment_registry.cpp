@@ -187,7 +187,7 @@ TEST(ExperimentOverrides, EngineKnobValidatesAndRoundTrips) {
   EXPECT_THROW(spec.apply_override("engine=simd:mr=3"), std::invalid_argument);
   // A stale engine token planted directly in the spec is caught by the same
   // up-front validate() that vets hw/defense/attack specs.
-  spec.engine = "blocked:bk=0";
+  spec.engine = "blocked:bk=0";  // rhw-lint: allow(spec) stale on purpose
   EXPECT_THROW(spec.validate(), std::invalid_argument);
 }
 

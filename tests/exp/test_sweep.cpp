@@ -193,7 +193,7 @@ TEST_F(SweepTest, MalformedGridsThrow) {
   // Defense specs are validated up front with the registry's token-naming
   // error, exactly like attack specs.
   SweepGrid bad_defense = make_grid();
-  bad_defense.backends.push_back({"d", "ideal", "smooth:sgima=0.25"});
+  bad_defense.backends.push_back({"d", "ideal", "smooth:sgima=0.25"});  // rhw-lint: allow(spec) stale on purpose
   try {
     engine.run(bad_defense);
     FAIL() << "expected std::invalid_argument";
@@ -293,7 +293,7 @@ TEST_F(SweepTest, StochasticAwareAttacksBitIdenticalAcrossLanes) {
 // token-naming error, not abort mid-grid from a worker lane.
 TEST_F(SweepTest, MalformedAttackSpecThrowsBeforeEvaluating) {
   SweepGrid grid = make_grid();
-  grid.attacks.push_back({"pgd:stpes=7", {0.1f}});
+  grid.attacks.push_back({"pgd:stpes=7", {0.1f}});  // rhw-lint: allow(spec) stale on purpose
   SweepEngine engine;
   try {
     engine.run(grid);

@@ -26,9 +26,9 @@ TEST(BackendRegistry, UnknownKeyThrows) {
 }
 
 TEST(BackendRegistry, UnknownOptionThrows) {
-  EXPECT_THROW(hw::make_backend("xbar:bogus=1"), std::invalid_argument);
-  EXPECT_THROW(hw::make_backend("sram:vdd=abc"), std::invalid_argument);
-  EXPECT_THROW(hw::make_backend("ideal:x=1"), std::invalid_argument);
+  EXPECT_THROW(hw::make_backend("xbar:bogus=1"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
+  EXPECT_THROW(hw::make_backend("sram:vdd=abc"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
+  EXPECT_THROW(hw::make_backend("ideal:x=1"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
 }
 
 TEST(BackendRegistry, MalformedOptionThrows) {
@@ -39,30 +39,30 @@ TEST(BackendRegistry, MalformedOptionThrows) {
 // spec string (regression: they used to surface as bare std::stod errors).
 TEST(BackendRegistry, ParseErrorNamesKeyValueAndSpec) {
   try {
-    hw::make_backend("xbar:size=32,rmin=abc");
+    hw::make_backend("xbar:size=32,rmin=abc");  // rhw-lint: allow(spec) stale on purpose
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("rmin"), std::string::npos) << msg;
     EXPECT_NE(msg.find("abc"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("xbar:size=32,rmin=abc"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("xbar:size=32,rmin=abc"), std::string::npos) << msg;  // rhw-lint: allow(spec) stale on purpose
   }
   try {
-    hw::make_backend("sram:sites=3junk");
+    hw::make_backend("sram:sites=3junk");  // rhw-lint: allow(spec) stale on purpose
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("sites"), std::string::npos) << msg;
     EXPECT_NE(msg.find("3junk"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("sram:sites=3junk"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("sram:sites=3junk"), std::string::npos) << msg;  // rhw-lint: allow(spec) stale on purpose
   }
 }
 
 // Trailing garbage after a numeric value is rejected, not silently truncated.
 TEST(BackendRegistry, TrailingGarbageRejected) {
-  EXPECT_THROW(hw::make_backend("sram:vdd=0.68volts"), std::invalid_argument);
+  EXPECT_THROW(hw::make_backend("sram:vdd=0.68volts"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
   EXPECT_THROW(hw::make_backend("xbar:rmin=10e3 "), std::invalid_argument);
-  EXPECT_THROW(hw::make_backend("xbar:adc_bits=5.5"), std::invalid_argument);
+  EXPECT_THROW(hw::make_backend("xbar:adc_bits=5.5"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
 }
 
 TEST(BackendRegistry, ReplicateReproducesConfig) {
@@ -89,8 +89,8 @@ TEST(BackendRegistry, ReplicateReproducesConfig) {
 }
 
 TEST(BackendRegistry, NegativeIntegerOptionThrows) {
-  EXPECT_THROW(hw::make_backend("xbar:size=-1"), std::invalid_argument);
-  EXPECT_THROW(hw::make_backend("sram:sites=-2"), std::invalid_argument);
+  EXPECT_THROW(hw::make_backend("xbar:size=-1"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
+  EXPECT_THROW(hw::make_backend("sram:sites=-2"), std::invalid_argument);  // rhw-lint: allow(spec) stale on purpose
 }
 
 TEST(BackendRegistry, XbarOptionsParse) {

@@ -1,0 +1,11 @@
+// Lint-test fixture: the allow() escape hatch, same-line and line-above.
+#include <random>
+
+int fixture_allowed() {
+  std::random_device rd;  // rhw-lint: allow(rng) fixture escape hatch
+  // rhw-lint: allow(rng) line-above form
+  std::mt19937 gen(7);
+  const char* spec = "pgd:stps=7";  // rhw-lint: allow(spec)
+  (void)spec;
+  return static_cast<int>(gen()) + static_cast<int>(rd());
+}

@@ -1,0 +1,16 @@
+// Lint-test fixture: a clean file — RandomEngine randomness, monotonic
+// timing, valid registry spec literals.
+#include <chrono>
+#include <cstdint>
+
+#include "core/rng.hpp"
+
+double fixture_clean(uint64_t seed) {
+  rhw::RandomEngine rng(rhw::derive_stream_seed(seed, 3));
+  const auto t0 = std::chrono::steady_clock::now();
+  const char* spec = "xbar:size=32";
+  (void)spec;
+  return rng.next_double() +
+         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+             .count();
+}

@@ -1,0 +1,12 @@
+// Lint-test fixture: every determinism-contract (rng) violation class.
+// Walked only by tests/lint/test_rhw_lint.cpp — rhw_lint skips fixtures/.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int fixture_raw_rng() {
+  std::random_device rd;
+  std::mt19937 gen(1234);
+  srand(static_cast<unsigned>(time(nullptr)));
+  return static_cast<int>(gen()) + static_cast<int>(rd()) + rand();
+}

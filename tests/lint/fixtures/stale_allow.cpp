@@ -1,0 +1,6 @@
+// Lint-test fixture: unknown and stale allow comments are findings too.
+int fixture_stale_allow() {
+  int x = 0;  // rhw-lint: allow(frobnicate)
+  ++x;        // rhw-lint: allow(rng)
+  return x;
+}

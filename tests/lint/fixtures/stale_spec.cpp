@@ -1,0 +1,8 @@
+// Lint-test fixture: registry spec string literals, valid and stale.
+const char* fixture_specs[] = {
+    "pgd:steps=7",               // valid: parses through AttackRegistry
+    "pgd:stps=7",                // stale: typo'd knob
+    "xbar:rmn=1e5",              // stale: typo'd knob
+    "smooth:sigma=abc",          // stale: bad number
+    "not_a_registry_key:opt=1",  // skipped: key in no registry
+};

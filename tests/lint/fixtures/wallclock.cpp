@@ -1,0 +1,13 @@
+// Lint-test fixture: wall-clock reads (steady_clock stays legal).
+#include <chrono>
+#include <sys/time.h>
+
+double fixture_wallclock() {
+  const auto now = std::chrono::system_clock::now();
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);
+  const auto ok = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(ok - ok).count() +
+         static_cast<double>(tv.tv_sec) +
+         std::chrono::duration<double>(now.time_since_epoch()).count();
+}

@@ -27,33 +27,21 @@
 //   $ ./docs_check [repo_root]     # root defaults to RHW_SOURCE_DIR
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <regex>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "attacks/registry.hpp"
-#include "core/engine_registry.hpp"
-#include "defenses/registry.hpp"
+#include "check_common.hpp"
+#include "exp/experiment.hpp"
 #include "exp/experiment_registry.hpp"
-#include "hw/registry.hpp"
 
 namespace fs = std::filesystem;
 
 namespace {
 
-struct Failure {
-  std::string file;
-  std::string what;
-};
-
-std::string read_file(const fs::path& path) {
-  std::ifstream is(path);
-  std::stringstream ss;
-  ss << is.rdbuf();
-  return ss.str();
-}
+using rhw::check::Failure;
+using rhw::check::read_file;
 
 // Intra-repo link targets: strip #fragment, skip external schemes and
 // pure anchors.
@@ -81,47 +69,22 @@ void check_links(const fs::path& md, const std::string& text,
   }
 }
 
-// Inline code spans that look like specs. Strict shape: a registered key,
-// optionally followed by :k=v(,k=v)* with no spaces/placeholders.
+// Inline code spans that look like specs. Classification and validation
+// against the five live registries live in tools/check_common.cpp, shared
+// with rhw_lint — the two checkers must agree on what a stale spec is.
 void check_specs(const fs::path& md, const std::string& text,
                  std::vector<Failure>& failures, size_t& checked) {
   static const std::regex span_re(R"(`([^`\n]+)`)");
-  static const std::regex spec_re(
-      R"(^([a-z_][a-z0-9_-]*)(:[A-Za-z0-9_]+=[A-Za-z0-9_.+\-/]+(,[A-Za-z0-9_]+=[A-Za-z0-9_.+\-/]+)*)?$)");
   for (auto it = std::sregex_iterator(text.begin(), text.end(), span_re);
        it != std::sregex_iterator(); ++it) {
     const std::string span = (*it)[1].str();
-    std::smatch m;
-    if (!std::regex_match(span, m, spec_re)) continue;
-    const std::string key = m[1].str();
-    const bool is_backend = rhw::hw::BackendRegistry::instance().contains(key);
-    const bool is_attack =
-        rhw::attacks::AttackRegistry::instance().contains(key);
-    const bool is_defense =
-        rhw::defenses::DefenseRegistry::instance().contains(key);
-    const bool is_engine = rhw::core::EngineRegistry::instance().contains(key);
-    const bool is_experiment =
-        span == key && rhw::exp::ExperimentRegistry::instance().contains(key);
-    if (!is_backend && !is_attack && !is_defense && !is_engine &&
-        !is_experiment) {
-      continue;  // just a word
-    }
+    std::string error;
+    const rhw::check::SpecVerdict verdict =
+        rhw::check::check_spec_span(span, &error);
+    if (verdict == rhw::check::SpecVerdict::kNotASpec) continue;  // a word
     ++checked;
-    try {
-      if (is_backend) {
-        (void)rhw::hw::make_backend(span);
-      } else if (is_attack) {
-        (void)rhw::attacks::make_attack(span);
-      } else if (is_defense) {
-        (void)rhw::defenses::make_defense(span);
-      } else if (is_engine) {
-        (void)rhw::core::make_engine(span);
-      } else {
-        rhw::exp::ExperimentRegistry::instance().preset(span).validate();
-      }
-    } catch (const std::exception& e) {
-      failures.push_back({md.string(),
-                          "stale spec `" + span + "`: " + e.what()});
+    if (verdict == rhw::check::SpecVerdict::kStale) {
+      failures.push_back({md.string(), "stale spec `" + span + "`: " + error});
     }
   }
 }

@@ -1,0 +1,85 @@
+// Repo-wide static lint: extends the docs-only guarantees (tools/docs_check)
+// to every source file. Fails on
+//
+//   * determinism-contract violations — std RNG machinery, wall-clock-seeded
+//     generators, wall-clock reads — anywhere under src/, tests/, bench/,
+//     examples/, tools/. All repo randomness flows through rhw::RandomEngine
+//     seeded via derive_stream_seed (the reproducibility contract from
+//     docs/ARCHITECTURE.md), so sweeps stay bit-identical at any lane count;
+//   * registry spec string literals ("pgd:...", "xbar:...", "smooth:...",
+//     "simd:...", preset names) that no longer parse/validate against the
+//     five live registries — a renamed knob breaks this lint, not a test at
+//     runtime (or worse, a bench silently measuring the wrong thing);
+//   * registry <-> doc parity — every registered key must have its key
+//     section/row in the matching docs/*.md and vice versa;
+//   * stale or unknown `// rhw-lint: allow(<rule>)` comments.
+//
+// An explicit `// rhw-lint: allow(<rule>)` comment on the offending line (or
+// the line directly above) whitelists a finding; docs/LINT.md documents the
+// rules and the syntax. Directories named "fixtures" are skipped — they hold
+// this tool's intentionally-violating test inputs (tests/lint/).
+//
+// Header hygiene (every public header compiles standalone) is the build's
+// half of the contract: CMake generates one TU per src/ header into the
+// `header_hygiene` target, so a header that stops being self-contained
+// breaks the build rather than the next include site.
+//
+//   $ ./rhw_lint [repo_root]     # root defaults to RHW_SOURCE_DIR
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "check_common.hpp"
+
+int main(int argc, char** argv) {
+  const std::filesystem::path root =
+      argc > 1 ? std::filesystem::path(argv[1])
+               : std::filesystem::path(RHW_SOURCE_DIR);
+
+  std::vector<rhw::check::LintDiag> diags;
+  rhw::check::LintStats stats;
+  rhw::check::lint_tree(root, diags, stats);
+
+  std::vector<rhw::check::Failure> parity;
+  size_t parity_checked = 0;
+  rhw::check::check_registry_doc_parity(root, parity, parity_checked);
+
+  std::printf(
+      "rhw_lint: %zu file(s), %zu spec literal(s) validated, %zu allow(s) "
+      "honored, %zu registry/doc pair(s) checked\n",
+      stats.files, stats.spec_literals, stats.allows_used, parity_checked);
+  for (const auto& d : diags) {
+    std::fprintf(stderr, "rhw_lint: %s:%zu: [%s] %s\n", d.file.c_str(), d.line,
+                 d.rule.c_str(), d.what.c_str());
+  }
+  for (const auto& f : parity) {
+    std::fprintf(stderr, "rhw_lint: %s: [parity] %s\n", f.file.c_str(),
+                 f.what.c_str());
+  }
+
+  // Floors guard against scanner regressions that silently match nothing
+  // (a glob typo walking zero files would otherwise read as a clean tree).
+  bool floor_failed = false;
+  if (stats.files < 100) {
+    std::fprintf(stderr,
+                 "rhw_lint: only %zu source file(s) walked — expected the "
+                 "tree to hold at least 100\n",
+                 stats.files);
+    floor_failed = true;
+  }
+  if (stats.spec_literals < 40) {
+    std::fprintf(stderr,
+                 "rhw_lint: only %zu spec literal(s) validated — expected "
+                 "tests/benches/examples to carry at least 40\n",
+                 stats.spec_literals);
+    floor_failed = true;
+  }
+  if (parity_checked < 5) {
+    std::fprintf(stderr,
+                 "rhw_lint: only %zu registry/doc pair(s) checked — all five "
+                 "registries must have a docs table\n",
+                 parity_checked);
+    floor_failed = true;
+  }
+  return (diags.empty() && parity.empty() && !floor_failed) ? 0 : 1;
+}
