@@ -62,6 +62,37 @@ std::vector<float> parse_epsilons(const std::string& axis,
   return out;
 }
 
+// The serve qps axis: a comma-separated list of positive offered rates
+// ("qps=100,400,1600"), round-tripped through float_token like epsilons.
+std::vector<float> parse_qps_list(const std::string& value) {
+  std::vector<float> out;
+  std::istringstream is(value);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    if (tok.empty()) continue;
+    float v = 0.f;
+    try {
+      size_t used = 0;
+      v = std::stof(tok, &used);
+      if (used != tok.size()) throw std::invalid_argument(tok);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("experiment option qps: bad rate '" + tok +
+                                  "' (expected a positive number)");
+    }
+    if (!(v > 0.f)) {
+      throw std::invalid_argument("experiment option qps: rate '" + tok +
+                                  "' must be > 0");
+    }
+    out.push_back(v);
+  }
+  if (out.empty()) {
+    throw std::invalid_argument(
+        "experiment option qps: expected a comma-separated list of positive "
+        "rates (got '" + value + "')");
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string float_token(float v) {
@@ -354,6 +385,27 @@ void ExperimentSpec::apply_override(const std::string& token) {
     verify = scalar_reader(key, value).integer(key, 0) != 0;
   } else if (key == "out") {
     out = value;
+  } else if (key == "serve") {
+    serve = scalar_reader(key, value).integer(key, 0) != 0;
+  } else if (key == "qps") {
+    qps = parse_qps_list(value);
+  } else if (key == "requests") {
+    requests =
+        static_cast<int64_t>(scalar_reader(key, value).integer(key, 256));
+    if (requests < 1) {
+      throw std::invalid_argument("experiment option requests: must be >= 1");
+    }
+  } else if (key == "batch_max") {
+    batch_max =
+        static_cast<int64_t>(scalar_reader(key, value).integer(key, 16));
+    if (batch_max < 1) {
+      throw std::invalid_argument("experiment option batch_max: must be >= 1");
+    }
+  } else if (key == "linger_us") {
+    linger_us =
+        static_cast<int64_t>(scalar_reader(key, value).integer(key, 2000));
+  } else if (key == "lanes") {
+    lanes = static_cast<int64_t>(scalar_reader(key, value).integer(key, 0));
   } else if (key == "tag") {
     if (value.empty()) {
       throw std::invalid_argument("experiment option tag: must be non-empty");
@@ -363,7 +415,8 @@ void ExperimentSpec::apply_override(const std::string& token) {
     throw std::invalid_argument(
         "experiment override '" + token + "': unknown option '" + key +
         "' (known: panels model dataset train engine eval_count backends "
-        "modes attacks trials seed batch verify out tag)");
+        "modes attacks trials seed batch verify out tag serve qps requests "
+        "batch_max linger_us lanes)");
   }
 }
 
@@ -377,6 +430,19 @@ std::vector<std::string> ExperimentSpec::to_args() const {
   args.push_back("seed=" + std::to_string(seed));
   args.push_back("batch=" + std::to_string(batch));
   if (verify) args.push_back("verify=1");
+  if (serve) {
+    args.push_back("serve=1");
+    std::string axis;
+    for (size_t i = 0; i < qps.size(); ++i) {
+      if (i != 0) axis += ",";
+      axis += float_token(qps[i]);
+    }
+    args.push_back("qps=" + axis);
+    args.push_back("requests=" + std::to_string(requests));
+    args.push_back("batch_max=" + std::to_string(batch_max));
+    args.push_back("linger_us=" + std::to_string(linger_us));
+    if (lanes > 0) args.push_back("lanes=" + std::to_string(lanes));
+  }
   if (!tag.empty()) args.push_back("tag=" + tag);
   if (!out.empty()) args.push_back("out=" + out);
   for (const auto& arm : backends) args.push_back("backends+=" + arm.to_item());
@@ -436,7 +502,32 @@ void ExperimentSpec::validate() const {
       // the driver always feeds SweepGrid::train_data from the panel's data.
     }
   }
-  if (modes.empty()) {
+  if (serve) {
+    // Serving mode replaces the (mode x attack x eps) grid with a
+    // (arm x offered-QPS) curve; modes/attacks may stay empty but anything
+    // declared is still validated below.
+    if (qps.empty()) {
+      throw std::invalid_argument(
+          who + ": serve=1 needs a non-empty qps axis (qps=100,400,...)");
+    }
+    for (const float rate : qps) {
+      if (!(rate > 0.f)) {
+        throw std::invalid_argument(who + ": qps rates must be > 0");
+      }
+    }
+    if (requests < 1) {
+      throw std::invalid_argument(who + ": requests must be >= 1");
+    }
+    if (batch_max < 1) {
+      throw std::invalid_argument(who + ": batch_max must be >= 1");
+    }
+    if (linger_us < 0) {
+      throw std::invalid_argument(who + ": linger_us must be >= 0");
+    }
+    if (lanes < 0) {
+      throw std::invalid_argument(who + ": lanes must be >= 0");
+    }
+  } else if (modes.empty()) {
     throw std::invalid_argument(who + ": no attack modes declared");
   }
   std::set<std::string> labels;
@@ -453,7 +544,7 @@ void ExperimentSpec::validate() const {
       }
     }
   }
-  if (attacks.empty()) {
+  if (attacks.empty() && !serve) {
     throw std::invalid_argument(who + ": no attack arms declared");
   }
   for (const auto& attack : attacks) {

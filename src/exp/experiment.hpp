@@ -111,6 +111,18 @@ struct ExperimentSpec {
   bool verify = false;  // always re-run serially and require cell parity
   std::string out;      // artifact path override; "" = BENCH_<tag>.json
 
+  // Serving mode (serve=1): the spec drives serve::Server + serve::LoadGen
+  // instead of the sweep engine — each backend arm serves `requests` Poisson
+  // arrivals at every offered rate on the `qps` axis, micro-batched under
+  // (batch_max, linger_us), and the run emits an rhw-serve-v1 latency curve
+  // (docs/SERVING.md). modes/attacks are not required in serving mode.
+  bool serve = false;
+  std::vector<float> qps;     // offered-load axis, requests/second
+  int64_t requests = 256;     // arrivals per (arm, qps) point
+  int64_t batch_max = 16;     // micro-batch size cap
+  int64_t linger_us = 2000;   // max queue wait of the oldest request
+  int64_t lanes = 0;          // worker lanes; 0 = $RHW_SERVE_LANES / cores
+
   // Applies one "key=value" / "axis+=item" override token. Throws
   // std::invalid_argument naming the offending token (key, item, or value)
   // with the same shape as the registries' errors.

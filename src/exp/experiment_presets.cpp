@@ -864,6 +864,58 @@ ExperimentSpec sweep_smoke_spec() {
   return s;
 }
 
+// -- serving ------------------------------------------------------------------
+
+ExperimentSpec serve_smoke_spec() {
+  ExperimentSpec s;
+  s.tag = "serve_smoke";
+  s.title = "Serving smoke";
+  s.subtitle =
+      "Tiny three-arm micro-batching serve run (fused ideal, defense-wrapped, "
+      "stochastic SRAM): deterministic Poisson load, rhw-serve-v1 artifact, "
+      "and digest parity across load points. Accuracy is meaningless "
+      "(untrained model); batching, latency accounting and request-level "
+      "determinism are what is under test.";
+  s.serve = true;
+  s.panels.push_back({kSmallVgg8, "tiny:classes=10,train=4,test=8,size=16"});
+  s.train = "none";
+  s.eval_count = 64;  // head() clamps to the tiny test set
+  s.qps = {400.f, 1600.f};
+  s.requests = 96;
+  s.batch_max = 8;
+  s.linger_us = 1000;
+  s.backends.push_back(arm("ideal", "ideal"));
+  s.backends.push_back(arm("disc4b", "ideal", "jpeg_quant:bits=4"));
+  s.backends.push_back(arm("sram", "sram:sites=2,num_8t=4,vdd=0.64"));
+  return s;
+}
+
+ExperimentSpec serve_curve_spec() {
+  const bool fast = fast_mode();
+  ExperimentSpec s;
+  s.tag = "serve";  // -> BENCH_serve.json
+  s.title = "Serving latency vs offered load";
+  s.subtitle =
+      "Open-loop Poisson load swept across offered QPS per (backend, "
+      "defense) arm: p50/p95/p99 latency and achieved throughput per point. "
+      "Past the saturation knee the open-loop queue grows without bound, so "
+      "achieved QPS plateaus while tail latency explodes — the knee the "
+      "compute-engine knob (engine=) and batching knobs visibly move.";
+  s.serve = true;
+  s.panels.push_back({kSmallVgg8, kTinyTrained});
+  s.train = fast ? "none" : "quick:epochs=2,batch=50";
+  s.eval_count = 64;
+  s.qps = {100.f, 200.f, 400.f, 800.f, 1600.f, 3200.f};
+  s.requests = fast ? 64 : 192;
+  s.batch_max = 16;
+  s.linger_us = 2000;
+  s.backends.push_back(arm("ideal", "ideal"));
+  s.backends.push_back(arm("xbar", "xbar:size=16"));
+  s.backends.push_back(arm("disc4b", "ideal", "jpeg_quant:bits=4"));
+  s.backends.push_back(arm("sram", "sram:sites=2,num_8t=4,vdd=0.64"));
+  return s;
+}
+
 // -- ablations ----------------------------------------------------------------
 
 ExperimentSpec ablation_adaptive_spec() {
@@ -1002,6 +1054,8 @@ void register_builtin_experiments(ExperimentRegistry& registry) {
       "obfuscation_audit", audit_spec,
       [] { return std::make_unique<AuditProgram>(); });
   registry.add("sweep_smoke", sweep_smoke_spec);
+  registry.add("serve_smoke", serve_smoke_spec);
+  registry.add("serve_curve", serve_curve_spec);
   registry.add(
       "ablation_adaptive", ablation_adaptive_spec,
       [] { return std::make_unique<AblationAdaptiveProgram>(); });

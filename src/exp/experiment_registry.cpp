@@ -8,6 +8,7 @@
 #include "core/engine_registry.hpp"
 #include "exp/ascii_plot.hpp"
 #include "exp/table_printer.hpp"
+#include "serve/serve_experiment.hpp"
 
 namespace rhw::exp {
 
@@ -283,6 +284,19 @@ std::vector<SweepResult> run_experiment(
                   pc.dataset.tag.c_str());
     }
     program->setup(pc);
+
+    // Serving mode: the spec drives serve::Server + serve::LoadGen instead
+    // of the sweep engine — a latency-vs-offered-load curve per arm, written
+    // as an rhw-serve-v1 artifact. The returned SweepResult carries only the
+    // stamp (there are no sweep cells to aggregate).
+    if (spec.serve) {
+      serve::run_serve_panel(spec, pc, stamp, artifact_path(spec, pc));
+      SweepResult result;
+      result.experiment = stamp;
+      results.push_back(std::move(result));
+      continue;
+    }
+
     build_grid(spec, pc);
 
     SweepEngine::Options opt;

@@ -85,8 +85,9 @@ class HardwareBackend {
   // identical network clone — without re-running data-driven calibration
   // (e.g. SramBackend carries its installed site selection over). This is
   // how exp::SweepEngine stamps out per-lane replicas after paying for one
-  // full prepare. Returns null when the backend cannot replicate itself;
-  // callers then rebuild from the original spec/factory.
+  // full prepare, and how serve::Server builds its worker-lane replicas.
+  // Returns null when the backend cannot replicate itself; callers then
+  // rebuild from the original spec/factory.
   virtual BackendPtr replicate() const { return nullptr; }
 
  protected:

@@ -1,0 +1,43 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+
+namespace rhw::serve {
+
+Batcher::Batcher(BatchPolicy policy) : policy_(policy) {
+  if (policy_.batch_max < 1) {
+    throw std::invalid_argument("batcher: batch_max must be >= 1");
+  }
+  if (policy_.linger_us < 0) {
+    throw std::invalid_argument("batcher: linger_us must be >= 0");
+  }
+}
+
+void Batcher::push(PendingRequest request) {
+  queue_.push_back(std::move(request));
+}
+
+std::vector<PendingRequest> Batcher::pop_ready(uint64_t now_us, bool flush) {
+  std::vector<PendingRequest> batch;
+  if (queue_.empty()) return batch;
+  const bool full = queue_.size() >= static_cast<size_t>(policy_.batch_max);
+  if (!full && !flush && now_us < next_deadline_us()) return batch;
+  const size_t take =
+      std::min(queue_.size(), static_cast<size_t>(policy_.batch_max));
+  batch.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+uint64_t Batcher::next_deadline_us() const {
+  if (queue_.empty()) return UINT64_MAX;
+  return queue_.front().enqueue_us + static_cast<uint64_t>(policy_.linger_us);
+}
+
+}  // namespace rhw::serve

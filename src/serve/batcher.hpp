@@ -1,0 +1,62 @@
+// serve::Batcher: the dynamic micro-batching policy, factored out of the
+// threaded Server so the batching invariants are testable in virtual time.
+//
+// Requests queue in submission order; a micro-batch forms when any of
+//   * the queue holds batch_max requests (size trigger),
+//   * the oldest queued request has waited linger_us (deadline trigger),
+//   * the caller flushes (shutdown drain).
+// The Batcher never reads a clock: callers pass `now_us` explicitly — the
+// threaded Server feeds std::chrono::steady_clock ticks, the tests feed
+// virtual time — so every invariant (a batch never exceeds batch_max, the
+// linger deadline is honored exactly, FIFO order is preserved) is asserted
+// deterministically in tests/serve/test_server.cpp.
+//
+// Not thread-safe by itself; Server serializes access under its queue mutex.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace rhw::serve {
+
+struct BatchPolicy {
+  int64_t batch_max = 16;    // micro-batch size cap; >= 1
+  int64_t linger_us = 2000;  // max wait of the oldest queued request; >= 0
+};
+
+// One queued classify request.
+struct PendingRequest {
+  uint64_t id = 0;
+  Tensor input;            // [1, C, H, W]
+  uint64_t enqueue_us = 0;
+};
+
+class Batcher {
+ public:
+  // Throws std::invalid_argument on a degenerate policy.
+  explicit Batcher(BatchPolicy policy);
+
+  void push(PendingRequest request);
+
+  // The next micro-batch if one is ready at `now_us` (or if `flush` and the
+  // queue is non-empty), else empty. Never returns more than batch_max
+  // requests; always the oldest ones, in submission order.
+  std::vector<PendingRequest> pop_ready(uint64_t now_us, bool flush = false);
+
+  // Absolute virtual time at which pop_ready() will fire on the deadline
+  // trigger (oldest enqueue + linger); UINT64_MAX when the queue is empty.
+  uint64_t next_deadline_us() const;
+
+  size_t depth() const { return queue_.size(); }
+  const BatchPolicy& policy() const { return policy_; }
+
+ private:
+  BatchPolicy policy_;
+  std::deque<PendingRequest> queue_;
+};
+
+}  // namespace rhw::serve

@@ -1,0 +1,62 @@
+#include "serve/loadgen.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "core/rng.hpp"
+
+namespace rhw::serve {
+
+LoadGen::LoadGen(LoadGenConfig config) : config_(std::move(config)) {
+  if (config_.stages.empty()) {
+    throw std::invalid_argument("loadgen: empty ramp (no stages)");
+  }
+  for (size_t i = 0; i < config_.stages.size(); ++i) {
+    const RampStage& stage = config_.stages[i];
+    if (!(stage.qps > 0.0)) {
+      throw std::invalid_argument("loadgen stage " + std::to_string(i) +
+                                  ": qps must be > 0");
+    }
+    if (stage.requests < 1) {
+      throw std::invalid_argument("loadgen stage " + std::to_string(i) +
+                                  ": requests must be >= 1");
+    }
+  }
+}
+
+std::vector<Arrival> LoadGen::schedule() const {
+  std::vector<Arrival> out;
+  size_t total = 0;
+  for (const RampStage& stage : config_.stages) {
+    total += static_cast<size_t>(stage.requests);
+  }
+  out.reserve(total);
+
+  const uint64_t arrival_seed =
+      derive_stream_seed(config_.seed, kServeArrivalStream);
+  uint64_t id = 0;
+  uint64_t t_us = 0;
+  for (size_t s = 0; s < config_.stages.size(); ++s) {
+    const RampStage& stage = config_.stages[s];
+    // One independent stream per stage: appending or editing stage s+1 can
+    // never perturb stage s's gaps.
+    RandomEngine rng(derive_stream_seed(arrival_seed, s));
+    for (int64_t r = 0; r < stage.requests; ++r) {
+      // Exponential inter-arrival gap with mean 1/qps seconds. next_double()
+      // is in [0, 1), so -log(1 - u) is finite and >= 0.
+      const double gap_us =
+          -std::log1p(-rng.next_double()) * 1e6 / stage.qps;
+      t_us += static_cast<uint64_t>(std::llround(gap_us));
+      out.push_back({id++, t_us, s});
+    }
+  }
+  return out;
+}
+
+uint64_t LoadGen::duration_us() const {
+  const std::vector<Arrival> arrivals = schedule();
+  return arrivals.empty() ? 0 : arrivals.back().time_us;
+}
+
+}  // namespace rhw::serve

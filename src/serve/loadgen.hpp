@@ -1,0 +1,68 @@
+// serve::LoadGen: deterministic open-loop Poisson load generation.
+//
+// A LoadGen turns (seed, QPS ramp stages) into a fully precomputed arrival
+// schedule in *virtual microseconds*: inter-arrival gaps are exponential with
+// the stage's rate, drawn from one RandomEngine stream derived (splitmix64)
+// per stage. Because the schedule is a pure function of the config —
+// computed up front on per-stage streams, never on worker threads — it is
+// bit-identical at any server lane count, and editing a later ramp stage
+// never perturbs an earlier one (stage-prefix property,
+// tests/serve/test_loadgen.cpp).
+//
+// Open-loop means arrivals do not wait for responses: past the server's
+// saturation knee the queue grows without bound and tail latency explodes,
+// which is exactly the curve BENCH_serve.json records (docs/SERVING.md).
+//
+// The schedule *is* the virtual-time mode: tests assert on it directly with
+// no clock anywhere. Real-time serving (exp/serve_experiment.cpp) replays it
+// against std::chrono::steady_clock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rhw::serve {
+
+// Stream id under the serve seed for arrival-gap RNG (stage index derived
+// on top, so every stage owns an independent stream).
+inline constexpr uint64_t kServeArrivalStream = 0xA331;
+
+// One constant-rate segment of the offered-load ramp.
+struct RampStage {
+  double qps = 100.0;      // offered load, requests/second; > 0
+  int64_t requests = 100;  // arrivals in this stage; >= 1
+};
+
+struct LoadGenConfig {
+  std::vector<RampStage> stages;
+  uint64_t seed = 0xADE5;  // attacks::kDefaultEvalSeed
+};
+
+// One scheduled request arrival.
+struct Arrival {
+  uint64_t id = 0;       // submission order, 0-based across all stages
+  uint64_t time_us = 0;  // virtual microseconds since schedule start
+  size_t stage = 0;      // index into LoadGenConfig::stages
+};
+
+class LoadGen {
+ public:
+  // Throws std::invalid_argument on an empty ramp or a degenerate stage
+  // (qps <= 0, requests < 1), naming the offending stage.
+  explicit LoadGen(LoadGenConfig config);
+
+  const LoadGenConfig& config() const { return config_; }
+
+  // The full schedule: arrivals in nondecreasing time order, ids sequential.
+  // Deterministic in (seed, stages) alone.
+  std::vector<Arrival> schedule() const;
+
+  // Total virtual duration (last arrival time); 0 for a single arrival at 0.
+  uint64_t duration_us() const;
+
+ private:
+  LoadGenConfig config_;
+};
+
+}  // namespace rhw::serve

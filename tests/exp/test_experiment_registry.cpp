@@ -30,7 +30,8 @@ TEST(ExperimentRegistry, RegistersEveryFigureTableAndExample) {
   for (const char* name :
        {"fig5", "fig5w", "fig6", "fig7", "fig8a", "fig8bc", "table1",
         "table2", "table3", "shootout", "obfuscation_audit", "sweep_smoke",
-        "ablation_adaptive", "ablation_chip_variation"}) {
+        "serve_smoke", "serve_curve", "ablation_adaptive",
+        "ablation_chip_variation"}) {
     EXPECT_TRUE(registry.contains(name)) << name;
     // Resolution + full validation against the three live registries — the
     // same check `rhw_run --list` runs in CI.
@@ -191,6 +192,50 @@ TEST(ExperimentOverrides, EngineKnobValidatesAndRoundTrips) {
   EXPECT_THROW(spec.validate(), std::invalid_argument);
 }
 
+// The serving knobs (serve=, qps=, requests=, batch_max=, linger_us=,
+// lanes=) follow the same override + token-naming error contract, and
+// serve=1 relaxes validate()'s modes/attacks requirements.
+TEST(ExperimentOverrides, ServeKnobsValidateAndReportErrors) {
+  ExperimentSpec spec = ExperimentRegistry::instance().preset("serve_smoke");
+  EXPECT_TRUE(spec.serve);
+  EXPECT_TRUE(spec.modes.empty());    // serving mode needs no attack grid
+  EXPECT_TRUE(spec.attacks.empty());
+  EXPECT_NO_THROW(spec.validate());
+
+  spec.apply_override("qps=250,1e3");
+  ASSERT_EQ(spec.qps.size(), 2u);
+  EXPECT_FLOAT_EQ(spec.qps[0], 250.f);
+  EXPECT_FLOAT_EQ(spec.qps[1], 1000.f);
+  spec.apply_override("requests=12");
+  spec.apply_override("batch_max=32");
+  spec.apply_override("linger_us=500");
+  spec.apply_override("lanes=3");
+  EXPECT_EQ(spec.requests, 12);
+  EXPECT_EQ(spec.batch_max, 32);
+  EXPECT_EQ(spec.linger_us, 500);
+  EXPECT_EQ(spec.lanes, 3);
+  EXPECT_NO_THROW(spec.validate());
+
+  try {
+    spec.apply_override("qps=100,abc");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("abc"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(spec.apply_override("qps=0"), std::invalid_argument);
+  EXPECT_THROW(spec.apply_override("qps="), std::invalid_argument);
+  EXPECT_THROW(spec.apply_override("requests=0"), std::invalid_argument);
+  EXPECT_THROW(spec.apply_override("batch_max=0"), std::invalid_argument);
+  EXPECT_THROW(spec.apply_override("linger_us=-1"), std::invalid_argument);
+
+  // Dropping back to sweep mode re-arms the modes/attacks requirements: a
+  // serve preset has neither, so validate() fails again.
+  spec.apply_override("serve=0");
+  EXPECT_FALSE(spec.serve);
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
 TEST(ExperimentOverrides, ModelAndDatasetRewriteEveryPanel) {
   ExperimentSpec spec = ExperimentRegistry::instance().preset("fig6");
   spec.apply_override("model=vgg16");
@@ -209,7 +254,9 @@ TEST(ExperimentOverrides, ModelAndDatasetRewriteEveryPanel) {
 // to_args() is the canonical serialization the v4 artifacts embed: applying
 // it to an empty spec reproduces the preset bit-exactly (epsilons included).
 TEST(ExperimentOverrides, ToArgsRoundTripsBitExactly) {
-  for (const char* name : {"fig5", "fig8bc", "shootout", "sweep_smoke"}) {
+  for (const char* name :
+       {"fig5", "fig8bc", "shootout", "sweep_smoke", "serve_smoke",
+        "serve_curve"}) {
     const ExperimentSpec original =
         ExperimentRegistry::instance().preset(name);
     ExperimentSpec rebuilt;
@@ -227,6 +274,12 @@ TEST(ExperimentOverrides, ToArgsRoundTripsBitExactly) {
     EXPECT_EQ(rebuilt.seed, original.seed) << name;
     EXPECT_EQ(rebuilt.batch, original.batch) << name;
     EXPECT_EQ(rebuilt.verify, original.verify) << name;
+    EXPECT_EQ(rebuilt.serve, original.serve) << name;
+    EXPECT_EQ(rebuilt.qps, original.qps) << name;
+    EXPECT_EQ(rebuilt.requests, original.requests) << name;
+    EXPECT_EQ(rebuilt.batch_max, original.batch_max) << name;
+    EXPECT_EQ(rebuilt.linger_us, original.linger_us) << name;
+    EXPECT_EQ(rebuilt.lanes, original.lanes) << name;
     EXPECT_EQ(rebuilt.tag, original.tag) << name;
   }
 }

@@ -7,7 +7,10 @@
 //   $ rhw_run --list
 //   $ rhw_run sweep_smoke
 //   $ rhw_run fig8bc trials=5 backends+=xbar:rmin=1e5+smooth:sigma=0.25
+//   $ rhw_run serve_curve qps=100,400,1600 lanes=8
 //
+// Serving presets (serve=1) drive serve::Server + serve::LoadGen instead of
+// the sweep engine and write rhw-serve-v1 latency curves (docs/SERVING.md).
 // docs/EXPERIMENTS.md has the grammar, every preset, and an override
 // cookbook.
 #include <string>
