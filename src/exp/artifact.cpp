@@ -1,0 +1,589 @@
+#include "exp/artifact.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace rhw::exp {
+
+// -- JSON reader --------------------------------------------------------------
+
+namespace {
+
+struct JsonParser {
+  const std::string& s;
+  size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("JSON error at offset " + std::to_string(pos) +
+                             ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t' ||
+                              s[pos] == '\n' || s[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  char peek() const {
+    if (pos >= s.size()) fail("unexpected end of input");
+    return s[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+
+  bool consume_literal(const char* lit) {
+    const size_t n = std::char_traits<char>::length(lit);
+    if (s.compare(pos, n, lit) != 0) return false;
+    pos += n;
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos >= s.size()) fail("unterminated string");
+      const char c = s[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= s.size()) fail("unterminated escape");
+      const char e = s[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > s.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s[pos++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          // The writer only escapes control characters; encode any BMP code
+          // point as UTF-8 without surrogate-pair handling.
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const size_t start = pos;
+    if (pos < s.size() && s[pos] == '-') ++pos;
+    while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) ++pos;
+    if (pos < s.size() && s[pos] == '.') {
+      ++pos;
+      while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) ++pos;
+    }
+    if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+      ++pos;
+      if (pos < s.size() && (s[pos] == '+' || s[pos] == '-')) ++pos;
+      while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) ++pos;
+    }
+    if (pos == start || (pos == start + 1 && s[start] == '-')) fail("bad number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.text = s.substr(start, pos - start);  // raw literal: uint64-exact
+    return v;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    JsonValue v;
+    if (c == '{') {
+      ++pos;
+      v.kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos;
+        return v;
+      }
+      for (;;) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        v.members.emplace_back(std::move(key), parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      v.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos;
+        return v;
+      }
+      for (;;) {
+        v.items.push_back(parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.text = parse_string();
+      return v;
+    }
+    if (consume_literal("null")) return v;
+    if (consume_literal("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    return parse_number();
+  }
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) throw std::runtime_error("missing key '" + key + "'");
+  return *v;
+}
+
+double JsonValue::number() const {
+  if (kind != Kind::kNumber) throw std::runtime_error("value is not a number");
+  return std::strtod(text.c_str(), nullptr);
+}
+
+int64_t JsonValue::number_i64() const {
+  if (kind != Kind::kNumber) throw std::runtime_error("value is not a number");
+  return std::strtoll(text.c_str(), nullptr, 10);
+}
+
+uint64_t JsonValue::number_u64() const {
+  if (kind != Kind::kNumber) throw std::runtime_error("value is not a number");
+  return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+const std::string& JsonValue::string_value() const {
+  if (kind != Kind::kString) throw std::runtime_error("value is not a string");
+  return text;
+}
+
+JsonValue parse_json(const std::string& text) {
+  JsonParser p{text};
+  JsonValue v = p.parse_value();
+  p.skip_ws();
+  if (p.pos != text.size()) p.fail("trailing characters after document");
+  return v;
+}
+
+// -- artifact loading ---------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void load_fail(const std::string& path, const std::string& why) {
+  throw std::runtime_error(path + ": " + why);
+}
+
+size_t index_of_label(const std::string& path, const std::string& what,
+                      const std::vector<std::string>& labels,
+                      const std::string& label) {
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == label) return i;
+  }
+  std::string known;
+  for (const auto& l : labels) known += " '" + l + "'";
+  load_fail(path, "cell references unknown " + what + " '" + label +
+                      "'; artifact " + what + "s:" + known);
+}
+
+std::vector<std::string> string_array(const JsonValue& arr) {
+  std::vector<std::string> out;
+  out.reserve(arr.items.size());
+  for (const auto& item : arr.items) out.push_back(item.string_value());
+  return out;
+}
+
+}  // namespace
+
+SweepArtifact load_sweep_artifact(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) load_fail(path, "cannot open file");
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  JsonValue doc;
+  try {
+    doc = parse_json(buf.str());
+  } catch (const std::exception& e) {
+    load_fail(path, e.what());
+  }
+
+  SweepArtifact art;
+  art.path = path;
+  try {
+    const std::string schema = doc.at("schema").string_value();
+    if (schema != "rhw-sweep-v4") {
+      load_fail(path, "unsupported schema '" + schema +
+                          "' (rhw_merge fuses rhw-sweep-v4 artifacts)");
+    }
+    art.figure = doc.at("figure").string_value();
+    SweepResult& r = art.result;
+    const JsonValue& exp = doc.at("experiment");
+    if (exp.kind == JsonValue::Kind::kObject) {
+      r.experiment.preset = exp.at("preset").string_value();
+      r.experiment.overrides = string_array(exp.at("overrides"));
+      r.experiment.canonical = string_array(exp.at("canonical"));
+      if (const JsonValue* shard = exp.find("shard")) {
+        r.experiment.shard_index = static_cast<size_t>(shard->at("index").number_u64());
+        r.experiment.shard_count = static_cast<size_t>(shard->at("count").number_u64());
+      }
+      if (const JsonValue* merged = exp.find("merged_shards")) {
+        r.experiment.merged_shards = static_cast<size_t>(merged->number_u64());
+      }
+    }
+    r.trials = static_cast<int>(doc.at("trials").number_i64());
+    r.base_seed = doc.at("base_seed").number_u64();
+    if (const JsonValue* lanes = doc.find("lanes")) {
+      r.lanes = static_cast<unsigned>(lanes->number_u64());
+    }
+    if (const JsonValue* wall = doc.find("wall_seconds")) {
+      r.wall_seconds = wall->number();
+    }
+    r.mode_labels = string_array(doc.at("modes"));
+    for (const auto& b : doc.at("backends").items) {
+      r.backends.push_back({b.at("key").string_value(), b.at("spec").string_value(),
+                            b.at("defense").string_value(),
+                            b.at("defense_name").string_value()});
+    }
+    for (const auto& m : doc.at("mode_defs").items) {
+      r.mode_defs.push_back({m.at("label").string_value(),
+                             m.at("grad").string_value(),
+                             m.at("eval").string_value()});
+    }
+    r.attack_specs = string_array(doc.at("attacks"));
+    r.attack_names = string_array(doc.at("attack_names"));
+
+    bool any_missing_index = false;
+    for (const auto& c : doc.at("cells").items) {
+      SweepCell cell;
+      cell.mode = index_of_label(path, "mode", r.mode_labels,
+                                 c.at("mode").string_value());
+      cell.attack = index_of_label(path, "attack", r.attack_specs,
+                                   c.at("attack").string_value());
+      cell.epsilon = static_cast<float>(c.at("eps").number());
+      cell.eps_index = static_cast<size_t>(c.at("eps_index").number_u64());
+      cell.trial = static_cast<int>(c.at("trial").number_i64());
+      cell.seed = c.at("seed").number_u64();
+      cell.clean_acc = c.at("clean").number();
+      cell.adv_acc = c.at("adv").number();
+      cell.al = c.at("al").number();
+      cell.cert_radius = c.at("cert_radius").number();
+      if (const JsonValue* idx = c.find("index")) {
+        cell.index = static_cast<size_t>(idx->number_u64());
+      } else {
+        any_missing_index = true;
+      }
+      r.cells.push_back(cell);
+    }
+    // Pre-index v4 files carry the full grid in enumeration order: derive
+    // the canonical indices from the coordinates.
+    if (any_missing_index) {
+      std::vector<size_t> eps_counts(r.attack_specs.size(), 0);
+      for (const SweepCell& cell : r.cells) {
+        eps_counts[cell.attack] =
+            std::max(eps_counts[cell.attack], cell.eps_index + 1);
+      }
+      std::map<std::tuple<int, size_t, size_t, size_t>, size_t> index_of;
+      for (const CellCoord& c :
+           enumerate_cells(r.mode_labels.size(), eps_counts, r.trials)) {
+        index_of[{c.trial, c.mode, c.attack, c.eps_index}] = c.index;
+      }
+      for (SweepCell& cell : r.cells) {
+        const auto it =
+            index_of.find({cell.trial, cell.mode, cell.attack, cell.eps_index});
+        if (it == index_of.end()) {
+          load_fail(path, "cell coordinates outside the enumerated grid");
+        }
+        cell.index = it->second;
+      }
+    }
+    if (const JsonValue* total = doc.find("cells_total")) {
+      r.cells_total = static_cast<size_t>(total->number_u64());
+    } else {
+      r.cells_total = r.cells.size();
+    }
+    for (const auto& a : doc.at("aggregates").items) {
+      SweepAggregate agg;
+      agg.mode = index_of_label(path, "mode", r.mode_labels,
+                                a.at("mode").string_value());
+      agg.attack = index_of_label(path, "attack", r.attack_specs,
+                                  a.at("attack").string_value());
+      agg.epsilon = static_cast<float>(a.at("eps").number());
+      const int64_t n = a.at("n").number_i64();
+      agg.clean.n = agg.adv.n = agg.al.n = agg.cert.n = n;
+      agg.clean.mean = a.at("clean_mean").number();
+      agg.clean.ci95 = a.at("clean_ci95").number();
+      agg.adv.mean = a.at("adv_mean").number();
+      agg.adv.ci95 = a.at("adv_ci95").number();
+      agg.al.mean = a.at("al_mean").number();
+      agg.al.stddev = a.at("al_stddev").number();
+      agg.al.ci95 = a.at("al_ci95").number();
+      agg.cert.mean = a.at("cert_mean").number();
+      agg.cert.ci95 = a.at("cert_ci95").number();
+      // eps_index is not serialized for aggregates: recover it by position
+      // within the (mode, attack) row, which is emitted eps-ascending.
+      for (const auto& prev : r.aggregates) {
+        if (prev.mode == agg.mode && prev.attack == agg.attack) ++agg.eps_index;
+      }
+      r.aggregates.push_back(agg);
+    }
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    if (what.rfind(path, 0) == 0) throw;  // already path-prefixed
+    load_fail(path, what);
+  }
+  return art;
+}
+
+// -- merging ------------------------------------------------------------------
+
+namespace {
+
+std::string engine_token(const ExperimentStamp& stamp) {
+  for (const auto& token : stamp.canonical) {
+    if (token.rfind("engine=", 0) == 0) return token;
+  }
+  return "";
+}
+
+// The canonical args minus out= (each shard may write to its own path
+// without becoming a different experiment).
+std::vector<std::string> spec_tokens(const ExperimentStamp& stamp) {
+  std::vector<std::string> out;
+  for (const auto& token : stamp.canonical) {
+    if (token.rfind("out=", 0) == 0) continue;
+    out.push_back(token);
+  }
+  return out;
+}
+
+[[noreturn]] void mismatch(const std::string& what, const std::string& a,
+                           const std::string& path_a, const std::string& b,
+                           const std::string& path_b) {
+  throw std::runtime_error("rhw_merge: " + what + " mismatch: '" + a + "' (" +
+                           path_a + ") vs '" + b + "' (" + path_b + ")");
+}
+
+}  // namespace
+
+SweepResult merge_artifacts(const std::vector<SweepArtifact>& shards,
+                            std::string* figure_out) {
+  if (shards.empty()) {
+    throw std::runtime_error("rhw_merge: no input artifacts");
+  }
+  for (const SweepArtifact& s : shards) {
+    if (s.result.experiment.preset.empty()) {
+      throw std::runtime_error(
+          "rhw_merge: " + s.path +
+          ": artifact carries no experiment stamp (\"experiment\":null, "
+          "an ad-hoc grid); only rhw_run artifacts merge");
+    }
+  }
+  const SweepArtifact& first = shards.front();
+  const std::vector<std::string> first_spec = spec_tokens(first.result.experiment);
+  for (size_t i = 1; i < shards.size(); ++i) {
+    const SweepArtifact& s = shards[i];
+    if (s.figure != first.figure) {
+      mismatch("figure", first.figure, first.path, s.figure, s.path);
+    }
+    if (s.result.experiment.preset != first.result.experiment.preset) {
+      mismatch("preset", first.result.experiment.preset, first.path,
+               s.result.experiment.preset, s.path);
+    }
+    // Engine first: a run rebuilt under a different kernel is the classic
+    // foot-gun, and the generic canonical diff below would bury it.
+    const std::string eng_a = engine_token(first.result.experiment);
+    const std::string eng_b = engine_token(s.result.experiment);
+    if (eng_a != eng_b) {
+      mismatch("engine stamp", eng_a, first.path, eng_b, s.path);
+    }
+    const std::vector<std::string> spec = spec_tokens(s.result.experiment);
+    for (size_t t = 0; t < std::max(first_spec.size(), spec.size()); ++t) {
+      const std::string a = t < first_spec.size() ? first_spec[t] : "<absent>";
+      const std::string b = t < spec.size() ? spec[t] : "<absent>";
+      if (a != b) mismatch("canonical spec", a, first.path, b, s.path);
+    }
+    if (s.result.cells_total != first.result.cells_total) {
+      mismatch("cells_total", std::to_string(first.result.cells_total),
+               first.path, std::to_string(s.result.cells_total), s.path);
+    }
+  }
+
+  SweepResult merged;
+  merged.mode_labels = first.result.mode_labels;
+  merged.mode_defs = first.result.mode_defs;
+  merged.backends = first.result.backends;
+  merged.attack_specs = first.result.attack_specs;
+  merged.attack_names = first.result.attack_names;
+  merged.trials = first.result.trials;
+  merged.base_seed = first.result.base_seed;
+  merged.cells_total = first.result.cells_total;
+  merged.lanes = 0;
+
+  struct Source {
+    SweepCell cell;
+    const std::string* path = nullptr;
+  };
+  std::map<size_t, Source> by_index;
+  for (const SweepArtifact& s : shards) {
+    merged.wall_seconds += s.result.wall_seconds;
+    for (const SweepCell& cell : s.result.cells) {
+      const auto [it, inserted] = by_index.insert({cell.index, {cell, &s.path}});
+      if (!inserted) {
+        throw std::runtime_error(
+            "rhw_merge: duplicate cell index " + std::to_string(cell.index) +
+            " (" + *it->second.path + " and " + s.path + ")");
+      }
+    }
+  }
+  for (size_t i = 0; i < merged.cells_total; ++i) {
+    if (by_index.count(i) == 0) {
+      throw std::runtime_error(
+          "rhw_merge: merge incomplete: missing cell index " +
+          std::to_string(i) + " (have " + std::to_string(by_index.size()) +
+          " of " + std::to_string(merged.cells_total) + " cells)");
+    }
+  }
+  if (by_index.size() != merged.cells_total) {
+    // Indices past the declared grid: corrupt input.
+    throw std::runtime_error(
+        "rhw_merge: cell index " + std::to_string(by_index.rbegin()->first) +
+        " outside the declared grid of " + std::to_string(merged.cells_total) +
+        " cells");
+  }
+  merged.cells.reserve(by_index.size());
+  for (const auto& [index, src] : by_index) merged.cells.push_back(src.cell);
+  merged.aggregates = compute_aggregates(merged);
+
+  merged.experiment = first.result.experiment;
+  merged.experiment.shard_index = 0;
+  merged.experiment.shard_count = 1;
+  merged.experiment.merged_shards = shards.size();
+  // Per-shard output paths are shard state, not experiment identity.
+  std::erase_if(merged.experiment.canonical, [](const std::string& t) {
+    return t.rfind("out=", 0) == 0;
+  });
+  std::erase_if(merged.experiment.overrides, [](const std::string& t) {
+    return t.rfind("out=", 0) == 0;
+  });
+
+  if (figure_out != nullptr) *figure_out = first.figure;
+  return merged;
+}
+
+// -- spec diff ----------------------------------------------------------------
+
+std::string diff_artifacts(const SweepArtifact& a, const SweepArtifact& b) {
+  auto key_of = [](const std::string& token) {
+    const size_t eq = token.find('=');
+    std::string key = eq == std::string::npos ? token : token.substr(0, eq);
+    if (!key.empty() && key.back() == '+') key.pop_back();  // axis+=item
+    return key;
+  };
+  auto group = [&](const ExperimentStamp& stamp) {
+    std::vector<std::pair<std::string, std::vector<std::string>>> out;
+    for (const auto& token : stamp.canonical) {
+      const std::string key = key_of(token);
+      auto it = std::find_if(out.begin(), out.end(),
+                             [&](const auto& kv) { return kv.first == key; });
+      if (it == out.end()) {
+        out.push_back({key, {token}});
+      } else {
+        it->second.push_back(token);
+      }
+    }
+    return out;
+  };
+  const auto ga = group(a.result.experiment);
+  const auto gb = group(b.result.experiment);
+  std::vector<std::string> keys;
+  for (const auto& [key, tokens] : ga) keys.push_back(key);
+  for (const auto& [key, tokens] : gb) {
+    if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+      keys.push_back(key);
+    }
+  }
+  auto tokens_of = [](const auto& groups, const std::string& key)
+      -> const std::vector<std::string>* {
+    for (const auto& [k, tokens] : groups) {
+      if (k == key) return &tokens;
+    }
+    return nullptr;
+  };
+  std::string out;
+  for (const auto& key : keys) {
+    const std::vector<std::string>* ta = tokens_of(ga, key);
+    const std::vector<std::string>* tb = tokens_of(gb, key);
+    if (ta != nullptr && tb != nullptr && *ta == *tb) continue;
+    if (ta != nullptr) {
+      for (const auto& token : *ta) out += "- " + token + "\n";
+    }
+    if (tb != nullptr) {
+      for (const auto& token : *tb) out += "+ " + token + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace rhw::exp

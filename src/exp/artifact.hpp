@@ -1,0 +1,79 @@
+// Reading side of the rhw-sweep-v4 artifact format, and the shard-merge
+// logic behind the rhw_merge tool.
+//
+// JsonValue/parse_json is a minimal dependency-free JSON reader (the
+// counterpart of exp/sweep_stats.hpp's JsonWriter). Numbers keep their raw
+// literal text: base_seed and cell seeds are full-width uint64 values that a
+// double round-trip would corrupt past 2^53, so typed accessors convert the
+// text directly (strtoull / strtod). %.17g doubles round-trip bit-exactly,
+// which is what makes load -> merge -> rewrite byte-stable.
+//
+// load_sweep_artifact rebuilds a SweepResult from a v4 file; merge_artifacts
+// fuses N shard/partial artifacts into the full grid, refusing mismatched
+// canonical specs, engine stamps, schema versions, duplicate or missing
+// cells — each with a token-precise std::runtime_error in the registries'
+// error style. diff_artifacts renders the canonical-spec difference between
+// two artifacts' embedded experiment stamps (rhw_merge --diff).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/sweep.hpp"
+
+namespace rhw::exp {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string text;  // kNumber: raw literal; kString: decoded text
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject, ordered
+
+  const JsonValue* find(const std::string& key) const;  // null when absent
+  // Member lookup that throws std::runtime_error naming the missing key.
+  const JsonValue& at(const std::string& key) const;
+
+  double number() const;        // strtod over the raw literal
+  int64_t number_i64() const;   // strtoll — exact for full-range int64
+  uint64_t number_u64() const;  // strtoull — exact for full-width seeds
+  const std::string& string_value() const;
+};
+
+// Parses one JSON document (the whole input must be consumed, trailing
+// whitespace aside). Throws std::runtime_error with the byte offset of the
+// first error — the journal loader uses that to detect torn lines.
+JsonValue parse_json(const std::string& text);
+
+// One parsed rhw-sweep-v4 file: the SweepResult rebuilt field-for-field plus
+// the figure tag. Throws std::runtime_error naming the path and the
+// offending token (wrong schema — including pre-v4 versions by name —
+// missing fields, unknown mode/attack labels in cells).
+struct SweepArtifact {
+  std::string path;
+  std::string figure;
+  SweepResult result;
+};
+
+SweepArtifact load_sweep_artifact(const std::string& path);
+
+// Fuses shard artifacts into the full-grid result: cells sorted back into
+// canonical enumeration order, aggregates recomputed via compute_aggregates
+// (bit-identical to the monolithic run), wall_seconds summed, the first
+// shard's experiment stamp carried with merged_shards set and any per-shard
+// out= override dropped. Throws std::runtime_error on mismatched figure,
+// preset, engine stamp or canonical spec (out= excluded), on a missing
+// experiment stamp, on duplicate cell indices across shards, and on an
+// incomplete union. `figure_out`, when non-null, receives the shared figure
+// tag.
+SweepResult merge_artifacts(const std::vector<SweepArtifact>& shards,
+                            std::string* figure_out = nullptr);
+
+// Human-readable diff of two artifacts' embedded canonical specs, "-/+"
+// lines per differing override token ("" when the specs agree).
+std::string diff_artifacts(const SweepArtifact& a, const SweepArtifact& b);
+
+}  // namespace rhw::exp

@@ -2,8 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 #include "core/engine_registry.hpp"
 #include "exp/ascii_plot.hpp"
@@ -123,17 +125,58 @@ bool env_flag(const char* name) {
   return env != nullptr && *env != '\0' && *env != '0';
 }
 
+std::string suffix_before_json(const std::string& path,
+                               const std::string& suffix) {
+  const size_t ext = path.rfind(".json");
+  if (ext != std::string::npos && ext + 5 == path.size()) {
+    return path.substr(0, ext) + suffix + ".json";
+  }
+  return path + suffix;
+}
+
 std::string artifact_path(const ExperimentSpec& spec,
                           const PanelContext& panel) {
-  if (spec.out.empty()) return "BENCH_" + panel.tag + ".json";
-  if (spec.panels.size() == 1) return spec.out;
-  // Multi-panel run with an explicit output path: suffix before ".json".
-  const std::string suffix = "_" + panel.arch.arch + "_" + panel.dataset.tag;
-  const size_t ext = spec.out.rfind(".json");
-  if (ext != std::string::npos && ext + 5 == spec.out.size()) {
-    return spec.out.substr(0, ext) + suffix + ".json";
+  std::string path;
+  if (spec.out.empty()) {
+    path = "BENCH_" + panel.tag + ".json";
+  } else if (spec.panels.size() == 1) {
+    path = spec.out;
+  } else {
+    // Multi-panel run with an explicit output path: suffix before ".json".
+    path = suffix_before_json(
+        spec.out, "_" + panel.arch.arch + "_" + panel.dataset.tag);
   }
-  return spec.out + suffix;
+  return path;
+}
+
+// Sharded runs write per-shard artifacts next to the unsharded path:
+// BENCH_foo.json -> BENCH_foo_shard1of3.json.
+std::string shard_artifact_path(std::string path, const RunOptions& run) {
+  if (run.shard_count <= 1) return path;
+  return suffix_before_json(std::move(path),
+                            "_shard" + std::to_string(run.shard_index) + "of" +
+                                std::to_string(run.shard_count));
+}
+
+// The resume identity: canonical spec args + shard + panel tag. A journal
+// written under a different header can never replay into this run.
+std::string journal_header(const ExperimentSpec& spec, const RunOptions& run,
+                           const std::string& panel_tag) {
+  std::string header;
+  for (const auto& token : spec.to_args()) {
+    if (!header.empty()) header += ' ';
+    header += token;
+  }
+  header += " | shard=" + std::to_string(run.shard_index) + "/" +
+            std::to_string(run.shard_count);
+  header += " | panel=" + panel_tag;
+  return header;
+}
+
+size_t env_cell_budget() {
+  const char* env = std::getenv("RHW_SWEEP_CELL_BUDGET");
+  if (env == nullptr || *env == '\0') return 0;
+  return static_cast<size_t>(std::strtoull(env, nullptr, 10));
 }
 
 PanelContext make_panel(const ExperimentSpec& spec, size_t index) {
@@ -222,9 +265,14 @@ size_t count_cell_mismatches(const SweepResult& parallel,
   return mismatches;
 }
 
-void verify_serial_parity(const SweepGrid& grid, const SweepResult& parallel) {
+void verify_serial_parity(const SweepGrid& grid, const SweepResult& parallel,
+                          const RunOptions& run) {
+  // Same shard of the grid, one lane, no journal: the serial re-run must be
+  // bit-identical even when the parallel run restored cells from a journal.
   SweepEngine::Options opt;
   opt.threads = 1;
+  opt.shard_index = run.shard_index;
+  opt.shard_count = run.shard_count;
   SweepEngine serial_engine(opt);
   const SweepResult serial = serial_engine.run(grid);
   const size_t mismatches = count_cell_mismatches(parallel, serial);
@@ -244,11 +292,122 @@ void verify_serial_parity(const SweepGrid& grid, const SweepResult& parallel) {
 
 }  // namespace
 
+bool parse_run_flag(const std::string& token, RunOptions& opts) {
+  if (token == "--resume") {
+    opts.resume = true;
+    return true;
+  }
+  if (token == "--dry-run") {
+    opts.dry_run = true;
+    return true;
+  }
+  if (token.rfind("--shard=", 0) == 0) {
+    const std::string value = token.substr(8);
+    const size_t slash = value.find('/');
+    uint64_t index = 0;
+    uint64_t count = 0;
+    bool ok = slash != std::string::npos && slash > 0 &&
+              slash + 1 < value.size();
+    if (ok) {
+      for (size_t i = 0; ok && i < value.size(); ++i) {
+        if (i == slash) continue;
+        ok = value[i] >= '0' && value[i] <= '9';
+      }
+    }
+    if (ok) {
+      index = std::strtoull(value.substr(0, slash).c_str(), nullptr, 10);
+      count = std::strtoull(value.substr(slash + 1).c_str(), nullptr, 10);
+      ok = count > 0 && index < count;
+    }
+    if (!ok) {
+      throw std::invalid_argument("flag '" + token +
+                                  "': expected --shard=i/n with 0 <= i < n "
+                                  "(e.g. --shard=0/3)");
+    }
+    opts.shard_index = static_cast<size_t>(index);
+    opts.shard_count = static_cast<size_t>(count);
+    return true;
+  }
+  return false;
+}
+
+std::string dry_run_listing(const ExperimentSpec& spec, size_t shard_index,
+                            size_t shard_count) {
+  if (spec.serve) {
+    throw std::invalid_argument("experiment '" + spec.name +
+                                "': serve=1 runs have no cell grid to list");
+  }
+  if (shard_count == 0 || shard_index >= shard_count) {
+    throw std::invalid_argument(
+        "shard " + std::to_string(shard_index) + "/" +
+        std::to_string(shard_count) + ": shard index must be < shard count");
+  }
+  std::vector<size_t> eps_counts;
+  eps_counts.reserve(spec.attacks.size());
+  for (const auto& attack : spec.attacks) {
+    eps_counts.push_back(attack.epsilons.size());
+  }
+  const std::vector<CellCoord> coords =
+      enumerate_cells(spec.modes.size(), eps_counts, spec.trials);
+  size_t owned = 0;
+  for (const auto& c : coords) {
+    if (c.index % shard_count == shard_index) ++owned;
+  }
+  std::ostringstream os;
+  os << "# preset " << spec.name << ": " << spec.panels.size()
+     << " panel(s), " << spec.modes.size() << " mode(s), "
+     << spec.attacks.size() << " attack(s), " << spec.trials << " trial(s)\n";
+  for (size_t p = 0; p < spec.panels.size(); ++p) {
+    os << "# panel " << p << ": " << spec.panels[p].arch << " / "
+       << spec.panels[p].dataset << "\n";
+  }
+  os << "# cells: " << coords.size() << " per panel";
+  if (shard_count > 1) {
+    os << ", shard " << shard_index << "/" << shard_count << " owns " << owned;
+  }
+  os << "\n";
+  for (const auto& c : coords) {
+    os << "cell " << c.index << " trial=" << c.trial << " mode="
+       << spec.modes[c.mode].label << " attack=" << spec.attacks[c.attack].spec
+       << " eps=" << float_token(spec.attacks[c.attack].epsilons[c.eps_index])
+       << " seed="
+       << sweep_cell_seed(spec.seed, c.mode, c.attack, c.eps_index, c.trial);
+    if (shard_count > 1) {
+      os << " shard=" << c.index % shard_count;
+      if (c.index % shard_count == shard_index) os << " *";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
 std::vector<SweepResult> run_experiment(
     const std::string& preset, const std::vector<std::string>& overrides) {
+  return run_experiment(preset, overrides, RunOptions{});
+}
+
+std::vector<SweepResult> run_experiment(
+    const std::string& preset, const std::vector<std::string>& overrides,
+    const RunOptions& run) {
   ExperimentRegistry& registry = ExperimentRegistry::instance();
   ExperimentSpec spec = registry.preset(preset);
   for (const auto& token : overrides) spec.apply_override(token);
+  if (run.shard_count == 0 || run.shard_index >= run.shard_count) {
+    throw std::invalid_argument(
+        "shard " + std::to_string(run.shard_index) + "/" +
+        std::to_string(run.shard_count) + ": shard index must be < shard count");
+  }
+
+  // Dry run: print the canonical cell enumeration (the exact ordering
+  // --shard partitions) without touching the engine, training, or the
+  // filesystem. Deliberately engine- and env-independent so the listing is
+  // golden-testable.
+  if (run.dry_run) {
+    spec.validate();
+    std::fputs(dry_run_listing(spec, run.shard_index, run.shard_count).c_str(),
+               stdout);
+    return {};
+  }
 
   // Resolve the compute engine before any panel work (training included):
   // the explicit engine= knob, else whatever $RHW_ENGINE / "blocked" lazily
@@ -259,15 +418,29 @@ std::vector<SweepResult> run_experiment(
   core::EngineScope engine_scope(spec.engine);
   spec.engine = core::active_engine().spec();
   spec.validate();
+  if (spec.serve && (run.shard_count > 1 || run.resume)) {
+    throw std::invalid_argument("experiment '" + spec.name +
+                                "': serve=1 runs have no cell grid to shard "
+                                "or resume");
+  }
 
   ExperimentStamp stamp;
   stamp.preset = preset;
   stamp.overrides = overrides;
   stamp.canonical = spec.to_args();
+  stamp.shard_index = run.shard_index;
+  stamp.shard_count = run.shard_count;
 
-  std::printf("\n=== %s ===\n%s\n[engine] %s\n\n",
+  std::printf("\n=== %s ===\n%s\n[engine] %s\n",
               spec.title.empty() ? spec.name.c_str() : spec.title.c_str(),
               spec.subtitle.c_str(), spec.engine.c_str());
+  if (run.shard_count > 1) {
+    std::printf("[shard] %zu/%zu%s\n", run.shard_index, run.shard_count,
+                run.resume ? " (resume)" : "");
+  } else if (run.resume) {
+    std::printf("[resume] replaying completed cells from the journal\n");
+  }
+  std::printf("\n");
   std::fflush(stdout);
 
   const std::unique_ptr<ExperimentProgram> program = registry.program(preset);
@@ -299,26 +472,50 @@ std::vector<SweepResult> run_experiment(
 
     build_grid(spec, pc);
 
+    const std::string out_path = shard_artifact_path(artifact_path(spec, pc), run);
     SweepEngine::Options opt;
     opt.threads = sweep_threads_env(0);
+    opt.shard_index = run.shard_index;
+    opt.shard_count = run.shard_count;
+    opt.resume = run.resume;
+    opt.max_cells = run.max_cells != 0 ? run.max_cells : env_cell_budget();
+    opt.journal_path = out_path + ".partial/journal.jsonl";
+    opt.journal_header = journal_header(spec, run, pc.tag);
     SweepEngine engine(opt);
     SweepResult result = engine.run(pc.grid);
     result.experiment = stamp;
-    std::printf("[sweep] %zu cells (%d trial(s)) on %u lane(s) in %.2fs\n",
+    std::printf("[sweep] %zu cells (%d trial(s)) on %u lane(s) in %.2fs",
                 result.cells.size(), result.trials, result.lanes,
                 result.wall_seconds);
+    if (result.resumed > 0) {
+      std::printf(", %zu task(s) restored from the journal", result.resumed);
+    }
+    std::printf("\n");
     // Verify BEFORE publishing: a run that fails the cross-lane determinism
     // check must not leave an artifact behind for later steps to pick up.
     if (spec.verify || env_flag("RHW_SWEEP_VERIFY")) {
-      verify_serial_parity(pc.grid, result);
+      verify_serial_parity(pc.grid, result, run);
     }
-    result.write_json(artifact_path(spec, pc), pc.tag);
+    result.write_json(out_path, pc.tag);
+    // The artifact is on disk: the checkpoint has served its purpose.
+    std::error_code ec;
+    std::filesystem::remove_all(out_path + ".partial", ec);
     pc.engine = &engine;
     pc.result = &result;
-    program->report(pc);
+    if (run.shard_count > 1) {
+      // A shard's grid is partial — preset report/finish hooks assume the
+      // full grid (tables, shape checks), so they run on the merged artifact
+      // instead (rhw_merge).
+      std::printf("[shard %zu/%zu] wrote %s (%zu of %zu cells); run "
+                  "rhw_merge before reporting\n",
+                  run.shard_index, run.shard_count, out_path.c_str(),
+                  result.cells.size(), result.cells_total);
+    } else {
+      program->report(pc);
+    }
     results.push_back(std::move(result));
   }
-  program->finish(rc);
+  if (run.shard_count <= 1) program->finish(rc);
   return results;
 }
 
@@ -326,11 +523,15 @@ int rhw_run_main(const std::vector<std::string>& args) {
   ExperimentRegistry& registry = ExperimentRegistry::instance();
   if (args.empty() || args[0] == "--help" || args[0] == "-h") {
     std::printf(
-        "usage: rhw_run <preset> [key=value|axis+=item ...]\n"
+        "usage: rhw_run [--shard=i/n] [--resume] [--dry-run] <preset> "
+        "[key=value|axis+=item ...]\n"
         "       rhw_run --list\n\n"
         "Runs a registered experiment preset through the sweep engine with\n"
         "declarative overrides (docs/EXPERIMENTS.md has the grammar and a\n"
-        "cookbook). Presets:\n");
+        "cookbook). --shard=i/n runs the i-th of n deterministic partitions\n"
+        "(merge the shard artifacts with rhw_merge); --resume continues an\n"
+        "interrupted run from its <out>.partial/ journal; --dry-run prints\n"
+        "the expanded cell listing instead of running. Presets:\n");
     for (const auto& key : registry.keys()) {
       std::printf("  %s\n", key.c_str());
     }
@@ -355,13 +556,28 @@ int rhw_run_main(const std::vector<std::string>& args) {
     }
     return ok ? 0 : 1;
   }
-  if (args[0].rfind("--", 0) == 0) {
-    std::fprintf(stderr, "rhw_run: unknown flag '%s' (try --help)\n",
-                 args[0].c_str());
-    return 1;
-  }
   try {
-    (void)run_experiment(args[0], {args.begin() + 1, args.end()});
+    RunOptions run;
+    std::string preset;
+    std::vector<std::string> overrides;
+    for (const auto& token : args) {
+      if (token.rfind("--", 0) == 0) {
+        if (!parse_run_flag(token, run)) {
+          std::fprintf(stderr, "rhw_run: unknown flag '%s' (try --help)\n",
+                       token.c_str());
+          return 1;
+        }
+      } else if (preset.empty()) {
+        preset = token;
+      } else {
+        overrides.push_back(token);
+      }
+    }
+    if (preset.empty()) {
+      std::fprintf(stderr, "rhw_run: no preset named (try --list)\n");
+      return 1;
+    }
+    (void)run_experiment(preset, overrides, run);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "rhw_run: %s\n", e.what());

@@ -105,17 +105,61 @@ class ExperimentRegistry {
 // Defined in experiment_presets.cpp; called once from the registry ctor.
 void register_builtin_experiments(ExperimentRegistry& registry);
 
+// Driver-level run flags — rhw_run's `--shard=i/n`, `--resume` and
+// `--dry-run`. These are execution knobs, not experiment identity: they
+// never enter the spec's canonical args (the same experiment sharded three
+// ways is still the same experiment), and the artifact records them in the
+// stamp's shard block instead.
+struct RunOptions {
+  // Deterministic partition over the canonical cell enumeration: run only
+  // cells with index % shard_count == shard_index. The artifact lands at
+  // <out-stem>_shard<i>of<n>.json, ready for rhw_merge.
+  size_t shard_index = 0;
+  size_t shard_count = 1;
+  // Resume from the <out>.partial/journal.jsonl checkpoint of an
+  // interrupted run with the same canonical spec, shard and panel.
+  bool resume = false;
+  // Print the expanded cell listing (the exact enumeration sharding
+  // partitions) instead of running anything.
+  bool dry_run = false;
+  // Test-only crash injection: complete at most N sweep tasks, then throw
+  // SweepInterrupted. 0 defers to $RHW_SWEEP_CELL_BUDGET (same semantics).
+  size_t max_cells = 0;
+};
+
+// Parses one "--..." CLI token into `opts`. Returns false when the token is
+// not a recognized run flag; throws std::invalid_argument naming the token
+// on a malformed value ("--shard=3/2"). Shared with docs_check so cookbook
+// commands carrying flags stay validated.
+bool parse_run_flag(const std::string& token, RunOptions& opts);
+
+// The --dry-run listing: one "cell <index> ..." line per expanded grid cell
+// in canonical enumeration order, with the owning shard annotated when
+// shard_count > 1 — byte-stable for a given spec (golden-tested). Throws on
+// serve specs (no cell grid) and out-of-range shards.
+std::string dry_run_listing(const ExperimentSpec& spec, size_t shard_index = 0,
+                            size_t shard_count = 1);
+
 // Resolves `preset`, applies `overrides` in order, validates, runs every
 // panel through SweepEngine, writes the v4 artifacts and renders the
 // program. Lane count comes from $RHW_SWEEP_THREADS (default: one per
 // hardware thread); $RHW_SWEEP_VERIFY=1 (or spec.verify) re-runs each grid
 // serially and fails on any cell mismatch. Throws on invalid input; returns
 // the per-panel results.
+//
+// With RunOptions: sharded runs write per-shard artifacts and skip the
+// preset's report/finish hooks (the grid is partial — rhw_merge first);
+// every sweep run journals into <out>.partial/ and deletes it only after
+// its artifact is written, so a killed run resumes with --resume.
 std::vector<SweepResult> run_experiment(
     const std::string& preset, const std::vector<std::string>& overrides = {});
+std::vector<SweepResult> run_experiment(const std::string& preset,
+                                        const std::vector<std::string>& overrides,
+                                        const RunOptions& run);
 
-// The CLI: rhw_run [--list|--help] <preset> [overrides...]. Returns a
-// process exit code; catches exceptions and reports them on stderr.
+// The CLI: rhw_run [--list|--help] [--shard=i/n] [--resume] [--dry-run]
+// <preset> [overrides...]. Returns a process exit code; catches exceptions
+// and reports them on stderr.
 int rhw_run_main(const std::vector<std::string>& args);
 
 }  // namespace rhw::exp

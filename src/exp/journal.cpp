@@ -1,0 +1,110 @@
+#include "exp/journal.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/artifact.hpp"
+#include "exp/sweep_stats.hpp"
+
+namespace rhw::exp {
+
+namespace {
+
+constexpr const char* kJournalSchema = "rhw-journal-v1";
+
+std::string double_token(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<JournalEntry> load_journal(const std::string& path,
+                                       const std::string& header) {
+  std::ifstream is(path);
+  std::vector<JournalEntry> entries;
+  if (!is) return entries;
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    JsonValue doc;
+    try {
+      doc = parse_json(line);
+      if (!saw_header) {
+        const std::string schema = doc.at("schema").string_value();
+        if (schema != kJournalSchema) {
+          throw std::runtime_error("journal " + path + ": unsupported schema '" +
+                                   schema + "' (expected " + kJournalSchema +
+                                   ")");
+        }
+        const std::string found = doc.at("header").string_value();
+        if (found != header) {
+          throw std::runtime_error(
+              "journal " + path + ": header mismatch — journal belongs to '" +
+              found + "', this run is '" + header +
+              "' (same spec, shard and panel required to resume)");
+        }
+        saw_header = true;
+        continue;
+      }
+      JournalEntry e;
+      const std::string type = doc.at("type").string_value();
+      if (type == "clean") {
+        e.clean = true;
+        e.pool = doc.at("pool").string_value();
+        e.trial = static_cast<int>(doc.at("trial").number_i64());
+        e.clean_acc = doc.at("clean").number();
+        e.cert = doc.at("cert").number();
+      } else if (type == "cell") {
+        e.index = static_cast<size_t>(doc.at("index").number_u64());
+        e.adv = doc.at("adv").number();
+      } else {
+        break;  // unknown entry type: treat like a torn tail, stop replaying
+      }
+      entries.push_back(e);
+    } catch (const std::runtime_error&) {
+      // Header problems are fatal; a malformed entry line is the torn tail
+      // of a crashed append — stop and let the work re-run.
+      if (!saw_header) throw;
+      break;
+    }
+  }
+  return entries;
+}
+
+SweepJournal::SweepJournal(const std::string& path, const std::string& header,
+                           bool append) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  os_.open(path, append ? std::ios::app : std::ios::trunc);
+  if (!os_) {
+    throw std::runtime_error("journal: cannot open " + path + " for writing");
+  }
+  if (!append) {
+    os_ << "{\"schema\":\"" << kJournalSchema << "\",\"header\":\""
+        << json_escape(header) << "\"}\n";
+    os_.flush();
+  }
+}
+
+void SweepJournal::record(const JournalEntry& entry) {
+  std::ostringstream line;
+  if (entry.clean) {
+    line << "{\"type\":\"clean\",\"pool\":\"" << json_escape(entry.pool)
+         << "\",\"trial\":" << entry.trial
+         << ",\"clean\":" << double_token(entry.clean_acc)
+         << ",\"cert\":" << double_token(entry.cert) << "}";
+  } else {
+    line << "{\"type\":\"cell\",\"index\":" << entry.index
+         << ",\"adv\":" << double_token(entry.adv) << "}";
+  }
+  const std::lock_guard lock(mu_);
+  os_ << line.str() << '\n';
+  os_.flush();
+}
+
+}  // namespace rhw::exp

@@ -1,5 +1,6 @@
 #include "exp/sweep.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -8,11 +9,15 @@
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <tuple>
 
 #include "core/thread_pool.hpp"
+#include "exp/journal.hpp"
 #include "models/zoo.hpp"
 
 namespace rhw::exp {
@@ -36,6 +41,23 @@ uint64_t sweep_cert_seed(uint64_t base_seed, int trial) {
   const uint64_t trial_seed =
       derive_stream_seed(base_seed, static_cast<uint64_t>(trial));
   return derive_stream_seed(trial_seed, kSweepCertStream);
+}
+
+std::vector<CellCoord> enumerate_cells(size_t n_modes,
+                                       const std::vector<size_t>& eps_counts,
+                                       int trials) {
+  std::vector<CellCoord> out;
+  size_t index = 0;
+  for (int t = 0; t < std::max(trials, 1); ++t) {
+    for (size_t m = 0; m < n_modes; ++m) {
+      for (size_t a = 0; a < eps_counts.size(); ++a) {
+        for (size_t e = 0; e < eps_counts[a]; ++e) {
+          out.push_back({index++, m, a, e, t});
+        }
+      }
+    }
+  }
+  return out;
 }
 
 // -- replica pools ------------------------------------------------------------
@@ -236,30 +258,45 @@ SweepResult SweepEngine::run(const SweepGrid& grid) {
   result.trials = trials;
   result.base_seed = grid.base.seed;
 
-  // Cell enumeration: trial-major, grid order. Deterministic and independent
-  // of the execution schedule.
-  for (int t = 0; t < trials; ++t) {
-    for (size_t m = 0; m < grid.modes.size(); ++m) {
-      for (size_t a = 0; a < grid.attacks.size(); ++a) {
-        const auto& eps_list = grid.attacks[a].epsilons;
-        for (size_t e = 0; e < eps_list.size(); ++e) {
-          SweepCell cell;
-          cell.mode = m;
-          cell.attack = a;
-          cell.eps_index = e;
-          cell.trial = t;
-          cell.epsilon = eps_list[e];
-          cell.seed = sweep_cell_seed(grid.base.seed, m, a, e, t);
-          result.cells.push_back(cell);
-        }
-      }
-    }
+  // Cell enumeration: the canonical trial-major order (enumerate_cells),
+  // deterministic and independent of the execution schedule. Sharding keeps
+  // the cells whose canonical index round-robins onto this shard — per-cell
+  // seeds depend only on grid coordinates, so the union of any shard
+  // partition is bit-identical to the monolithic run.
+  const size_t shard_count = opts_.shard_count == 0 ? 1 : opts_.shard_count;
+  if (opts_.shard_index >= shard_count) {
+    throw std::invalid_argument(
+        "SweepEngine: shard_index " + std::to_string(opts_.shard_index) +
+        " out of range for shard_count " + std::to_string(shard_count));
+  }
+  std::vector<size_t> eps_counts;
+  eps_counts.reserve(grid.attacks.size());
+  for (const auto& attack : grid.attacks) {
+    eps_counts.push_back(attack.epsilons.size());
+  }
+  const std::vector<CellCoord> coords =
+      enumerate_cells(grid.modes.size(), eps_counts, trials);
+  result.cells_total = coords.size();
+  for (const CellCoord& c : coords) {
+    if (c.index % shard_count != opts_.shard_index) continue;
+    SweepCell cell;
+    cell.index = c.index;
+    cell.mode = c.mode;
+    cell.attack = c.attack;
+    cell.eps_index = c.eps_index;
+    cell.trial = c.trial;
+    cell.epsilon = grid.attacks[c.attack].epsilons[c.eps_index];
+    cell.seed =
+        sweep_cell_seed(grid.base.seed, c.mode, c.attack, c.eps_index, c.trial);
+    result.cells.push_back(cell);
   }
 
   // Clean accuracy is epsilon- and mode-independent: one value per
   // (eval backend, trial), computed once and shared. Certified radius
   // (smooth arms) shares the same slots — it is a property of the eval
-  // backend under its cert-stream seed, not of any attack cell.
+  // backend under its cert-stream seed, not of any attack cell. Marked from
+  // the surviving cells (eps == 0 rows included: they copy the clean value),
+  // so a shard only pays for the clean passes its own cells reference.
   std::vector<double> clean_vals(pools_.size() * static_cast<size_t>(trials),
                                  0.0);
   std::vector<double> cert_vals(clean_vals.size(), 0.0);
@@ -268,8 +305,8 @@ SweepResult SweepEngine::run(const SweepGrid& grid) {
     return eval_pool * static_cast<size_t>(trials) +
            static_cast<size_t>(trial);
   };
-  for (int t = 0; t < trials; ++t) {
-    for (const auto& mi : mode_pools) clean_needed[clean_slot(mi.eval, t)] = 1;
+  for (const SweepCell& cell : result.cells) {
+    clean_needed[clean_slot(mode_pools[cell.mode].eval, cell.trial)] = 1;
   }
 
   // Task list: clean passes plus every eps > 0 adversarial cell.
@@ -287,6 +324,53 @@ SweepResult SweepEngine::run(const SweepGrid& grid) {
   }
   for (size_t c = 0; c < result.cells.size(); ++c) {
     if (result.cells[c].epsilon != 0.f) tasks.push_back({false, 0, 0, c});
+  }
+
+  // Checkpoint/resume: restore journaled tasks instead of re-running them,
+  // then (re)write the journal so this run's appends continue it. The
+  // journal is rewritten from the parsed entries on resume, truncating any
+  // torn tail a crashed append left behind.
+  std::unique_ptr<SweepJournal> journal;
+  if (!opts_.journal_path.empty()) {
+    std::vector<JournalEntry> restored;
+    if (opts_.resume) {
+      restored = load_journal(opts_.journal_path, opts_.journal_header);
+    }
+    journal = std::make_unique<SweepJournal>(opts_.journal_path,
+                                             opts_.journal_header,
+                                             /*append=*/false);
+    std::map<std::pair<std::string, int>, const JournalEntry*> done_clean;
+    std::map<size_t, const JournalEntry*> done_cell;
+    for (const JournalEntry& e : restored) {
+      journal->record(e);
+      if (e.clean) {
+        done_clean[{e.pool, e.trial}] = &e;
+      } else {
+        done_cell[e.index] = &e;
+      }
+    }
+    std::vector<Task> remaining;
+    for (const Task& task : tasks) {
+      if (task.clean) {
+        const auto it =
+            done_clean.find({pools_[task.pool]->def.key, task.trial});
+        if (it != done_clean.end()) {
+          clean_vals[clean_slot(task.pool, task.trial)] = it->second->clean_acc;
+          cert_vals[clean_slot(task.pool, task.trial)] = it->second->cert;
+          ++result.resumed;
+          continue;
+        }
+      } else {
+        const auto it = done_cell.find(result.cells[task.cell].index);
+        if (it != done_cell.end()) {
+          result.cells[task.cell].adv_acc = it->second->adv;
+          ++result.resumed;
+          continue;
+        }
+      }
+      remaining.push_back(task);
+    }
+    tasks = std::move(remaining);
   }
 
   lanes_ = opts_.threads != 0
@@ -330,6 +414,15 @@ SweepResult SweepEngine::run(const SweepGrid& grid) {
                 *grid.eval_set, grid.base.batch_size,
                 sweep_cert_seed(grid.base.seed, task.trial));
       }
+      if (journal) {
+        JournalEntry e;
+        e.clean = true;
+        e.pool = pool.def.key;
+        e.trial = task.trial;
+        e.clean_acc = acc;
+        e.cert = cert_vals[clean_slot(task.pool, task.trial)];
+        journal->record(e);
+      }
       if (opts_.verbose) {
         std::fprintf(stderr, "[sweep] clean %s trial %d: %.2f%%\n",
                      pool.def.key.c_str(), task.trial, acc);
@@ -354,6 +447,12 @@ SweepResult SweepEngine::run(const SweepGrid& grid) {
     cfg.seed = cell.seed;
     cell.adv_acc =
         attacks::adversarial_accuracy(grad_net, eval_net, *grid.eval_set, cfg);
+    if (journal) {
+      JournalEntry e;
+      e.index = cell.index;
+      e.adv = cell.adv_acc;
+      journal->record(e);
+    }
     if (opts_.verbose) {
       std::fprintf(stderr, "[sweep] %s %s eps=%.3f trial %d: adv %.2f%%\n",
                    result.mode_labels[cell.mode].c_str(),
@@ -362,9 +461,20 @@ SweepResult SweepEngine::run(const SweepGrid& grid) {
     }
   };
 
+  // Test-only crash injection: each lane claims a budget slot before running
+  // a task, so exactly min(max_cells, tasks) tasks complete — even in
+  // parallel — before the run throws SweepInterrupted.
+  std::atomic<size_t> budget_used{0};
+  std::atomic<bool> interrupted{false};
+
   auto pump = [&](int64_t, int64_t) {
     for (size_t i; (i = next.fetch_add(1)) < tasks.size();) {
       if (abort.load(std::memory_order_relaxed)) return;
+      if (opts_.max_cells != 0 &&
+          budget_used.fetch_add(1) >= opts_.max_cells) {
+        interrupted.store(true, std::memory_order_relaxed);
+        return;
+      }
       try {
         run_task(tasks[i]);
       } catch (...) {
@@ -389,6 +499,15 @@ SweepResult SweepEngine::run(const SweepGrid& grid) {
     cell_pool.parallel_for(n_lanes, pump);
   }
   if (first_error) std::rethrow_exception(first_error);
+  if (interrupted.load()) {
+    throw SweepInterrupted(
+        "sweep interrupted: max_cells budget of " +
+        std::to_string(opts_.max_cells) + " task(s) spent with " +
+        std::to_string(tasks.size() - std::min(tasks.size(), opts_.max_cells)) +
+        " task(s) left; resume from " +
+        (opts_.journal_path.empty() ? std::string("(no journal)")
+                                    : opts_.journal_path));
+  }
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -402,34 +521,49 @@ SweepResult SweepEngine::run(const SweepGrid& grid) {
     cell.al = cell.clean_acc - cell.adv_acc;
   }
 
-  // Aggregates across trials, grid order.
-  for (size_t m = 0; m < grid.modes.size(); ++m) {
-    for (size_t a = 0; a < grid.attacks.size(); ++a) {
-      for (size_t e = 0; e < grid.attacks[a].epsilons.size(); ++e) {
-        SweepAggregate agg;
-        agg.mode = m;
-        agg.attack = a;
-        agg.eps_index = e;
-        agg.epsilon = grid.attacks[a].epsilons[e];
-        std::vector<double> clean, adv, al, cert;
-        for (const SweepCell& cell : result.cells) {
-          if (cell.mode != m || cell.attack != a || cell.eps_index != e) {
-            continue;
-          }
-          clean.push_back(cell.clean_acc);
-          adv.push_back(cell.adv_acc);
-          al.push_back(cell.al);
-          cert.push_back(cell.cert_radius);
-        }
-        agg.clean = summarize(clean);
-        agg.adv = summarize(adv);
-        agg.al = summarize(al);
-        agg.cert = summarize(cert);
-        result.aggregates.push_back(agg);
-      }
-    }
-  }
+  result.aggregates = compute_aggregates(result);
   return result;
+}
+
+std::vector<SweepAggregate> compute_aggregates(const SweepResult& result) {
+  // Group by canonical (mode, attack, eps_index) key — the map iterates in
+  // exactly the engine's historical mode-major emission order — and feed
+  // each group's values to summarize() in ascending-trial order. The value
+  // order is what makes the floating-point sums reproducible: cells stored
+  // trial-major (a fresh run), index-sorted (a merge) or restored from a
+  // journal all collapse to the same per-group sequence, so the aggregate
+  // doubles are bit-identical however the cells were computed.
+  std::map<std::tuple<size_t, size_t, size_t>, std::vector<const SweepCell*>>
+      groups;
+  for (const SweepCell& cell : result.cells) {
+    groups[{cell.mode, cell.attack, cell.eps_index}].push_back(&cell);
+  }
+  std::vector<SweepAggregate> out;
+  out.reserve(groups.size());
+  for (auto& [key, members] : groups) {
+    std::sort(members.begin(), members.end(),
+              [](const SweepCell* a, const SweepCell* b) {
+                return a->trial < b->trial;
+              });
+    SweepAggregate agg;
+    agg.mode = std::get<0>(key);
+    agg.attack = std::get<1>(key);
+    agg.eps_index = std::get<2>(key);
+    agg.epsilon = members.front()->epsilon;
+    std::vector<double> clean, adv, al, cert;
+    for (const SweepCell* cell : members) {
+      clean.push_back(cell->clean_acc);
+      adv.push_back(cell->adv_acc);
+      al.push_back(cell->al);
+      cert.push_back(cell->cert_radius);
+    }
+    agg.clean = summarize(clean);
+    agg.adv = summarize(adv);
+    agg.al = summarize(al);
+    agg.cert = summarize(cert);
+    out.push_back(agg);
+  }
+  return out;
 }
 
 const SweepAggregate* SweepResult::find(size_t mode, size_t attack,
@@ -492,6 +626,10 @@ AlCurve SweepResult::curve(const std::string& mode_label,
 std::string ExperimentStamp::command() const {
   std::string out = "rhw_run " + preset;
   for (const auto& token : overrides) out += " " + token;
+  if (shard_count > 1) {
+    out += " --shard=" + std::to_string(shard_index) + "/" +
+           std::to_string(shard_count);
+  }
   return out;
 }
 
@@ -501,6 +639,12 @@ void SweepResult::write_json(const std::string& path,
   if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
   std::ofstream os(path);
   if (!os) throw std::runtime_error("write_json: cannot open " + path);
+  write_json(os, figure);
+  os << '\n';
+}
+
+void SweepResult::write_json(std::ostream& os, const std::string& figure,
+                             bool payload_only) const {
   JsonWriter w(os);
   w.begin_object();
   w.field("schema", "rhw-sweep-v4");
@@ -508,28 +652,48 @@ void SweepResult::write_json(const std::string& path,
   // v4: the experiment spec itself — preset, user overrides, the reproducing
   // command line, and the fully-resolved canonical override list (which
   // rebuilds the spec even if the preset's defaults drift later). Ad-hoc
-  // grids (no driver) emit null.
-  w.key("experiment");
-  if (experiment.preset.empty()) {
-    w.null_value();
-  } else {
-    w.begin_object();
-    w.field("preset", experiment.preset);
-    w.field("command", experiment.command());
-    w.key("overrides");
-    w.begin_array();
-    for (const auto& token : experiment.overrides) w.value(token);
-    w.end_array();
-    w.key("canonical");
-    w.begin_array();
-    for (const auto& token : experiment.canonical) w.value(token);
-    w.end_array();
-    w.end_object();
+  // grids (no driver) emit null. The payload view drops the block entirely:
+  // shard provenance and per-run command lines legitimately differ between
+  // runs whose results must still agree byte-for-byte.
+  if (!payload_only) {
+    w.key("experiment");
+    if (experiment.preset.empty()) {
+      w.null_value();
+    } else {
+      w.begin_object();
+      w.field("preset", experiment.preset);
+      w.field("command", experiment.command());
+      w.key("overrides");
+      w.begin_array();
+      for (const auto& token : experiment.overrides) w.value(token);
+      w.end_array();
+      w.key("canonical");
+      w.begin_array();
+      for (const auto& token : experiment.canonical) w.value(token);
+      w.end_array();
+      // Shard provenance: which slice of the canonical enumeration this
+      // artifact holds, and — post-merge — how many shard files built it.
+      if (experiment.shard_count > 1) {
+        w.key("shard");
+        w.begin_object();
+        w.field("index", static_cast<int64_t>(experiment.shard_index));
+        w.field("count", static_cast<int64_t>(experiment.shard_count));
+        w.end_object();
+      }
+      if (experiment.merged_shards > 0) {
+        w.field("merged_shards",
+                static_cast<int64_t>(experiment.merged_shards));
+      }
+      w.end_object();
+    }
   }
   w.field("trials", static_cast<int64_t>(trials));
   w.field("base_seed", base_seed);
-  w.field("lanes", static_cast<int64_t>(lanes));
-  w.field("wall_seconds", wall_seconds);
+  w.field("cells_total", static_cast<int64_t>(cells_total));
+  if (!payload_only) {
+    w.field("lanes", static_cast<int64_t>(lanes));
+    w.field("wall_seconds", wall_seconds);
+  }
   w.key("modes");
   w.begin_array();
   for (const auto& label : mode_labels) w.value(label);
@@ -572,6 +736,9 @@ void SweepResult::write_json(const std::string& path,
   w.begin_array();
   for (const auto& cell : cells) {
     w.begin_object();
+    // Canonical enumeration index: the shard partition key and rhw_merge's
+    // duplicate/completeness handle.
+    w.field("index", static_cast<int64_t>(cell.index));
     w.field("mode", mode_labels[cell.mode]);
     w.field("attack", attack_specs[cell.attack]);
     w.field("eps", static_cast<double>(cell.epsilon));
@@ -608,7 +775,6 @@ void SweepResult::write_json(const std::string& path,
   }
   w.end_array();
   w.end_object();
-  os << '\n';
 }
 
 }  // namespace rhw::exp

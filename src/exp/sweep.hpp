@@ -39,6 +39,7 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -109,8 +110,29 @@ struct SweepGrid {
   attacks::AdvEvalConfig base;  // seed + batch/PGD knobs; kind/epsilon unused
 };
 
+// One coordinate of the expanded grid, in the canonical enumeration order
+// (trial-major, then mode, attack, epsilon — exactly the order run() stores
+// cells in). `index` is the stable cell id sharding partitions on, --dry-run
+// prints, and rhw_merge uses to prove a merge is complete and duplicate-free.
+struct CellCoord {
+  size_t index = 0;
+  size_t mode = 0;
+  size_t attack = 0;
+  size_t eps_index = 0;
+  int trial = 0;
+};
+
+// The canonical cell enumeration shared by SweepEngine::run, the --dry-run
+// listing and rhw_merge's completeness check: for each trial, for each mode,
+// for each attack, for each epsilon of that attack. `eps_counts[a]` is
+// attack a's epsilon-axis length.
+std::vector<CellCoord> enumerate_cells(size_t n_modes,
+                                       const std::vector<size_t>& eps_counts,
+                                       int trials);
+
 // One evaluated (mode, attack, epsilon, trial) cell.
 struct SweepCell {
+  size_t index = 0;  // canonical enumeration index (enumerate_cells)
   size_t mode = 0;
   size_t attack = 0;
   size_t eps_index = 0;
@@ -154,7 +176,14 @@ struct ExperimentStamp {
   std::string preset;                  // ExperimentRegistry key
   std::vector<std::string> overrides;  // user-supplied override tokens
   std::vector<std::string> canonical;  // full canonical args (to_args())
-  // "rhw_run <preset> <overrides...>" — the reproducing command line.
+  // Shard provenance: count > 1 marks a partial artifact holding only the
+  // cells with index % count == this shard's index; merged_shards > 0 marks
+  // an artifact rhw_merge fused from that many shard files.
+  size_t shard_index = 0;
+  size_t shard_count = 1;
+  size_t merged_shards = 0;
+  // "rhw_run <preset> <overrides...> [--shard=i/n]" — the reproducing
+  // command line.
   std::string command() const;
 };
 
@@ -170,6 +199,12 @@ struct SweepResult {
   uint64_t base_seed = 0;
   unsigned lanes = 1;
   double wall_seconds = 0.0;
+  // Full-grid cell count (== cells.size() unsharded; larger on a shard).
+  size_t cells_total = 0;
+  // Tasks restored from a resume journal instead of re-evaluated. Run state,
+  // never serialized: a resumed run's artifact is bit-identical to an
+  // uninterrupted one.
+  size_t resumed = 0;
   ExperimentStamp experiment;  // empty preset = ad-hoc grid
 
   const SweepAggregate* find(size_t mode, size_t attack,
@@ -183,7 +218,20 @@ struct SweepResult {
                 const std::string& attack_spec) const;
   // Machine-readable artifact (the BENCH_fig*.json files CI uploads).
   void write_json(const std::string& path, const std::string& figure) const;
+  // Stream form. payload_only drops the run metadata that legitimately
+  // differs between equivalent runs (experiment block, lanes, wall_seconds):
+  // what remains is the results payload two runs of the same spec must agree
+  // on byte-for-byte — the shard-equivalence and resume tests compare it.
+  void write_json(std::ostream& os, const std::string& figure,
+                  bool payload_only = false) const;
 };
+
+// Aggregates across trials in canonical (mode, attack, eps_index) order with
+// each group's trial values in ascending-trial order — a pure function of
+// the cell *set*, independent of the order `cells` is stored in. The engine,
+// rhw_merge and the resume path all aggregate through this, so a merged or
+// resumed artifact reproduces the monolithic aggregates bit-for-bit.
+std::vector<SweepAggregate> compute_aggregates(const SweepResult& result);
 
 // -- seed derivation contract -------------------------------------------------
 // A cell's evaluation seed depends only on grid coordinates, never on
@@ -209,6 +257,27 @@ struct SweepOptions {
   // 1 = serial (the reference path the parity tests compare against).
   unsigned threads = 0;
   bool verbose = false;  // per-cell completion lines on stderr
+  // Deterministic partition: run only the cells whose canonical enumeration
+  // index satisfies index % shard_count == shard_index (round-robin — every
+  // shard samples every trial/mode band). shard_count == 1 is the full grid.
+  size_t shard_index = 0;
+  size_t shard_count = 1;
+  // Crash-safe checkpoint journal (exp/journal.hpp). Empty = no journal.
+  // Every completed task appends a line; with resume, an existing journal
+  // whose header matches journal_header restores its tasks instead of
+  // re-running them (SweepResult::resumed counts them).
+  std::string journal_path;
+  std::string journal_header;
+  bool resume = false;
+  // Test-only crash injection: complete at most this many tasks, then throw
+  // SweepInterrupted (0 = unlimited). Journaled work survives for resume.
+  size_t max_cells = 0;
+};
+
+// Thrown when SweepOptions::max_cells stops a run early. The journal holds
+// everything completed so far; a resume run finishes the rest.
+struct SweepInterrupted : std::runtime_error {
+  using std::runtime_error::runtime_error;
 };
 
 class SweepEngine {

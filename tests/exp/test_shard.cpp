@@ -1,0 +1,201 @@
+// The sharding contract: --shard=i/n partitions the canonical cell
+// enumeration deterministically, and the union of any n shards is
+// bit-identical to the unsharded run — every column, cert_radius included.
+#include "exp/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "data/synth_cifar.hpp"
+#include "models/zoo.hpp"
+
+namespace rhw::exp {
+namespace {
+
+TEST(EnumerateCells, TrialMajorOrderAndStableIndices) {
+  // 2 modes x (2 + 1 eps) x 2 trials = 12 cells, trial-major.
+  const auto coords = enumerate_cells(2, {2, 1}, 2);
+  ASSERT_EQ(coords.size(), 12u);
+  for (size_t i = 0; i < coords.size(); ++i) {
+    EXPECT_EQ(coords[i].index, i);
+  }
+  EXPECT_EQ(coords[0].trial, 0);
+  EXPECT_EQ(coords[5].trial, 0);
+  EXPECT_EQ(coords[6].trial, 1);
+  // Within a trial: mode-major, then attack, then epsilon.
+  EXPECT_EQ(coords[0].mode, 0u);
+  EXPECT_EQ(coords[0].attack, 0u);
+  EXPECT_EQ(coords[0].eps_index, 0u);
+  EXPECT_EQ(coords[1].eps_index, 1u);
+  EXPECT_EQ(coords[2].attack, 1u);
+  EXPECT_EQ(coords[3].mode, 1u);
+  // trials <= 0 clamps to one pass; empty epsilon axes contribute nothing.
+  EXPECT_EQ(enumerate_cells(2, {2, 1}, 0).size(), 6u);
+  EXPECT_EQ(enumerate_cells(3, {0, 0}, 5).size(), 0u);
+}
+
+TEST(EnumerateCells, RoundRobinShardsCoverEveryTrialBand) {
+  // index % n round-robin: every shard of 3 sees cells from both trials.
+  const auto coords = enumerate_cells(2, {3}, 2);
+  for (size_t shard = 0; shard < 3; ++shard) {
+    bool trial0 = false;
+    bool trial1 = false;
+    for (const auto& c : coords) {
+      if (c.index % 3 != shard) continue;
+      (c.trial == 0 ? trial0 : trial1) = true;
+    }
+    EXPECT_TRUE(trial0 && trial1) << "shard " << shard;
+  }
+}
+
+// Shared fixture: one small untrained model (determinism, not accuracy, is
+// under test) and a grid whose eval arms include a certifying (smooth)
+// defense, so the union check covers the cert_radius column too.
+class ShardTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SynthCifarConfig dcfg;
+    dcfg.num_classes = 4;
+    dcfg.train_per_class = 4;
+    dcfg.test_per_class = 12;
+    dcfg.image_size = 16;
+    data_ = new data::SynthCifar(data::make_synth_cifar(dcfg));
+    model_ = new models::Model(models::build_model("vgg8", 4, 0.125f, 16));
+    model_->net->set_training(false);
+    full_ = new SweepResult(run_shard(0, 1));
+  }
+  static void TearDownTestSuite() {
+    delete full_;
+    delete model_;
+    delete data_;
+    full_ = nullptr;
+    model_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static SweepGrid make_grid() {
+    SweepGrid grid;
+    grid.model = model_;
+    grid.width_mult = 0.125f;
+    grid.in_size = 16;
+    grid.eval_set = &data_->test;
+    grid.base.batch_size = 16;
+    grid.trials = 2;
+    grid.backends.push_back({"ideal", "ideal"});
+    grid.backends.push_back({"sram", "sram:sites=2,num_8t=2,vdd=0.6"});
+    // 16 samples: enough for the Clopper-Pearson bound to clear 0.5, so the
+    // smooth arm certifies a non-zero radius even on the untrained fixture.
+    grid.backends.push_back({"sm", "ideal", "smooth:sigma=0.05,samples=16"});
+    grid.modes.push_back({"Attack-SW", "ideal", "ideal"});
+    grid.modes.push_back({"SH-sram", "ideal", "sram"});
+    grid.modes.push_back({"SH-smooth", "ideal", "sm"});
+    grid.attacks.push_back({"fgsm", {0.f, 0.1f}});
+    grid.attacks.push_back({"pgd", {8.f / 255.f}});
+    return grid;
+  }
+
+  static SweepResult run_shard(size_t index, size_t count) {
+    SweepEngine::Options opt;
+    opt.threads = 2;
+    opt.shard_index = index;
+    opt.shard_count = count;
+    SweepEngine engine(opt);
+    return engine.run(make_grid());
+  }
+
+  static data::SynthCifar* data_;
+  static models::Model* model_;
+  static SweepResult* full_;  // the unsharded reference run
+};
+
+data::SynthCifar* ShardTest::data_ = nullptr;
+models::Model* ShardTest::model_ = nullptr;
+SweepResult* ShardTest::full_ = nullptr;
+
+TEST_F(ShardTest, ShardHoldsExactlyItsResidueClass) {
+  const auto shard = run_shard(1, 3);
+  EXPECT_EQ(shard.cells_total, full_->cells.size());
+  size_t expected = 0;
+  for (const auto& cell : full_->cells) {
+    if (cell.index % 3 == 1) ++expected;
+  }
+  ASSERT_EQ(shard.cells.size(), expected);
+  for (const auto& cell : shard.cells) {
+    EXPECT_EQ(cell.index % 3, 1u);
+  }
+}
+
+// The golden equivalence: for n in {2, 3, 5}, the union of all n shards is
+// the unsharded run — same cells, every column bit-identical.
+TEST_F(ShardTest, UnionOfShardsBitIdenticalToUnshardedRun) {
+  for (const size_t n : {size_t{2}, size_t{3}, size_t{5}}) {
+    std::map<size_t, SweepCell> by_index;
+    std::vector<SweepCell> union_cells;
+    for (size_t i = 0; i < n; ++i) {
+      const auto shard = run_shard(i, n);
+      for (const auto& cell : shard.cells) {
+        ASSERT_TRUE(by_index.emplace(cell.index, cell).second)
+            << "duplicate cell " << cell.index << " in shard " << i << "/"
+            << n;
+        union_cells.push_back(cell);
+      }
+    }
+    ASSERT_EQ(by_index.size(), full_->cells.size()) << "n=" << n;
+    for (const auto& ref : full_->cells) {
+      const auto it = by_index.find(ref.index);
+      ASSERT_NE(it, by_index.end()) << "missing cell " << ref.index;
+      const SweepCell& got = it->second;
+      EXPECT_EQ(got.mode, ref.mode);
+      EXPECT_EQ(got.attack, ref.attack);
+      EXPECT_EQ(got.eps_index, ref.eps_index);
+      EXPECT_EQ(got.trial, ref.trial);
+      EXPECT_EQ(got.seed, ref.seed);
+      EXPECT_EQ(got.epsilon, ref.epsilon);
+      EXPECT_EQ(got.clean_acc, ref.clean_acc) << "cell " << ref.index;
+      EXPECT_EQ(got.adv_acc, ref.adv_acc) << "cell " << ref.index;
+      EXPECT_EQ(got.al, ref.al) << "cell " << ref.index;
+      EXPECT_EQ(got.cert_radius, ref.cert_radius) << "cell " << ref.index;
+    }
+
+    // Aggregates recomputed over the (scrambled-order) union reproduce the
+    // monolithic aggregates bit-for-bit — the rhw_merge path in miniature.
+    SweepResult merged = *full_;
+    merged.cells = union_cells;
+    const auto aggs = compute_aggregates(merged);
+    ASSERT_EQ(aggs.size(), full_->aggregates.size()) << "n=" << n;
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      EXPECT_EQ(aggs[i].mode, full_->aggregates[i].mode);
+      EXPECT_EQ(aggs[i].attack, full_->aggregates[i].attack);
+      EXPECT_EQ(aggs[i].eps_index, full_->aggregates[i].eps_index);
+      EXPECT_EQ(aggs[i].clean.mean, full_->aggregates[i].clean.mean);
+      EXPECT_EQ(aggs[i].adv.mean, full_->aggregates[i].adv.mean);
+      EXPECT_EQ(aggs[i].al.ci95, full_->aggregates[i].al.ci95);
+      EXPECT_EQ(aggs[i].cert.mean, full_->aggregates[i].cert.mean);
+    }
+  }
+}
+
+TEST_F(ShardTest, CertRadiusIsNonTrivialInTheFixture) {
+  // Guard the guard: if the smooth arm stopped certifying, the cert_radius
+  // column equality above would be vacuous.
+  bool any_cert = false;
+  for (const auto& cell : full_->cells) {
+    if (cell.cert_radius > 0.0) any_cert = true;
+  }
+  EXPECT_TRUE(any_cert);
+}
+
+TEST_F(ShardTest, ShardIndexMustBeBelowShardCount) {
+  SweepEngine::Options opt;
+  opt.shard_index = 3;
+  opt.shard_count = 3;
+  SweepEngine engine(opt);
+  EXPECT_THROW((void)engine.run(make_grid()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rhw::exp

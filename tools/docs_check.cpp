@@ -122,14 +122,32 @@ void check_experiment_commands(const fs::path& md, const std::string& text,
     std::vector<std::string> tokens;
     std::string tok;
     while (is >> tok) tokens.push_back(tok);
-    if (tokens.empty() || tokens[0].rfind("--", 0) == 0) continue;  // flags
+    if (tokens.empty() || tokens[0] == "--list" || tokens[0] == "--help") {
+      continue;  // meta flags, no spec to validate
+    }
     ++checked;
     try {
-      rhw::exp::ExperimentSpec spec =
-          rhw::exp::ExperimentRegistry::instance().preset(tokens[0]);
-      for (size_t i = 1; i < tokens.size(); ++i) {
-        spec.apply_override(tokens[i]);
+      // Mirror rhw_run_main: "--" tokens anywhere are run flags (validated
+      // through the same parser, so a cookbook typo like --shard=3/2 fails
+      // here too); the first bare token names the preset, the rest override.
+      rhw::exp::RunOptions run;
+      std::string preset;
+      std::vector<std::string> overrides;
+      for (const auto& t : tokens) {
+        if (t.rfind("--", 0) == 0) {
+          if (!rhw::exp::parse_run_flag(t, run)) {
+            throw std::invalid_argument("unknown rhw_run flag '" + t + "'");
+          }
+        } else if (preset.empty()) {
+          preset = t;
+        } else {
+          overrides.push_back(t);
+        }
       }
+      if (preset.empty()) continue;  // flags only, nothing to resolve
+      rhw::exp::ExperimentSpec spec =
+          rhw::exp::ExperimentRegistry::instance().preset(preset);
+      for (const auto& token : overrides) spec.apply_override(token);
       spec.validate();
     } catch (const std::exception& e) {
       failures.push_back(

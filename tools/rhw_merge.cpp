@@ -1,0 +1,107 @@
+// rhw_merge: fuses rhw-sweep-v4 shard artifacts back into the full grid.
+//
+//   $ rhw_merge -o BENCH_fig8bc_merged.json BENCH_fig8bc_*_shard*of3.json
+//   $ rhw_merge --payload BENCH_fig8bc_merged.json
+//   $ rhw_merge --diff BENCH_a.json BENCH_b.json
+//
+// Merge refuses mismatched canonical specs, engine stamps, schema versions,
+// duplicate cells and incomplete unions — each with a token-precise error on
+// stderr. The merged artifact's aggregates are recomputed with the same
+// trial-ordered reduction the sweep engine uses, so merging the shards of a
+// run yields a results payload byte-identical to the unsharded run.
+//
+// --payload prints an artifact's results payload (the experiment-independent
+// fields: no stamp, lanes or wall_seconds) to stdout — `cmp` two payloads to
+// assert run equivalence. --diff renders the canonical-spec difference of
+// two artifacts' embedded experiment stamps as -/+ lines; exit 0 when the
+// specs agree, 1 when they differ (the diff convention).
+#include <cstdio>
+#include <exception>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/artifact.hpp"
+#include "exp/sweep.hpp"
+
+namespace {
+
+int usage(int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: rhw_merge -o <merged.json> <shard.json> [<shard.json> ...]\n"
+      "       rhw_merge --payload <artifact.json>\n"
+      "       rhw_merge --diff <a.json> <b.json>\n\n"
+      "Fuses rhw-sweep-v4 shard artifacts (rhw_run --shard=i/n) into one\n"
+      "full-grid artifact; refuses mismatched canonical specs, engine\n"
+      "stamps, schema versions, duplicate or missing cells. --payload\n"
+      "prints the experiment-independent results payload for byte-wise\n"
+      "comparison; --diff prints the canonical-spec difference between two\n"
+      "artifacts.\n");
+  return code;
+}
+
+int run_merge(const std::string& out, const std::vector<std::string>& paths) {
+  std::vector<rhw::exp::SweepArtifact> shards;
+  shards.reserve(paths.size());
+  for (const auto& path : paths) {
+    shards.push_back(rhw::exp::load_sweep_artifact(path));
+  }
+  std::string figure;
+  const rhw::exp::SweepResult merged =
+      rhw::exp::merge_artifacts(shards, &figure);
+  merged.write_json(out, figure);
+  std::printf("rhw_merge: %s <- %zu shard(s), %zu cells\n", out.c_str(),
+              shards.size(), merged.cells.size());
+  return 0;
+}
+
+int run_payload(const std::string& path) {
+  const rhw::exp::SweepArtifact artifact = rhw::exp::load_sweep_artifact(path);
+  std::ostringstream os;
+  artifact.result.write_json(os, artifact.figure, /*payload_only=*/true);
+  os << '\n';
+  std::fputs(os.str().c_str(), stdout);
+  return 0;
+}
+
+int run_diff(const std::string& path_a, const std::string& path_b) {
+  const rhw::exp::SweepArtifact a = rhw::exp::load_sweep_artifact(path_a);
+  const rhw::exp::SweepArtifact b = rhw::exp::load_sweep_artifact(path_b);
+  const std::string diff = rhw::exp::diff_artifacts(a, b);
+  if (diff.empty()) {
+    std::printf("rhw_merge: identical canonical specs\n");
+    return 0;
+  }
+  std::fputs(diff.c_str(), stdout);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.empty() || args[0] == "--help" || args[0] == "-h") {
+      return usage(args.empty() ? 1 : 0);
+    }
+    if (args[0] == "--payload") {
+      if (args.size() != 2) return usage(1);
+      return run_payload(args[1]);
+    }
+    if (args[0] == "--diff") {
+      if (args.size() != 3) return usage(1);
+      return run_diff(args[1], args[2]);
+    }
+    if (args[0] == "-o") {
+      if (args.size() < 3) return usage(1);
+      return run_merge(args[1], {args.begin() + 2, args.end()});
+    }
+    std::fprintf(stderr, "rhw_merge: unknown argument '%s' (try --help)\n",
+                 args[0].c_str());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rhw_merge: %s\n", e.what());
+    return 1;
+  }
+}

@@ -8,9 +8,16 @@
 //   $ rhw_run sweep_smoke
 //   $ rhw_run fig8bc trials=5 backends+=xbar:rmin=1e5+smooth:sigma=0.25
 //   $ rhw_run serve_curve qps=100,400,1600 lanes=8
+//   $ rhw_run --shard=0/3 fig8bc          # 1 of 3 partitions -> rhw_merge
+//   $ rhw_run --resume fig8bc             # continue from <out>.partial/
+//   $ rhw_run --dry-run --shard=1/3 fig8bc  # print the cell enumeration
 //
 // Serving presets (serve=1) drive serve::Server + serve::LoadGen instead of
 // the sweep engine and write rhw-serve-v1 latency curves (docs/SERVING.md).
+// --shard=i/n deterministically partitions the expanded cell grid (union of
+// any n shards is bit-identical to the unsharded run; fuse shard artifacts
+// with rhw_merge); every sweep run journals completed cells into
+// <out>.partial/ so an interrupted run continues with --resume.
 // docs/EXPERIMENTS.md has the grammar, every preset, and an override
 // cookbook.
 #include <string>
