@@ -1,0 +1,172 @@
+#include "data/corruptions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/rng.hpp"
+
+namespace rhw::data {
+
+namespace {
+
+float clamp01(float v) { return std::clamp(v, 0.0f, 1.0f); }
+
+// Severity tables, index sev-1. Each is strictly monotone in corruption
+// strength so mean deviation grows with sev (locked in by tests).
+constexpr float kGaussSigma[5] = {0.04f, 0.08f, 0.12f, 0.18f, 0.26f};
+constexpr float kShotPhotons[5] = {60.0f, 25.0f, 12.0f, 5.0f, 3.0f};
+constexpr float kBlurSigma[5] = {0.5f, 0.75f, 1.0f, 1.5f, 2.0f};
+constexpr float kFogBlend[5] = {0.15f, 0.25f, 0.35f, 0.45f, 0.55f};
+constexpr float kContrastGain[5] = {0.75f, 0.6f, 0.45f, 0.3f, 0.2f};
+
+void gauss_noise(float* px, int64_t count, float sigma, RandomEngine& rng) {
+  for (int64_t i = 0; i < count; ++i) {
+    px[i] = clamp01(px[i] + sigma * rng.gaussian());
+  }
+}
+
+// Poisson noise in the Gaussian approximation: variance proportional to the
+// signal, scaled by the photon budget.
+void shot_noise(float* px, int64_t count, float photons, RandomEngine& rng) {
+  for (int64_t i = 0; i < count; ++i) {
+    const float sigma = std::sqrt(std::max(px[i], 0.01f) / photons);
+    px[i] = clamp01(px[i] + sigma * rng.gaussian());
+  }
+}
+
+// Separable Gaussian blur per channel; the kernel is renormalized at the
+// borders (reflect-free clamp) so brightness is preserved.
+void blur(float* px, int64_t channels, int64_t h, int64_t w, float sigma) {
+  const int64_t radius = std::max<int64_t>(1, std::llround(2.5 * sigma));
+  std::vector<float> kernel(static_cast<size_t>(2 * radius + 1));
+  for (int64_t k = -radius; k <= radius; ++k) {
+    kernel[static_cast<size_t>(k + radius)] =
+        std::exp(-0.5f * static_cast<float>(k * k) / (sigma * sigma));
+  }
+  std::vector<float> tmp(static_cast<size_t>(h * w));
+  for (int64_t c = 0; c < channels; ++c) {
+    float* plane = px + c * h * w;
+    // horizontal
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        float acc = 0.0f, norm = 0.0f;
+        for (int64_t k = -radius; k <= radius; ++k) {
+          const int64_t sx = x + k;
+          if (sx < 0 || sx >= w) continue;
+          const float kv = kernel[static_cast<size_t>(k + radius)];
+          acc += kv * plane[y * w + sx];
+          norm += kv;
+        }
+        tmp[static_cast<size_t>(y * w + x)] = acc / norm;
+      }
+    }
+    // vertical
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        float acc = 0.0f, norm = 0.0f;
+        for (int64_t k = -radius; k <= radius; ++k) {
+          const int64_t sy = y + k;
+          if (sy < 0 || sy >= h) continue;
+          const float kv = kernel[static_cast<size_t>(k + radius)];
+          acc += kv * tmp[static_cast<size_t>(sy * w + x)];
+          norm += kv;
+        }
+        plane[y * w + x] = clamp01(acc / norm);
+      }
+    }
+  }
+}
+
+// Bright haze: a smooth random field (bilinearly upsampled coarse grid,
+// shared across channels) biased toward white, blended over the image.
+void fog(float* px, int64_t channels, int64_t h, int64_t w, float blend,
+         RandomEngine& rng) {
+  constexpr int64_t kGrid = 4;
+  float coarse[kGrid * kGrid];
+  for (auto& v : coarse) v = rng.uniform(0.0f, 1.0f);
+  for (int64_t y = 0; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      const float gy = static_cast<float>(y) / static_cast<float>(h) *
+                       static_cast<float>(kGrid - 1);
+      const float gx = static_cast<float>(x) / static_cast<float>(w) *
+                       static_cast<float>(kGrid - 1);
+      const int64_t y0 = static_cast<int64_t>(gy), x0 = static_cast<int64_t>(gx);
+      const int64_t y1 = std::min<int64_t>(y0 + 1, kGrid - 1);
+      const int64_t x1 = std::min<int64_t>(x0 + 1, kGrid - 1);
+      const float fy = gy - static_cast<float>(y0);
+      const float fx = gx - static_cast<float>(x0);
+      const float field = (1 - fy) * ((1 - fx) * coarse[y0 * kGrid + x0] +
+                                      fx * coarse[y0 * kGrid + x1]) +
+                          fy * ((1 - fx) * coarse[y1 * kGrid + x0] +
+                                fx * coarse[y1 * kGrid + x1]);
+      const float haze = 0.7f + 0.3f * field;
+      for (int64_t c = 0; c < channels; ++c) {
+        float& v = px[c * h * w + y * w + x];
+        v = clamp01((1.0f - blend) * v + blend * haze);
+      }
+    }
+  }
+}
+
+void contrast(float* px, int64_t count, float gain) {
+  float mean = 0.0f;
+  for (int64_t i = 0; i < count; ++i) mean += px[i];
+  mean /= static_cast<float>(count);
+  for (int64_t i = 0; i < count; ++i) {
+    px[i] = clamp01(mean + gain * (px[i] - mean));
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& corruption_kinds() {
+  static const std::vector<std::string> kinds = {"blur", "contrast", "fog",
+                                                 "gauss_noise", "shot"};
+  return kinds;
+}
+
+Dataset corrupt_dataset(const Dataset& base, const CorruptionConfig& cfg) {
+  const auto& kinds = corruption_kinds();
+  if (std::find(kinds.begin(), kinds.end(), cfg.kind) == kinds.end()) {
+    std::string known;
+    for (const auto& k : kinds) known += " " + k;
+    throw std::invalid_argument("dataset corrupt: unknown kind '" + cfg.kind +
+                                "' (known:" + known + ")");
+  }
+  if (cfg.severity < 1 || cfg.severity > 5) {
+    throw std::invalid_argument("dataset corrupt: sev " +
+                                std::to_string(cfg.severity) +
+                                " out of range 1..5");
+  }
+  if (base.size() > 0 && base.images.rank() != 4) {
+    throw std::invalid_argument("dataset corrupt: rank-4 images required");
+  }
+  Dataset out = base;
+  const int64_t n = out.size();
+  if (n == 0) return out;
+  const int64_t c = out.images.dim(1), h = out.images.dim(2),
+                w = out.images.dim(3);
+  const int64_t stride = c * h * w;
+  const int sev = cfg.severity - 1;
+  for (int64_t i = 0; i < n; ++i) {
+    float* px = out.images.data() + i * stride;
+    // Per-sample stream: corruption of sample i is independent of dataset
+    // order, slicing and lane count.
+    RandomEngine rng(derive_stream_seed(cfg.seed, static_cast<uint64_t>(i)));
+    if (cfg.kind == "gauss_noise") {
+      gauss_noise(px, stride, kGaussSigma[sev], rng);
+    } else if (cfg.kind == "shot") {
+      shot_noise(px, stride, kShotPhotons[sev], rng);
+    } else if (cfg.kind == "blur") {
+      blur(px, c, h, w, kBlurSigma[sev]);
+    } else if (cfg.kind == "fog") {
+      fog(px, c, h, w, kFogBlend[sev], rng);
+    } else {  // contrast
+      contrast(px, stride, kContrastGain[sev]);
+    }
+  }
+  return out;
+}
+
+}  // namespace rhw::data

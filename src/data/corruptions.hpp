@@ -1,0 +1,42 @@
+// Procedural, seed-deterministic corruptions (CIFAR-10-C style).
+//
+// Five kinds x five severities over any [N, C, H, W] dataset in [0, 1]:
+//
+//   gauss_noise  additive Gaussian pixel noise
+//   shot         photon (shot) noise — signal-dependent Gaussian approx
+//   blur         separable Gaussian blur (no randomness)
+//   fog          blend toward a bright low-frequency haze field
+//   contrast     pull pixels toward the per-image mean
+//
+// Determinism contract: sample i draws from a RandomEngine seeded by
+// derive_stream_seed(cfg.seed, i), so the corruption of a sample does not
+// depend on dataset order, slicing, or thread count — same spec + seed ⇒
+// bitwise-equal tensors. Severity tables are strictly monotone: higher sev,
+// larger mean deviation from the clean image (tests/data/test_corruptions
+// locks this in).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace rhw::data {
+
+constexpr uint64_t kDefaultCorruptSeed = 0xC0224413ULL;
+
+struct CorruptionConfig {
+  std::string kind;  // gauss_noise | shot | blur | fog | contrast
+  int severity = 1;  // 1..5
+  uint64_t seed = kDefaultCorruptSeed;
+};
+
+// The registered kind names, sorted (for error messages and docs parity).
+const std::vector<std::string>& corruption_kinds();
+
+// Returns a corrupted copy; `base` must be rank-4 with pixels in [0, 1].
+// Throws std::invalid_argument on unknown kind or severity outside 1..5.
+Dataset corrupt_dataset(const Dataset& base, const CorruptionConfig& cfg);
+
+}  // namespace rhw::data

@@ -7,15 +7,35 @@ namespace rhw::data {
 
 Dataset Dataset::slice(int64_t begin, int64_t end) const {
   const int64_t n = size();
-  begin = std::clamp<int64_t>(begin, 0, n);
-  end = std::clamp<int64_t>(end, begin, n);
+  // begin must land inside the dataset; end clamps to the size because the
+  // batch loops everywhere ask for [i, i+batch) on the final partial batch.
+  if (begin < 0 || begin > n || end < begin) {
+    throw std::out_of_range("Dataset::slice: range [" + std::to_string(begin) +
+                            ", " + std::to_string(end) + ") invalid for " +
+                            std::to_string(n) + " sample(s)");
+  }
+  end = std::min(end, n);
   std::vector<int64_t> idx(static_cast<size_t>(end - begin));
   for (int64_t i = begin; i < end; ++i) idx[static_cast<size_t>(i - begin)] = i;
   return gather(idx);
 }
 
 Dataset Dataset::gather(const std::vector<int64_t>& indices) const {
-  if (images.rank() != 4) throw std::invalid_argument("Dataset: rank-4 images");
+  if (indices.empty()) {
+    // An empty gather (and so an empty slice, including of an empty or
+    // default-constructed dataset) is a valid empty batch, not an error.
+    Dataset out;
+    out.num_classes = num_classes;
+    if (images.rank() == 4) {
+      out.images = Tensor({0, images.dim(1), images.dim(2), images.dim(3)});
+    }
+    return out;
+  }
+  if (images.rank() != 4) {
+    throw std::invalid_argument(
+        "Dataset::gather: rank-4 images required (got rank " +
+        std::to_string(images.rank()) + ")");
+  }
   const int64_t c = images.dim(1), h = images.dim(2), w = images.dim(3);
   const int64_t stride = c * h * w;
   Dataset out;
@@ -25,7 +45,9 @@ Dataset Dataset::gather(const std::vector<int64_t>& indices) const {
   for (size_t i = 0; i < indices.size(); ++i) {
     const int64_t src = indices[i];
     if (src < 0 || src >= size()) {
-      throw std::out_of_range("Dataset::gather: index out of range");
+      throw std::out_of_range("Dataset::gather: index " + std::to_string(src) +
+                              " out of range for " + std::to_string(size()) +
+                              " sample(s)");
     }
     std::copy(images.data() + src * stride, images.data() + (src + 1) * stride,
               out.images.data() + static_cast<int64_t>(i) * stride);
@@ -34,7 +56,11 @@ Dataset Dataset::gather(const std::vector<int64_t>& indices) const {
   return out;
 }
 
-Dataset Dataset::head(int64_t n) const { return slice(0, n); }
+Dataset Dataset::head(int64_t n) const {
+  // Clamped by design: eval subsets ask for "at most n" (e.g. serve_smoke's
+  // eval_count=64 over an 8-image tiny test set).
+  return slice(0, std::clamp<int64_t>(n, 0, size()));
+}
 
 std::vector<int64_t> shuffled_indices(int64_t n, rhw::RandomEngine& rng) {
   std::vector<int64_t> idx(static_cast<size_t>(n));

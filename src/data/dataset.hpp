@@ -18,11 +18,15 @@ struct Dataset {
 
   int64_t size() const { return images.empty() ? 0 : images.dim(0); }
 
-  // Copies samples [begin, end) into a new batch.
+  // Copies samples [begin, end) into a new batch. begin must lie in
+  // [0, size()] and end must be >= begin (std::out_of_range otherwise);
+  // end clamps to size() so batch loops can ask for [i, i+batch) on the
+  // final partial batch.
   Dataset slice(int64_t begin, int64_t end) const;
-  // Copies the given sample indices into a new batch.
+  // Copies the given sample indices into a new batch; out-of-range indices
+  // throw std::out_of_range. An empty index list yields an empty batch.
   Dataset gather(const std::vector<int64_t>& indices) const;
-  // First n samples (clamped), handy for evaluation subsets.
+  // First n samples (clamped to [0, size()]), handy for evaluation subsets.
   Dataset head(int64_t n) const;
 };
 

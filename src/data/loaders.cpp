@@ -1,0 +1,197 @@
+#include "data/loaders.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace fs = std::filesystem;
+
+namespace rhw::data {
+
+namespace {
+
+constexpr int64_t kCifarChannels = 3;
+constexpr int64_t kCifarSize = 32;
+constexpr int64_t kCifarClasses = 10;
+constexpr int64_t kCifarRecordBytes =
+    1 + kCifarChannels * kCifarSize * kCifarSize;  // label + 3072 pixels
+
+std::vector<uint8_t> read_bytes(const fs::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("dataset loader: cannot open " + path.string());
+  }
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(is),
+                              std::istreambuf_iterator<char>());
+}
+
+// Appends the records of one CIFAR-10 batch file after validating that the
+// file is a whole number of 3073-byte records with labels in [0, 10).
+void append_cifar_batch(const fs::path& path, std::vector<float>& pixels,
+                        std::vector<int64_t>& labels) {
+  const std::vector<uint8_t> bytes = read_bytes(path);
+  if (bytes.empty() || bytes.size() % kCifarRecordBytes != 0) {
+    throw std::runtime_error(
+        "dataset loader: " + path.string() + ": " +
+        std::to_string(bytes.size()) + " bytes is not a whole number of " +
+        std::to_string(kCifarRecordBytes) + "-byte CIFAR-10 records");
+  }
+  const size_t records = bytes.size() / kCifarRecordBytes;
+  pixels.reserve(pixels.size() + records * (kCifarRecordBytes - 1));
+  for (size_t r = 0; r < records; ++r) {
+    const uint8_t* rec = bytes.data() + r * kCifarRecordBytes;
+    if (rec[0] >= kCifarClasses) {
+      throw std::runtime_error("dataset loader: " + path.string() +
+                               ": record " + std::to_string(r) + " label " +
+                               std::to_string(rec[0]) + " out of range [0, " +
+                               std::to_string(kCifarClasses) + ")");
+    }
+    labels.push_back(rec[0]);
+    for (int64_t i = 1; i < kCifarRecordBytes; ++i) {
+      pixels.push_back(static_cast<float>(rec[i]) / 255.0f);
+    }
+  }
+}
+
+Dataset cifar_dataset(std::vector<float> pixels, std::vector<int64_t> labels) {
+  Dataset out;
+  out.num_classes = kCifarClasses;
+  out.images = Tensor({static_cast<int64_t>(labels.size()), kCifarChannels,
+                       kCifarSize, kCifarSize});
+  std::copy(pixels.begin(), pixels.end(), out.images.data());
+  out.labels = std::move(labels);
+  return out;
+}
+
+uint32_t read_be32(const std::vector<uint8_t>& bytes, size_t at,
+                   const fs::path& path) {
+  if (at + 4 > bytes.size()) {
+    throw std::runtime_error("dataset loader: " + path.string() +
+                             ": truncated idx header");
+  }
+  return (static_cast<uint32_t>(bytes[at]) << 24) |
+         (static_cast<uint32_t>(bytes[at + 1]) << 16) |
+         (static_cast<uint32_t>(bytes[at + 2]) << 8) |
+         static_cast<uint32_t>(bytes[at + 3]);
+}
+
+// One MNIST idx split: the images file (magic 0x803, [count, rows, cols])
+// plus the labels file (magic 0x801, [count]); counts must agree and every
+// byte the headers promise must be present.
+Dataset load_idx_split(const fs::path& images_path, const fs::path& labels_path,
+                       int64_t num_classes) {
+  const std::vector<uint8_t> img = read_bytes(images_path);
+  const uint32_t img_magic = read_be32(img, 0, images_path);
+  if (img_magic != 0x00000803u) {
+    throw std::runtime_error("dataset loader: " + images_path.string() +
+                             ": bad idx magic " + std::to_string(img_magic) +
+                             " (expected 2051 for an image file)");
+  }
+  const uint32_t count = read_be32(img, 4, images_path);
+  const uint32_t rows = read_be32(img, 8, images_path);
+  const uint32_t cols = read_be32(img, 12, images_path);
+  const size_t want = 16 + static_cast<size_t>(count) * rows * cols;
+  if (img.size() != want) {
+    throw std::runtime_error(
+        "dataset loader: " + images_path.string() + ": " +
+        std::to_string(img.size()) + " bytes but header promises " +
+        std::to_string(want) + " (" + std::to_string(count) + " x " +
+        std::to_string(rows) + " x " + std::to_string(cols) + ")");
+  }
+
+  const std::vector<uint8_t> lab = read_bytes(labels_path);
+  const uint32_t lab_magic = read_be32(lab, 0, labels_path);
+  if (lab_magic != 0x00000801u) {
+    throw std::runtime_error("dataset loader: " + labels_path.string() +
+                             ": bad idx magic " + std::to_string(lab_magic) +
+                             " (expected 2049 for a label file)");
+  }
+  const uint32_t lab_count = read_be32(lab, 4, labels_path);
+  if (lab_count != count) {
+    throw std::runtime_error("dataset loader: " + labels_path.string() +
+                             ": " + std::to_string(lab_count) +
+                             " labels for " + std::to_string(count) +
+                             " images in " + images_path.string());
+  }
+  if (lab.size() != 8 + static_cast<size_t>(count)) {
+    throw std::runtime_error("dataset loader: " + labels_path.string() +
+                             ": truncated label payload");
+  }
+
+  Dataset out;
+  out.num_classes = num_classes;
+  out.images = Tensor({static_cast<int64_t>(count), 1,
+                       static_cast<int64_t>(rows),
+                       static_cast<int64_t>(cols)});
+  float* dst = out.images.data();
+  for (size_t i = 0; i < static_cast<size_t>(count) * rows * cols; ++i) {
+    dst[i] = static_cast<float>(img[16 + i]) / 255.0f;
+  }
+  out.labels.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (lab[8 + i] >= num_classes) {
+      throw std::runtime_error("dataset loader: " + labels_path.string() +
+                               ": label " + std::to_string(lab[8 + i]) +
+                               " out of range [0, " +
+                               std::to_string(num_classes) + ")");
+    }
+    out.labels[i] = lab[8 + i];
+  }
+  return out;
+}
+
+}  // namespace
+
+SynthCifar load_cifar10_dir(const std::string& dir) {
+  const fs::path root(dir);
+  if (!fs::is_directory(root)) {
+    throw std::runtime_error("dataset loader: cifar10 dir '" + dir +
+                             "' is not a directory");
+  }
+  std::vector<fs::path> batches;
+  for (const auto& entry : fs::directory_iterator(root)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("data_batch_", 0) == 0 &&
+        entry.path().extension() == ".bin") {
+      batches.push_back(entry.path());
+    }
+  }
+  if (batches.empty()) {
+    throw std::runtime_error("dataset loader: no data_batch_*.bin under '" +
+                             dir + "'");
+  }
+  std::sort(batches.begin(), batches.end());  // deterministic record order
+
+  SynthCifar out;
+  std::vector<float> pixels;
+  std::vector<int64_t> labels;
+  for (const auto& batch : batches) append_cifar_batch(batch, pixels, labels);
+  out.train = cifar_dataset(std::move(pixels), std::move(labels));
+
+  pixels.clear();
+  labels.clear();
+  append_cifar_batch(root / "test_batch.bin", pixels, labels);
+  out.test = cifar_dataset(std::move(pixels), std::move(labels));
+  return out;
+}
+
+SynthCifar load_mnist_dir(const std::string& dir) {
+  const fs::path root(dir);
+  if (!fs::is_directory(root)) {
+    throw std::runtime_error("dataset loader: mnist dir '" + dir +
+                             "' is not a directory");
+  }
+  SynthCifar out;
+  out.train = load_idx_split(root / "train-images-idx3-ubyte",
+                             root / "train-labels-idx1-ubyte", 10);
+  out.test = load_idx_split(root / "t10k-images-idx3-ubyte",
+                            root / "t10k-labels-idx1-ubyte", 10);
+  return out;
+}
+
+}  // namespace rhw::data

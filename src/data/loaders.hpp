@@ -1,0 +1,29 @@
+// Binary-format dataset loaders: CIFAR-10 batch files and MNIST idx files.
+//
+// Both loaders validate the on-disk format before trusting it — CIFAR-10
+// batches must be a whole number of 3073-byte records with in-range labels,
+// MNIST idx files must carry the 0x803/0x801 magics, the advertised
+// dimensions, and matching image/label counts — and fail with errors naming
+// the offending file and what was expected. Pixels are scaled to [0, 1]
+// (byte / 255), matching the synthetic generator's range and the paper's
+// epsilon scale. Loading is deterministic: record order on disk is the
+// sample order in memory.
+#pragma once
+
+#include <string>
+
+#include "data/synth_cifar.hpp"
+
+namespace rhw::data {
+
+// CIFAR-10 binary batches under `dir`: data_batch_*.bin (sorted by name)
+// become the train split, test_batch.bin the test split. Each record is
+// 1 label byte + 3072 image bytes (3 x 32 x 32, channel-major).
+SynthCifar load_cifar10_dir(const std::string& dir);
+
+// MNIST idx files under `dir`: train-images-idx3-ubyte /
+// train-labels-idx1-ubyte / t10k-images-idx3-ubyte / t10k-labels-idx1-ubyte.
+// Images load as [N, 1, rows, cols].
+SynthCifar load_mnist_dir(const std::string& dir);
+
+}  // namespace rhw::data

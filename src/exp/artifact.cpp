@@ -284,6 +284,11 @@ SweepArtifact load_sweep_artifact(const std::string& path) {
       r.experiment.preset = exp.at("preset").string_value();
       r.experiment.overrides = string_array(exp.at("overrides"));
       r.experiment.canonical = string_array(exp.at("canonical"));
+      // Optional (absent in pre-dataset-seam artifacts): the panel's
+      // canonical dataset spec.
+      if (const JsonValue* dataset = exp.find("dataset")) {
+        r.experiment.dataset = dataset->string_value();
+      }
       if (const JsonValue* shard = exp.find("shard")) {
         r.experiment.shard_index = static_cast<size_t>(shard->at("index").number_u64());
         r.experiment.shard_count = static_cast<size_t>(shard->at("count").number_u64());

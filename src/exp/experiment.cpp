@@ -8,6 +8,7 @@
 
 #include "attacks/registry.hpp"
 #include "core/engine_registry.hpp"
+#include "data/registry.hpp"
 #include "defenses/registry.hpp"
 #include "exp/al_runner.hpp"
 #include "hw/registry.hpp"
@@ -248,35 +249,18 @@ ArchSection parse_arch_section(const std::string& spec) {
 }
 
 DatasetSection parse_dataset_section(const std::string& spec) {
-  const core::ParsedSpec parsed = core::parse_spec("dataset", spec);
   DatasetSection out;
-  out.key = parsed.key;
-  core::OptionReader reader("dataset", out.key, parsed.options);
-  if (out.key == "synth-c10" || out.key == "synth-c100") {
-    out.tag = out.key;
-    reader.finish();  // the paper presets take no knobs
-    return out;
-  }
-  if (out.key != "tiny") {
-    throw std::invalid_argument("dataset spec '" + spec +
-                                "': unknown dataset '" + out.key +
-                                "' (known: synth-c10 synth-c100 tiny)");
-  }
-  out.classes = static_cast<int64_t>(
-      reader.integer("classes", static_cast<uint64_t>(out.classes)));
-  out.train_per_class = static_cast<int64_t>(
-      reader.integer("train", static_cast<uint64_t>(out.train_per_class)));
-  out.test_per_class = static_cast<int64_t>(
-      reader.integer("test", static_cast<uint64_t>(out.test_per_class)));
-  out.image_size = static_cast<int64_t>(
-      reader.integer("size", static_cast<uint64_t>(out.image_size)));
-  reader.finish();
-  if (out.classes < 2 || out.train_per_class < 1 || out.test_per_class < 1 ||
-      out.image_size < 8) {
-    throw std::invalid_argument("dataset spec '" + spec +
-                                "': degenerate tiny dataset configuration");
-  }
-  out.tag = "tiny-c" + std::to_string(out.classes);
+  // Resolve through the sixth seam: construction is cheap and
+  // filesystem-free, so a typo'd key or knob fails here with the dataset
+  // registry's token-naming error contract.
+  const data::DatasetPtr provider = data::make_dataset_provider(spec);
+  const auto [base_spec, wrapper] = data::split_corrupt_spec(spec);
+  out.key = core::parse_spec("dataset", base_spec).key;
+  out.tag = provider->tag();
+  out.zoo_tag = wrapper.empty()
+                    ? out.tag
+                    : data::make_dataset_provider(base_spec)->tag();
+  out.canonical = data::canonical_dataset_spec(spec);
   return out;
 }
 
@@ -467,9 +451,16 @@ void ExperimentSpec::validate() const {
     const ArchSection arch = parse_arch_section(panel.arch);
     const DatasetSection ds = parse_dataset_section(panel.dataset);
     if (tr.key == "zoo") {
-      if (ds.key == "tiny") {
+      // The on-disk cache is keyed by arch + base dataset tag, so zoo serves
+      // only datasets whose tag pins down the data: the paper synthetics and
+      // the real loaders. Parameterized generators (tiny, synth_cifar) keep
+      // geometry knobs the tag does not encode — a cache hit could silently
+      // return a model trained on different data. Corrupted variants share
+      // the clean model: corruptions touch the test split alone.
+      if (ds.zoo_tag != "synth-c10" && ds.zoo_tag != "synth-c100" &&
+          ds.zoo_tag != "cifar10" && ds.zoo_tag != "mnist") {
         throw std::invalid_argument(
-            who + ": train=zoo caches by paper dataset; panel '" +
+            who + ": train=zoo caches by dataset tag; panel '" +
             panel.to_item() + "' needs train=quick or train=none");
       }
       if (arch.width_mult != 0.25f || arch.in_size != 32) {

@@ -157,13 +157,12 @@ struct ArchSection {
   int64_t in_size = 32;
 };
 struct DatasetSection {
-  std::string key;   // synth-c10 | synth-c100 | tiny
-  std::string tag;   // cache/display name ("synth-c10", "tiny-c10")
-  // tiny:... knobs (ignored for the synth presets):
-  int64_t classes = 10;
-  int64_t train_per_class = 100;
-  int64_t test_per_class = 25;
-  int64_t image_size = 16;
+  // Any data::DatasetRegistry spec, optionally wrapped with the corruption
+  // grammar "<base>+corrupt:kind=...,sev=..." (docs/DATASETS.md).
+  std::string key;        // base registry key (synth-c10 | tiny | cifar10 | ...)
+  std::string tag;        // cache/display name ("synth-c10", "tiny-c10+fog3")
+  std::string zoo_tag;    // base tag ignoring corruption — train=zoo cache key
+  std::string canonical;  // canonical spec, stamped into artifacts/banner
 };
 struct TrainSection {
   std::string key;  // zoo | quick | none

@@ -8,6 +8,7 @@
 #include <system_error>
 
 #include "core/engine_registry.hpp"
+#include "data/registry.hpp"
 #include "exp/ascii_plot.hpp"
 #include "exp/table_printer.hpp"
 #include "serve/serve_experiment.hpp"
@@ -189,20 +190,16 @@ PanelContext make_panel(const ExperimentSpec& spec, size_t index) {
   if (spec.panels.size() > 1) {
     pc.tag += "_" + pc.arch.arch + "_" + pc.dataset.tag;
   }
-  if (pc.dataset.key == "tiny") {
-    data::SynthCifarConfig dcfg;
-    dcfg.num_classes = pc.dataset.classes;
-    dcfg.train_per_class = pc.dataset.train_per_class;
-    dcfg.test_per_class = pc.dataset.test_per_class;
-    dcfg.image_size = pc.dataset.image_size;
-    pc.data = data::make_synth_cifar(dcfg);
-  } else {
-    pc.data = data::make_dataset_by_name(pc.dataset.key);
-  }
+  // The sixth seam: any registered dataset spec (optionally wrapped with
+  // +corrupt:...) resolves through data::DatasetRegistry; load_dataset
+  // shares one deterministic in-memory copy per canonical spec.
+  pc.data = data::load_dataset(spec.panels[index].dataset);
   const TrainSection tr = parse_train_section(spec.train);
   if (tr.key == "zoo") {
+    // Cache by the base tag so corrupted variants (clean train split) share
+    // the clean model — validate() restricts zoo to the paper datasets.
     models::TrainedModel trained =
-        models::get_trained(pc.arch.arch, pc.dataset.tag, pc.data);
+        models::get_trained(pc.arch.arch, pc.dataset.zoo_tag, pc.data);
     pc.model = std::move(trained.model);
   } else {
     pc.model = models::build_model(pc.arch.arch, pc.data.train.num_classes,
@@ -456,6 +453,12 @@ std::vector<SweepResult> run_experiment(
                   spec.panels.size(), pc.arch.arch.c_str(),
                   pc.dataset.tag.c_str());
     }
+    std::printf("[dataset] %s\n", pc.dataset.canonical.c_str());
+    // Panel-resolved stamp: the canonical dataset spec rides in the
+    // artifact's experiment block (dropped by the payload view, so results
+    // stay byte-comparable across runs).
+    ExperimentStamp panel_stamp = stamp;
+    panel_stamp.dataset = pc.dataset.canonical;
     program->setup(pc);
 
     // Serving mode: the spec drives serve::Server + serve::LoadGen instead
@@ -463,9 +466,9 @@ std::vector<SweepResult> run_experiment(
     // as an rhw-serve-v1 artifact. The returned SweepResult carries only the
     // stamp (there are no sweep cells to aggregate).
     if (spec.serve) {
-      serve::run_serve_panel(spec, pc, stamp, artifact_path(spec, pc));
+      serve::run_serve_panel(spec, pc, panel_stamp, artifact_path(spec, pc));
       SweepResult result;
-      result.experiment = stamp;
+      result.experiment = panel_stamp;
       results.push_back(std::move(result));
       continue;
     }
@@ -483,7 +486,7 @@ std::vector<SweepResult> run_experiment(
     opt.journal_header = journal_header(spec, run, pc.tag);
     SweepEngine engine(opt);
     SweepResult result = engine.run(pc.grid);
-    result.experiment = stamp;
+    result.experiment = panel_stamp;
     std::printf("[sweep] %zu cells (%d trial(s)) on %u lane(s) in %.2fs",
                 result.cells.size(), result.trials, result.lanes,
                 result.wall_seconds);

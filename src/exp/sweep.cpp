@@ -671,6 +671,10 @@ void SweepResult::write_json(std::ostream& os, const std::string& figure,
       w.begin_array();
       for (const auto& token : experiment.canonical) w.value(token);
       w.end_array();
+      // The panel's resolved canonical dataset spec (data::DatasetRegistry).
+      if (!experiment.dataset.empty()) {
+        w.field("dataset", experiment.dataset);
+      }
       // Shard provenance: which slice of the canonical enumeration this
       // artifact holds, and — post-merge — how many shard files built it.
       if (experiment.shard_count > 1) {

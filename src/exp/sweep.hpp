@@ -176,6 +176,10 @@ struct ExperimentStamp {
   std::string preset;                  // ExperimentRegistry key
   std::vector<std::string> overrides;  // user-supplied override tokens
   std::vector<std::string> canonical;  // full canonical args (to_args())
+  // Canonical dataset spec of the panel this artifact holds (the sixth
+  // seam's resolved key+knobs, e.g. "synth-c10" or "cifar10:dir=...+
+  // corrupt:kind=fog,sev=3"); empty for ad-hoc grids.
+  std::string dataset;
   // Shard provenance: count > 1 marks a partial artifact holding only the
   // cells with index % count == this shard's index; merged_shards > 0 marks
   // an artifact rhw_merge fused from that many shard files.

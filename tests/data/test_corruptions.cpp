@@ -1,0 +1,145 @@
+// Corruption contracts: bitwise determinism per spec+seed, strictly monotone
+// severity, range preservation, and the wrapper's test-split-only rule.
+#include "data/corruptions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "data/registry.hpp"
+#include "data/synth_cifar.hpp"
+
+namespace rhw::data {
+namespace {
+
+Dataset clean() {
+  SynthCifarConfig cfg;
+  cfg.num_classes = 4;
+  cfg.train_per_class = 6;
+  cfg.test_per_class = 2;
+  cfg.image_size = 16;
+  return make_synth_cifar(cfg).test;  // 8 samples, [8, 3, 16, 16]
+}
+
+double mean_abs_diff(const Dataset& a, const Dataset& b) {
+  double acc = 0;
+  for (int64_t i = 0; i < a.images.numel(); ++i) {
+    acc += std::fabs(a.images[i] - b.images[i]);
+  }
+  return acc / static_cast<double>(a.images.numel());
+}
+
+TEST(Corruptions, KindsAreSortedAndComplete) {
+  const auto& kinds = corruption_kinds();
+  EXPECT_TRUE(std::is_sorted(kinds.begin(), kinds.end()));
+  EXPECT_EQ(kinds.size(), 5u);
+}
+
+TEST(Corruptions, SameSpecAndSeedIsBitwiseEqual) {
+  const Dataset base = clean();
+  for (const auto& kind : corruption_kinds()) {
+    CorruptionConfig cfg;
+    cfg.kind = kind;
+    cfg.severity = 3;
+    const Dataset a = corrupt_dataset(base, cfg);
+    const Dataset b = corrupt_dataset(base, cfg);
+    for (int64_t i = 0; i < a.images.numel(); ++i) {
+      ASSERT_EQ(a.images[i], b.images[i]) << kind << " @ " << i;
+    }
+    EXPECT_EQ(a.labels, base.labels) << kind;  // labels never change
+  }
+}
+
+TEST(Corruptions, DifferentSeedsDifferForRandomKinds) {
+  const Dataset base = clean();
+  for (const std::string kind : {"gauss_noise", "shot", "fog"}) {
+    CorruptionConfig cfg;
+    cfg.kind = kind;
+    cfg.severity = 3;
+    const Dataset a = corrupt_dataset(base, cfg);
+    cfg.seed += 1;
+    const Dataset b = corrupt_dataset(base, cfg);
+    EXPECT_GT(mean_abs_diff(a, b), 1e-4) << kind;
+  }
+}
+
+// Higher severity ⇒ strictly larger mean deviation from the clean images,
+// for every kind. This is the ordering the fig_cert-style sweeps rely on.
+TEST(Corruptions, SeverityIsStrictlyMonotone) {
+  const Dataset base = clean();
+  for (const auto& kind : corruption_kinds()) {
+    double prev = 0.0;
+    for (int sev = 1; sev <= 5; ++sev) {
+      CorruptionConfig cfg;
+      cfg.kind = kind;
+      cfg.severity = sev;
+      const double dev = mean_abs_diff(base, corrupt_dataset(base, cfg));
+      EXPECT_GT(dev, prev) << kind << " sev " << sev;
+      prev = dev;
+    }
+  }
+}
+
+TEST(Corruptions, PixelsStayInUnitRange) {
+  const Dataset base = clean();
+  for (const auto& kind : corruption_kinds()) {
+    CorruptionConfig cfg;
+    cfg.kind = kind;
+    cfg.severity = 5;
+    const Dataset out = corrupt_dataset(base, cfg);
+    EXPECT_GE(out.images.min(), 0.0f) << kind;
+    EXPECT_LE(out.images.max(), 1.0f) << kind;
+  }
+}
+
+// Per-sample seed streams: corrupting a slice equals slicing the corrupted
+// dataset — corruption of sample i is independent of its neighbours.
+TEST(Corruptions, SliceInvariant) {
+  const Dataset base = clean();
+  CorruptionConfig cfg;
+  cfg.kind = "gauss_noise";
+  cfg.severity = 2;
+  const Dataset whole = corrupt_dataset(base, cfg).slice(0, 4);
+  const Dataset part = corrupt_dataset(base.slice(0, 4), cfg);
+  for (int64_t i = 0; i < whole.images.numel(); ++i) {
+    ASSERT_EQ(whole.images[i], part.images[i]);
+  }
+}
+
+TEST(Corruptions, RejectsBadKindSeverityAndRank) {
+  CorruptionConfig cfg;
+  cfg.kind = "melt";
+  try {
+    (void)corrupt_dataset(Dataset{}, cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown kind 'melt'"), std::string::npos) << what;
+    EXPECT_NE(what.find("gauss_noise"), std::string::npos) << what;
+  }
+  cfg.kind = "fog";
+  cfg.severity = 0;
+  EXPECT_THROW(corrupt_dataset(Dataset{}, cfg), std::invalid_argument);
+  cfg.severity = 6;
+  EXPECT_THROW(corrupt_dataset(Dataset{}, cfg), std::invalid_argument);
+}
+
+// Through the registry wrapper, only the test split is corrupted: the train
+// split stays bitwise clean (so train=zoo models stay shareable).
+TEST(Corruptions, WrapperCorruptsTestSplitOnly) {
+  const char* base_spec = "tiny:classes=4,train=6,test=2,size=16";
+  const SynthCifar clean_ds = make_dataset_provider(base_spec)->load();
+  const SynthCifar foggy =
+      make_dataset_provider(std::string(base_spec) + "+corrupt:kind=fog,sev=4")
+          ->load();
+  ASSERT_EQ(foggy.train.images.numel(), clean_ds.train.images.numel());
+  for (int64_t i = 0; i < clean_ds.train.images.numel(); ++i) {
+    ASSERT_EQ(foggy.train.images[i], clean_ds.train.images[i]);
+  }
+  EXPECT_GT(mean_abs_diff(clean_ds.test, foggy.test), 1e-3);
+}
+
+}  // namespace
+}  // namespace rhw::data

@@ -1,0 +1,76 @@
+// Hardened batching-helper contracts: slice validates its range, gather
+// validates rank and indices, head stays clamped. These are regression tests
+// for the checked-error semantics docs/DATASETS.md promises.
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "data/synth_cifar.hpp"
+
+namespace rhw::data {
+namespace {
+
+Dataset small() {
+  SynthCifarConfig cfg;
+  cfg.num_classes = 4;
+  cfg.train_per_class = 5;
+  cfg.test_per_class = 2;
+  cfg.image_size = 8;
+  return make_synth_cifar(cfg).train;  // 20 samples, [20, 3, 8, 8]
+}
+
+TEST(DatasetSlice, ValidatesBeginAndOrderButClampsEnd) {
+  const Dataset d = small();
+  EXPECT_THROW(d.slice(-1, 3), std::out_of_range);
+  EXPECT_THROW(d.slice(21, 25), std::out_of_range);
+  EXPECT_THROW(d.slice(5, 4), std::out_of_range);
+  // The batch loops ask for [i, i+batch) on the final partial batch, so the
+  // end clamps instead of throwing.
+  EXPECT_EQ(d.slice(16, 32).size(), 4);
+  EXPECT_EQ(d.slice(20, 25).size(), 0);  // begin == size(): empty, not error
+}
+
+TEST(DatasetSlice, EmptySliceKeepsMetadata) {
+  const Dataset d = small();
+  const Dataset empty = d.slice(3, 3);
+  EXPECT_EQ(empty.size(), 0);
+  EXPECT_EQ(empty.num_classes, 4);
+  EXPECT_EQ(empty.images.rank(), 4);
+  EXPECT_EQ(empty.images.dim(1), 3);
+  EXPECT_EQ(empty.images.dim(3), 8);
+}
+
+TEST(DatasetGather, ChecksIndicesWithNamedError) {
+  const Dataset d = small();
+  EXPECT_THROW(d.gather({-1}), std::out_of_range);
+  try {
+    (void)d.gather({0, 20});
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("index 20"), std::string::npos) << what;
+    EXPECT_NE(what.find("20 sample(s)"), std::string::npos) << what;
+  }
+}
+
+TEST(DatasetGather, EmptyIndicesIsAnEmptyBatchEvenWithoutImages) {
+  const Dataset none;  // default-constructed: rank-0 images
+  EXPECT_EQ(none.gather({}).size(), 0);
+  EXPECT_EQ(none.slice(0, 0).size(), 0);
+  // A non-empty gather of a dataset without rank-4 images is a contract
+  // violation, named as such.
+  EXPECT_THROW(none.gather({0}), std::invalid_argument);
+}
+
+TEST(DatasetHead, ClampsBothEnds) {
+  const Dataset d = small();
+  EXPECT_EQ(d.head(-5).size(), 0);
+  EXPECT_EQ(d.head(0).size(), 0);
+  EXPECT_EQ(d.head(7).size(), 7);
+  EXPECT_EQ(d.head(1000).size(), 20);
+}
+
+}  // namespace
+}  // namespace rhw::data

@@ -1,0 +1,157 @@
+// Binary-loader round-trips against the checked-in fixtures plus the checked
+// error paths. The fixtures are generated patterns (see
+// tests/data/fixtures/README.md), so every pixel and label has a closed-form
+// expected value.
+#include "data/loaders.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "data/registry.hpp"
+
+namespace fs = std::filesystem;
+
+namespace rhw::data {
+namespace {
+
+const fs::path kFixtures =
+    fs::path(RHW_SOURCE_DIR) / "tests" / "data" / "fixtures";
+
+float byte_px(int64_t b) { return static_cast<float>(b % 256) / 255.0f; }
+
+TEST(Cifar10Loader, FixtureRoundTripsExactly) {
+  const SynthCifar ds = load_cifar10_dir((kFixtures / "cifar10").string());
+  ASSERT_EQ(ds.train.size(), 12);
+  ASSERT_EQ(ds.test.size(), 8);
+  EXPECT_EQ(ds.train.images.shape(), (Shape{12, 3, 32, 32}));
+  EXPECT_EQ(ds.train.num_classes, 10);
+  EXPECT_EQ(ds.test.num_classes, 10);
+  constexpr int64_t kStride = 3 * 32 * 32;
+  for (int64_t i = 0; i < 12; ++i) {
+    ASSERT_EQ(ds.train.labels[static_cast<size_t>(i)], i % 10);
+    // The fixture writes pixel byte j of record i as (i*31 + j) % 256.
+    for (int64_t j : {int64_t{0}, int64_t{1}, int64_t{255}, kStride - 1}) {
+      ASSERT_EQ(ds.train.images[i * kStride + j], byte_px(i * 31 + j))
+          << "record " << i << " byte " << j;
+    }
+  }
+  for (int64_t i = 0; i < 8; ++i) {
+    ASSERT_EQ(ds.test.labels[static_cast<size_t>(i)], i % 10);
+    ASSERT_EQ(ds.test.images[i * kStride], byte_px(i * 31));
+  }
+}
+
+TEST(MnistLoader, FixtureRoundTripsExactly) {
+  const SynthCifar ds = load_mnist_dir((kFixtures / "mnist").string());
+  ASSERT_EQ(ds.train.size(), 16);
+  ASSERT_EQ(ds.test.size(), 8);
+  EXPECT_EQ(ds.train.images.shape(), (Shape{16, 1, 28, 28}));
+  EXPECT_EQ(ds.train.num_classes, 10);
+  constexpr int64_t kStride = 28 * 28;
+  for (int64_t i = 0; i < 16; ++i) {
+    ASSERT_EQ(ds.train.labels[static_cast<size_t>(i)], i % 10);
+    // The fixture writes pixel byte j of image i as (i*7 + j) % 256.
+    for (int64_t j : {int64_t{0}, int64_t{300}, kStride - 1}) {
+      ASSERT_EQ(ds.train.images[i * kStride + j], byte_px(i * 7 + j))
+          << "image " << i << " byte " << j;
+    }
+  }
+}
+
+TEST(Loaders, RegistrySpecsResolveTheFixtureDirs) {
+  const SynthCifar& cifar = load_dataset(
+      "cifar10:dir=" + (kFixtures / "cifar10").string());
+  EXPECT_EQ(cifar.train.size(), 12);
+  const SynthCifar& mnist =
+      load_dataset("mnist:dir=" + (kFixtures / "mnist").string());
+  EXPECT_EQ(mnist.test.size(), 8);
+}
+
+// -- checked error paths ------------------------------------------------------
+// Malformed files are written to a scratch dir; every failure must name the
+// offending file and what was expected.
+
+class LoaderErrors : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "rhw_loader_errors";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void write(const std::string& name, const std::vector<uint8_t>& bytes) {
+    std::ofstream os(dir_ / name, std::ios::binary);
+    os.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(LoaderErrors, Cifar10RejectsMissingDirAndBatches) {
+  EXPECT_THROW(load_cifar10_dir((dir_ / "nope").string()), std::runtime_error);
+  EXPECT_THROW(load_cifar10_dir(dir_.string()), std::runtime_error);  // empty
+}
+
+TEST_F(LoaderErrors, Cifar10RejectsPartialRecords) {
+  write("data_batch_1.bin", std::vector<uint8_t>(100, 0));  // not 3073-aligned
+  try {
+    (void)load_cifar10_dir(dir_.string());
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("data_batch_1.bin"), std::string::npos) << what;
+    EXPECT_NE(what.find("3073"), std::string::npos) << what;
+  }
+}
+
+TEST_F(LoaderErrors, Cifar10RejectsOutOfRangeLabels) {
+  std::vector<uint8_t> rec(3073, 0);
+  rec[0] = 11;  // label >= 10
+  write("data_batch_1.bin", rec);
+  EXPECT_THROW(load_cifar10_dir(dir_.string()), std::runtime_error);
+}
+
+TEST_F(LoaderErrors, MnistRejectsBadMagicAndTruncation) {
+  // magic 0x804 instead of 0x803
+  write("train-images-idx3-ubyte", {0, 0, 8, 4, 0, 0, 0, 0,  //
+                                    0, 0, 0, 1, 0, 0, 0, 1});
+  try {
+    (void)load_mnist_dir(dir_.string());
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("expected 2051"), std::string::npos)
+        << e.what();
+  }
+  // Right magic, header promises one 2x2 image but payload is short.
+  write("train-images-idx3-ubyte", {0, 0, 8, 3, 0, 0, 0, 1,  //
+                                    0, 0, 0, 2, 0, 0, 0, 2, 9});
+  EXPECT_THROW(load_mnist_dir(dir_.string()), std::runtime_error);
+}
+
+TEST_F(LoaderErrors, MnistRejectsCountMismatch) {
+  // One 2x2 image...
+  write("train-images-idx3-ubyte", {0, 0, 8, 3, 0, 0, 0, 1,  //
+                                    0, 0, 0, 2, 0, 0, 0, 2,  //
+                                    1, 2, 3, 4});
+  // ...but two labels.
+  write("train-labels-idx1-ubyte", {0, 0, 8, 1, 0, 0, 0, 2, 1, 2});
+  try {
+    (void)load_mnist_dir(dir_.string());
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("2 labels for 1 images"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace rhw::data

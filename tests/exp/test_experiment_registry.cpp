@@ -28,9 +28,9 @@ bool fast_mode() {
 TEST(ExperimentRegistry, RegistersEveryFigureTableAndExample) {
   auto& registry = ExperimentRegistry::instance();
   for (const char* name :
-       {"fig5", "fig5w", "fig6", "fig7", "fig8a", "fig8bc", "table1",
-        "table2", "table3", "shootout", "obfuscation_audit", "sweep_smoke",
-        "serve_smoke", "serve_curve", "ablation_adaptive",
+       {"fig5", "fig5w", "fig6", "fig7", "fig8a", "fig8bc", "fig_cert",
+        "table1", "table2", "table3", "shootout", "obfuscation_audit",
+        "sweep_smoke", "serve_smoke", "serve_curve", "ablation_adaptive",
         "ablation_chip_variation"}) {
     EXPECT_TRUE(registry.contains(name)) << name;
     // Resolution + full validation against the three live registries — the
@@ -251,12 +251,37 @@ TEST(ExperimentOverrides, ModelAndDatasetRewriteEveryPanel) {
   EXPECT_EQ(spec.attacks, fig7.attacks);
 }
 
+// A dataset= override carrying registry knobs and a corruption wrapper must
+// survive the to_args() round trip verbatim — the artifact's canonical array
+// is how a sharded run is re-assembled, so a lossy serialization would change
+// what the resumed shards compute.
+TEST(ExperimentOverrides, DatasetOverrideRoundTripsThroughToArgs) {
+  ExperimentSpec spec = ExperimentRegistry::instance().preset("sweep_smoke");
+  spec.apply_override(
+      "dataset=tiny:classes=10,train=4,test=8,size=16"
+      "+corrupt:kind=gauss_noise,sev=3");
+  EXPECT_NO_THROW(spec.validate());
+  ExperimentSpec rebuilt;
+  for (const auto& token : spec.to_args()) {
+    rebuilt.apply_override(token);
+  }
+  EXPECT_EQ(rebuilt.panels, spec.panels);
+  ASSERT_EQ(rebuilt.panels.size(), 1u);
+  EXPECT_EQ(rebuilt.panels[0].dataset,
+            "tiny:classes=10,train=4,test=8,size=16"
+            "+corrupt:kind=gauss_noise,sev=3");
+  // An invalid dataset spec is rejected at override time, not at run time.
+  EXPECT_THROW(spec.apply_override("dataset=imagenet"), std::invalid_argument);
+  EXPECT_THROW(spec.apply_override("dataset=tiny+corrupt:sev=2"),
+               std::invalid_argument);
+}
+
 // to_args() is the canonical serialization the v4 artifacts embed: applying
 // it to an empty spec reproduces the preset bit-exactly (epsilons included).
 TEST(ExperimentOverrides, ToArgsRoundTripsBitExactly) {
   for (const char* name :
-       {"fig5", "fig8bc", "shootout", "sweep_smoke", "serve_smoke",
-        "serve_curve"}) {
+       {"fig5", "fig8bc", "fig_cert", "shootout", "sweep_smoke",
+        "serve_smoke", "serve_curve"}) {
     const ExperimentSpec original =
         ExperimentRegistry::instance().preset(name);
     ExperimentSpec rebuilt;
@@ -396,10 +421,31 @@ TEST(ExperimentSections, ParseAndReject) {
   const DatasetSection tiny =
       parse_dataset_section("tiny:classes=4,train=8,test=10,size=16");
   EXPECT_EQ(tiny.tag, "tiny-c4");
-  EXPECT_EQ(tiny.train_per_class, 8);
+  EXPECT_EQ(tiny.key, "tiny");
+  EXPECT_EQ(tiny.zoo_tag, "tiny-c4");
+  EXPECT_EQ(tiny.canonical, "tiny:classes=4,size=16,test=10,train=8");
+  // rhw-lint: allow(spec) stale on purpose — synth-c10 takes no options
   EXPECT_THROW(parse_dataset_section("synth-c10:classes=4"),
                std::invalid_argument);
-  EXPECT_THROW(parse_dataset_section("cifar10"), std::invalid_argument);
+  EXPECT_THROW(parse_dataset_section("imagenet"), std::invalid_argument);
+
+  // The sixth seam: registry keys resolve (cifar10 validates without disk
+  // I/O), and the corruption wrapper parses into tag/zoo_tag/canonical.
+  const DatasetSection cifar =
+      parse_dataset_section("cifar10:dir=tests/data/fixtures/cifar10");
+  EXPECT_EQ(cifar.key, "cifar10");
+  EXPECT_EQ(cifar.tag, "cifar10");
+  const DatasetSection foggy = parse_dataset_section(
+      "tiny:classes=4,train=8,test=10,size=16+corrupt:sev=3,kind=fog");
+  EXPECT_EQ(foggy.key, "tiny");
+  EXPECT_EQ(foggy.tag, "tiny-c4+fog3");
+  EXPECT_EQ(foggy.zoo_tag, "tiny-c4");
+  EXPECT_EQ(foggy.canonical,
+            "tiny:classes=4,size=16,test=10,train=8+corrupt:kind=fog,sev=3");
+  EXPECT_THROW(parse_dataset_section("tiny+corrupt:kind=melt,sev=1"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_dataset_section("tiny+corrupt:kind=fog,sev=6"),
+               std::invalid_argument);
 
   const TrainSection quick = parse_train_section("quick:epochs=2,batch=25");
   EXPECT_EQ(quick.epochs, 2);

@@ -185,7 +185,7 @@ TEST(RhwLint, CleanTreeRegistryDocParity) {
   size_t checked = 0;
   rhw::check::check_registry_doc_parity(kRoot, failures, checked);
   for (const auto& f : failures) ADD_FAILURE() << f.file << ": " << f.what;
-  EXPECT_EQ(checked, 5u);
+  EXPECT_EQ(checked, 6u);
 }
 
 // Declared last: registers a key into the live BackendRegistry and asserts

@@ -9,6 +9,7 @@
 
 #include "attacks/registry.hpp"
 #include "core/engine_registry.hpp"
+#include "data/registry.hpp"
 #include "defenses/registry.hpp"
 #include "exp/experiment_registry.hpp"
 #include "hw/registry.hpp"
@@ -49,13 +50,15 @@ SpecVerdict check_spec_span(const std::string& span, std::string* error) {
   const bool is_defense =
       rhw::defenses::DefenseRegistry::instance().contains(key);
   const bool is_engine = rhw::core::EngineRegistry::instance().contains(key);
+  const bool is_dataset = rhw::data::DatasetRegistry::instance().contains(key);
   // Experiment presets take no colon options; only bare keys match.
   const bool is_experiment =
       span == key && rhw::exp::ExperimentRegistry::instance().contains(key);
 
   SpecVerdict verdict = SpecVerdict::kNotASpec;
   std::string message;
-  if (is_backend || is_attack || is_defense || is_engine || is_experiment) {
+  if (is_backend || is_attack || is_defense || is_engine || is_dataset ||
+      is_experiment) {
     try {
       if (is_backend) {
         (void)rhw::hw::make_backend(span);
@@ -65,6 +68,9 @@ SpecVerdict check_spec_span(const std::string& span, std::string* error) {
         (void)rhw::defenses::make_defense(span);
       } else if (is_engine) {
         (void)rhw::core::make_engine(span);
+      } else if (is_dataset) {
+        // Construction is filesystem-free: dir= paths validate without I/O.
+        (void)rhw::data::make_dataset_provider(span);
       } else {
         rhw::exp::ExperimentRegistry::instance().preset(span).validate();
       }
@@ -83,8 +89,10 @@ SpecVerdict check_spec_span(const std::string& span, std::string* error) {
 
 std::vector<std::string> doc_heading_keys(const std::string& doc_text) {
   // "### `key` — ..." section headings (the registry-key convention in
-  // docs/BACKENDS.md, ATTACKS.md, DEFENSES.md and ENGINES.md).
-  static const std::regex heading_re(R"((?:^|\n)###\s+`([a-z_][a-z0-9_]*)`)");
+  // docs/BACKENDS.md, ATTACKS.md, DEFENSES.md, ENGINES.md and DATASETS.md;
+  // hyphens cover the legacy dataset keys "synth-c10"/"synth-c100").
+  static const std::regex heading_re(
+      R"((?:^|\n)###\s+`([a-z_][a-z0-9_-]*)`)");
   std::vector<std::string> keys;
   for (auto it = std::sregex_iterator(doc_text.begin(), doc_text.end(),
                                       heading_re);
@@ -163,6 +171,8 @@ void check_registry_doc_parity(const fs::path& root,
        "docs/DEFENSES.md", false},
       {"engine", rhw::core::EngineRegistry::instance().keys(),
        "docs/ENGINES.md", false},
+      {"dataset", rhw::data::DatasetRegistry::instance().keys(),
+       "docs/DATASETS.md", false},
       {"experiment", rhw::exp::ExperimentRegistry::instance().keys(),
        "docs/EXPERIMENTS.md", true},
   };

@@ -2,8 +2,9 @@
 // (markdown), tools/rhw_lint.cpp (source) and tests/lint/test_rhw_lint.cpp.
 //
 // One implementation of
-//   * spec-span validation against the five live registries (hw, attacks,
-//     defenses, engines, experiments) — docs_check and rhw_lint must agree
+//   * spec-span validation against the six live registries (hw, attacks,
+//     defenses, engines, datasets, experiments) — docs_check and rhw_lint
+//     must agree
 //     on what a stale spec is, so the logic lives here once;
 //   * registry <-> doc parity (every registered key documented, every
 //     documented key registered);
@@ -40,8 +41,9 @@ enum class SpecVerdict {
   kStale,     // names a registered key but no longer parses/validates
 };
 
-// Classifies `span` against the five registries (backend, attack, defense,
-// engine; experiment presets match bare keys only) and validates it through
+// Classifies `span` against the six registries (backend, attack, defense,
+// engine, dataset; experiment presets match bare keys only) and validates it
+// through
 // the matching factory. On kStale, *error (if non-null) carries the factory
 // message. Verdicts are memoized per span: the registries are immutable once
 // loaded, and hot keys like "ideal" appear hundreds of times.
@@ -62,7 +64,7 @@ void check_parity(const std::string& registry_name,
                   const std::vector<std::string>& documented,
                   const std::string& doc_file, std::vector<Failure>& failures);
 
-// All five registries against their docs/ tables under `root`; `checked`
+// All six registries against their docs/ tables under `root`; `checked`
 // counts the (registry, doc) pairs examined (a missing doc file is a
 // Failure, not a silent skip).
 void check_registry_doc_parity(const std::filesystem::path& root,

@@ -10,9 +10,10 @@
 //     backend spec must parse through hw::BackendRegistry, every attack
 //     spec through attacks::AttackRegistry, every defense spec through
 //     defenses::DefenseRegistry, every engine spec through
-//     core::EngineRegistry, and every experiment preset through
+//     core::EngineRegistry, every dataset spec through
+//     data::DatasetRegistry, and every experiment preset through
 //     exp::ExperimentRegistry — so a renamed knob, attack, defense,
-//     engine or preset breaks the build, not a reader;
+//     engine, dataset or preset breaks the build, not a reader;
 //   * inline `rhw_run <preset> [overrides...]` command spans: the preset
 //     must resolve, every override token must apply, and the resulting
 //     spec must validate against all the live registries — the override
@@ -70,7 +71,7 @@ void check_links(const fs::path& md, const std::string& text,
 }
 
 // Inline code spans that look like specs. Classification and validation
-// against the five live registries live in tools/check_common.cpp, shared
+// against the six live registries live in tools/check_common.cpp, shared
 // with rhw_lint — the two checkers must agree on what a stale spec is.
 void check_specs(const fs::path& md, const std::string& text,
                  std::vector<Failure>& failures, size_t& checked) {

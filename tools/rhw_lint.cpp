@@ -8,7 +8,7 @@
 //     docs/ARCHITECTURE.md), so sweeps stay bit-identical at any lane count;
 //   * registry spec string literals ("pgd:...", "xbar:...", "smooth:...",
 //     "simd:...", preset names) that no longer parse/validate against the
-//     five live registries — a renamed knob breaks this lint, not a test at
+//     six live registries — a renamed knob breaks this lint, not a test at
 //     runtime (or worse, a bench silently measuring the wrong thing);
 //   * registry <-> doc parity — every registered key must have its key
 //     section/row in the matching docs/*.md and vice versa;
@@ -74,9 +74,9 @@ int main(int argc, char** argv) {
                  stats.spec_literals);
     floor_failed = true;
   }
-  if (parity_checked < 5) {
+  if (parity_checked < 6) {
     std::fprintf(stderr,
-                 "rhw_lint: only %zu registry/doc pair(s) checked — all five "
+                 "rhw_lint: only %zu registry/doc pair(s) checked — all six "
                  "registries must have a docs table\n",
                  parity_checked);
     floor_failed = true;
